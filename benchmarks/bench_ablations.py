@@ -1,0 +1,57 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+scheduler, session-aware shrinking, checkpoint-based initialisation,
+and the aging/rejuvenation story."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_ablation_scheduler(benchmark, emit_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_scheduler_ablation(requests=150),
+        rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_ablation_shrink(benchmark, emit_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_shrink_ablation(requests=120),
+        rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_ablation_checkpoint(benchmark, emit_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_checkpoint_ablation(requests=80),
+        rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_ablation_aging(benchmark, emit_report):
+    report = benchmark.pedantic(
+        lambda: ablations.run_aging_ablation(operations=3000),
+        rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_ablation_scalability(benchmark, emit_report):
+    from repro.experiments import scalability
+    report = benchmark.pedantic(
+        lambda: scalability.run(calls=30), rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_ablation_fault_campaign(benchmark, emit_report):
+    from repro.experiments import fault_campaign
+    report = benchmark.pedantic(
+        lambda: fault_campaign.run(faults=20, requests_per_fault=6),
+        rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_ablation_endurance(benchmark, emit_report):
+    from repro.experiments import endurance
+    report = benchmark.pedantic(
+        lambda: endurance.run(rounds=30), rounds=1, iterations=1)
+    emit_report(report)

@@ -1,0 +1,42 @@
+"""EXP-F5 — regenerates Fig. 5 (system call overheads).
+
+``test_fig5_report`` prints the full table (Unikraft / VampOS-Noop /
+DaS / FSm / NETm × seven syscalls) and checks the paper's ordering
+claims.  The micro-benchmarks measure the library's own dispatch cost
+per configuration.
+"""
+
+import pytest
+
+from repro.core.config import DAS, NOOP
+from repro.experiments import syscall_overhead
+from repro.experiments.env import make_nginx
+
+
+def test_fig5_report(benchmark, emit_report):
+    report = benchmark.pedantic(
+        lambda: syscall_overhead.run(trials=50), rounds=1, iterations=1)
+    emit_report(report)
+
+
+@pytest.mark.parametrize("mode,label", [
+    ("unikraft", "unikraft"),
+    (NOOP, "vampos-noop"),
+    (DAS, "vampos-das"),
+], ids=["unikraft", "noop", "das"])
+def test_getpid_dispatch_speed(benchmark, mode, label):
+    app = make_nginx(mode, seed=7)
+    benchmark(app.libc.getpid)
+
+
+@pytest.mark.parametrize("mode", ["unikraft", DAS], ids=["unikraft",
+                                                         "das"])
+def test_open_close_cycle_speed(benchmark, mode):
+    app = make_nginx(mode, seed=8)
+    app.share.create("/srv/bench.dat", b"x" * 512)
+
+    def cycle():
+        fd = app.libc.open("/srv/bench.dat", "r")
+        app.libc.close(fd)
+
+    benchmark(cycle)

@@ -1,0 +1,30 @@
+"""EXP-F6 — regenerates Fig. 6 (component reboot times)."""
+
+import pytest
+
+from repro.core.config import DAS, FSM
+from repro.experiments import reboot_time
+from repro.experiments.env import make_nginx
+from repro.workloads.http_load import HttpLoadGenerator
+
+
+def test_fig6_report(benchmark, emit_report):
+    report = benchmark.pedantic(
+        lambda: reboot_time.run(trials=10, warmup_requests=300),
+        rounds=1, iterations=1)
+    emit_report(report)
+
+
+@pytest.mark.parametrize("component", ["PROCESS", "9PFS", "VFS", "LWIP"])
+def test_component_reboot_speed(benchmark, component):
+    app = make_nginx(DAS, seed=11)
+    HttpLoadGenerator(app, connections=4).run_requests(50)
+    benchmark(lambda: app.vampos.reboot_component(component,
+                                                  reason="bench"))
+
+
+def test_merged_reboot_speed(benchmark):
+    app = make_nginx(FSM, seed=12)
+    HttpLoadGenerator(app, connections=4).run_requests(50)
+    benchmark(lambda: app.vampos.reboot_component("VFS",
+                                                  reason="bench"))

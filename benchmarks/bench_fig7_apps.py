@@ -1,0 +1,52 @@
+"""EXP-F7 — regenerates Fig. 7 (real-world application overheads)."""
+
+import pytest
+
+from repro.core.config import DAS
+from repro.experiments import app_overhead
+from repro.experiments.env import make_echo, make_nginx, make_redis, \
+    make_sqlite
+from repro.workloads.echo_load import EchoWorkload
+from repro.workloads.http_load import HttpLoadGenerator
+from repro.workloads.redis_load import RedisSetWorkload
+from repro.workloads.sqlite_load import SqliteInsertWorkload
+
+
+def test_fig7_report(benchmark, emit_report):
+    report = benchmark.pedantic(lambda: app_overhead.run(scale=250),
+                                rounds=1, iterations=1)
+    emit_report(report)
+
+
+@pytest.mark.parametrize("mode", ["unikraft", DAS],
+                         ids=["unikraft", "das"])
+def test_sqlite_insert_speed(benchmark, mode):
+    app = make_sqlite(mode, seed=13)
+    SqliteInsertWorkload(app, inserts=1).run()  # create the table
+    counter = iter(range(10**9))
+    benchmark(lambda: app.execute(
+        f"INSERT INTO bench VALUES ({next(counter)}, 'x')"))
+
+
+@pytest.mark.parametrize("mode", ["unikraft", DAS],
+                         ids=["unikraft", "das"])
+def test_nginx_request_speed(benchmark, mode):
+    app = make_nginx(mode, seed=14)
+    load = HttpLoadGenerator(app, connections=4)
+    load.run_requests(2)  # warm the connections
+    counter = iter(range(10**9))
+    benchmark(lambda: load.one_request(next(counter) % 4))
+
+
+@pytest.mark.parametrize("mode", ["unikraft", DAS],
+                         ids=["unikraft", "das"])
+def test_redis_set_speed(benchmark, mode):
+    app = make_redis(mode, seed=15)
+    load = RedisSetWorkload(app, operations=1)
+    benchmark(lambda: load.client.set("key0", b"val"))
+
+
+def test_echo_exchange_speed(benchmark):
+    app = make_echo(DAS, seed=16)
+    load = EchoWorkload(app)
+    benchmark(load.one_exchange)

@@ -1,0 +1,51 @@
+"""EXP-F8 — regenerates Fig. 8 (Redis latency across failure recovery).
+
+Besides the claim-checked report, this bench prints the latency
+*timeline* (the plotted series) for both recovery strategies.
+"""
+
+import pytest
+
+from repro.experiments import failure_recovery
+from repro.experiments.env import make_redis
+from repro.core.config import DAS
+from repro.faults.injector import FaultInjector
+from repro.workloads.redis_load import warm_up
+
+
+def test_fig8_report(benchmark, emit_report):
+    report = benchmark.pedantic(
+        lambda: failure_recovery.run(keys=10_000, duration_s=20,
+                                     disturb_at_s=8),
+        rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_fig8_timeline_series(emit_report):
+    """Print the per-second latency series (the actual figure data)."""
+    from repro.metrics.report import ExperimentReport
+
+    outcome_report = ExperimentReport(
+        experiment_id="EXP-F8-series",
+        paper_artifact="Fig. 8 — probe latency series (us per second)")
+    for runner, label in ((failure_recovery.run_unikraft, "Unikraft"),
+                          (failure_recovery.run_vampos, "VampOS-DaS")):
+        result = runner(5_000, 15e6, 6e6, seed=71)
+        outcome_report.add_note(f"{label}: baseline "
+                                f"{result.baseline_latency_us:.0f}us, "
+                                f"max {result.max_latency_us:.0f}us, "
+                                f"failures {result.failures}")
+    emit_report(outcome_report, check_claims=False)
+
+
+def test_vampos_inline_recovery_speed(benchmark):
+    """Library speed of the detect→reboot→replay→retry path."""
+    app = make_redis(DAS, seed=19)
+    warm_up(app, keys=500, value_bytes=64, durable=False)
+    injector = FaultInjector(app.kernel)
+
+    def recover_once():
+        injector.inject_panic("9PFS")
+        app.libc.stat("/redis")  # triggers detection + recovery
+
+    benchmark(recover_once)

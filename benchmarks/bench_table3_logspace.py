@@ -1,0 +1,35 @@
+"""EXP-T3 — regenerates Table III (log space overheads per syscall)."""
+
+import pytest
+
+from repro.core.config import DAS
+from repro.experiments import log_space
+from repro.experiments.env import make_nginx
+
+
+def test_table3_report(benchmark, emit_report):
+    report = benchmark.pedantic(log_space.run, rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_log_append_speed(benchmark):
+    """Raw cost of one logged syscall (open+close) under VampOS-DaS."""
+    app = make_nginx(DAS, seed=9)
+    app.share.create("/srv/logged.dat", b"y" * 64)
+
+    def logged_cycle():
+        fd = app.libc.open("/srv/logged.dat", "r")
+        app.libc.close(fd)
+
+    benchmark(logged_cycle)
+
+
+def test_log_space_accounting_speed(benchmark):
+    app = make_nginx(DAS, seed=10)
+    app.share.create("/srv/space.dat", b"z" * 64)
+    for _ in range(20):
+        fd = app.libc.open("/srv/space.dat", "r")
+        app.libc.read(fd, 16)
+        app.libc.close(fd)
+    kernel = app.vampos
+    benchmark(kernel.log_space_bytes)

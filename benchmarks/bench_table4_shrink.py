@@ -1,0 +1,23 @@
+"""EXP-T4 — regenerates Table IV (throughput vs log-shrink threshold)."""
+
+import pytest
+
+from repro.core.config import DAS
+from repro.experiments import shrink_threshold
+from repro.experiments.env import make_sqlite
+from repro.workloads.sqlite_load import SqliteInsertWorkload
+
+
+def test_table4_report(benchmark, emit_report):
+    report = benchmark.pedantic(lambda: shrink_threshold.run(scale=300),
+                                rounds=1, iterations=1)
+    emit_report(report)
+
+
+@pytest.mark.parametrize("threshold", [20, 100, 1000])
+def test_sqlite_insert_speed_by_threshold(benchmark, threshold):
+    app = make_sqlite(DAS.with_(shrink_threshold=threshold), seed=17)
+    SqliteInsertWorkload(app, inserts=1).run()
+    counter = iter(range(10**9))
+    benchmark(lambda: app.execute(
+        f"INSERT INTO bench VALUES ({next(counter)}, 'x')"))

@@ -1,0 +1,21 @@
+"""EXP-T5 — regenerates Table V (request success across rejuvenation)."""
+
+import pytest
+
+from repro.core.config import DAS
+from repro.experiments import rejuvenation
+from repro.experiments.env import make_nginx
+
+
+def test_table5_report(benchmark, emit_report):
+    report = benchmark.pedantic(
+        lambda: rejuvenation.run(rounds=12, rejuvenate_every=3,
+                                 clients=100),
+        rounds=1, iterations=1)
+    emit_report(report)
+
+
+def test_rejuvenate_all_speed(benchmark):
+    """Wall-clock cost of one full rejuvenation sweep (library speed)."""
+    app = make_nginx(DAS, seed=18)
+    benchmark(app.vampos.rejuvenate_all)

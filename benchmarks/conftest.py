@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` file regenerates one table/figure of the paper: it
+runs the corresponding experiment module (reduced scale, same shapes),
+prints the paper-vs-measured report, saves it under
+``benchmarks/reports/``, and asserts that the paper's qualitative
+claims hold.  Micro-benchmarks of the hot mechanisms accompany each
+artifact so ``pytest-benchmark`` also tracks the library's own speed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def emit_report():
+    """Print a report, persist it, and assert its claims."""
+
+    def _emit(report, check_claims: bool = True):
+        text = report.render()
+        print()
+        print(text)
+        REPORT_DIR.mkdir(exist_ok=True)
+        path = REPORT_DIR / f"{report.experiment_id}.txt"
+        path.write_text(text + "\n")
+        if report.headers:
+            csv_path = REPORT_DIR / f"{report.experiment_id}.csv"
+            csv_path.write_text(report.to_csv())
+        if check_claims:
+            failed = [c for c in report.claims if not c.holds]
+            assert not failed, "paper claims violated:\n" + \
+                "\n".join(c.render() for c in failed)
+        return report
+
+    return _emit

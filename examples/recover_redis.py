@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Failure recovery of a warm in-memory store (the §VII-E scenario).
+
+A warm MiniRedis serves GET probes while a fail-stop ``panic()`` is
+injected into its 9PFS component:
+
+* under VampOS, the failure detector reboots only 9PFS, restores its
+  fid table from checkpoint + log replay, and the in-memory keys keep
+  being served — the probe latency barely moves;
+* under vanilla Unikraft, the panic kills the whole image; recovery is
+  a full reboot plus an AOF replay proportional to the store size —
+  a long, visible outage.
+
+Run:  python examples/recover_redis.py
+"""
+
+from repro import DAS, MiniRedis, Simulation
+from repro.faults import FaultInjector
+from repro.unikernel.errors import KernelPanic
+from repro.workloads.redis_load import RedisProbeWorkload, warm_up
+
+KEYS = 10_000
+DURATION_S = 20.0
+FAULT_AT_S = 8.0
+
+
+def run(mode_label: str, mode, aof: str) -> None:
+    app = MiniRedis(Simulation(seed=3), mode=mode, aof=aof)
+    warm_up(app, keys=KEYS, value_bytes=1024)
+    injector = FaultInjector(app.kernel)
+
+    def disturb() -> None:
+        injector.inject_panic("9PFS", "fail-stop (as in §VII-E)")
+        try:
+            app.libc.stat("/redis")  # the next touch activates it
+        except KernelPanic:
+            app.kernel.full_reboot()  # vanilla: only remedy
+
+    probe = RedisProbeWorkload(app, keys=KEYS)
+    result = probe.run(DURATION_S * 1e6, disturb_at_us=FAULT_AT_S * 1e6,
+                       disturb=disturb)
+
+    print(f"=== {mode_label} (AOF={aof}) ===")
+    print(f"  baseline GET latency : {result.baseline_latency_us:9.1f} us")
+    print(f"  worst GET latency    : {result.max_latency_us:9.1f} us")
+    print(f"  failed requests      : {result.failures}")
+    vamp = app.vampos
+    if vamp is not None and vamp.reboots:
+        record = vamp.reboots[-1]
+        print(f"  recovery             : rebooted {record.component} in "
+              f"{record.downtime_us / 1e3:.2f} ms "
+              f"({record.entries_replayed} calls replayed)")
+    else:
+        print(f"  recovery             : full reboot + AOF replay of "
+              f"{app.dbsize():,} keys")
+    # a compact latency timeline (one bucket per 2 virtual seconds)
+    print("  latency series (us): "
+          + " ".join(f"{value:.0f}"
+                     for _, value in result.timeline.buckets(2e6)))
+    print()
+
+
+def main() -> None:
+    run("VampOS-DaS", DAS, aof="off")
+    run("Unikraft", "unikraft", aof="always")
+    print("(paper Fig. 8: VampOS recovers with almost zero penalty; "
+          "the full reboot degrades requests until the AOF restore "
+          "completes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Software rejuvenation of a live web server (the §VII-D scenario).
+
+A siege of 100 clients hammers Nginx while every unikernel component is
+proactively rebooted, one by one.  Under VampOS not a single request is
+lost; the same schedule under vanilla Unikraft (where rejuvenation is a
+full reboot) kills every in-flight transaction.
+
+Run:  python examples/rejuvenate_nginx.py
+"""
+
+from itertools import cycle
+
+from repro import DAS, MiniNginx, Simulation
+from repro.workloads.siege import Siege
+
+ROUNDS = 12
+REJUVENATE_EVERY = 3
+CLIENTS = 100
+
+
+def run_vampos() -> None:
+    app = MiniNginx(Simulation(seed=7), mode=DAS)
+    rebootable = [name for name in app.kernel.image.boot_order
+                  if app.kernel.component(name).REBOOTABLE]
+    targets = cycle(rebootable)
+    downtimes = []
+
+    def rejuvenate(_: int) -> None:
+        target = next(targets)
+        record = app.vampos.rejuvenate(target)
+        downtimes.append((target, record.downtime_us))
+
+    result = Siege(app, clients=CLIENTS).run(ROUNDS, REJUVENATE_EVERY,
+                                             rejuvenate)
+    print("=== VampOS-DaS: component-level rejuvenation ===")
+    for target, downtime in downtimes:
+        print(f"  rebooted {target:<8} in {downtime / 1e3:8.3f} ms")
+    print(f"  transactions: {result.successes} ok, "
+          f"{result.failures} failed "
+          f"({result.success_ratio:.1%} success)")
+
+
+def run_unikraft() -> None:
+    app = MiniNginx(Simulation(seed=7), mode="unikraft")
+
+    def rejuvenate(_: int) -> None:
+        downtime = app.kernel.full_reboot()
+        print(f"  full reboot in {downtime / 1e6:8.3f} s")
+
+    result = Siege(app, clients=CLIENTS).run(ROUNDS, REJUVENATE_EVERY,
+                                             rejuvenate)
+    print(f"  transactions: {result.successes} ok, "
+          f"{result.failures} failed "
+          f"({result.success_ratio:.1%} success)")
+
+
+def main() -> None:
+    run_vampos()
+    print()
+    print("=== Unikraft: full-reboot rejuvenation ===")
+    run_unikraft()
+    print("\n(paper Table V: VampOS 100% vs Unikraft 74.9% success)")
+
+
+if __name__ == "__main__":
+    main()

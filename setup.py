@@ -1,0 +1,11 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=("VampOS reproduction: reboot-based recovery of unikernels "
+                 "at the component level (DSN 2024)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,87 @@
+"""VampOS reproduction: reboot-based recovery of unikernels at the
+component level (Wada & Yamada, DSN 2024).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` — deterministic virtual time, cost model, RNG, trace;
+* :mod:`repro.memory` — regions, buddy allocator, software MPK,
+  snapshots;
+* :mod:`repro.unikernel` — the Unikraft-like substrate (component
+  model, image linker, vanilla full-reboot kernel);
+* :mod:`repro.components` — the nine OS components of Table I;
+* :mod:`repro.net` — the host-side 9P share and TCP network;
+* :mod:`repro.core` — **VampOS itself**: message passing, schedulers,
+  call logs, session-aware shrinking, checkpoints, encapsulated
+  restoration, protection domains, the failure detector, and the
+  component-level reboot;
+* :mod:`repro.faults` — fault injection and software aging;
+* :mod:`repro.apps` — SQLite, Nginx, Redis and Echo analogues;
+* :mod:`repro.workloads` — the §VII workload drivers;
+* :mod:`repro.experiments` — one module per reproduced table/figure.
+
+Quickstart::
+
+    from repro import Simulation, MiniNginx, DAS
+
+    sim = Simulation(seed=1)
+    nginx = MiniNginx(sim, mode=DAS)          # VampOS-DaS kernel
+    sock = nginx.network.connect(80)
+    sock.send(b"GET / HTTP/1.1\\r\\nHost: x\\r\\n\\r\\n")
+    nginx.poll()
+    assert sock.recv().startswith(b"HTTP/1.1 200")
+    nginx.vampos.reboot_component("VFS")      # component-level reboot
+    # ... the connection (and the whole app) survives.
+"""
+
+from . import components  # noqa: F401  (registers Table I components)
+from .apps import EchoServer, Libc, MiniNginx, MiniRedis, MiniSQLite
+from .core import (
+    ALL_CONFIGS,
+    DAS,
+    FSM,
+    NETM,
+    NOOP,
+    VampConfig,
+    VampOSKernel,
+    build_vampos,
+    config_by_name,
+)
+from .faults import AgingModel, FaultInjector
+from .net import HostNetwork, HostShare
+from .sim import CostModel, Simulation
+from .unikernel import (
+    ImageBuilder,
+    ImageSpec,
+    UnikraftKernel,
+    build_unikraft,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EchoServer",
+    "Libc",
+    "MiniNginx",
+    "MiniRedis",
+    "MiniSQLite",
+    "ALL_CONFIGS",
+    "DAS",
+    "FSM",
+    "NETM",
+    "NOOP",
+    "VampConfig",
+    "VampOSKernel",
+    "build_vampos",
+    "config_by_name",
+    "AgingModel",
+    "FaultInjector",
+    "HostNetwork",
+    "HostShare",
+    "CostModel",
+    "Simulation",
+    "ImageBuilder",
+    "ImageSpec",
+    "UnikraftKernel",
+    "build_unikraft",
+    "__version__",
+]

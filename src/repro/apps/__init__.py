@@ -1,0 +1,23 @@
+"""The four applications of §VI: SQLite, Nginx, Redis and Echo."""
+
+from .base import KernelMode, ServerApp, UnikernelApp
+from .echo import EchoServer
+from .libc import Libc
+from .nginx import DEFAULT_PAGE, MiniNginx
+from .redis import AOF_PATH, MiniRedis
+from .sqlite import DB_PATH, MiniSQLite, SqlError
+
+__all__ = [
+    "KernelMode",
+    "ServerApp",
+    "UnikernelApp",
+    "EchoServer",
+    "Libc",
+    "DEFAULT_PAGE",
+    "MiniNginx",
+    "AOF_PATH",
+    "MiniRedis",
+    "DB_PATH",
+    "MiniSQLite",
+    "SqlError",
+]

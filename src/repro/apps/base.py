@@ -1,0 +1,214 @@
+"""Application base classes.
+
+Each of the paper's four applications (§VI) links a specific component
+set and runs unmodified on either kernel.  ``UnikernelApp`` owns the
+image spec, the kernel, and the host-side environment (share +
+network); ``ServerApp`` adds the accept/poll loop the three network
+servers share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import components as _components  # noqa: F401  (registers Table I)
+from ..core.config import VampConfig
+from ..core.runtime import VampOSKernel
+from ..net.hostshare import HostShare
+from ..net.tcp import HostNetwork
+from ..sim.engine import Simulation
+from ..unikernel.errors import SyscallError
+from ..unikernel.image import ImageBuilder, ImageSpec
+from ..unikernel.kernel import Kernel, UnikraftKernel
+from .libc import Libc
+
+#: mode selector: the string "unikraft" or a VampConfig
+KernelMode = Union[str, VampConfig]
+
+
+class UnikernelApp:
+    """An application linked with its unikernel."""
+
+    #: application name (subclasses override)
+    NAME = "app"
+    #: the component selection of §VI (VIRTIO etc. come in transitively)
+    COMPONENTS: Tuple[str, ...] = ()
+
+    def __init__(self, sim: Simulation, mode: KernelMode = "unikraft",
+                 share: Optional[HostShare] = None,
+                 network: Optional[HostNetwork] = None,
+                 num_protection_keys: int = 16) -> None:
+        self.sim = sim
+        self.share = share if share is not None else HostShare()
+        self.network = network if network is not None else HostNetwork(sim)
+        self.mode = mode
+        spec = ImageSpec(
+            self.NAME, list(self.COMPONENTS),
+            component_args={"VIRTIO": {"share": self.share,
+                                       "network": self.network}})
+        image = ImageBuilder().build(spec, sim)
+        if isinstance(mode, VampConfig):
+            self.kernel: Kernel = VampOSKernel(
+                image, mode, num_protection_keys=num_protection_keys)
+        elif mode == "unikraft":
+            self.kernel = UnikraftKernel(image)
+        else:
+            raise ValueError(f"unknown kernel mode {mode!r}")
+        self.libc = Libc(self.kernel)
+        self.kernel.on_full_reboot(self._handle_full_reboot)
+        self.prepare_host()
+        self.kernel.boot()
+        self.setup()
+
+    # --- subclass hooks -------------------------------------------------------------
+
+    def prepare_host(self) -> None:
+        """Create host-share content the app expects (docroot, db dir)."""
+
+    def setup(self) -> None:
+        """Application initialisation (mount, open files, listen)."""
+
+    def reset_state(self) -> None:
+        """Drop all in-memory application state (full reboot lost it)."""
+
+    # --- lifecycle --------------------------------------------------------------------
+
+    def _handle_full_reboot(self) -> None:
+        self.reset_state()
+        self.setup()
+
+    @property
+    def vampos(self) -> Optional[VampOSKernel]:
+        """The kernel as a VampOSKernel, or None under vanilla."""
+        return self.kernel if isinstance(self.kernel, VampOSKernel) else None
+
+    def is_vampos(self) -> bool:
+        return isinstance(self.kernel, VampOSKernel)
+
+    def mpk_tag_count(self) -> int:
+        vamp = self.vampos
+        return vamp.mpk_tag_count() if vamp is not None else 0
+
+    def memory_footprint_bytes(self) -> int:
+        """Image footprint plus the app's own in-memory state."""
+        total = self.kernel.image.total_memory_bytes() \
+            + self.app_state_bytes()
+        vamp = self.vampos
+        if vamp is not None:
+            total += vamp.memory_overhead_bytes()
+        return total
+
+    def app_state_bytes(self) -> int:
+        """Bytes of application-layer state (subclasses override)."""
+        return 0
+
+
+class ServerApp(UnikernelApp):
+    """Shared accept/poll skeleton of Nginx, Redis and Echo."""
+
+    PORT = 0
+    BACKLOG = 128
+
+    def __init__(self, sim: Simulation, mode: KernelMode = "unikraft",
+                 share: Optional[HostShare] = None,
+                 network: Optional[HostNetwork] = None,
+                 **kernel_kwargs: Any) -> None:
+        self._listen_fd: Optional[int] = None
+        #: client fd -> receive buffer of a partial request
+        self._conn_buffers: Dict[int, bytearray] = {}
+        self.requests_served = 0
+        super().__init__(sim, mode, share, network, **kernel_kwargs)
+
+    def setup(self) -> None:
+        fd = self.libc.socket()
+        self.libc.bind(fd, self.PORT)
+        self.libc.listen(fd, self.BACKLOG)
+        self._listen_fd = fd
+
+    def reset_state(self) -> None:
+        self._listen_fd = None
+        self._conn_buffers.clear()
+
+    # --- the poll loop --------------------------------------------------------------------
+
+    def poll(self, max_accepts: int = 64) -> int:
+        """One server iteration: accept new connections, then service
+        every readable connection (epoll-style, one batched readiness
+        syscall).  Returns the number of requests completed."""
+        completed = 0
+        vamp = self.vampos
+        if vamp is not None:
+            vamp.heartbeat()
+        for _ in range(max_accepts):
+            fd = self.libc.accept(self._listen_fd)
+            if fd is None:
+                break
+            self._conn_buffers[fd] = bytearray()
+        if not self._conn_buffers:
+            return 0
+        readiness = self.kernel.syscall("VFS", "poll_fds",
+                                        list(self._conn_buffers))
+        for fd, pending in readiness.items():
+            if pending < 0:
+                # EOF/reset: the peer is gone and the buffer drained.
+                self._drop_connection(fd)
+            elif pending > 0:
+                completed += self._service(fd)
+        return completed
+
+    def _service(self, fd: int) -> int:
+        buffer = self._conn_buffers.get(fd)
+        if buffer is None:
+            return 0
+        try:
+            buffer.extend(self.libc.recv(fd))
+        except SyscallError as exc:
+            if exc.errno == "ECONNRESET":
+                self._drop_connection(fd)
+                return 0
+            raise
+        completed = 0
+        while True:
+            consumed, response, close_after = self.handle_data(bytes(buffer))
+            if consumed == 0:
+                break
+            del buffer[:consumed]
+            try:
+                if response:
+                    self.libc.send(fd, response)
+            except SyscallError as exc:
+                if exc.errno == "ECONNRESET":
+                    self._drop_connection(fd)
+                    return completed
+                raise
+            completed += 1
+            self.requests_served += 1
+            if close_after:
+                self._close_connection(fd)
+                return completed
+        return completed
+
+    def handle_data(self, data: bytes) -> Tuple[int, bytes, bool]:
+        """Parse one request from ``data``.
+
+        Returns ``(consumed_bytes, response_bytes, close_after)``;
+        ``consumed == 0`` means the request is still incomplete.
+        """
+        raise NotImplementedError
+
+    def _close_connection(self, fd: int) -> None:
+        self._conn_buffers.pop(fd, None)
+        try:
+            self.libc.close(fd)
+        except SyscallError:
+            pass
+
+    def _drop_connection(self, fd: int) -> None:
+        self._conn_buffers.pop(fd, None)
+        try:
+            self.libc.close(fd)
+        except SyscallError:
+            pass
+
+    def open_connections(self) -> int:
+        return len(self._conn_buffers)

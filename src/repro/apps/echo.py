@@ -1,0 +1,31 @@
+"""Echo — "a simple server that sends the same messages received from
+clients" (§VI).
+
+Components: PROCESS, USER, NETDEV, TIMER, VFS, LWIP, VIRTIO — seven
+components; the VampOS build uses ten MPK tags (application + seven
+components + message domain + thread scheduler).
+
+Protocol: newline-framed messages, echoed verbatim.  Clients close
+their connections after each exchange, so Echo's log never grows —
+the paper notes its space overhead is negligible for this reason.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import ServerApp
+
+
+class EchoServer(ServerApp):
+    NAME = "echo"
+    COMPONENTS = ("PROCESS", "USER", "NETDEV", "TIMER", "VFS", "LWIP",
+                  "VIRTIO")
+    PORT = 7
+
+    def handle_data(self, data: bytes) -> Tuple[int, bytes, bool]:
+        newline = data.find(b"\n")
+        if newline < 0:
+            return (0, b"", False)
+        message = data[:newline + 1]
+        return (len(message), message, False)

@@ -1,0 +1,131 @@
+"""The libc shim: POSIX-ish calls the applications link against.
+
+In a unikernel the application calls ``open()``/``read()``/``socket()``
+and the library OS resolves them; here the shim routes each call to the
+owning component through the kernel's dispatcher (direct calls under
+vanilla Unikraft, message passing under VampOS) — so application code
+is *identical* across both kernels, exactly like relinking the same app
+against a different unikernel build.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..unikernel.kernel import Kernel
+
+
+class Libc:
+    """Bound to one kernel; every method is one syscall."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    # --- files ------------------------------------------------------------------
+
+    def mount(self, mountpoint: str = "/", share_root: str = "/") -> int:
+        return self.kernel.syscall("VFS", "mount", mountpoint, "9pfs",
+                                   share_root)
+
+    def open(self, path: str, flags: str = "r") -> int:
+        return self.kernel.syscall("VFS", "open", path, flags)
+
+    def create(self, path: str) -> int:
+        return self.kernel.syscall("VFS", "create", path)
+
+    def read(self, fd: int, count: int = 65536) -> bytes:
+        return self.kernel.syscall("VFS", "read", fd, count)
+
+    def write(self, fd: int, data: bytes) -> int:
+        return self.kernel.syscall("VFS", "write", fd, data)
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        return self.kernel.syscall("VFS", "pread", fd, count, offset)
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        return self.kernel.syscall("VFS", "pwrite", fd, data, offset)
+
+    def writev(self, fd: int, buffers: List[bytes]) -> int:
+        return self.kernel.syscall("VFS", "writev", fd, buffers)
+
+    def lseek(self, fd: int, offset: int, whence: str = "set") -> int:
+        return self.kernel.syscall("VFS", "lseek", fd, offset, whence)
+
+    def fsync(self, fd: int) -> int:
+        return self.kernel.syscall("VFS", "fsync", fd)
+
+    def close(self, fd: int) -> int:
+        return self.kernel.syscall("VFS", "close", fd)
+
+    def stat(self, path: str) -> Dict[str, Any]:
+        return self.kernel.syscall("VFS", "stat", path)
+
+    def fstat(self, fd: int) -> Dict[str, Any]:
+        return self.kernel.syscall("VFS", "fstat", fd)
+
+    def mkdir(self, path: str) -> int:
+        return self.kernel.syscall("VFS", "mkdir", path)
+
+    def unlink(self, path: str) -> int:
+        return self.kernel.syscall("VFS", "unlink", path)
+
+    def readdir(self, path: str) -> List[str]:
+        return self.kernel.syscall("VFS", "readdir", path)
+
+    def pipe(self) -> Tuple[int, int]:
+        return self.kernel.syscall("VFS", "pipe")
+
+    def fcntl(self, fd: int, cmd: str, arg: int = 0) -> int:
+        return self.kernel.syscall("VFS", "fcntl", fd, cmd, arg)
+
+    def ioctl(self, fd: int, request: str, value: int = 0) -> int:
+        return self.kernel.syscall("VFS", "ioctl", fd, request, value)
+
+    # --- sockets -----------------------------------------------------------------
+
+    def socket(self, kind: str = "tcp") -> int:
+        return self.kernel.syscall("VFS", "vfs_alloc_socket", kind)
+
+    def bind(self, fd: int, port: int) -> int:
+        return self.kernel.syscall("VFS", "bind", fd, port)
+
+    def listen(self, fd: int, backlog: int = 128) -> int:
+        return self.kernel.syscall("VFS", "listen", fd, backlog)
+
+    def accept(self, fd: int) -> Optional[int]:
+        return self.kernel.syscall("VFS", "accept", fd)
+
+    def send(self, fd: int, data: bytes) -> int:
+        return self.kernel.syscall("VFS", "write", fd, data)
+
+    def recv(self, fd: int, count: int = 65536) -> bytes:
+        return self.kernel.syscall("VFS", "read", fd, count)
+
+    def shutdown(self, fd: int, how: str = "rdwr") -> int:
+        return self.kernel.syscall("VFS", "shutdown", fd, how)
+
+    def setsockopt(self, fd: int, option: str, value: int) -> int:
+        return self.kernel.syscall("VFS", "setsockopt", fd, option, value)
+
+    def getsockopt(self, fd: int, option: str) -> int:
+        return self.kernel.syscall("VFS", "getsockopt", fd, option)
+
+    def socket_pending(self, fd: int) -> int:
+        return self.kernel.syscall("VFS", "socket_pending", fd)
+
+    # --- process / misc -----------------------------------------------------------
+
+    def getpid(self) -> int:
+        return self.kernel.syscall("PROCESS", "getpid")
+
+    def getuid(self) -> int:
+        return self.kernel.syscall("USER", "getuid")
+
+    def uname(self) -> Dict[str, str]:
+        return self.kernel.syscall("SYSINFO", "uname")
+
+    def clock_gettime(self) -> float:
+        return self.kernel.syscall("TIMER", "clock_gettime")
+
+    def nanosleep(self, duration_us: float) -> int:
+        return self.kernel.syscall("TIMER", "nanosleep", duration_us)

@@ -1,0 +1,128 @@
+"""MiniNginx — a static-file web server (§VI).
+
+Components: PROCESS, SYSINFO, USER, NETDEV, TIMER, VFS, 9PFS, LWIP,
+VIRTIO — nine components; the VampOS build uses 12 MPK tags
+(application + nine components + message domain + thread scheduler).
+
+Implements enough of HTTP/1.0-1.1 for the paper's workloads: GET with
+keep-alive or ``Connection: close``, 200/404 responses with
+Content-Length, and a docroot served from the 9P share.  Every request
+exercises the full file path (VFS → 9PFS → VIRTIO → host share), which
+is what makes Nginx's component set the Fig. 6 reboot-time workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..unikernel.errors import SyscallError
+from .base import ServerApp
+
+def _page_of(size: int) -> bytes:
+    """An html page padded to exactly ``size`` bytes."""
+    skeleton = (b"<html><head><title>unikraft test page</title></head>"
+                b"<body><h1>It works!</h1><p>%s</p></body></html>\n")
+    padding = size - len(skeleton) + len(b"%s")
+    if padding < 0:
+        raise ValueError(f"page size {size} too small for the skeleton")
+    return skeleton % (b"x" * padding)
+
+
+#: the 180-byte html file of the Fig. 7 workload
+DEFAULT_PAGE = _page_of(180)
+
+
+class MiniNginx(ServerApp):
+    NAME = "nginx"
+    COMPONENTS = ("PROCESS", "SYSINFO", "USER", "NETDEV", "TIMER", "VFS",
+                  "9PFS", "LWIP", "VIRTIO")
+    PORT = 80
+    DOCROOT = "/srv"
+
+    def __init__(self, *args, **kwargs) -> None:
+        self.responses_200 = 0
+        self.responses_404 = 0
+        super().__init__(*args, **kwargs)
+
+    def prepare_host(self) -> None:
+        if not self.share.exists(self.DOCROOT):
+            self.share.makedirs(self.DOCROOT)
+        if not self.share.exists(f"{self.DOCROOT}/index.html"):
+            self.share.create(f"{self.DOCROOT}/index.html", DEFAULT_PAGE)
+
+    def setup(self) -> None:
+        self.libc.mount("/", "/")
+        super().setup()
+
+    def add_page(self, name: str, content: bytes) -> None:
+        """Publish a page into the docroot (host-side helper)."""
+        path = f"{self.DOCROOT}/{name}"
+        if self.share.exists(path):
+            self.share.truncate(path)
+            self.share.write(path, 0, content)
+        else:
+            self.share.create(path, content)
+
+    # --- HTTP ------------------------------------------------------------------------
+
+    def handle_data(self, data: bytes) -> Tuple[int, bytes, bool]:
+        end = data.find(b"\r\n\r\n")
+        if end < 0:
+            return (0, b"", False)
+        consumed = end + 4
+        head = data[:end].decode("ascii", errors="replace")
+        lines = head.split("\r\n")
+        request_line = lines[0].split()
+        headers = _parse_headers(lines[1:])
+        close_after = headers.get("connection", "").lower() == "close"
+        if len(request_line) != 3 or request_line[0] != "GET":
+            return (consumed,
+                    _response(400, b"bad request\n", close_after), True)
+        path = request_line[1]
+        body = self._serve_file(path)
+        if body is None:
+            self.responses_404 += 1
+            return (consumed, _response(404, b"not found\n", close_after),
+                    close_after)
+        self.responses_200 += 1
+        return (consumed, _response(200, body, close_after), close_after)
+
+    def _serve_file(self, url_path: str) -> Optional[bytes]:
+        if url_path.endswith("/"):
+            url_path += "index.html"
+        fs_path = f"{self.DOCROOT}{url_path}"
+        try:
+            fd = self.libc.open(fs_path, "r")
+        except SyscallError:
+            return None
+        try:
+            chunks = []
+            while True:
+                chunk = self.libc.read(fd, 4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+        finally:
+            self.libc.close(fd)
+
+
+def _parse_headers(lines) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found"}
+
+
+def _response(status: int, body: bytes, close_after: bool) -> bytes:
+    connection = "close" if close_after else "keep-alive"
+    head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            f"Server: mini-nginx\r\n\r\n")
+    return head.encode("ascii") + body

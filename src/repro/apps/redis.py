@@ -1,0 +1,212 @@
+"""MiniRedis — an in-memory key-value store (§VI).
+
+Components: PROCESS, SYSINFO, USER, NETDEV, TIMER, VFS, 9PFS, LWIP,
+VIRTIO — nine components, 12 MPK tags under VampOS.
+
+Protocol: a newline-framed command protocol in the spirit of RESP
+inline commands — ``SET key value``, ``GET key``, ``DEL key``,
+``DBSIZE``, ``PING`` — with ``+OK``/``$value``/``$-1`` replies.
+
+**AOF.**  The paper turns on Redis's Append-Only-File backup under
+vanilla Unikraft "to make the unikernel layer rebootable": every SET is
+appended to storage and fsync'd so the KVs survive a full reboot.  That
+synchronous storage access is 63.5 % of Unikraft-Redis's execution time
+(§VII-C) — and is unnecessary under VampOS, whose component reboots
+preserve application memory.  ``aof="always"`` reproduces the vanilla
+configuration, ``aof="off"`` the VampOS one; the full-reboot recovery
+replays the AOF (the long outage of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..unikernel.errors import SyscallError
+from .base import KernelMode, ServerApp
+
+AOF_PATH = "/redis/appendonly.aof"
+DUMP_PATH = "/redis/dump.rdb"
+
+
+class MiniRedis(ServerApp):
+    NAME = "redis"
+    COMPONENTS = ("PROCESS", "SYSINFO", "USER", "NETDEV", "TIMER", "VFS",
+                  "9PFS", "LWIP", "VIRTIO")
+    PORT = 6379
+
+    def __init__(self, *args, aof: str = "off", **kwargs) -> None:
+        if aof not in ("off", "always"):
+            raise ValueError(f"aof mode {aof!r}; use 'off' or 'always'")
+        self.aof = aof
+        self._data: Dict[str, bytes] = {}
+        self._aof_fd: Optional[int] = None
+        self.sets = 0
+        self.gets = 0
+        super().__init__(*args, **kwargs)
+
+    def prepare_host(self) -> None:
+        if not self.share.exists("/redis"):
+            self.share.makedirs("/redis")
+        if not self.share.exists(AOF_PATH):
+            self.share.create(AOF_PATH)
+
+    def setup(self) -> None:
+        self.libc.mount("/", "/")
+        super().setup()
+        if self.aof == "always":
+            self._aof_fd = self.libc.open(AOF_PATH, "rwa")
+        if not self._data and self.share.size(AOF_PATH) > 0:
+            self._load_aof()
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        # A full reboot wiped the KVs; only the AOF (host state) remains.
+        self._data = {}
+        self._aof_fd = None
+
+    # --- AOF ------------------------------------------------------------------------------
+
+    def _append_aof(self, key: str, value: bytes) -> None:
+        if self._aof_fd is None:
+            return
+        record = b"SET %s %s\n" % (key.encode(), value)
+        self.libc.write(self._aof_fd, record)
+        # "preserves volatile KVs into storage synchronously via fsync()"
+        self.libc.fsync(self._aof_fd)
+
+    def _load_aof(self) -> int:
+        """Replay the append-only file (the full-reboot restoration)."""
+        try:
+            fd = self.libc.open(AOF_PATH, "r")
+        except SyscallError:
+            return 0
+        try:
+            chunks = []
+            while True:
+                chunk = self.libc.read(fd, 1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        finally:
+            self.libc.close(fd)
+        loaded = 0
+        for line in b"".join(chunks).split(b"\n"):
+            parts = line.split(b" ", 2)
+            if len(parts) == 3 and parts[0] == b"SET":
+                self._data[parts[1].decode()] = parts[2]
+                loaded += 1
+        self.sim.emit("redis", "aof_loaded", keys=loaded)
+        return loaded
+
+    # --- protocol ----------------------------------------------------------------------------
+
+    def handle_data(self, data: bytes) -> Tuple[int, bytes, bool]:
+        newline = data.find(b"\n")
+        if newline < 0:
+            return (0, b"", False)
+        line = data[:newline].rstrip(b"\r")
+        consumed = newline + 1
+        return (consumed, self._execute(line), False)
+
+    def _execute(self, line: bytes) -> bytes:
+        parts = line.split(b" ", 2)
+        command = parts[0].upper() if parts else b""
+        if command == b"PING":
+            return b"+PONG\n"
+        if command == b"SET" and len(parts) == 3:
+            key = parts[1].decode()
+            self._data[key] = parts[2]
+            self.sets += 1
+            self._append_aof(key, parts[2])
+            return b"+OK\n"
+        if command == b"GET" and len(parts) >= 2:
+            self.gets += 1
+            value = self._data.get(parts[1].decode())
+            if value is None:
+                return b"$-1\n"
+            return b"$" + value + b"\n"
+        if command == b"DEL" and len(parts) >= 2:
+            existed = self._data.pop(parts[1].decode(), None)
+            return b":1\n" if existed is not None else b":0\n"
+        if command == b"DBSIZE":
+            return b":%d\n" % len(self._data)
+        return b"-ERR unknown command\n"
+
+    # --- graceful termination (§VIII) --------------------------------------------------------
+
+    def enable_fail_stop_dump(self) -> None:
+        """Register the §VIII graceful-termination hook: when VampOS
+        recovery fails and the app is about to fail-stop, dump the
+        current in-memory KVs to storage through whatever components
+        are still undamaged ("storing the current in-memory KVs in
+        storage just before a fail-stop is more helpful ... than
+        eliminating all the KVs")."""
+        vamp = self.vampos
+        if vamp is None:
+            raise RuntimeError("fail-stop dumps need the VampOS kernel")
+        vamp.on_fail_stop(self.dump_to_disk)
+
+    def dump_to_disk(self) -> int:
+        """Best-effort dump of all KVs to ``/redis/dump.rdb``."""
+        fd = self.libc.open(DUMP_PATH, "rwct")
+        dumped = 0
+        try:
+            for key, value in self._data.items():
+                self.libc.write(fd, b"SET %s %s\n" % (key.encode(),
+                                                      value))
+                dumped += 1
+            self.libc.fsync(fd)
+        finally:
+            self.libc.close(fd)
+        self.sim.emit("redis", "dumped", keys=dumped)
+        return dumped
+
+    def load_dump(self) -> int:
+        """Load a previous fail-stop dump (after a restart)."""
+        try:
+            fd = self.libc.open(DUMP_PATH, "r")
+        except SyscallError:
+            return 0
+        try:
+            chunks = []
+            while True:
+                chunk = self.libc.read(fd, 1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        finally:
+            self.libc.close(fd)
+        loaded = 0
+        for line in b"".join(chunks).split(b"\n"):
+            parts = line.split(b" ", 2)
+            if len(parts) == 3 and parts[0] == b"SET":
+                self._data[parts[1].decode()] = parts[2]
+                loaded += 1
+        return loaded
+
+    # --- direct (in-process) API for warm-up and tests ------------------------------------------
+
+    def set_direct(self, key: str, value: bytes,
+                   durable: bool = True) -> None:
+        """Load a KV without the network path (warm-up helper).
+
+        With ``durable=True`` the pair also lands in the host-side AOF
+        file (cheaply, bypassing the syscall path) so that a later full
+        reboot has something to restore — matching a warm production
+        Redis whose AOF was written over its lifetime.
+        """
+        self._data[key] = value
+        if durable:
+            record = b"SET %s %s\n" % (key.encode(), value)
+            size = self.share.size(AOF_PATH)
+            self.share.write(AOF_PATH, size, record)
+
+    def get_direct(self, key: str) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def dbsize(self) -> int:
+        return len(self._data)
+
+    def app_state_bytes(self) -> int:
+        # dict-entry estimate: key + value + per-entry bookkeeping
+        return sum(len(k) + len(v) + 96 for k, v in self._data.items())

@@ -1,0 +1,227 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro run EXP-F5 [--trials 100]
+    python -m repro run EXP-T5 EXP-F8
+    python -m repro all [--quick]
+
+Every experiment prints its paper-vs-measured report and exits non-zero
+if any of the paper's qualitative claims failed to hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (
+    ablations,
+    endurance,
+    app_overhead,
+    failure_recovery,
+    fault_campaign,
+    log_space,
+    reboot_time,
+    rejuvenation,
+    scalability,
+    shrink_threshold,
+    syscall_overhead,
+)
+from .metrics.report import ExperimentReport
+
+
+def _run_f5(args: argparse.Namespace) -> ExperimentReport:
+    return syscall_overhead.run(trials=args.trials)
+
+
+def _run_t3(args: argparse.Namespace) -> ExperimentReport:
+    return log_space.run()
+
+
+def _run_f6(args: argparse.Namespace) -> ExperimentReport:
+    return reboot_time.run(trials=args.trials,
+                           warmup_requests=args.scale)
+
+
+def _run_f7(args: argparse.Namespace) -> ExperimentReport:
+    return app_overhead.run(scale=args.scale)
+
+
+def _run_t4(args: argparse.Namespace) -> ExperimentReport:
+    return shrink_threshold.run(scale=args.scale)
+
+
+def _run_t5(args: argparse.Namespace) -> ExperimentReport:
+    return rejuvenation.run(rounds=max(4, args.scale // 25),
+                            rejuvenate_every=3, clients=100)
+
+
+def _run_f8(args: argparse.Namespace) -> ExperimentReport:
+    return failure_recovery.run(keys=max(1000, args.scale * 10),
+                                duration_s=20, disturb_at_s=8)
+
+
+def _run_abl_endurance(args: argparse.Namespace) -> ExperimentReport:
+    # the unmanaged arm needs enough rounds for aging to reach the
+    # crash point, so the round count has a floor
+    return endurance.run(rounds=max(30, args.scale // 10))
+
+
+def _run_abl_scale(args: argparse.Namespace) -> ExperimentReport:
+    return scalability.run(calls=max(5, args.scale // 10))
+
+
+def _run_abl_campaign(args: argparse.Namespace) -> ExperimentReport:
+    return fault_campaign.run(faults=max(5, args.scale // 15))
+
+
+def _run_abl_sched(args: argparse.Namespace) -> ExperimentReport:
+    return ablations.run_scheduler_ablation(requests=args.scale)
+
+
+def _run_abl_shrink(args: argparse.Namespace) -> ExperimentReport:
+    return ablations.run_shrink_ablation(requests=args.scale)
+
+
+def _run_abl_ckpt(args: argparse.Namespace) -> ExperimentReport:
+    return ablations.run_checkpoint_ablation(requests=args.scale)
+
+
+def _run_abl_aging(args: argparse.Namespace) -> ExperimentReport:
+    return ablations.run_aging_ablation(operations=args.scale * 10)
+
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "EXP-F5": (_run_f5, "Fig. 5 — system call overheads"),
+    "EXP-T3": (_run_t3, "Table III — log space overheads"),
+    "EXP-F6": (_run_f6, "Fig. 6 — component reboot times"),
+    "EXP-F7": (_run_f7, "Fig. 7 — real-world application overheads"),
+    "EXP-T4": (_run_t4, "Table IV — throughput vs shrink threshold"),
+    "EXP-T5": (_run_t5, "Table V — rejuvenation request successes"),
+    "EXP-F8": (_run_f8, "Fig. 8 — Redis failure-recovery latency"),
+    "ABL-SCHED": (_run_abl_sched, "ablation — scheduler choice"),
+    "ABL-SHRINK": (_run_abl_shrink, "ablation — log shrinking"),
+    "ABL-CKPT": (_run_abl_ckpt, "ablation — checkpoint-based init"),
+    "ABL-AGING": (_run_abl_aging, "ablation — aging & rejuvenation"),
+    "ABL-SCALE": (_run_abl_scale,
+                  "ablation — scheduler cost vs component count"),
+    "ABL-CAMPAIGN": (_run_abl_campaign,
+                     "ablation — randomized fault-injection campaign"),
+    "ABL-ENDURANCE": (_run_abl_endurance,
+                      "ablation — long-running aging + policies"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VampOS reproduction (DSN 2024) — regenerate the "
+                    "paper's tables and figures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible artifacts")
+    sub.add_parser("info", help="show the components, configurations "
+                                "and cost model")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("ids", nargs="+", metavar="EXP-ID",
+                     help="experiment ids (see `repro list`)")
+    run.add_argument("--scale", type=int, default=300,
+                     help="workload scale (operations/requests)")
+    run.add_argument("--trials", type=int, default=50,
+                     help="trials for per-syscall / per-reboot timings")
+    run.add_argument("--plot", action="store_true",
+                     help="append an ASCII bar chart per report")
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--quick", action="store_true",
+                            help="reduced scales (CI-friendly)")
+    everything.add_argument("--scale", type=int, default=300)
+    everything.add_argument("--trials", type=int, default=50)
+    return parser
+
+
+def _execute(ids: List[str], args: argparse.Namespace,
+             out=sys.stdout) -> int:
+    failures = 0
+    for exp_id in ids:
+        key = exp_id.upper()
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; "
+                  f"try: {', '.join(EXPERIMENTS)}", file=out)
+            return 2
+        runner, _ = EXPERIMENTS[key]
+        report = runner(args)
+        print(report.render(), file=out)
+        if getattr(args, "plot", False):
+            from .metrics.ascii import chart_from_report
+            chart = chart_from_report(report)
+            if chart:
+                print(file=out)
+                print(chart, file=out)
+        print(file=out)
+        if not report.all_claims_hold:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing claims", file=out)
+        return 1
+    return 0
+
+
+def _info(out=sys.stdout) -> int:
+    """Inventory: components, configurations, cost model."""
+    import repro
+    from . import components as _components  # noqa: F401
+    from .core.config import ALL_CONFIGS
+    from .sim.costs import DEFAULT_COSTS
+    from .unikernel.registry import GLOBAL_REGISTRY
+
+    print(f"repro {repro.__version__} — VampOS reproduction (DSN 2024)",
+          file=out)
+    print("\ncomponents (Table I + RAMFS):", file=out)
+    for name in GLOBAL_REGISTRY.names():
+        cls = GLOBAL_REGISTRY.get(name)
+        traits = []
+        traits.append("stateful" if cls.STATEFUL else "stateless")
+        if not cls.REBOOTABLE:
+            traits.append("unrebootable")
+        if cls.HANG_EXEMPT:
+            traits.append("hang-exempt")
+        deps = ", ".join(cls.DEPENDENCIES) or "-"
+        print(f"  {name:<8} [{', '.join(traits)}] deps: {deps}",
+              file=out)
+    print("\nconfigurations (§VII-A):", file=out)
+    for config in ALL_CONFIGS:
+        merges = "; ".join(f"{g}={'+'.join(m)}"
+                           for g, m in config.merges.items()) or "-"
+        print(f"  {config.name:<12} scheduler={config.scheduler} "
+              f"merges={merges}", file=out)
+    print("\ncost model (virtual us):", file=out)
+    for name, value in DEFAULT_COSTS.as_dict().items():
+        print(f"  {name:<28} {value}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id, (_, description) in EXPERIMENTS.items():
+            print(f"{exp_id:<11} {description}", file=out)
+        return 0
+    if args.command == "info":
+        return _info(out)
+    if args.command == "run":
+        return _execute(args.ids, args, out=out)
+    if args.command == "all":
+        if args.quick:
+            args.scale = min(args.scale, 120)
+            args.trials = min(args.trials, 10)
+        return _execute(list(EXPERIMENTS), args, out=out)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

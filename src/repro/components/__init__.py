@@ -1,0 +1,35 @@
+"""The nine OS components of Table I.
+
+Importing this package registers every component with the global
+registry, mirroring how Unikraft's build system discovers libraries.
+"""
+
+from .lwip import LwipComponent, SocketEntry, TcpPcb
+from .netdev import NetdevComponent
+from .ninep import FidEntry, NinePFSComponent
+from .process import ProcessComponent
+from .ramfs import RamfsComponent, RamfsNode
+from .sysinfo import SysinfoComponent
+from .timer import TimerComponent
+from .user import UserComponent
+from .vfs import FdEntry, VfsComponent
+from .virtio import VirtioComponent, VirtqueueState
+
+__all__ = [
+    "LwipComponent",
+    "SocketEntry",
+    "TcpPcb",
+    "NetdevComponent",
+    "FidEntry",
+    "NinePFSComponent",
+    "ProcessComponent",
+    "RamfsComponent",
+    "RamfsNode",
+    "SysinfoComponent",
+    "TimerComponent",
+    "UserComponent",
+    "FdEntry",
+    "VfsComponent",
+    "VirtioComponent",
+    "VirtqueueState",
+]

@@ -1,0 +1,343 @@
+"""LWIP component — the TCP/IP protocol stack (Table I).
+
+Stateful, and the paper's one component needing the *runtime data*
+optimisation (§V-B): packet sequence and ACK numbers are granted at
+runtime by external peers, so log replay alone cannot rebuild them.
+VampOS therefore tracks them continuously and re-installs them after
+the encapsulated restoration.  We reproduce that split exactly:
+
+* **logged** (Table II): ``socket``, ``bind``, ``listen``, ``connect``,
+  ``getsockopt``, ``setsockopt``, ``shutdown``, ``sock_net_close``,
+  ``sock_net_ioctl`` — replay rebuilds the socket table's *structure*;
+* **runtime data**: the per-connection pcb (snd_nxt / rcv_nxt) and the
+  accept-created socket entries, exported via
+  :meth:`export_runtime_data` — without it, the host network detects
+  wrong sequence numbers after a reboot and resets every connection
+  (tests demonstrate this failure mode).
+
+LWIP is exempt from the hang detector because it legitimately blocks
+waiting for external events (§V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, MemoryLayout, export
+from ..unikernel.errors import SyscallError
+from ..unikernel.idalloc import lowest_free_id
+from ..unikernel.registry import GLOBAL_REGISTRY
+from ..net.tcp import ConnectionReset
+
+#: bytes charged to the LWIP heap per live socket (pcb + buffers)
+SOCK_ALLOC_BYTES = 512
+
+
+@dataclass
+class TcpPcb:
+    """The protocol control block: the runtime data of §V-B."""
+
+    conn_id: int
+    snd_nxt: int
+    rcv_nxt: int
+
+
+@dataclass
+class SocketEntry:
+    sock_id: int
+    kind: str = "tcp"
+    bound_port: Optional[int] = None
+    listening: bool = False
+    backlog: int = 0
+    #: pcb present only on connected/accepted sockets
+    pcb: Optional[TcpPcb] = None
+    #: True when created by accept() (rebuilt from runtime data, not log)
+    accepted: bool = False
+    options: Dict[str, int] = field(default_factory=dict)
+    shutdown_mode: str = ""
+    heap_offset: int = 0
+
+    def to_blob(self) -> Dict[str, Any]:
+        blob = {
+            "sock_id": self.sock_id,
+            "kind": self.kind,
+            "bound_port": self.bound_port,
+            "listening": self.listening,
+            "backlog": self.backlog,
+            "accepted": self.accepted,
+            "options": dict(self.options),
+            "shutdown_mode": self.shutdown_mode,
+            "heap_offset": self.heap_offset,
+            "pcb": None,
+        }
+        if self.pcb is not None:
+            blob["pcb"] = {"conn_id": self.pcb.conn_id,
+                           "snd_nxt": self.pcb.snd_nxt,
+                           "rcv_nxt": self.pcb.rcv_nxt}
+        return blob
+
+    @classmethod
+    def from_blob(cls, blob: Dict[str, Any]) -> "SocketEntry":
+        pcb_blob = blob.get("pcb")
+        pcb = TcpPcb(**pcb_blob) if pcb_blob else None
+        return cls(
+            sock_id=blob["sock_id"],
+            kind=blob["kind"],
+            bound_port=blob["bound_port"],
+            listening=blob["listening"],
+            backlog=blob["backlog"],
+            pcb=pcb,
+            accepted=blob["accepted"],
+            options=dict(blob["options"]),
+            shutdown_mode=blob["shutdown_mode"],
+            heap_offset=blob["heap_offset"],
+        )
+
+
+@GLOBAL_REGISTRY.register
+class LwipComponent(Component):
+    NAME = "LWIP"
+    STATEFUL = True
+    HANG_EXEMPT = True
+    DEPENDENCIES = ("NETDEV",)
+    LAYOUT = MemoryLayout(text=120 * 1024, data=24 * 1024, bss=48 * 1024,
+                          heap_order=18, stack=32 * 1024)
+
+    def __init__(self, sim: Simulation) -> None:
+        super().__init__(sim)
+        self._sockets: Dict[int, SocketEntry] = {}
+
+    def on_boot(self) -> None:
+        self._sockets = {}
+        # Cold boot brings the NIC up, resetting any host-side state.
+        # Checkpoint restores skip this path, which is why a VampOS
+        # component reboot keeps connections alive.
+        self.os.invoke("NETDEV", "dev_attach")
+
+    # --- checkpoint + runtime data ------------------------------------------------
+
+    def export_custom_state(self) -> Any:
+        return {sock_id: entry.to_blob()
+                for sock_id, entry in self._sockets.items()}
+
+    def import_custom_state(self, blob: Any) -> None:
+        self._sockets = {sock_id: SocketEntry.from_blob(entry)
+                         for sock_id, entry in blob.items()}
+
+    def export_runtime_data(self) -> Any:
+        """The §V-B special data: pcbs plus accept-created sockets.
+
+        Updated continuously during execution (the runtime reads this on
+        every reboot), it carries everything replay cannot rebuild —
+        sequence/ACK numbers and the socket entries that accept()
+        (an unlogged call) created.
+        """
+        return {
+            "sockets": {sock_id: entry.to_blob()
+                        for sock_id, entry in self._sockets.items()
+                        if entry.pcb is not None or entry.accepted},
+        }
+
+    def import_runtime_data(self, blob: Any) -> None:
+        if blob is None:
+            return
+        for sock_id, entry_blob in blob["sockets"].items():
+            self._sockets[sock_id] = SocketEntry.from_blob(entry_blob)
+
+    def extract_key_state(self, key: Any) -> Any:
+        entry = self._sockets.get(key)
+        return entry.to_blob() if entry is not None else None
+
+    def apply_key_state(self, key: Any, patch: Any) -> None:
+        if patch is None:
+            self._sockets.pop(key, None)
+            return
+        self._sockets[key] = SocketEntry.from_blob(patch)
+
+    # --- helpers ---------------------------------------------------------------------
+
+    def _entry(self, sock_id: int) -> SocketEntry:
+        entry = self._sockets.get(sock_id)
+        if entry is None:
+            raise SyscallError("EBADF", f"unknown socket {sock_id}")
+        return entry
+
+    def _new_socket(self, accepted: bool = False) -> SocketEntry:
+        forced = self.take_forced_id()
+        sock_id = forced if forced is not None else \
+            lowest_free_id(self._sockets)
+        offset = self.alloc(SOCK_ALLOC_BYTES)
+        entry = SocketEntry(sock_id=sock_id, accepted=accepted,
+                            heap_offset=offset)
+        self._sockets[sock_id] = entry
+        return entry
+
+    # --- Table II logged interface ------------------------------------------------------
+
+    @export(key_from_result=True, session_opener=True)
+    def socket(self, kind: str = "tcp") -> int:
+        if kind != "tcp":
+            raise SyscallError("EPROTONOSUPPORT", kind)
+        return self._new_socket().sock_id
+
+    @export(key_arg=0)
+    def bind(self, sock_id: int, port: int) -> int:
+        entry = self._entry(sock_id)
+        for other in self._sockets.values():
+            if other.sock_id != sock_id and other.bound_port == port \
+                    and other.listening:
+                raise SyscallError("EADDRINUSE", f"port {port}")
+        entry.bound_port = port
+        return 0
+
+    @export(key_arg=0)
+    def listen(self, sock_id: int, backlog: int = 128) -> int:
+        entry = self._entry(sock_id)
+        if entry.bound_port is None:
+            raise SyscallError("EINVAL", "listen() before bind()")
+        entry.listening = True
+        entry.backlog = backlog
+        self.os.invoke("NETDEV", "dev_listen", entry.bound_port, backlog)
+        return 0
+
+    @export(key_arg=0)
+    def connect(self, sock_id: int, port: int) -> int:
+        """Outbound (loopback) connection to a listener on this host."""
+        entry = self._entry(sock_id)
+        if entry.pcb is not None:
+            raise SyscallError("EISCONN", f"socket {sock_id}")
+        # The paper's workloads are all server-side; clients connect
+        # from the host.  Outbound connects are declared but unrouted.
+        raise SyscallError(
+            "ENETUNREACH",
+            "outbound connect() is not routed in the simulation; "
+            "clients connect from the host side")
+
+    @export(key_arg=0, logged=True, state_changing=False)
+    def getsockopt(self, sock_id: int, option: str) -> int:
+        entry = self._entry(sock_id)
+        return entry.options.get(option, 0)
+
+    @export(key_arg=0)
+    def setsockopt(self, sock_id: int, option: str, value: int) -> int:
+        entry = self._entry(sock_id)
+        entry.options[option] = value
+        return 0
+
+    @export(key_arg=0)
+    def shutdown(self, sock_id: int, how: str = "rdwr") -> int:
+        entry = self._entry(sock_id)
+        entry.shutdown_mode = how
+        return 0
+
+    @export(key_arg=0, canceling=True)
+    def sock_net_close(self, sock_id: int) -> int:
+        entry = self._entry(sock_id)
+        if entry.listening and entry.bound_port is not None:
+            self.os.invoke("NETDEV", "dev_unlisten", entry.bound_port)
+        if entry.pcb is not None:
+            self.os.invoke("NETDEV", "dev_close", entry.pcb.conn_id)
+        self.free(entry.heap_offset)
+        del self._sockets[sock_id]
+        return 0
+
+    @export(key_arg=0)
+    def sock_net_ioctl(self, sock_id: int, request: str, value: int = 0) -> int:
+        entry = self._entry(sock_id)
+        entry.options[f"ioctl:{request}"] = value
+        return 0
+
+    # --- unlogged data path (rebuilt from runtime data) -----------------------------------
+
+    @export(state_changing=False)
+    def accept(self, sock_id: int) -> Optional[int]:
+        """Accept one pending connection; returns the new socket id."""
+        entry = self._entry(sock_id)
+        if not entry.listening:
+            raise SyscallError("EINVAL", f"socket {sock_id} not listening")
+        info = self.os.invoke("NETDEV", "dev_accept", entry.bound_port)
+        if info is None:
+            return None
+        new_entry = self._new_socket(accepted=True)
+        new_entry.bound_port = entry.bound_port
+        new_entry.pcb = TcpPcb(
+            conn_id=info["conn_id"],
+            snd_nxt=info["server_isn"],
+            rcv_nxt=info["client_isn"],
+        )
+        return new_entry.sock_id
+
+    @export(state_changing=False)
+    def send(self, sock_id: int, data: bytes) -> int:
+        entry = self._entry(sock_id)
+        if entry.pcb is None:
+            raise SyscallError("ENOTCONN", f"socket {sock_id}")
+        if entry.shutdown_mode in ("wr", "rdwr"):
+            raise SyscallError("EPIPE", f"socket {sock_id} shut down")
+        try:
+            sent = self.os.invoke("NETDEV", "dev_tx", entry.pcb.conn_id,
+                                  data, entry.pcb.snd_nxt)
+        except ConnectionReset as exc:
+            raise SyscallError("ECONNRESET", str(exc)) from exc
+        entry.pcb.snd_nxt += sent
+        return sent
+
+    @export(state_changing=False)
+    def recv(self, sock_id: int, max_bytes: int = 65536) -> bytes:
+        entry = self._entry(sock_id)
+        if entry.pcb is None:
+            raise SyscallError("ENOTCONN", f"socket {sock_id}")
+        try:
+            data = self.os.invoke("NETDEV", "dev_rx", entry.pcb.conn_id,
+                                  max_bytes, entry.pcb.rcv_nxt)
+        except ConnectionReset as exc:
+            raise SyscallError("ECONNRESET", str(exc)) from exc
+        entry.pcb.rcv_nxt += len(data)
+        return data
+
+    @export(state_changing=False)
+    def pending_bytes(self, sock_id: int) -> int:
+        entry = self._entry(sock_id)
+        if entry.pcb is None:
+            return 0
+        return self.os.invoke("NETDEV", "dev_pending", entry.pcb.conn_id)
+
+    @export(state_changing=False)
+    def poll_set(self, sock_ids: List[int]) -> Dict[int, int]:
+        """Batched readiness: {sock_id: pending bytes or -1 on EOF}.
+
+        One NETDEV round trip answers for every socket — the epoll
+        fast path real servers rely on.
+        """
+        conn_map: Dict[int, int] = {}
+        out: Dict[int, int] = {}
+        for sock_id in sock_ids:
+            entry = self._sockets.get(sock_id)
+            if entry is None:
+                out[sock_id] = -1
+            elif entry.pcb is None:
+                out[sock_id] = 0
+            else:
+                conn_map[entry.pcb.conn_id] = sock_id
+        if conn_map:
+            pendings = self.os.invoke("NETDEV", "dev_pending_many",
+                                      list(conn_map))
+            for conn_id, pending in pendings.items():
+                out[conn_map[conn_id]] = pending
+        return out
+
+    @export(state_changing=False)
+    def has_pending_accept(self, sock_id: int) -> bool:
+        """Whether accept() would succeed right now (poll support)."""
+        entry = self._entry(sock_id)
+        return entry.listening
+
+    # --- introspection ----------------------------------------------------------------------
+
+    def live_sockets(self) -> List[int]:
+        return sorted(self._sockets)
+
+    def socket_entry(self, sock_id: int) -> SocketEntry:
+        return self._entry(sock_id)

@@ -1,0 +1,78 @@
+"""NETDEV component — low-level packet operations (Table I).
+
+Sits between LWIP and VIRTIO: LWIP hands it segments, it forwards them
+to the virtio-net queue.  Stateless (its queues drain synchronously in
+the simulation), so VampOS reboots it by plain reinitialisation — and
+the LWIP+NETDEV merge of the VampOS-NETm configuration collapses the
+LWIP→NETDEV hop into a function call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, MemoryLayout, export
+from ..unikernel.registry import GLOBAL_REGISTRY
+
+
+@GLOBAL_REGISTRY.register
+class NetdevComponent(Component):
+    NAME = "NETDEV"
+    STATEFUL = False
+    DEPENDENCIES = ("VIRTIO",)
+    LAYOUT = MemoryLayout(text=32 * 1024, data=4 * 1024, bss=8 * 1024,
+                          heap_order=16, stack=16 * 1024)
+
+    def __init__(self, sim: Simulation) -> None:
+        super().__init__(sim)
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    def on_boot(self) -> None:
+        # Counters restart from zero on reinit; nothing external changes.
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    @export(state_changing=False)
+    def dev_attach(self) -> int:
+        """Bring the NIC up (only LWIP's cold boot calls this)."""
+        return self.os.invoke("VIRTIO", "net_attach")
+
+    @export(state_changing=False)
+    def dev_listen(self, port: int, backlog: int) -> int:
+        return self.os.invoke("VIRTIO", "net_listen", port, backlog)
+
+    @export(state_changing=False)
+    def dev_unlisten(self, port: int) -> int:
+        return self.os.invoke("VIRTIO", "net_unlisten", port)
+
+    @export(state_changing=False)
+    def dev_accept(self, port: int) -> Optional[Dict[str, int]]:
+        return self.os.invoke("VIRTIO", "net_accept", port)
+
+    @export(state_changing=False)
+    def dev_tx(self, conn_id: int, data: bytes, seq: int) -> int:
+        self.tx_packets += 1
+        return self.os.invoke("VIRTIO", "net_tx", conn_id, data, seq)
+
+    @export(state_changing=False)
+    def dev_rx(self, conn_id: int, max_bytes: int, ack: int) -> bytes:
+        self.rx_packets += 1
+        return self.os.invoke("VIRTIO", "net_rx", conn_id, max_bytes, ack)
+
+    @export(state_changing=False)
+    def dev_pending(self, conn_id: int) -> int:
+        return self.os.invoke("VIRTIO", "net_pending", conn_id)
+
+    @export(state_changing=False)
+    def dev_pending_many(self, conn_ids: List[int]) -> Dict[int, int]:
+        return self.os.invoke("VIRTIO", "net_pending_many", conn_ids)
+
+    @export(state_changing=False)
+    def dev_close(self, conn_id: int) -> int:
+        return self.os.invoke("VIRTIO", "net_close", conn_id)
+
+    @export(state_changing=False)
+    def dev_abort(self, conn_id: int) -> int:
+        return self.os.invoke("VIRTIO", "net_abort", conn_id)

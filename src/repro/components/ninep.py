@@ -1,0 +1,246 @@
+"""9PFS component — a file system speaking 9P to the host share (Table I).
+
+Stateful: its fid table and mount table must survive a reboot for the
+VFS layer (which holds fids inside fd entries) to keep working.  The
+paper logs exactly the calls in Table II for it — mount, unmount, open,
+close, lookup, inactive, mkdir — while reads and writes are
+state-neutral for 9PFS itself (offsets live in VFS, contents on the
+host), so they are *not* logged here.
+
+Notably, the prototype's 9PFS has no data/bss image (§VII-B): only the
+heap snapshot is loaded on reboot, which makes it the fastest stateful
+component in Fig. 6.  We reproduce that with a zero-size data/bss
+layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, MemoryLayout, export
+from ..unikernel.errors import SyscallError
+from ..unikernel.idalloc import lowest_free_id
+from ..unikernel.registry import GLOBAL_REGISTRY
+
+#: bytes charged to the component heap per live fid
+FID_ALLOC_BYTES = 96
+
+
+@dataclass
+class FidEntry:
+    fid: int
+    path: str
+    mode: str = ""          # "" until opened; "r", "w", "rw"
+    is_dir: bool = False
+    heap_offset: int = 0
+
+
+@GLOBAL_REGISTRY.register
+class NinePFSComponent(Component):
+    NAME = "9PFS"
+    STATEFUL = True
+    DEPENDENCIES = ("VIRTIO",)
+    # No data/bss regions: the 9PFS prototype keeps everything on its heap.
+    LAYOUT = MemoryLayout(text=40 * 1024, data=0, bss=0,
+                          heap_order=17, stack=16 * 1024)
+
+    def __init__(self, sim: Simulation) -> None:
+        super().__init__(sim)
+        self._fids: Dict[int, FidEntry] = {}
+        self._mounts: Dict[str, str] = {}
+        self._next_fid = 1
+
+    def on_boot(self) -> None:
+        self._fids = {}
+        self._mounts = {}
+        self._next_fid = 1
+
+    # --- checkpoint state ------------------------------------------------------
+
+    def export_custom_state(self) -> Any:
+        return {
+            "fids": {fid: vars(entry).copy()
+                     for fid, entry in self._fids.items()},
+            "mounts": dict(self._mounts),
+            "next_fid": self._next_fid,
+        }
+
+    def import_custom_state(self, blob: Any) -> None:
+        self._fids = {fid: FidEntry(**fields)
+                      for fid, fields in blob["fids"].items()}
+        self._mounts = dict(blob["mounts"])
+        self._next_fid = blob["next_fid"]
+
+    def extract_key_state(self, key: Any) -> Any:
+        entry = self._fids.get(key)
+        return vars(entry).copy() if entry is not None else None
+
+    def apply_key_state(self, key: Any, patch: Any) -> None:
+        if patch is None:
+            self._fids.pop(key, None)
+            return
+        self._fids[key] = FidEntry(**patch)
+        self._next_fid = max(self._next_fid, key + 1)
+
+    # --- helpers -----------------------------------------------------------------
+
+    def _host_path(self, path: str) -> str:
+        """Translate a mounted path to its host-share path."""
+        for mountpoint in sorted(self._mounts, key=len, reverse=True):
+            if path == mountpoint or path.startswith(
+                    mountpoint.rstrip("/") + "/"):
+                root = self._mounts[mountpoint]
+                suffix = path[len(mountpoint):].lstrip("/")
+                return (root.rstrip("/") + "/" + suffix) if suffix else root
+        return path
+
+    def _entry(self, fid: int) -> FidEntry:
+        entry = self._fids.get(fid)
+        if entry is None:
+            raise SyscallError("EBADF", f"unknown 9P fid {fid}")
+        return entry
+
+    def _new_fid(self, path: str, is_dir: bool) -> FidEntry:
+        # Lowest-free allocation keeps fid assignment stable across log
+        # replay after session-aware shrinking (see unikernel.idalloc);
+        # replay additionally pins the logged id.
+        forced = self.take_forced_id()
+        fid = forced if forced is not None else lowest_free_id(self._fids)
+        self._next_fid = max(self._next_fid, fid + 1)
+        offset = self.alloc(FID_ALLOC_BYTES)
+        entry = FidEntry(fid=fid, path=path, is_dir=is_dir,
+                         heap_offset=offset)
+        self._fids[fid] = entry
+        return entry
+
+    # --- Table II interface --------------------------------------------------------
+
+    @export(session_opener=True)
+    def uk_9pfs_mount(self, mountpoint: str, share_root: str = "/") -> int:
+        """Attach the host share (or a subtree) at ``mountpoint``."""
+        if not self.os.invoke("VIRTIO", "p9_exists", share_root):
+            raise SyscallError("ENOENT", f"share root {share_root!r}")
+        self._mounts[mountpoint] = share_root
+        return 0
+
+    @export(canceling=True)
+    def uk_9pfs_unmount(self, mountpoint: str) -> int:
+        if mountpoint not in self._mounts:
+            raise SyscallError("EINVAL", f"not mounted: {mountpoint!r}")
+        del self._mounts[mountpoint]
+        return 0
+
+    @export(key_from_result=True, session_opener=True)
+    def uk_9pfs_lookup(self, path: str) -> int:
+        """Walk to a path; returns a fid for it."""
+        host = self._host_path(path)
+        stat = self.os.invoke("VIRTIO", "p9_stat", host)
+        entry = self._new_fid(path, stat.is_dir)
+        return entry.fid
+
+    @export(key_arg=0)
+    def uk_9pfs_open(self, fid: int, mode: str) -> int:
+        entry = self._entry(fid)
+        if entry.is_dir and ("w" in mode):
+            raise SyscallError("EISDIR", entry.path)
+        entry.mode = mode
+        return 0
+
+    @export(key_from_result=True, session_opener=True)
+    def uk_9pfs_create(self, path: str) -> int:
+        """Create a file and return an open fid for it."""
+        host = self._host_path(path)
+        self.os.invoke("VIRTIO", "p9_create", host)
+        entry = self._new_fid(path, is_dir=False)
+        entry.mode = "rw"
+        return entry.fid
+
+    @export(key_arg=0, canceling=True)
+    def uk_9pfs_close(self, fid: int) -> int:
+        entry = self._entry(fid)
+        self.os.invoke("VIRTIO", "p9_clunk", entry.path)
+        self.free(entry.heap_offset)
+        del self._fids[fid]
+        return 0
+
+    @export(key_arg=0, canceling=True)
+    def uk_9pfs_inactive(self, fid: int) -> int:
+        """Drop a fid without an explicit close (dentry eviction)."""
+        entry = self._fids.pop(fid, None)
+        if entry is not None:
+            self.os.invoke("VIRTIO", "p9_clunk", entry.path)
+            self.free(entry.heap_offset)
+        return 0
+
+    @export()
+    def uk_9pfs_mkdir(self, path: str) -> int:
+        host = self._host_path(path)
+        self.os.invoke("VIRTIO", "p9_mkdir", host)
+        return 0
+
+    # --- state-neutral operations (not logged) ------------------------------------
+
+    @export(state_changing=False)
+    def uk_9pfs_read(self, fid: int, offset: int, count: int) -> bytes:
+        entry = self._entry(fid)
+        if entry.mode and "r" not in entry.mode:
+            raise SyscallError("EBADF", f"fid {fid} not open for reading")
+        return self.os.invoke("VIRTIO", "p9_read",
+                              self._host_path(entry.path), offset, count)
+
+    @export(state_changing=False)
+    def uk_9pfs_write(self, fid: int, offset: int, data: bytes) -> int:
+        entry = self._entry(fid)
+        if entry.mode and "w" not in entry.mode:
+            raise SyscallError("EBADF", f"fid {fid} not open for writing")
+        return self.os.invoke("VIRTIO", "p9_write",
+                              self._host_path(entry.path), offset, data)
+
+    @export(state_changing=False)
+    def uk_9pfs_stat(self, fid: int) -> Dict[str, Any]:
+        entry = self._entry(fid)
+        stat = self.os.invoke("VIRTIO", "p9_stat",
+                              self._host_path(entry.path))
+        return {"path": entry.path, "is_dir": stat.is_dir,
+                "size": stat.size}
+
+    @export(state_changing=False)
+    def uk_9pfs_stat_path(self, path: str) -> Dict[str, Any]:
+        stat = self.os.invoke("VIRTIO", "p9_stat", self._host_path(path))
+        return {"path": path, "is_dir": stat.is_dir, "size": stat.size}
+
+    @export(state_changing=False)
+    def uk_9pfs_readdir(self, fid: int) -> List[str]:
+        entry = self._entry(fid)
+        if not entry.is_dir:
+            raise SyscallError("ENOTDIR", entry.path)
+        return self.os.invoke("VIRTIO", "p9_listdir",
+                              self._host_path(entry.path))
+
+    @export(state_changing=False)
+    def uk_9pfs_truncate(self, fid: int, length: int) -> int:
+        entry = self._entry(fid)
+        self.os.invoke("VIRTIO", "p9_truncate",
+                       self._host_path(entry.path), length)
+        return 0
+
+    @export(state_changing=False)
+    def uk_9pfs_remove(self, path: str) -> int:
+        self.os.invoke("VIRTIO", "p9_remove", self._host_path(path))
+        return 0
+
+    @export(state_changing=False)
+    def uk_9pfs_fsync(self, fid: int) -> int:
+        entry = self._entry(fid)
+        self.os.invoke("VIRTIO", "p9_flush", self._host_path(entry.path))
+        return 0
+
+    # --- introspection ---------------------------------------------------------------
+
+    def live_fids(self) -> List[int]:
+        return sorted(self._fids)
+
+    def mounts(self) -> Dict[str, str]:
+        return dict(self._mounts)

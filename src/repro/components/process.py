@@ -1,0 +1,64 @@
+"""PROCESS component — process-related functions (Table I).
+
+Stateless: VampOS reboots it by plain reinitialisation, with no
+function-call logging and no encapsulated restoration (§VI).  Its
+reboot time is the floor of Fig. 6 (< 7.4 µs-equivalent).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, MemoryLayout, export
+from ..unikernel.errors import SyscallError
+from ..unikernel.registry import GLOBAL_REGISTRY
+
+
+@GLOBAL_REGISTRY.register
+class ProcessComponent(Component):
+    NAME = "PROCESS"
+    STATEFUL = False
+    DEPENDENCIES = ()
+    LAYOUT = MemoryLayout(text=24 * 1024, data=4 * 1024, bss=4 * 1024,
+                          heap_order=14, stack=16 * 1024)
+
+    #: unikernels run a single process; the pid is a constant
+    PID = 1
+
+    def __init__(self, sim: Simulation) -> None:
+        super().__init__(sim)
+        self._exit_hooks: List[int] = []
+
+    def on_boot(self) -> None:
+        self._exit_hooks = []
+
+    @export(state_changing=False)
+    def getpid(self) -> int:
+        return self.PID
+
+    @export(state_changing=False)
+    def getppid(self) -> int:
+        # The "parent" of a unikernel app is the hypervisor's launcher.
+        return 0
+
+    @export(state_changing=False)
+    def sched_yield(self) -> int:
+        return 0
+
+    @export(state_changing=False)
+    def getpriority(self) -> int:
+        return 0
+
+    @export()
+    def atexit_register(self, hook_id: int) -> int:
+        """Record an exit hook (the one piece of mutable state; it is
+        rebuilt trivially on reinit because hooks re-register)."""
+        self._exit_hooks.append(hook_id)
+        return len(self._exit_hooks)
+
+    @export(state_changing=False)
+    def kill(self, pid: int, sig: int) -> int:
+        if pid != self.PID:
+            raise SyscallError("ESRCH", f"no process {pid} in a unikernel")
+        return 0

@@ -1,0 +1,59 @@
+"""SYSINFO component — system information functions (Table I).
+
+Stateless; serves ``uname()``-style constants and memory statistics
+computed from the live image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, MemoryLayout, export
+from ..unikernel.registry import GLOBAL_REGISTRY
+
+
+@GLOBAL_REGISTRY.register
+class SysinfoComponent(Component):
+    NAME = "SYSINFO"
+    STATEFUL = False
+    DEPENDENCIES = ()
+    LAYOUT = MemoryLayout(text=16 * 1024, data=4 * 1024, bss=4 * 1024,
+                          heap_order=14, stack=16 * 1024)
+
+    UNAME = {
+        "sysname": "Unikraft",
+        "release": "0.8.0",
+        "version": "VampOS-repro",
+        "machine": "x86_64",
+    }
+
+    def __init__(self, sim: Simulation) -> None:
+        super().__init__(sim)
+        self._hostname = "unikernel"
+
+    def on_boot(self) -> None:
+        self._hostname = "unikernel"
+
+    @export(state_changing=False)
+    def uname(self) -> Dict[str, str]:
+        info = dict(self.UNAME)
+        info["nodename"] = self._hostname
+        return info
+
+    @export(state_changing=False)
+    def sysinfo(self) -> Dict[str, int]:
+        return {
+            "uptime_s": int(self.sim.clock.now_s),
+            "totalram": 0,
+            "freeram": 0,
+        }
+
+    @export()
+    def sethostname(self, name: str) -> int:
+        self._hostname = name
+        return 0
+
+    @export(state_changing=False)
+    def gethostname(self) -> str:
+        return self._hostname

@@ -1,0 +1,44 @@
+"""TIMER component — time-related operations (Table I). Stateless.
+
+Reads the simulation's virtual clock; ``nanosleep`` advances it, which
+is how applications pace themselves in the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, MemoryLayout, export
+from ..unikernel.registry import GLOBAL_REGISTRY
+
+
+@GLOBAL_REGISTRY.register
+class TimerComponent(Component):
+    NAME = "TIMER"
+    STATEFUL = False
+    DEPENDENCIES = ()
+    LAYOUT = MemoryLayout(text=12 * 1024, data=2 * 1024, bss=2 * 1024,
+                          heap_order=14, stack=16 * 1024)
+
+    @export(state_changing=False)
+    def clock_gettime(self) -> float:
+        """Current virtual time in seconds."""
+        return self.sim.clock.now_s
+
+    @export(state_changing=False)
+    def gettimeofday(self) -> Dict[str, int]:
+        us = int(self.sim.clock.now_us)
+        return {"tv_sec": us // 1_000_000, "tv_usec": us % 1_000_000}
+
+    @export(state_changing=False)
+    def nanosleep(self, duration_us: float) -> int:
+        """Block (advance virtual time) for ``duration_us``."""
+        if duration_us < 0:
+            duration_us = 0
+        self.sim.charge("sleep", duration_us)
+        return 0
+
+    @export(state_changing=False)
+    def uptime_us(self) -> float:
+        return self.sim.clock.now_us

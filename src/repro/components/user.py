@@ -1,0 +1,42 @@
+"""USER component — user-information functions (Table I). Stateless."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, MemoryLayout, export
+from ..unikernel.registry import GLOBAL_REGISTRY
+
+
+@GLOBAL_REGISTRY.register
+class UserComponent(Component):
+    NAME = "USER"
+    STATEFUL = False
+    DEPENDENCIES = ()
+    LAYOUT = MemoryLayout(text=12 * 1024, data=2 * 1024, bss=2 * 1024,
+                          heap_order=14, stack=16 * 1024)
+
+    #: the single unikernel "user"
+    UID = 0
+    GID = 0
+
+    @export(state_changing=False)
+    def getuid(self) -> int:
+        return self.UID
+
+    @export(state_changing=False)
+    def geteuid(self) -> int:
+        return self.UID
+
+    @export(state_changing=False)
+    def getgid(self) -> int:
+        return self.GID
+
+    @export(state_changing=False)
+    def getegid(self) -> int:
+        return self.GID
+
+    @export(state_changing=False)
+    def getgroups(self) -> List[int]:
+        return [self.GID]

@@ -1,0 +1,215 @@
+"""VIRTIO component — the device driver shared with the host (Table I).
+
+VIRTIO mediates every device operation: 9P RPCs to the host share
+(virtio-9p) and packet operations to the host network (virtio-net).
+Its ring buffers are *shared with the host*, which is why the paper
+cannot reboot it (§VIII): reinitialising the rings desynchronises the
+avail/used indices the host still holds.  We model the rings as index
+counters mirrored on the host side; the VampOS runtime refuses to
+reboot any component with ``REBOOTABLE = False``, and a test shows the
+desync that would otherwise occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..net.hostshare import (
+    FileExists,
+    HostShare,
+    IsADirectory,
+    NoSuchFile,
+    NotADirectory,
+    ShareError,
+    ShareStat,
+)
+from ..net.tcp import HostNetwork
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, MemoryLayout, export
+from ..unikernel.errors import SyscallError
+from ..unikernel.registry import GLOBAL_REGISTRY
+
+
+@dataclass
+class VirtqueueState:
+    """Guest-side ring indices; the host mirrors them."""
+
+    avail_idx: int = 0
+    used_idx: int = 0
+
+    def kick(self) -> None:
+        self.avail_idx += 1
+        self.used_idx += 1  # the simulated host completes synchronously
+
+
+@GLOBAL_REGISTRY.register
+class VirtioComponent(Component):
+    NAME = "VIRTIO"
+    STATEFUL = False          # its durable state lives on the host
+    REBOOTABLE = False        # §VIII: shares ring buffers with the host
+    DEPENDENCIES = ()
+    LAYOUT = MemoryLayout(text=48 * 1024, data=8 * 1024, bss=8 * 1024,
+                          heap_order=16, stack=16 * 1024)
+
+    def __init__(self, sim: Simulation, share: Optional[HostShare] = None,
+                 network: Optional[HostNetwork] = None) -> None:
+        super().__init__(sim)
+        self.share = share if share is not None else HostShare()
+        self.network = network if network is not None else HostNetwork(sim)
+        self.p9_ring = VirtqueueState()
+        self.net_ring = VirtqueueState()
+        #: host-side mirror of the ring indices (desync detector)
+        self.host_p9_idx = 0
+        self.host_net_idx = 0
+
+    def _p9(self, operation, *args):
+        """Run a share operation, translating 9P Rerror to an errno."""
+        try:
+            return operation(*args)
+        except NoSuchFile as exc:
+            raise SyscallError("ENOENT", str(exc)) from exc
+        except IsADirectory as exc:
+            raise SyscallError("EISDIR", str(exc)) from exc
+        except NotADirectory as exc:
+            raise SyscallError("ENOTDIR", str(exc)) from exc
+        except FileExists as exc:
+            raise SyscallError("EEXIST", str(exc)) from exc
+        except ShareError as exc:
+            raise SyscallError("EIO", str(exc)) from exc
+
+    def _kick_p9(self, payload_bytes: int = 0) -> None:
+        self.sim.charge("virtio", self.sim.costs.virtio_kick)
+        self.sim.charge("ninep_rpc", self.sim.costs.ninep_rpc
+                        + payload_bytes * self.sim.costs.ninep_per_byte)
+        self.p9_ring.kick()
+        self.host_p9_idx += 1
+        if self.p9_ring.avail_idx != self.host_p9_idx:
+            raise SyscallError(
+                "EIO", "virtio-9p ring desynchronised with host "
+                       "(a VIRTIO reboot clears guest indices, §VIII)")
+
+    def _kick_net(self) -> None:
+        self.sim.charge("virtio", self.sim.costs.virtio_kick)
+        self.net_ring.kick()
+        self.host_net_idx += 1
+        if self.net_ring.avail_idx != self.host_net_idx:
+            raise SyscallError(
+                "EIO", "virtio-net ring desynchronised with host")
+
+    # --- virtio-9p surface (used by 9PFS) --------------------------------------
+
+    @export(state_changing=False)
+    def p9_stat(self, path: str) -> ShareStat:
+        self._kick_p9()
+        return self._p9(self.share.stat, path)
+
+    @export(state_changing=False)
+    def p9_exists(self, path: str) -> bool:
+        self._kick_p9()
+        return self._p9(self.share.exists, path)
+
+    @export(state_changing=False)
+    def p9_listdir(self, path: str) -> List[str]:
+        self._kick_p9()
+        return self._p9(self.share.listdir, path)
+
+    @export(state_changing=False)
+    def p9_mkdir(self, path: str) -> None:
+        self._kick_p9()
+        self._p9(self.share.mkdir, path)
+
+    @export(state_changing=False)
+    def p9_create(self, path: str) -> None:
+        self._kick_p9()
+        self._p9(self.share.create, path)
+
+    @export(state_changing=False)
+    def p9_read(self, path: str, offset: int, count: int) -> bytes:
+        data = self._p9(self.share.read, path, offset, count)
+        self._kick_p9(len(data))
+        return data
+
+    @export(state_changing=False)
+    def p9_write(self, path: str, offset: int, data: bytes) -> int:
+        self._kick_p9(len(data))
+        return self._p9(self.share.write, path, offset, data)
+
+    @export(state_changing=False)
+    def p9_truncate(self, path: str, length: int) -> None:
+        self._kick_p9()
+        self._p9(self.share.truncate, path, length)
+
+    @export(state_changing=False)
+    def p9_remove(self, path: str) -> None:
+        self._kick_p9()
+        self._p9(self.share.remove, path)
+
+    @export(state_changing=False)
+    def p9_clunk(self, path: str) -> None:
+        """Tclunk: release a fid on the host (one 9P round trip)."""
+        self._kick_p9()
+
+    @export(state_changing=False)
+    def p9_flush(self, path: str) -> None:
+        """A synchronous flush to host storage (the AOF fsync path)."""
+        self._kick_p9()
+        self.sim.charge("storage_fsync", self.sim.costs.storage_fsync)
+
+    # --- virtio-net surface (used by NETDEV) --------------------------------------
+
+    @export(state_changing=False)
+    def net_attach(self) -> int:
+        self._kick_net()
+        return self.network.attach_stack()
+
+    @export(state_changing=False)
+    def net_listen(self, port: int, backlog: int) -> int:
+        self._kick_net()
+        self.network.listen(port, backlog)
+        return 0
+
+    @export(state_changing=False)
+    def net_unlisten(self, port: int) -> int:
+        self._kick_net()
+        self.network.unlisten(port)
+        return 0
+
+    @export(state_changing=False)
+    def net_accept(self, port: int) -> Optional[Dict[str, int]]:
+        self._kick_net()
+        return self.network.accept(port)
+
+    @export(state_changing=False)
+    def net_tx(self, conn_id: int, data: bytes, seq: int) -> int:
+        self._kick_net()
+        return self.network.server_send(conn_id, data, seq)
+
+    @export(state_changing=False)
+    def net_rx(self, conn_id: int, max_bytes: int, ack: int) -> bytes:
+        self._kick_net()
+        return self.network.server_recv(conn_id, max_bytes, ack)
+
+    @export(state_changing=False)
+    def net_pending(self, conn_id: int) -> int:
+        return self.network.server_pending_bytes(conn_id)
+
+    @export(state_changing=False)
+    def net_pending_many(self, conn_ids: List[int]) -> Dict[int, int]:
+        """Batched readiness check (the epoll fast path): one virtio
+        kick answers for every connection."""
+        self._kick_net()
+        return {cid: self.network.server_pending_bytes(cid)
+                for cid in conn_ids}
+
+    @export(state_changing=False)
+    def net_close(self, conn_id: int) -> int:
+        self._kick_net()
+        self.network.server_close(conn_id)
+        return 0
+
+    @export(state_changing=False)
+    def net_abort(self, conn_id: int) -> int:
+        self._kick_net()
+        self.network.reset_connection(conn_id, "aborted by stack")
+        return 0

@@ -1,0 +1,84 @@
+"""VampOS: component-level reboot-based recovery (the paper's contribution)."""
+
+from .calllog import CallLogEntry, ComponentCallLog, ReturnValueRecord
+from .config import (
+    ALL_CONFIGS,
+    DAS,
+    FSM,
+    NETM,
+    NOOP,
+    SCHEDULER_DEPENDENCY_AWARE,
+    SCHEDULER_ROUND_ROBIN,
+    VampConfig,
+    config_by_name,
+)
+from .messages import Message, MessageDomain, MessageDomainFull
+from .policy import AgingDrivenPolicy, PolicyStats, RejuvenationPolicy
+from .detector import (
+    DEFAULT_HANG_THRESHOLD_US,
+    DetectedFailure,
+    FailureDetector,
+)
+from .restore import (
+    EncapsulatedRestorer,
+    ReplayMismatch,
+    ReplaySession,
+    ReplayStats,
+)
+from .runtime import RebootRecord, VampDispatcher, VampOSKernel, build_vampos
+from .scheduler import (
+    APP_THREAD,
+    MSG_THREAD,
+    BaseScheduler,
+    ComponentThread,
+    DependencyAwareScheduler,
+    RoundRobinScheduler,
+    SchedulerStats,
+    ThreadState,
+    build_units,
+)
+from .shrink import DEFAULT_SHRINK_THRESHOLD, LogShrinker, ShrinkStats
+
+__all__ = [
+    "CallLogEntry",
+    "ComponentCallLog",
+    "ReturnValueRecord",
+    "ALL_CONFIGS",
+    "DAS",
+    "FSM",
+    "NETM",
+    "NOOP",
+    "SCHEDULER_DEPENDENCY_AWARE",
+    "SCHEDULER_ROUND_ROBIN",
+    "VampConfig",
+    "config_by_name",
+    "Message",
+    "MessageDomain",
+    "MessageDomainFull",
+    "AgingDrivenPolicy",
+    "PolicyStats",
+    "RejuvenationPolicy",
+    "DEFAULT_HANG_THRESHOLD_US",
+    "DetectedFailure",
+    "FailureDetector",
+    "EncapsulatedRestorer",
+    "ReplayMismatch",
+    "ReplaySession",
+    "ReplayStats",
+    "RebootRecord",
+    "VampDispatcher",
+    "VampOSKernel",
+    "build_vampos",
+    "APP_THREAD",
+    "MSG_THREAD",
+    "BaseScheduler",
+    "ComponentThread",
+    "DependencyAwareScheduler",
+    "RoundRobinScheduler",
+    "SchedulerStats",
+    "ThreadState",
+    "build_units",
+    "DEFAULT_SHRINK_THRESHOLD",
+    "LogShrinker",
+    "ShrinkStats",
+]

@@ -1,0 +1,213 @@
+"""Function-call and return-value logs (Fig. 4, §V-B).
+
+The message domain keeps, per stateful component, a log of the calls
+*into* the component (the function-call log) and, attached to each such
+entry, the return values of the calls the component made *out* while
+executing it (the return-value log).  Encapsulated restoration replays
+the call log and answers the outbound calls from the attached return
+values instead of executing them, so the running components never see
+the restoration (Fig. 3).
+
+Entries deep-copy arguments and results: the log must stay valid even
+if the caller later mutates the objects it passed (and a faulty
+component must not be able to corrupt its own recovery data — in the
+paper the logs live in the message domain behind their own MPK tag for
+exactly this reason).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class ReturnValueRecord:
+    """One outbound call's outcome, recorded for replay interception."""
+
+    target: str
+    func: str
+    result: Any = None
+    #: (errno, message) when the call raised a SyscallError; replay
+    #: re-raises it so the component takes the same path again
+    error: Optional[Tuple[str, str]] = None
+
+
+@dataclass
+class CallLogEntry:
+    """One logged inbound call."""
+
+    seq: int
+    func: str
+    args: Tuple[Any, ...]
+    kwargs: Dict[str, Any]
+    #: session key (fd / fid / socket id) for session-aware shrinking
+    key: Any = None
+    result: Any = None
+    #: whether this entry opens a session for its key (open/socket)
+    session_opener: bool = False
+    #: whether this entry is a canceling function (close)
+    canceling: bool = False
+    #: durable entries hold data the component itself stores (§V-F
+    #: caveat); canceling prunes skip them
+    durable: bool = False
+    #: return values of the component's outbound calls during this call
+    nested: List[ReturnValueRecord] = field(default_factory=list)
+    #: forced-shrink synthetic entry: apply this state patch instead of
+    #: replaying pruned per-key operations
+    synthetic_patch: Optional[Tuple[Any, Any]] = None
+    #: False while the call is still executing; replay skips in-flight
+    #: entries (their nested retvals are partial)
+    completed: bool = False
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.synthetic_patch is not None
+
+    def entry_count(self) -> int:
+        """How many log records this entry holds (call + retvals)."""
+        return 1 + len(self.nested)
+
+
+class ComponentCallLog:
+    """The per-component slice of the message domain's logs."""
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+        self.entries: List[CallLogEntry] = []
+        self._seq = itertools.count(1)
+        #: entries currently being executed (innermost last); outbound
+        #: retvals attach to the innermost active entry
+        self._active: List[CallLogEntry] = []
+        # lifetime counters for the experiments
+        self.total_appended = 0
+        self.total_pruned = 0
+        self.total_retvals = 0
+
+    # --- recording --------------------------------------------------------------
+
+    def append(self, func: str, args: Tuple[Any, ...],
+               kwargs: Dict[str, Any], key: Any = None,
+               session_opener: bool = False,
+               canceling: bool = False,
+               durable: bool = False) -> CallLogEntry:
+        entry = CallLogEntry(
+            seq=next(self._seq),
+            func=func,
+            args=copy.deepcopy(args),
+            kwargs=copy.deepcopy(kwargs),
+            key=key,
+            session_opener=session_opener,
+            canceling=canceling,
+            durable=durable,
+        )
+        self.entries.append(entry)
+        self.total_appended += 1
+        return entry
+
+    def push_active(self, entry: CallLogEntry) -> None:
+        self._active.append(entry)
+
+    def pop_active(self, entry: CallLogEntry) -> None:
+        if self._active and self._active[-1] is entry:
+            self._active.pop()
+
+    @property
+    def active_entry(self) -> Optional[CallLogEntry]:
+        return self._active[-1] if self._active else None
+
+    def record_retval(self, target: str, func: str, result: Any = None,
+                      error: Optional[Tuple[str, str]] = None) -> bool:
+        """Attach an outbound call's outcome to the active entry.
+
+        Returns True when a record was stored (i.e. a logged call of
+        this component is currently executing).
+        """
+        entry = self.active_entry
+        if entry is None:
+            return False
+        entry.nested.append(ReturnValueRecord(
+            target=target, func=func,
+            result=copy.deepcopy(result), error=error))
+        self.total_retvals += 1
+        return True
+
+    # --- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def record_count(self) -> int:
+        """Total records: call entries plus attached return values."""
+        return sum(e.entry_count() for e in self.entries)
+
+    def entries_for_key(self, key: Any) -> List[CallLogEntry]:
+        return [e for e in self.entries if e.key == key]
+
+    def space_bytes(self) -> int:
+        """Approximate log memory footprint (for Fig. 7b accounting).
+
+        Priced per record rather than via sys.getsizeof so the number
+        is deterministic across Python builds: 64 bytes of header per
+        record plus the payload bytes of any byte-string arguments and
+        results.
+        """
+        total = 0
+        for entry in self.entries:
+            total += 64 + _payload_bytes(entry.args) \
+                + _payload_bytes(entry.result)
+            for record in entry.nested:
+                total += 64 + _payload_bytes(record.result)
+        return total
+
+    # --- pruning primitives (used by the shrinker) -------------------------------------
+
+    def remove_entries(self, doomed: List[CallLogEntry]) -> int:
+        if not doomed:
+            return 0
+        doomed_ids = {id(e) for e in doomed}
+        kept = [e for e in self.entries if id(e) not in doomed_ids]
+        removed = len(self.entries) - len(kept)
+        self.entries = kept
+        self.total_pruned += removed
+        return removed
+
+    def replace_entries(self, doomed: List[CallLogEntry],
+                        replacement: CallLogEntry,
+                        at_entry: CallLogEntry) -> None:
+        """Replace ``doomed`` with ``replacement`` at the position of
+        ``at_entry`` (forced shrinking)."""
+        doomed_ids = {id(e) for e in doomed}
+        out: List[CallLogEntry] = []
+        for entry in self.entries:
+            if entry is at_entry:
+                out.append(replacement)
+            if id(entry) not in doomed_ids:
+                out.append(entry)
+        self.total_pruned += len(self.entries) - (len(out) - 1)
+        self.entries = out
+
+    def make_synthetic(self, key: Any, patch: Any) -> CallLogEntry:
+        entry = CallLogEntry(seq=next(self._seq), func="__setstate__",
+                             args=(), kwargs={}, key=key, completed=True,
+                             synthetic_patch=(key, copy.deepcopy(patch)))
+        self.total_appended += 1
+        return entry
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self._active.clear()
+
+
+def _payload_bytes(value: Any) -> int:
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (tuple, list)):
+        return sum(_payload_bytes(v) for v in value)
+    if isinstance(value, dict):
+        return sum(_payload_bytes(v) for v in value.values())
+    return 8

@@ -1,0 +1,105 @@
+"""The evaluated VampOS configurations (§VII-A).
+
+* **VampOS-Noop** — every component message-passing, round-robin
+  scheduler, no merging.
+* **VampOS-DaS** — Noop plus dependency-aware scheduling.
+* **VampOS-FSm** — DaS plus the file-system merge (VFS ⊕ 9PFS).
+* **VampOS-NETm** — DaS plus the network merge (LWIP ⊕ NETDEV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from .detector import DEFAULT_HANG_THRESHOLD_US
+from .shrink import DEFAULT_SHRINK_THRESHOLD
+
+SCHEDULER_ROUND_ROBIN = "round-robin"
+SCHEDULER_DEPENDENCY_AWARE = "dependency-aware"
+
+
+@dataclass(frozen=True)
+class VampConfig:
+    """Tunable knobs of the VampOS runtime."""
+
+    name: str = "VampOS"
+    scheduler: str = SCHEDULER_DEPENDENCY_AWARE
+    #: merge groups: group name -> member components (§V-F)
+    merges: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: session-aware log shrinking threshold in entries (§V-F / §VI)
+    shrink_threshold: int = DEFAULT_SHRINK_THRESHOLD
+    #: disable shrinking entirely (ablation)
+    shrink_enabled: bool = True
+    #: hang-detector processing-time threshold (§V-A)
+    hang_threshold_us: float = DEFAULT_HANG_THRESHOLD_US
+    #: enforce MPK protection domains (§V-D); the ablation turns it off
+    enforce_mpk: bool = True
+    #: function-call logging for encapsulated restoration (§V-B);
+    #: disabling it reduces overhead but makes stateful reboots unsafe
+    logging_enabled: bool = True
+    #: take post-boot checkpoints (§V-E); the ablation compares against
+    #: full re-initialisation restarts
+    checkpoints_enabled: bool = True
+    #: message-domain arena size (logs + message buffers), bytes
+    msg_domain_bytes: int = 16 * 1024 * 1024
+    #: virtualize protection keys (libmpk-style, §V-D) so images with
+    #: more domains than hardware keys still get isolation
+    virtualize_keys: bool = False
+    #: microreboot-style escalation (Candea et al. [8], the lineage the
+    #: paper builds on): when the rebooted component fails again and no
+    #: variant helps, reboot progressively larger scopes (all rebootable
+    #: components) before fail-stopping — recovers failures whose root
+    #: cause lives in another component (§II-B's out-of-scope case)
+    escalation_enabled: bool = False
+
+    def with_(self, **overrides: object) -> "VampConfig":
+        """A modified copy (keyword names match the field names)."""
+        return replace(self, **overrides)
+
+    def validate(self) -> None:
+        if self.scheduler not in (SCHEDULER_ROUND_ROBIN,
+                                  SCHEDULER_DEPENDENCY_AWARE):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.shrink_threshold < 1:
+            raise ValueError("shrink_threshold must be >= 1")
+        seen: Dict[str, str] = {}
+        for group, members in self.merges.items():
+            if len(members) < 2:
+                raise ValueError(
+                    f"merge group {group!r} needs >= 2 members")
+            for member in members:
+                if member in seen:
+                    raise ValueError(
+                        f"component {member!r} in merge groups "
+                        f"{seen[member]!r} and {group!r}")
+                seen[member] = group
+
+
+#: round-robin, no merges — the costliest configuration
+NOOP = VampConfig(name="VampOS-Noop", scheduler=SCHEDULER_ROUND_ROBIN)
+
+#: + dependency-aware scheduling
+DAS = VampConfig(name="VampOS-DaS", scheduler=SCHEDULER_DEPENDENCY_AWARE)
+
+#: DaS + file-system merge
+FSM = VampConfig(name="VampOS-FSm", scheduler=SCHEDULER_DEPENDENCY_AWARE,
+                 merges={"FS": ("VFS", "9PFS")})
+
+#: DaS + network merge
+NETM = VampConfig(name="VampOS-NETm", scheduler=SCHEDULER_DEPENDENCY_AWARE,
+                  merges={"NET": ("LWIP", "NETDEV")})
+
+#: the four configurations evaluated in §VII, in paper order
+ALL_CONFIGS = (NOOP, DAS, FSM, NETM)
+
+
+def config_by_name(name: str) -> VampConfig:
+    for config in ALL_CONFIGS:
+        if config.name == name or config.name.lower() == name.lower():
+            return config
+    short = {"noop": NOOP, "das": DAS, "fsm": FSM, "netm": NETM}
+    key = name.lower().replace("vampos-", "")
+    if key in short:
+        return short[key]
+    raise KeyError(f"unknown VampOS configuration {name!r}")

@@ -1,0 +1,98 @@
+"""The failure detector run by the message thread (§V-A).
+
+A simple heart-beat style detector: illegal memory accesses (protection
+faults) and ``panic()`` invocations transfer control to error handlers
+that trigger the component reboot; a hang detector flags a component
+when the processing time of a pulled message exceeds a threshold
+(1.0 s in the prototype).  Components that legitimately wait on
+external events — LWIP — are exempt (``HANG_EXEMPT``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..sim.clock import us_from_s
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, ComponentState
+from ..unikernel.errors import ApplicationHang, HangDetected
+
+#: the prototype's hang threshold (§V-A)
+DEFAULT_HANG_THRESHOLD_US = us_from_s(1.0)
+
+#: a custom failure sensor: inspect a component, return a reason string
+#: when it should be treated as failed, or None when healthy (§V-A
+#: points at "sophisticated runtime failure sensors" [13,16,47,51] —
+#: this is the plug point for them)
+FailureSensor = Callable[[Component], Optional[str]]
+
+
+@dataclass
+class DetectedFailure:
+    t_us: float
+    component: str
+    kind: str          # "panic" | "hang" | "protection_fault"
+    detail: str = ""
+
+
+class FailureDetector:
+    """Detects fail-stop faults and hands them to the recovery path."""
+
+    def __init__(self, sim: Simulation,
+                 hang_threshold_us: float = DEFAULT_HANG_THRESHOLD_US) -> None:
+        self.sim = sim
+        self.hang_threshold_us = hang_threshold_us
+        self.failures: List[DetectedFailure] = []
+        self.sensors: List[FailureSensor] = []
+
+    def add_sensor(self, sensor: FailureSensor) -> None:
+        """Install a custom failure sensor, consulted by the
+        heart-beat sweep for every rebootable component."""
+        self.sensors.append(sensor)
+
+    def sense(self, comp: Component) -> Optional[str]:
+        """Run the custom sensors; the first failure reason wins."""
+        for sensor in self.sensors:
+            reason = sensor(comp)
+            if reason:
+                return reason
+        return None
+
+    def record(self, component: str, kind: str, detail: str = "") -> \
+            DetectedFailure:
+        failure = DetectedFailure(t_us=self.sim.clock.now_us,
+                                  component=component, kind=kind,
+                                  detail=detail)
+        self.failures.append(failure)
+        self.sim.emit("detector", kind, component=component, detail=detail)
+        return failure
+
+    def check_hang(self, comp: Component) -> None:
+        """Raise :class:`HangDetected` if the component is hung.
+
+        The detector only notices after the processing-time threshold
+        elapses, so that much virtual time is charged first — this is
+        the detection latency visible in recovery downtime.  Exempt
+        components stall the whole application instead (the detector
+        "does nothing" for them, §V-A).
+        """
+        if not comp.injected_hang:
+            return
+        if comp.HANG_EXEMPT:
+            raise ApplicationHang(comp.NAME)
+        self.sim.charge("hang_detection", self.hang_threshold_us)
+        comp.injected_hang = False
+        comp.state = ComponentState.FAILED
+        self.record(comp.NAME, "hang",
+                    f"message processing exceeded "
+                    f"{self.hang_threshold_us / 1e6:.1f}s")
+        raise HangDetected(comp.NAME)
+
+    def scan(self, components: List[Component]) -> List[str]:
+        """Heart-beat sweep: names of components currently failed."""
+        return [c.NAME for c in components
+                if c.state is ComponentState.FAILED]
+
+    def failures_for(self, component: str) -> List[DetectedFailure]:
+        return [f for f in self.failures if f.component == component]

@@ -1,0 +1,137 @@
+"""The message domain (Fig. 4).
+
+VampOS components communicate through a shared message domain that
+holds (a) the in-flight message buffers and (b) the function-call and
+return-value logs, all isolated behind their own MPK tag so a faulty
+component cannot corrupt its own recovery data (§V-D).
+
+This module implements the paper's named interface —
+``vo_push_msgs()`` / ``vo_pull_msgs()`` — over a byte-accounted buffer
+arena inside the message-domain region.  The message thread "releases
+buffers when they are used by the target component and are not needed
+for the restoration": a pull releases its message's buffer immediately
+(the durable copy, when the call is logged, lives in the call log, not
+the message buffer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..memory.region import Region
+from ..sim.engine import Simulation
+
+#: fixed per-message header charged on top of the payload
+MESSAGE_HEADER_BYTES = 48
+
+
+class MessageDomainFull(Exception):
+    """The message buffer arena is exhausted (undrained messages)."""
+
+
+@dataclass
+class Message:
+    """One in-flight request or reply."""
+
+    msg_id: int
+    sender: str
+    receiver: str
+    func: str
+    payload_bytes: int
+    is_reply: bool = False
+
+
+def payload_size(args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> int:
+    """Approximate wire size of a call's arguments (deterministic)."""
+    total = 0
+    for value in list(args) + list(kwargs.values()):
+        if isinstance(value, (bytes, bytearray, str)):
+            total += len(value)
+        elif isinstance(value, (list, tuple)):
+            total += sum(len(v) if isinstance(v, (bytes, str)) else 8
+                         for v in value)
+        else:
+            total += 8
+    return total
+
+
+class MessageDomain:
+    """Buffer arena + accounting for one VampOS instance."""
+
+    def __init__(self, sim: Simulation, region: Region) -> None:
+        self.sim = sim
+        self.region = region
+        self._ids = itertools.count(1)
+        #: msg_id -> Message for buffers not yet pulled
+        self._in_flight: Dict[int, Message] = {}
+        self.used_bytes = 0
+        # lifetime stats
+        self.pushes = 0
+        self.pulls = 0
+        self.peak_bytes = 0
+        self.peak_in_flight = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.region.size_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def vo_push_msgs(self, sender: str, receiver: str, func: str,
+                     args: Tuple[Any, ...] = (),
+                     kwargs: Optional[Dict[str, Any]] = None,
+                     is_reply: bool = False) -> Message:
+        """Push a request (or a return value) into the message buffer.
+
+        Charges the message-push cost and reserves buffer space; raises
+        :class:`MessageDomainFull` if the arena cannot hold it (a real
+        deployment would block the sender — in the synchronous
+        simulation every message is pulled promptly, so hitting this
+        means a leak).
+        """
+        size = MESSAGE_HEADER_BYTES + payload_size(args, kwargs or {})
+        if size > self.free_bytes:
+            raise MessageDomainFull(
+                f"message of {size}B does not fit "
+                f"({self.used_bytes}/{self.capacity_bytes}B used)")
+        self.sim.charge("msg_push", self.sim.costs.msg_push)
+        message = Message(msg_id=next(self._ids), sender=sender,
+                          receiver=receiver, func=func,
+                          payload_bytes=size, is_reply=is_reply)
+        self._in_flight[message.msg_id] = message
+        self.used_bytes += size
+        self.pushes += 1
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self.peak_in_flight = max(self.peak_in_flight,
+                                  len(self._in_flight))
+        self.region.used_bytes = self.used_bytes
+        return message
+
+    def vo_pull_msgs(self, message: Message) -> Message:
+        """Pull a message out; its buffer is released immediately."""
+        if message.msg_id not in self._in_flight:
+            raise KeyError(f"message {message.msg_id} not in flight")
+        self.sim.charge("msg_pull", self.sim.costs.msg_pull)
+        del self._in_flight[message.msg_id]
+        self.used_bytes -= message.payload_bytes
+        self.pulls += 1
+        self.region.used_bytes = self.used_bytes
+        return message
+
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    def drop_for(self, component: str) -> int:
+        """Release any buffers addressed to a component being torn down
+        (part of the reboot path's cleanup)."""
+        doomed = [m for m in self._in_flight.values()
+                  if m.receiver == component]
+        for message in doomed:
+            del self._in_flight[message.msg_id]
+            self.used_bytes -= message.payload_bytes
+        self.region.used_bytes = self.used_bytes
+        return len(doomed)

@@ -1,0 +1,724 @@
+"""The VampOS runtime (§IV, §V).
+
+``VampOSKernel`` runs the same unikernel image as the vanilla kernel but
+with the paper's machinery in place:
+
+* cross-component calls travel through **message domains** and are
+  scheduled onto per-component **threads** (§V-A);
+* calls into stateful components are **logged**, together with the
+  return values of their outbound calls (§V-B), and the logs are kept
+  small by **session-aware shrinking** (§V-F);
+* every component (or merge group) lives in its own **protection
+  domain** (§V-D);
+* post-boot **checkpoints** are taken of every stateful component
+  (§V-E);
+* on a fail-stop fault the **failure detector** triggers a
+  component-level reboot: teardown → checkpoint restore → encapsulated
+  log replay → runtime-data re-import → thread reattach — after which
+  the in-flight call is retried (re-execution avoids non-deterministic
+  faults, §II-B).  A second failure fail-stops (deterministic bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..memory.mpk import (
+    INTEL_MPK_KEYS,
+    PKRU,
+    ProtectionDomains,
+    ProtectionFault,
+    VirtualizedProtectionDomains,
+)
+from ..memory.region import Region, RegionKind
+from ..memory.snapshot import SnapshotStore
+from ..sim.engine import Simulation
+from ..unikernel.component import Component, ComponentState
+from ..unikernel.errors import (
+    ComponentFailure,
+    HangDetected,
+    Panic,
+    RecoveryFailed,
+    SyscallError,
+    UnrebootableComponent,
+)
+from ..unikernel.image import APP, UnikernelImage
+from ..unikernel.kernel import Kernel
+from .calllog import ComponentCallLog
+from .config import (
+    SCHEDULER_DEPENDENCY_AWARE,
+    SCHEDULER_ROUND_ROBIN,
+    DAS,
+    VampConfig,
+)
+from .detector import FailureDetector
+from .messages import MessageDomain
+from .restore import EncapsulatedRestorer, ReplayMismatch, ReplaySession
+from .scheduler import (
+    APP_THREAD,
+    MSG_THREAD,
+    BaseScheduler,
+    DependencyAwareScheduler,
+    RoundRobinScheduler,
+    build_units,
+)
+from .shrink import LogShrinker
+
+
+@dataclass
+class RebootRecord:
+    """One component-level reboot, for the Fig. 6 experiments."""
+
+    component: str
+    unit: str
+    members: Tuple[str, ...]
+    reason: str
+    start_us: float
+    downtime_us: float = 0.0
+    snapshot_bytes: int = 0
+    entries_replayed: int = 0
+    retvals_fed: int = 0
+    stateless: bool = False
+
+
+class VampDispatcher:
+    """Message-passing dispatch with logging, scheduling and recovery."""
+
+    def __init__(self, kernel: "VampOSKernel") -> None:
+        self.kernel = kernel
+        self.sim = kernel.sim
+        #: active replay session during an encapsulated restoration
+        self.replay_session: Optional[ReplaySession] = None
+
+    # --- the main entry point ----------------------------------------------------
+
+    def invoke(self, caller: str, target: str, func: str,
+               args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
+        kernel = self.kernel
+        sim = self.sim
+
+        # Encapsulated restoration: the restoring component's outbound
+        # calls are answered from the return-value log (Fig. 3).
+        session = self.replay_session
+        if session is not None and caller == session.component:
+            return session.next_retval(target, func)
+
+        comp = kernel.component(target)
+        info = comp.interface().get(func)
+        if info is None:
+            raise AttributeError(f"{target} exports no function {func!r}")
+
+        kernel.meter.note_transition(2)
+        merged = kernel.scheduler.same_unit(caller, target)
+        log = kernel.logs.get(target)
+        logged = (log is not None and info.logged
+                  and kernel.config.logging_enabled)
+
+        # --- request path: message passing + scheduling -------------------
+        if merged:
+            sim.charge("function_call", sim.costs.function_call)
+        else:
+            message = kernel.message_domain.vo_push_msgs(
+                caller, target, func, args, kwargs)
+            kernel.scheduler.dispatch(target, needs_msg_thread=logged)
+            kernel.message_domain.vo_pull_msgs(message)
+
+        entry = None
+        if logged:
+            key = None
+            if info.key_arg is not None and len(args) > info.key_arg:
+                key = args[info.key_arg]
+            entry = log.append(func, args, kwargs, key=key,
+                               session_opener=info.session_opener,
+                               canceling=info.canceling,
+                               durable=info.durable)
+            sim.charge("log_append", sim.costs.log_append)
+            kernel.meter.note_log_entries(1)
+            log.push_active(entry)
+
+        # --- execution with failure handling -------------------------------
+        result: Any = None
+        error: Optional[Tuple[str, str]] = None
+        try:
+            try:
+                kernel.detector.check_hang(comp)
+                result = comp.call_interface(func, args, kwargs)
+            except SyscallError as exc:
+                error = (exc.errno, str(exc))
+                raise
+            except (Panic, HangDetected) as failure:
+                # The message thread detected the fault; reboot the
+                # component and retry the same input once (§II-B).
+                if entry is not None:
+                    entry.nested.clear()
+                result = self._recover_and_retry(
+                    comp, func, args, kwargs, failure)
+        finally:
+            if entry is not None:
+                log.pop_active(entry)
+                if error is None:
+                    entry.result = result
+                    entry.completed = True
+                    if info.key_from_result and _is_scalar_key(result):
+                        entry.key = result
+                    if info.key_from_result and result is None:
+                        # The call opened no session (accept() with an
+                        # empty backlog): nothing to restore, drop it.
+                        log.remove_entries([entry])
+                    else:
+                        kernel.shrinkers[target].on_entry_complete(entry)
+                else:
+                    # A failed call does not change component state;
+                    # keep the log free of it.
+                    log.remove_entries([entry])
+            self._record_caller_retval(caller, target, func, result, error)
+            # --- reply path ------------------------------------------------
+            if not merged:
+                reply = kernel.message_domain.vo_push_msgs(
+                    target, caller, func, (result,), is_reply=True)
+                kernel.scheduler.complete(
+                    target, caller,
+                    needs_msg_thread=bool(kernel.logs.get(caller)))
+                kernel.message_domain.vo_pull_msgs(reply)
+        return result
+
+    def _record_caller_retval(self, caller: str, target: str, func: str,
+                              result: Any,
+                              error: Optional[Tuple[str, str]]) -> None:
+        """Store the outcome in the caller's return-value log (§V-B)."""
+        caller_log = self.kernel.logs.get(caller)
+        if caller_log is None:
+            return
+        if caller_log.record_retval(target, func, result=result,
+                                    error=error):
+            self.sim.charge("retval_append", self.sim.costs.retval_append)
+            self.kernel.meter.note_log_entries(1)
+
+    def _recover_and_retry(self, comp: Component, func: str,
+                           args: Tuple[Any, ...],
+                           kwargs: Dict[str, Any],
+                           failure: ComponentFailure) -> Any:
+        kernel = self.kernel
+        kernel.detector.record(comp.NAME,
+                               "hang" if isinstance(failure, HangDetected)
+                               else "panic", str(failure))
+        kernel.reboot_component(comp.NAME, reason=type(failure).__name__)
+        try:
+            return kernel.component(comp.NAME).call_interface(
+                func, args, kwargs)
+        except ComponentFailure as again:
+            # A repeat failure means the fault outlived the component
+            # reboot.  Escalate through the remaining remedies: a
+            # registered multi-version variant (§VIII), then — when the
+            # microreboot-style escalation is enabled — a reboot of
+            # every rebootable component (the root cause may live in a
+            # *different* component, §II-B's out-of-scope case).
+            # Whatever still fails after that fail-stops gracefully.
+            if comp.NAME in kernel.variants:
+                kernel.swap_in_variant(comp.NAME,
+                                       reason="deterministic bug")
+                try:
+                    return kernel.component(comp.NAME).call_interface(
+                        func, args, kwargs)
+                except ComponentFailure as still:
+                    again = still
+            if kernel.config.escalation_enabled:
+                self.sim.emit("reboot", "escalation",
+                              component=comp.NAME)
+                kernel.rejuvenate_all()
+                try:
+                    return kernel.component(comp.NAME).call_interface(
+                        func, args, kwargs)
+                except ComponentFailure as still:
+                    again = still
+            return kernel.fail_stop(comp.NAME, again)
+
+
+class VampOSKernel(Kernel):
+    """A unikernel image run under VampOS."""
+
+    MODE = "vampos"
+
+    def __init__(self, image: UnikernelImage,
+                 config: VampConfig = DAS,
+                 num_protection_keys: int = INTEL_MPK_KEYS) -> None:
+        super().__init__(image)
+        config.validate()
+        for group, members in config.merges.items():
+            for member in members:
+                if member not in image:
+                    raise ValueError(
+                        f"merge group {group!r} member {member!r} is not "
+                        f"linked into the {image.app_name!r} image")
+        self.config = config
+        self._vamp = VampDispatcher(self)
+        self.detector = FailureDetector(
+            self.sim, hang_threshold_us=config.hang_threshold_us)
+        self.snapshots = SnapshotStore(self.sim)
+        self.restorer = EncapsulatedRestorer(self.sim)
+        self.reboots: List[RebootRecord] = []
+
+        # --- threads -------------------------------------------------------
+        units, member_map = build_units(image.boot_order, config.merges)
+        if config.scheduler == SCHEDULER_ROUND_ROBIN:
+            self.scheduler: BaseScheduler = RoundRobinScheduler(
+                self.sim, units, member_map)
+        else:
+            self.scheduler = DependencyAwareScheduler(
+                self.sim, units, image.dependency_graph(), member_map)
+
+        # --- protection domains (§V-D) ---------------------------------------
+        if config.virtualize_keys:
+            self.domains: ProtectionDomains = VirtualizedProtectionDomains(
+                num_protection_keys, enforce=config.enforce_mpk,
+                sim=self.sim)
+        else:
+            self.domains = ProtectionDomains(num_protection_keys,
+                                             enforce=config.enforce_mpk)
+        self.pkrus: Dict[str, PKRU] = {}
+        self._tag_domains(units, member_map, num_protection_keys)
+
+        # --- message domain: logs + buffers (Fig. 4) ---------------------------
+        self.msg_domain = Region("MSGDOM.region", RegionKind.MESSAGE,
+                                 config.msg_domain_bytes, owner="MSGDOM",
+                                 backed=False)
+        self.domains.tag_region(self.msg_domain, self._msgdom_key)
+        self.message_domain = MessageDomain(self.sim, self.msg_domain)
+        self.logs: Dict[str, ComponentCallLog] = {}
+        self.shrinkers: Dict[str, LogShrinker] = {}
+        for name in image.stateful_components():
+            comp = image.component(name)
+            log = ComponentCallLog(name)
+            self.logs[name] = log
+            self.shrinkers[name] = LogShrinker(
+                self.sim, comp, log,
+                threshold=config.shrink_threshold,
+                enabled=config.shrink_enabled)
+
+        #: continuously saved runtime data (§V-B), per component
+        self._runtime_data: Dict[str, Any] = {}
+        #: §VIII extensions: multi-version components, graceful
+        #: termination hooks, live-update history
+        self.variants: Dict[str, type] = {}
+        self._fail_stop_hooks: List[Any] = []
+        self.updates: List[RebootRecord] = []
+
+    # --- protection-domain assignment ---------------------------------------------
+
+    def _tag_domains(self, units: List[str], member_map: Dict[str, str],
+                     num_keys: int) -> None:
+        app_key = self.domains.allocate(APP)
+        unit_keys: Dict[str, int] = {}
+        for unit in units:
+            if unit in (APP_THREAD, MSG_THREAD):
+                continue
+            unit_keys[unit] = self.domains.allocate(unit)
+        self._msgdom_key = self.domains.allocate("MSGDOM")
+        self._sched_key = self.domains.allocate("SCHED")
+        self._unit_keys = unit_keys
+        self._app_key = app_key
+        for name in self.image.boot_order:
+            comp = self.image.component(name)
+            key = unit_keys[self.scheduler.unit_of(name)]
+            for region in comp.regions:
+                self.domains.tag_region(region, key)
+        # One PKRU per thread: its own domain plus the message domain.
+        for unit, key in unit_keys.items():
+            pkru = PKRU(num_keys)
+            self.domains.grant(pkru, key, write=True)
+            self.domains.grant(pkru, self._msgdom_key, write=True)
+            self.pkrus[unit] = pkru
+        app_pkru = PKRU(num_keys)
+        self.domains.grant(app_pkru, app_key, write=True)
+        self.domains.grant(app_pkru, self._msgdom_key, write=True)
+        self.pkrus[APP_THREAD] = app_pkru
+
+    def mpk_tag_count(self) -> int:
+        """Tags in use: app + units + message domain + scheduler."""
+        return self.domains.keys_in_use() - 1  # key 0 is the default key
+
+    # --- Kernel plumbing ----------------------------------------------------------------
+
+    def _dispatcher(self) -> VampDispatcher:
+        return self._vamp
+
+    def _post_boot(self) -> None:
+        """Take the post-boot checkpoints (§V-E) and seed runtime data."""
+        if self.config.checkpoints_enabled:
+            for name in self.image.stateful_components():
+                comp = self.image.component(name)
+                if not comp.REBOOTABLE:
+                    continue
+                self.snapshots.take(name, comp.regions,
+                                    comp.export_state())
+        for name in self.image.boot_order:
+            comp = self.image.component(name)
+            data = comp.export_runtime_data()
+            if data is not None:
+                self._runtime_data[name] = data
+
+    def syscall(self, target: str, func: str, *args: Any,
+                **kwargs: Any) -> Any:
+        result = super().syscall(target, func, *args, **kwargs)
+        self._save_runtime_data()
+        return result
+
+    def _save_runtime_data(self) -> None:
+        """§V-B: save the special runtime data every time it may have
+        been updated (after each top-level syscall)."""
+        for name in list(self._runtime_data):
+            comp = self.image.component(name)
+            if comp.state is ComponentState.BOOTED:
+                self._runtime_data[name] = comp.export_runtime_data()
+
+    # --- component-level reboot (§IV) ------------------------------------------------------
+
+    def reboot_component(self, name: str, reason: str = "manual") -> \
+            RebootRecord:
+        """Reboot the component (or its whole merge group) and restore it.
+
+        Returns the :class:`RebootRecord` with the measured downtime.
+        """
+        comp = self.component(name)
+        if not comp.REBOOTABLE:
+            raise UnrebootableComponent(
+                name, "its state is shared with the host (§VIII)")
+        unit = self.scheduler.unit_of(name)
+        members = tuple(n for n in self.image.boot_order
+                        if self.scheduler.unit_of(n) == unit)
+        record = RebootRecord(
+            component=name, unit=unit, members=members, reason=reason,
+            start_us=self.sim.clock.now_us,
+            stateless=all(not self.image.component(m).STATEFUL
+                          for m in members))
+        self.sim.emit("reboot", "component_start", component=name,
+                      unit=unit, members=list(members), reason=reason)
+        self.scheduler.mark_rebooting(name)
+        self.sim.charge("reboot_teardown", self.sim.costs.reboot_teardown)
+        for member in members:
+            self.message_domain.drop_for(member)
+            self._restart_member(member, record)
+        self.scheduler.reattach(name)
+        record.downtime_us = self.sim.clock.now_us - record.start_us
+        self.reboots.append(record)
+        self.sim.emit("reboot", "component_done", component=name,
+                      downtime_us=record.downtime_us,
+                      replayed=record.entries_replayed)
+        return record
+
+    def _restart_member(self, member: str, record: RebootRecord) -> None:
+        comp = self.image.component(member)
+        comp.state = ComponentState.REBOOTING
+        comp.injected_panic = None
+        comp.injected_hang = False
+        # The fresh memory image has no corruption, whatever the fault
+        # did to the old one (bit flips included).
+        for region in comp.regions:
+            region.corrupted = False
+        if not comp.STATEFUL:
+            # Plain reinitialisation: no log, no snapshot (§VI).
+            self.sim.charge("stateless_reinit",
+                            self.sim.costs.stateless_reinit)
+            comp.allocator.reset()
+            comp.boot()
+            return
+        snap = self.snapshots.get(member)
+        if snap is None:
+            # No checkpoint (ablation config): full re-initialisation,
+            # which may disturb other components — exactly what §V-E
+            # warns about; the ablation benchmark measures the cost.
+            comp.allocator.reset()
+            comp.boot()
+        else:
+            blob = self.snapshots.restore(snap, comp.regions)
+            comp.import_state(blob)
+            comp.state = ComponentState.BOOTED
+            comp._boot_count += 1
+            record.snapshot_bytes += snap.snapshot_bytes
+        # Runtime data first (accept-created sockets occupy their ids
+        # before replayed allocations pick lowest-free slots), then the
+        # encapsulated replay.
+        runtime_blob = self._runtime_data.get(member)
+        if runtime_blob is not None:
+            comp.import_runtime_data(runtime_blob)
+        log = self.logs.get(member)
+        if log is not None and self.config.logging_enabled:
+            session = ReplaySession(member)
+            previous = self._vamp.replay_session
+            self._vamp.replay_session = session
+            try:
+                stats = self.restorer.replay(comp, log, session)
+            except ComponentFailure as again:
+                self.crashed = True
+                raise RecoveryFailed(member, again) from again
+            except ReplayMismatch as diverged:
+                # The recorded log no longer matches the component's
+                # behaviour (corrupt log / incompatible code): the
+                # restoration cannot be trusted — fail-stop.
+                self.crashed = True
+                raise RecoveryFailed(member, diverged) from diverged
+            finally:
+                self._vamp.replay_session = previous
+            record.entries_replayed += stats.entries_replayed
+            record.retvals_fed += stats.retvals_fed
+
+    # --- §VIII extensions ---------------------------------------------------------------------
+
+    def register_variant(self, name: str, variant_cls: type) -> None:
+        """Register a multi-version alternative for a component (§VIII).
+
+        When the rebooted component fails *again* (a deterministic
+        bug), the runtime swaps the variant in — "whose functionalities
+        and interfaces are the same as in the failed one, thereby
+        eliminating the execution of the buggy code path".
+        """
+        if name not in self.image:
+            raise ValueError(f"no component {name!r} in this image")
+        if getattr(variant_cls, "NAME", None) != name:
+            raise ValueError(
+                f"variant class NAME {getattr(variant_cls, 'NAME', None)!r}"
+                f" must equal {name!r}")
+        original = type(self.component(name))
+        missing = set(original.interface()) - set(variant_cls.interface())
+        if missing:
+            raise ValueError(
+                f"variant of {name!r} is missing interface functions: "
+                f"{sorted(missing)}")
+        self.variants[name] = variant_cls
+
+    def swap_in_variant(self, name: str,
+                        reason: str = "variant swap") -> RebootRecord:
+        """Replace a component instance with its registered variant and
+        restore its running state via the normal recovery path."""
+        variant_cls = self.variants.get(name)
+        if variant_cls is None:
+            raise ValueError(f"no variant registered for {name!r}")
+        self._install_instance(name, variant_cls(self.sim))
+        self.sim.emit("variant", "swapped", component=name,
+                      cls=variant_cls.__name__)
+        return self.reboot_component(name, reason=reason)
+
+    def _install_instance(self, name: str, fresh: Component) -> None:
+        """Wire a new component instance into the running image."""
+        from ..unikernel.component import KernelAPI
+
+        fresh.os = KernelAPI(self._vamp, name)
+        key = self._unit_keys[self.scheduler.unit_of(name)]
+        for region in fresh.regions:
+            self.domains.tag_region(region, key)
+        self.image.components[name] = fresh
+        shrinker = self.shrinkers.get(name)
+        if shrinker is not None:
+            shrinker.component = fresh
+
+    def on_fail_stop(self, callback: Any) -> None:
+        """Register a graceful-termination hook (§VIII).
+
+        Called (in registration order) when recovery has failed and the
+        application is about to fail-stop — the window in which
+        undamaged components can still save state ("storing the current
+        in-memory KVs in storage just before a fail-stop").
+        """
+        self._fail_stop_hooks.append(callback)
+
+    def fail_stop(self, component: str,
+                  cause: Optional[BaseException] = None) -> Any:
+        """Graceful termination: run the hooks, then fail-stop."""
+        self.sim.emit("reboot", "fail_stop", component=component)
+        for hook in self._fail_stop_hooks:
+            try:
+                hook()
+            except Exception as exc:  # a dying system: best effort only
+                self.sim.emit("reboot", "fail_stop_hook_error",
+                              component=component, error=str(exc))
+        self.crashed = True
+        raise RecoveryFailed(component, cause) from cause
+
+    def update_component(self, name: str,
+                         new_cls: type) -> RebootRecord:
+        """Live component update (§VIII "Reboots for Component Updates").
+
+        Uses the reboot machinery to replace a component's *code* while
+        carrying its *current* state across: export state from the old
+        version, install the new instance, import the state, refresh
+        the post-boot checkpoint and clear the (now superseded) log.
+        """
+        comp = self.component(name)
+        if not comp.REBOOTABLE:
+            raise UnrebootableComponent(
+                name, "its state is shared with the host (§VIII)")
+        if getattr(new_cls, "NAME", None) != name:
+            raise ValueError(
+                f"update class NAME must equal {name!r}")
+        start = self.sim.clock.now_us
+        unit = self.scheduler.unit_of(name)
+        self.sim.emit("update", "start", component=name,
+                      cls=new_cls.__name__)
+        self.scheduler.mark_rebooting(name)
+        self.sim.charge("reboot_teardown", self.sim.costs.reboot_teardown)
+        state = comp.export_state()
+        runtime_blob = comp.export_runtime_data()
+        fresh = new_cls(self.sim)
+        self._install_instance(name, fresh)
+        fresh.import_state(state)
+        fresh.state = ComponentState.BOOTED
+        if runtime_blob is not None:
+            fresh.import_runtime_data(runtime_blob)
+            self._runtime_data[name] = runtime_blob
+        # The carried-over state becomes the new recovery baseline:
+        # replaying the old version's log onto the new code would mix
+        # versions, so re-checkpoint and start a fresh log.
+        if fresh.STATEFUL and self.config.checkpoints_enabled:
+            self.snapshots.drop(name)
+            self.snapshots.take(name, fresh.regions,
+                                fresh.export_state())
+        log = self.logs.get(name)
+        if log is not None:
+            log.clear()
+        self.scheduler.reattach(name)
+        record = RebootRecord(
+            component=name, unit=unit, members=(name,),
+            reason="live-update", start_us=start,
+            downtime_us=self.sim.clock.now_us - start,
+            stateless=not fresh.STATEFUL)
+        self.updates.append(record)
+        self.sim.emit("update", "done", component=name,
+                      downtime_us=record.downtime_us)
+        return record
+
+    def full_reboot(self) -> float:
+        """A regular whole-application reboot.
+
+        §IV: "Regular reboots are used for other purposes, such as
+        software updates and reconfiguration ... regular reboots need
+        to be used for them" — so a VampOS build keeps the conventional
+        path.  Every component is rebuilt and booted from scratch, the
+        VampOS machinery (threads, domains, logs, checkpoints) is
+        re-initialised, and the application loses its in-memory state
+        exactly as under vanilla Unikraft.  Returns the downtime.
+        """
+        from ..unikernel.image import ImageBuilder
+
+        start = self.sim.clock.now_us
+        app_bytes = self.image.total_memory_bytes()
+        self.sim.emit("reboot", "full_start", app=self.image.app_name,
+                      mode=self.MODE)
+        self.sim.charge("full_reboot", self.sim.costs.full_reboot_fixed)
+        listeners = self._full_reboot_listeners
+        previous_full_reboots = self._full_reboots
+        spec = self.image.spec
+        config = self.config
+        num_keys = self.domains.num_keys
+        fresh_image = ImageBuilder().build(spec, self.sim)
+        # Rebuild every subsystem against the fresh image (threads,
+        # protection domains, message domain, logs, checkpoints).
+        self.__init__(fresh_image, config,  # type: ignore[misc]
+                      num_protection_keys=num_keys)
+        self._full_reboot_listeners = listeners
+        self.boot()
+        for listener in listeners:
+            listener()
+        self.sim.charge(
+            "full_reboot_restore",
+            app_bytes * self.sim.costs.full_reboot_restore_per_byte)
+        downtime = self.sim.clock.now_us - start
+        self._full_reboots = previous_full_reboots + 1
+        self.sim.emit("reboot", "full_done", app=self.image.app_name,
+                      downtime_us=downtime)
+        return downtime
+
+    def rejuvenate(self, name: str) -> RebootRecord:
+        """Proactive software rejuvenation of one component (§IV)."""
+        return self.reboot_component(name, reason="rejuvenation")
+
+    def heartbeat(self) -> List[RebootRecord]:
+        """The message thread's heart-beat sweep (§V-A).
+
+        Detects components that failed *outside* a call path — a FAILED
+        state left by an error handler, or a corrupted memory region
+        from a hardware fault — and reboots them.  Applications call
+        this from their idle loop (ServerApp.poll does).
+        """
+        self.sim.charge("heartbeat", self.sim.costs.heartbeat_scan)
+        records: List[RebootRecord] = []
+        swept = set()
+        for name in self.image.boot_order:
+            comp = self.image.component(name)
+            if not comp.REBOOTABLE or name in swept:
+                continue
+            failed = comp.state is ComponentState.FAILED
+            corrupted = any(region.corrupted for region in comp.regions)
+            sensed = self.detector.sense(comp)
+            if failed or corrupted or sensed:
+                self.detector.record(
+                    name, "heartbeat",
+                    sensed or ("failed state" if failed
+                               else "corrupted region"))
+                record = self.reboot_component(name, reason="heartbeat")
+                swept.update(record.members)
+                records.append(record)
+        return records
+
+    def rejuvenate_all(self) -> List[RebootRecord]:
+        """Rejuvenate every rebootable component, one by one (§VII-D)."""
+        records = []
+        for name in self.image.boot_order:
+            if self.image.component(name).REBOOTABLE:
+                records.append(self.rejuvenate(name))
+        return records
+
+    # --- fault surface ------------------------------------------------------------------------
+
+    def attempt_wild_write(self, source: str, victim: str) -> None:
+        """A buggy component writes into another component's memory.
+
+        Under VampOS the write is stopped by the protection domain and
+        the *faulty* component is rebooted; the victim is untouched
+        (§V-D).  Contrast with the vanilla kernel, where the write
+        lands and corrupts the victim.
+        """
+        victim_comp = self.component(victim)
+        source_unit = self.scheduler.unit_of(source)
+        pkru = self.pkrus[source_unit if source != APP else APP_THREAD]
+        try:
+            self.domains.check(pkru, victim_comp.heap, write=True)
+        except ProtectionFault as fault:
+            self.detector.record(source, "protection_fault", str(fault))
+            self.sim.emit("fault", "wild_write_blocked", source=source,
+                          victim=victim)
+            self.reboot_component(source, reason="protection_fault")
+            return
+        # Same protection domain (merged components): the write lands.
+        victim_comp.heap.mark_corrupted()
+        self.sim.emit("fault", "wild_write_landed", source=source,
+                      victim=victim)
+
+    # --- accounting (Fig. 7b) ---------------------------------------------------------------------
+
+    def log_space_bytes(self) -> int:
+        return sum(log.space_bytes() for log in self.logs.values())
+
+    def memory_overhead_bytes(self) -> int:
+        """VampOS's extra memory: message domain + checkpoints + logs."""
+        return (self.msg_domain.size_bytes
+                + self.snapshots.total_bytes()
+                + self.log_space_bytes())
+
+    def total_memory_bytes(self) -> int:
+        return self.image.total_memory_bytes() + self.memory_overhead_bytes()
+
+
+def _is_scalar_key(value: Any) -> bool:
+    return isinstance(value, (int, str)) and not isinstance(value, bool)
+
+
+def build_vampos(spec: "Any", sim: Simulation,
+                 config: VampConfig = DAS) -> VampOSKernel:
+    """Convenience: link and boot an image under VampOS."""
+    from ..unikernel.image import ImageBuilder
+
+    image = ImageBuilder().build(spec, sim)
+    kernel = VampOSKernel(image, config)
+    kernel.boot()
+    return kernel

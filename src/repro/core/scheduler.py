@@ -1,0 +1,267 @@
+"""Component-thread scheduling (§V-A, §V-C).
+
+VampOS binds a thread to every component (merged components share one)
+and components interact purely by message passing; when a message is
+sent, the internal scheduler must dispatch the receiving component's
+thread before the call makes progress.  Two schedulers are evaluated in
+the paper:
+
+* **Round-robin** (VampOS-Noop): the scheduler cycles through the
+  thread ring; every component polled before the right one is a wasted
+  dispatch (the components poll their message domains, §V-C).
+* **Dependency-aware** (VampOS-DaS): the scheduler knows which
+  components each component may invoke (the image's dependency graph,
+  "specified in advance") and dispatches the target directly.
+
+Both schedulers also dispatch the *message thread* around logged calls:
+it stores the arguments before the target runs and preserves the return
+value afterwards (§V-C).
+
+Every dispatch charges the cost model (context switch + PKRU write;
+wasted polls for round-robin).  The schedulers also track statistics
+the ablation benchmarks report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..sim.engine import Simulation
+
+#: pseudo-thread names
+APP_THREAD = "APP"
+MSG_THREAD = "MSG"
+
+
+class ThreadState(enum.Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    REBOOTING = "rebooting"
+
+
+@dataclass
+class ComponentThread:
+    """Bookkeeping for one schedulable unit (a component or merge group)."""
+
+    name: str
+    #: components executed by this thread (≥2 when merged)
+    members: List[str] = field(default_factory=list)
+    state: ThreadState = ThreadState.IDLE
+    dispatches: int = 0
+    #: extra threads spawned on demand because this one was blocked (§V-A)
+    spawned: int = 0
+
+
+@dataclass
+class SchedulerStats:
+    dispatches: int = 0
+    wasted_polls: int = 0
+    msg_thread_dispatches: int = 0
+    spawns: int = 0
+    dependency_lookups: int = 0
+
+
+class BaseScheduler:
+    """Shared machinery: the thread table and dispatch accounting."""
+
+    KIND = "base"
+
+    def __init__(self, sim: Simulation, units: Sequence[str],
+                 member_map: Optional[Dict[str, str]] = None) -> None:
+        """``units`` are the schedulable thread names (APP first, MSG
+        last by convention); ``member_map`` maps component -> unit."""
+        self.sim = sim
+        self.threads: Dict[str, ComponentThread] = {}
+        for unit in units:
+            self.threads[unit] = ComponentThread(name=unit, members=[unit])
+        self.member_map = dict(member_map or {})
+        for component, unit in self.member_map.items():
+            if unit in self.threads and component not in \
+                    self.threads[unit].members:
+                self.threads[unit].members.append(component)
+        self.stats = SchedulerStats()
+        self.current: str = units[0] if units else APP_THREAD
+        #: units on the current synchronous call chain (for spawn detection)
+        self._active_chain: List[str] = [self.current]
+
+    # --- mapping -------------------------------------------------------------------
+
+    def unit_of(self, component: str) -> str:
+        return self.member_map.get(component, component)
+
+    def same_unit(self, a: str, b: str) -> bool:
+        return self.unit_of(a) == self.unit_of(b)
+
+    # --- the dispatch protocol --------------------------------------------------------
+
+    def dispatch(self, to_component: str, needs_msg_thread: bool) -> None:
+        """Switch execution to ``to_component``'s thread.
+
+        ``needs_msg_thread`` is set for logged calls: the message thread
+        runs first to store the arguments (§V-C).
+        """
+        unit = self.unit_of(to_component)
+        if needs_msg_thread:
+            self._switch_to(MSG_THREAD, poll=True)
+            self.stats.msg_thread_dispatches += 1
+        if unit in self._active_chain:
+            # The bound thread is blocked inside the call chain; VampOS
+            # attaches a freshly spawned thread instead (§V-A).
+            self.sim.charge("thread_spawn", self.sim.costs.thread_spawn)
+            self.stats.spawns += 1
+            thread = self.threads.get(unit)
+            if thread is not None:
+                thread.spawned += 1
+        self._switch_to(unit, poll=True)
+        self._active_chain.append(unit)
+        thread = self.threads.get(unit)
+        if thread is not None:
+            thread.state = ThreadState.RUNNING
+            thread.dispatches += 1
+
+    def complete(self, from_component: str, to_component: str,
+                 needs_msg_thread: bool) -> None:
+        """Return the reply: switch back to the caller's thread."""
+        from_unit = self.unit_of(from_component)
+        if self._active_chain and self._active_chain[-1] == from_unit:
+            self._active_chain.pop()
+        thread = self.threads.get(from_unit)
+        if thread is not None and from_unit not in self._active_chain:
+            thread.state = ThreadState.IDLE
+        if needs_msg_thread:
+            self._switch_to(MSG_THREAD, poll=True)
+            self.stats.msg_thread_dispatches += 1
+        self._switch_to(self.unit_of(to_component), poll=True)
+
+    def _switch_to(self, unit: str, poll: bool) -> None:
+        raise NotImplementedError
+
+    def _charge_switch(self) -> None:
+        self.sim.charge("thread_switch", self.sim.costs.thread_switch)
+        self.sim.charge("pkru_write", self.sim.costs.pkru_write)
+        self.stats.dispatches += 1
+
+    # --- reboot integration -----------------------------------------------------------
+
+    def mark_rebooting(self, component: str) -> None:
+        thread = self.threads.get(self.unit_of(component))
+        if thread is not None:
+            thread.state = ThreadState.REBOOTING
+
+    def reattach(self, component: str) -> None:
+        """Attach a fresh thread after a component reboot."""
+        self.sim.charge("thread_reattach", self.sim.costs.thread_reattach)
+        thread = self.threads.get(self.unit_of(component))
+        if thread is not None:
+            thread.state = ThreadState.IDLE
+
+
+class RoundRobinScheduler(BaseScheduler):
+    """The VampOS-Noop baseline: cycle the ring until the target."""
+
+    KIND = "round-robin"
+
+    def __init__(self, sim: Simulation, units: Sequence[str],
+                 member_map: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(sim, units, member_map)
+        self._ring: List[str] = list(units)
+        self._pos = 0
+
+    def _switch_to(self, unit: str, poll: bool) -> None:
+        if unit == self.current:
+            return
+        if poll and unit in self._ring:
+            target_idx = self._ring.index(unit)
+            # Walk the ring forward; each unit polled with no pending
+            # message for it wastes a dispatch.
+            steps = (target_idx - self._pos) % len(self._ring)
+            wasted = max(0, steps - 1)
+            if wasted:
+                self.sim.charge("wasted_poll",
+                                wasted * self.sim.costs.wasted_poll)
+                self.stats.wasted_polls += wasted
+            self._pos = target_idx
+        self._charge_switch()
+        self.current = unit
+
+
+class DependencyAwareScheduler(BaseScheduler):
+    """VampOS-DaS: infer the next thread from the dependency graph."""
+
+    KIND = "dependency-aware"
+
+    def __init__(self, sim: Simulation, units: Sequence[str],
+                 dependency_graph: Dict[str, List[str]],
+                 member_map: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(sim, units, member_map)
+        # Lift the component-level graph to thread units, adding the
+        # reverse edges (replies flow back) and the APP/MSG threads.
+        self._candidates: Dict[str, Set[str]] = {u: set() for u in units}
+        for src, dsts in dependency_graph.items():
+            src_unit = self.unit_of(src)
+            for dst in dsts:
+                dst_unit = self.unit_of(dst)
+                if src_unit == dst_unit:
+                    continue
+                self._candidates.setdefault(src_unit, set()).add(dst_unit)
+                self._candidates.setdefault(dst_unit, set()).add(src_unit)
+        for unit in units:
+            if unit in (APP_THREAD, MSG_THREAD):
+                continue
+            # The application may call any component's POSIX surface and
+            # the message thread interleaves with everyone.
+            self._candidates.setdefault(APP_THREAD, set()).add(unit)
+            self._candidates.setdefault(unit, set()).add(APP_THREAD)
+            self._candidates.setdefault(MSG_THREAD, set()).add(unit)
+            self._candidates.setdefault(unit, set()).add(MSG_THREAD)
+        self._candidates.setdefault(APP_THREAD, set()).add(MSG_THREAD)
+        self._candidates.setdefault(MSG_THREAD, set()).add(APP_THREAD)
+        self.fallback_dispatches = 0
+
+    def candidates_of(self, unit: str) -> Set[str]:
+        return set(self._candidates.get(unit, set()))
+
+    def _switch_to(self, unit: str, poll: bool) -> None:
+        if unit == self.current:
+            return
+        self.sim.charge("dependency_lookup",
+                        self.sim.costs.dependency_lookup)
+        self.stats.dependency_lookups += 1
+        if poll and unit not in self._candidates.get(self.current, set()):
+            # Not predicted by the correlation table: fall back to a
+            # short scan over the candidate set.
+            scan = len(self._candidates.get(self.current, set()))
+            if scan:
+                self.sim.charge("wasted_poll",
+                                scan * self.sim.costs.wasted_poll)
+                self.stats.wasted_polls += scan
+            self.fallback_dispatches += 1
+        self._charge_switch()
+        self.current = unit
+
+
+def build_units(components: Sequence[str],
+                merges: Dict[str, Sequence[str]]) -> \
+        "tuple[List[str], Dict[str, str]]":
+    """Compute the thread-unit list and component→unit map.
+
+    Merge groups collapse their members into one thread named after the
+    group; everything else gets its own thread.  The APP thread comes
+    first and the MSG thread last, matching the dispatch conventions.
+    """
+    member_map: Dict[str, str] = {}
+    for group, members in merges.items():
+        for member in members:
+            member_map[member] = group
+    units: List[str] = [APP_THREAD]
+    seen: Set[str] = set()
+    for component in components:
+        unit = member_map.get(component, component)
+        if unit not in seen:
+            seen.add(unit)
+            units.append(unit)
+    units.append(MSG_THREAD)
+    return units, member_map

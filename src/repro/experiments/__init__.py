@@ -1,0 +1,46 @@
+"""One module per reproduced table/figure (see DESIGN.md's index).
+
+| id      | paper artifact                                  | module |
+|---------|--------------------------------------------------|--------|
+| EXP-F5  | Fig. 5 — system call overheads                   | syscall_overhead |
+| EXP-T3  | Table III — log space overheads                  | log_space |
+| EXP-F6  | Fig. 6 — component reboot times                  | reboot_time |
+| EXP-F7  | Fig. 7 — real-world application overheads        | app_overhead |
+| EXP-T4  | Table IV — throughput vs log-shrink threshold    | shrink_threshold |
+| EXP-T5  | Table V — request successes across rejuvenation  | rejuvenation |
+| EXP-F8  | Fig. 8 — Redis latency across failure recovery   | failure_recovery |
+| ABL-SCHED/SHRINK/CKPT/AGING | design-choice ablations      | ablations |
+| ABL-SCALE | scheduler cost vs component count              | scalability |
+| ABL-CAMPAIGN | randomized fault-injection campaign         | fault_campaign |
+| ABL-ENDURANCE | long-running aging + rejuvenation policies | endurance |
+"""
+
+from . import (
+    ablations,
+    app_overhead,
+    endurance,
+    env,
+    failure_recovery,
+    fault_campaign,
+    log_space,
+    reboot_time,
+    rejuvenation,
+    scalability,
+    shrink_threshold,
+    syscall_overhead,
+)
+
+__all__ = [
+    "ablations",
+    "endurance",
+    "fault_campaign",
+    "scalability",
+    "app_overhead",
+    "env",
+    "failure_recovery",
+    "log_space",
+    "reboot_time",
+    "rejuvenation",
+    "shrink_threshold",
+    "syscall_overhead",
+]

@@ -1,0 +1,236 @@
+"""EXP-F7 — Fig. 7: real-world application overheads.
+
+Runs the four applications' workloads (§VII-C) under vanilla Unikraft
+and the four VampOS configurations and reports (a) execution time /
+throughput and (b) memory utilisation:
+
+* SQLite — N inserts of a 1-byte item (paper: 10,000);
+* Nginx — GETs of the 180-byte page over 40 connections (paper: 1 min);
+* Redis — N SETs of 4-byte key / 3-byte value (paper: 1,000,000), with
+  AOF *on* under Unikraft (needed for rebootability) and *off* under
+  VampOS (component reboots preserve memory — §VII-C's crossover);
+* Echo — 159-byte exchanges (paper: 1 min).
+
+Paper claims checked: runtime penalty <= ~1.5x; DaS <= Noop everywhere;
+VampOS-DaS Redis *outperforms* Unikraft+AOF; Echo comparable; VampOS
+memory overhead is a constant (so it is relatively small for the app
+with the largest footprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.base import KernelMode
+from ..metrics.report import ExperimentReport
+from ..metrics.stats import ratio
+from ..workloads.echo_load import EchoWorkload
+from ..workloads.http_load import HttpLoadGenerator
+from ..workloads.redis_load import RedisSetWorkload
+from ..workloads.sqlite_load import SqliteInsertWorkload
+from .env import (
+    MODES,
+    applicable,
+    make_echo,
+    make_nginx,
+    make_redis,
+    make_sqlite,
+    mode_name,
+)
+
+
+@dataclass
+class AppResult:
+    app: str
+    mode: str
+    duration_us: float
+    operations: int
+    memory_bytes: int
+    overhead_bytes: int
+
+    @property
+    def throughput_per_s(self) -> float:
+        if self.duration_us == 0:
+            return 0.0
+        return self.operations / (self.duration_us / 1e6)
+
+
+def _run_sqlite(mode: KernelMode, inserts: int, seed: int) -> AppResult:
+    app = make_sqlite(mode, seed=seed)
+    result = SqliteInsertWorkload(app, inserts=inserts).run()
+    overhead = app.vampos.memory_overhead_bytes() if app.vampos else 0
+    return AppResult("SQLite", mode_name(mode), result.duration_us,
+                     result.inserts, app.memory_footprint_bytes(),
+                     overhead)
+
+
+def _run_nginx(mode: KernelMode, requests: int, seed: int) -> AppResult:
+    app = make_nginx(mode, seed=seed)
+    load = HttpLoadGenerator(app, connections=40)
+    result = load.run_requests(requests)
+    overhead = app.vampos.memory_overhead_bytes() if app.vampos else 0
+    return AppResult("Nginx", mode_name(mode), result.duration_us,
+                     result.successes, app.memory_footprint_bytes(),
+                     overhead)
+
+
+def _run_redis(mode: KernelMode, operations: int, seed: int) -> AppResult:
+    app = make_redis(mode, seed=seed)  # AOF on only under Unikraft
+    result = RedisSetWorkload(app, operations=operations).run()
+    overhead = app.vampos.memory_overhead_bytes() if app.vampos else 0
+    return AppResult("Redis", mode_name(mode), result.duration_us,
+                     result.successes, app.memory_footprint_bytes(),
+                     overhead)
+
+
+def _run_echo(mode: KernelMode, exchanges: int, seed: int) -> AppResult:
+    app = make_echo(mode, seed=seed)
+    result = EchoWorkload(app).run_exchanges(exchanges)
+    overhead = app.vampos.memory_overhead_bytes() if app.vampos else 0
+    return AppResult("Echo", mode_name(mode), result.duration_us,
+                     result.successes, app.memory_footprint_bytes(),
+                     overhead)
+
+
+APP_RUNNERS = {
+    "SQLite": (_run_sqlite,
+               ("PROCESS", "SYSINFO", "USER", "TIMER", "VFS", "9PFS",
+                "VIRTIO")),
+    "Nginx": (_run_nginx,
+              ("PROCESS", "SYSINFO", "USER", "NETDEV", "TIMER", "VFS",
+               "9PFS", "LWIP", "VIRTIO")),
+    "Redis": (_run_redis,
+              ("PROCESS", "SYSINFO", "USER", "NETDEV", "TIMER", "VFS",
+               "9PFS", "LWIP", "VIRTIO")),
+    "Echo": (_run_echo,
+             ("PROCESS", "USER", "NETDEV", "TIMER", "VFS", "LWIP",
+              "VIRTIO")),
+}
+
+
+def run(scale: int = 300, seed: int = 41) -> ExperimentReport:
+    """``scale`` is the per-app operation count (the paper uses 10,000
+    inserts / 1-minute runs / 1,000,000 SETs; the default keeps the
+    bench quick while preserving every ratio)."""
+    report = ExperimentReport(
+        experiment_id="EXP-F7",
+        paper_artifact="Fig. 7 — real-world application overheads "
+                       f"({scale} ops per app)")
+    report.headers = ["app", "mode", "time ms", "ops/s",
+                      "vs Unikraft", "memory MiB", "overhead MiB"]
+    results: Dict[Tuple[str, str], AppResult] = {}
+    for app_name, (runner, components) in APP_RUNNERS.items():
+        for mode in MODES:
+            if not applicable(mode, components):
+                continue
+            result = runner(mode, scale, seed)
+            results[(app_name, mode_name(mode))] = result
+    for (app_name, mode), result in results.items():
+        vanilla = results[(app_name, "Unikraft")]
+        report.add_row(
+            app_name, mode, result.duration_us / 1000.0,
+            result.throughput_per_s,
+            ratio(result.duration_us, vanilla.duration_us),
+            result.memory_bytes / (1 << 20),
+            result.overhead_bytes / (1 << 20))
+
+    # --- claims ------------------------------------------------------------------
+    def overhead(app_name: str, mode: str) -> float:
+        return ratio(results[(app_name, mode)].duration_us,
+                     results[(app_name, "Unikraft")].duration_us)
+
+    for app_name in ("SQLite", "Nginx", "Echo"):
+        optimized = [m for m in ("VampOS-DaS", "VampOS-FSm",
+                                 "VampOS-NETm")
+                     if (app_name, m) in results]
+        worst = max(overhead(app_name, m) for m in optimized)
+        report.add_claim(
+            f"{app_name} runtime penalty under the optimised configs "
+            f"stays within the paper's envelope (<= 1.46x + margin)",
+            worst <= 1.6, f"worst optimised {worst:.2f}x")
+        if (app_name, "VampOS-Noop") in results:
+            noop = overhead(app_name, "VampOS-Noop")
+            report.add_claim(
+                f"VampOS-Noop is the costliest configuration for "
+                f"{app_name}",
+                noop >= worst - 1e-9, f"Noop {noop:.2f}x")
+    for app_name in APP_RUNNERS:
+        das = overhead(app_name, "VampOS-DaS") \
+            if (app_name, "VampOS-DaS") in results else None
+        noop = overhead(app_name, "VampOS-Noop") \
+            if (app_name, "VampOS-Noop") in results else None
+        if das is not None and noop is not None:
+            report.add_claim(
+                f"dependency-aware scheduling mitigates the {app_name} "
+                f"penalty (DaS <= Noop)",
+                das <= noop + 1e-9, f"DaS {das:.2f}x vs Noop {noop:.2f}x")
+    redis_das = overhead("Redis", "VampOS-DaS")
+    report.add_claim(
+        "VampOS-DaS Redis outperforms Unikraft (no synchronous AOF "
+        "needed when reboots preserve memory)",
+        redis_das < 1.0, f"{redis_das:.2f}x of Unikraft's time")
+    redis_noop = overhead("Redis", "VampOS-Noop")
+    report.add_claim(
+        "VampOS-Noop is the exception (its scheduling overhead exceeds "
+        "the AOF savings)",
+        redis_noop > redis_das, f"Noop {redis_noop:.2f}x")
+    echo_das = overhead("Echo", "VampOS-DaS")
+    report.add_claim(
+        "Echo throughput is comparable under VampOS (paper: "
+        "comparable)", echo_das <= 2.0, f"{echo_das:.2f}x")
+    redis_overhead = results[("Redis", "VampOS-DaS")].overhead_bytes
+    sqlite_overhead = results[("SQLite", "VampOS-DaS")].overhead_bytes
+    report.add_claim(
+        "VampOS memory overhead is a bounded constant (same order "
+        "across apps, paper: < 200 MB)",
+        0.2 <= ratio(sqlite_overhead, redis_overhead) <= 5.0,
+        f"SQLite {sqlite_overhead / (1 << 20):.1f} MiB vs Redis "
+        f"{redis_overhead / (1 << 20):.1f} MiB")
+    # --- the separate-machine observation (§VII-C) --------------------------
+    # "In Nginx, the throughput of VampOS is comparable to that of
+    # Unikraft when they run on a separate machine": with real wire
+    # latency in the baseline, VampOS's fixed per-request overhead
+    # amortises away.
+    remote_vanilla = _run_nginx_remote("unikraft", scale, seed)
+    remote_das = _run_nginx_remote(
+        next(m for m in MODES
+             if mode_name(m) == "VampOS-DaS"), scale, seed)
+    local_ratio = overhead("Nginx", "VampOS-DaS")
+    remote_ratio = ratio(remote_das.duration_us,
+                         remote_vanilla.duration_us)
+    report.add_row("Nginx", "Unikraft (remote clients)",
+                   remote_vanilla.duration_us / 1000.0,
+                   remote_vanilla.throughput_per_s, 1.0,
+                   remote_vanilla.memory_bytes / (1 << 20), 0.0)
+    report.add_row("Nginx", "VampOS-DaS (remote clients)",
+                   remote_das.duration_us / 1000.0,
+                   remote_das.throughput_per_s, remote_ratio,
+                   remote_das.memory_bytes / (1 << 20),
+                   remote_das.overhead_bytes / (1 << 20))
+    report.add_claim(
+        "Nginx throughput under VampOS is comparable to Unikraft with "
+        "remote clients (paper: comparable on a separate machine)",
+        remote_ratio <= 1.15, f"remote {remote_ratio:.2f}x")
+    report.add_claim(
+        "the same-host setup amplifies the overhead (paper: 'the "
+        "overhead can be amplified')",
+        local_ratio > remote_ratio,
+        f"same-host {local_ratio:.2f}x vs remote {remote_ratio:.2f}x")
+
+    report.add_note(
+        "Redis runs with AOF=always under Unikraft (required for "
+        "rebootability) and AOF=off under VampOS, per §VII-C")
+    return report
+
+
+def _run_nginx_remote(mode: KernelMode, requests: int,
+                      seed: int) -> AppResult:
+    app = make_nginx(mode, seed=seed, remote_clients=True)
+    load = HttpLoadGenerator(app, connections=40)
+    result = load.run_requests(requests)
+    overhead_bytes = app.vampos.memory_overhead_bytes() if app.vampos \
+        else 0
+    return AppResult("Nginx", mode_name(mode) + " (remote)",
+                     result.duration_us, result.successes,
+                     app.memory_footprint_bytes(), overhead_bytes)

@@ -1,0 +1,151 @@
+"""ABL-ENDURANCE — long-running service under aging with proactive
+rejuvenation.
+
+The capstone scenario the paper motivates but never runs end to end:
+a web server under sustained load while its components age
+(ukallocbuddy-style leaks), comparing three operating modes over the
+same long window:
+
+* **no rejuvenation** — aging pressure accumulates unchecked;
+* **timer policy** — the paper's §VII-D schedule (every component in
+  rotation on a fixed virtual interval);
+* **aging-driven policy** — reboot exactly when allocator pressure
+  crosses a threshold (this reproduction's extension).
+
+Measured per mode: requests served, failures, rejuvenation count, total
+rejuvenation downtime, and the worst allocator pressure ever observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.config import DAS
+from ..core.policy import AgingDrivenPolicy, RejuvenationPolicy
+from ..faults.aging import AgingModel
+from ..metrics.report import ExperimentReport
+from ..workloads.http_load import HttpLoadGenerator
+from .env import make_nginx
+
+AGED_COMPONENT = "9PFS"
+
+
+@dataclass
+class EnduranceOutcome:
+    mode: str
+    requests: int = 0
+    failures: int = 0
+    rejuvenations: int = 0
+    #: aging-crash recoveries (OOM panics caught by the detector)
+    reactive_reboots: int = 0
+    rejuvenation_downtime_us: float = 0.0
+    worst_pressure: float = 0.0
+    leaked_bytes_final: int = 0
+
+
+def _run(mode: str, rounds: int, requests_per_round: int,
+         aging_ops_per_round: int, seed: int) -> EnduranceOutcome:
+    app = make_nginx(DAS, seed=seed)
+    kernel = app.vampos
+    comp = kernel.component(AGED_COMPONENT)
+    aging = AgingModel(app.sim, comp, leak_probability=0.12)
+    load = HttpLoadGenerator(app, connections=4)
+    monitor = AgingDrivenPolicy(kernel, threshold=0.4,
+                                components=[AGED_COMPONENT])
+
+    # Each round models a minute of production time (the aging rate is
+    # per-round, so the virtual gap only drives the timer policy).
+    round_gap_us = 60e6
+    timer_policy: Optional[RejuvenationPolicy] = None
+    aging_policy: Optional[AgingDrivenPolicy] = None
+    if mode == "timer":
+        # the paper's fixed schedule, scoped to the aging component for
+        # a like-for-like comparison with the aging-driven policy
+        timer_policy = RejuvenationPolicy(
+            kernel, interval_us=2 * round_gap_us,
+            components=[AGED_COMPONENT])
+    elif mode == "aging-driven":
+        aging_policy = AgingDrivenPolicy(kernel, threshold=0.4,
+                                         components=[AGED_COMPONENT])
+
+    outcome = EnduranceOutcome(mode=mode)
+    for _ in range(rounds):
+        app.sim.clock.advance(round_gap_us)
+        aging.step(aging_ops_per_round)
+        result = load.run_requests(requests_per_round)
+        outcome.requests += result.requests
+        outcome.failures += result.failures
+        outcome.worst_pressure = max(outcome.worst_pressure,
+                                     monitor.pressure(AGED_COMPONENT))
+        rebooted = False
+        if timer_policy is not None:
+            rebooted = timer_policy.tick() is not None
+        elif aging_policy is not None:
+            rebooted = bool(aging_policy.tick())
+        if rebooted:
+            aging.forget_live()
+    outcome.rejuvenations = sum(
+        1 for r in kernel.reboots if r.reason == "rejuvenation")
+    outcome.rejuvenation_downtime_us = sum(
+        r.downtime_us for r in kernel.reboots
+        if r.reason == "rejuvenation")
+    outcome.reactive_reboots = sum(
+        1 for r in kernel.reboots if r.reason == "Panic")
+    outcome.leaked_bytes_final = comp.allocator.leaked_bytes()
+    return outcome
+
+
+def run(rounds: int = 30, requests_per_round: int = 8,
+        aging_ops_per_round: int = 60,
+        seed: int = 151) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="ABL-ENDURANCE",
+        paper_artifact="ablation — long-running service under aging "
+                       f"({rounds} rounds)")
+    report.headers = ["mode", "requests ok", "failures",
+                      "rejuvenations", "aging crashes",
+                      "rejuv downtime ms", "worst pressure"]
+    outcomes: Dict[str, EnduranceOutcome] = {}
+    for mode in ("none", "timer", "aging-driven"):
+        outcome = _run(mode, rounds, requests_per_round,
+                       aging_ops_per_round, seed)
+        outcomes[mode] = outcome
+        report.add_row(mode, outcome.requests - outcome.failures,
+                       outcome.failures, outcome.rejuvenations,
+                       outcome.reactive_reboots,
+                       outcome.rejuvenation_downtime_us / 1e3,
+                       outcome.worst_pressure)
+
+    report.add_claim(
+        "without proactive rejuvenation, aging crashes the component "
+        "(OOM panics recovered reactively by the detector)",
+        outcomes["none"].worst_pressure >= 0.8
+        and outcomes["none"].reactive_reboots > 0
+        and outcomes["none"].rejuvenations == 0,
+        f"pressure {outcomes['none'].worst_pressure:.2f}, "
+        f"{outcomes['none'].reactive_reboots} aging crashes")
+    report.add_claim(
+        "even unmanaged aging stays client-invisible under VampOS "
+        "(the reactive backstop)",
+        outcomes["none"].failures == 0,
+        f"{outcomes['none'].failures} failures")
+    for mode in ("timer", "aging-driven"):
+        report.add_claim(
+            f"the {mode} policy prevents aging crashes entirely "
+            "(proactive beats reactive)",
+            outcomes[mode].failures == 0
+            and outcomes[mode].rejuvenations > 0
+            and outcomes[mode].reactive_reboots == 0,
+            f"{outcomes[mode].rejuvenations} rejuvenations, "
+            f"{outcomes[mode].reactive_reboots} crashes")
+    report.add_claim(
+        "the aging-driven policy matches the timer's protection at a "
+        "comparable reboot budget, timed by actual pressure",
+        outcomes["aging-driven"].rejuvenations
+        <= outcomes["timer"].rejuvenations * 1.25 + 1
+        and outcomes["aging-driven"].worst_pressure < 0.8,
+        f"{outcomes['aging-driven'].rejuvenations} vs "
+        f"{outcomes['timer'].rejuvenations} reboots, worst pressure "
+        f"{outcomes['aging-driven'].worst_pressure:.2f}")
+    return report

@@ -1,0 +1,80 @@
+"""Shared experiment scaffolding.
+
+Every experiment builds fresh, seeded environments so results are
+deterministic and independent.  ``MODES`` is the x-axis of most
+figures: vanilla Unikraft plus the four VampOS configurations of
+§VII-A.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..apps.base import KernelMode, UnikernelApp
+from ..apps.echo import EchoServer
+from ..apps.nginx import MiniNginx
+from ..apps.redis import MiniRedis
+from ..apps.sqlite import MiniSQLite
+from ..core.config import ALL_CONFIGS, DAS, FSM, NETM, NOOP, VampConfig
+from ..sim.engine import Simulation
+
+#: evaluation x-axis, in the paper's order
+MODES: Tuple[KernelMode, ...] = ("unikraft", NOOP, DAS, FSM, NETM)
+
+
+def mode_name(mode: KernelMode) -> str:
+    if isinstance(mode, VampConfig):
+        return mode.name
+    return "Unikraft"
+
+
+def make_sim(seed: int = 0, remote_clients: bool = False) -> Simulation:
+    """``remote_clients`` models the paper's separate-machine setup
+    (§VII-C): clients reach the server over gigabit Ethernet instead of
+    a same-host loopback, so every network interaction pays a real wire
+    latency and the per-request baseline grows ~10x."""
+    sim = Simulation(seed=seed)
+    if remote_clients:
+        sim.costs = sim.costs.with_overrides(
+            net_latency=sim.costs.net_latency * 10,
+            net_per_byte=sim.costs.net_per_byte * 4)
+    return sim
+
+
+def make_nginx(mode: KernelMode, seed: int = 0,
+               remote_clients: bool = False) -> MiniNginx:
+    return MiniNginx(make_sim(seed, remote_clients), mode=mode)
+
+
+def make_redis(mode: KernelMode, seed: int = 0,
+               aof: Optional[str] = None) -> MiniRedis:
+    """Redis per §VII-C: AOF on under vanilla Unikraft (needed to make
+    the unikernel layer rebootable), off under VampOS (whose reboots
+    preserve application memory)."""
+    if aof is None:
+        aof = "always" if mode == "unikraft" else "off"
+    return MiniRedis(make_sim(seed), mode=mode, aof=aof)
+
+
+def make_sqlite(mode: KernelMode, seed: int = 0) -> MiniSQLite:
+    return MiniSQLite(make_sim(seed), mode=mode)
+
+
+def make_echo(mode: KernelMode, seed: int = 0) -> EchoServer:
+    return EchoServer(make_sim(seed), mode=mode)
+
+
+def applicable(mode: KernelMode, app_components: Tuple[str, ...]) -> bool:
+    """Whether a VampOS merge configuration applies to an app.
+
+    VampOS-NETm merges LWIP+NETDEV, which SQLite does not link; the
+    paper simply has no such bar.  (FSm applies everywhere the file
+    stack is linked.)
+    """
+    if not isinstance(mode, VampConfig):
+        return True
+    for members in mode.merges.values():
+        for member in members:
+            if member not in app_components:
+                return False
+    return True

@@ -1,0 +1,132 @@
+"""EXP-F8 — Fig. 8: Redis request latency across failure recovery.
+
+The scenario (§VII-E): a warm Redis (1,000,000 keys / 1.2 GB in the
+paper; scaled here) serves GETs; one probe GET per (virtual) second
+measures response time; a fail-stop ``panic()`` is injected into 9PFS.
+
+* **VampOS-DaS** — the failure detector catches the panic, reboots only
+  9PFS (restoring its fid table), and Redis keeps serving from memory:
+  latency stays at the baseline, zero failed requests.
+* **Unikraft** — the panic is a kernel panic; recovery is a full reboot
+  plus an AOF replay proportional to the store size.  Requests fail
+  during the outage and the first latencies after it are much worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.redis import MiniRedis
+from ..core.config import DAS
+from ..faults.injector import FaultInjector
+from ..metrics.report import ExperimentReport
+from ..unikernel.errors import KernelPanic, SyscallError
+from ..workloads.redis_load import RedisProbeWorkload, warm_up
+from .env import make_redis
+
+
+@dataclass
+class RecoveryOutcome:
+    mode: str
+    baseline_latency_us: float
+    max_latency_us: float
+    failures: int
+    downtime_us: float
+
+
+def _touch_9pfs(app: MiniRedis) -> None:
+    """Issue a call that lands in 9PFS (activating the armed panic)."""
+    app.libc.stat("/redis")
+
+
+def run_vampos(keys: int, duration_us: float, disturb_at_us: float,
+               seed: int) -> RecoveryOutcome:
+    app = make_redis(DAS, seed=seed)
+    warm_up(app, keys=keys, value_bytes=1024)
+    injector = FaultInjector(app.kernel)
+
+    def disturb() -> None:
+        injector.inject_panic("9PFS", "injected fail-stop (§VII-E)")
+        # The next call into 9PFS panics; VampOS detects, reboots the
+        # one component and retries — transparently to the caller.
+        _touch_9pfs(app)
+
+    probe = RedisProbeWorkload(app, keys=keys)
+    result = probe.run(duration_us, disturb_at_us=disturb_at_us,
+                       disturb=disturb)
+    reboots = app.vampos.reboots
+    downtime = sum(r.downtime_us for r in reboots
+                   if r.component == "9PFS")
+    return RecoveryOutcome("VampOS-DaS", result.baseline_latency_us,
+                           result.max_latency_us, result.failures,
+                           downtime)
+
+
+def run_unikraft(keys: int, duration_us: float, disturb_at_us: float,
+                 seed: int) -> RecoveryOutcome:
+    app = make_redis("unikraft", seed=seed)
+    warm_up(app, keys=keys, value_bytes=1024)
+    injector = FaultInjector(app.kernel)
+
+    def disturb() -> None:
+        injector.inject_panic("9PFS", "injected fail-stop (§VII-E)")
+        start = app.sim.clock.now_us
+        try:
+            _touch_9pfs(app)
+        except KernelPanic:
+            # The whole image died; recovery = full reboot + AOF replay.
+            app.kernel.full_reboot()
+        disturb.downtime_us = app.sim.clock.now_us - start  # type: ignore[attr-defined]
+
+    disturb.downtime_us = 0.0  # type: ignore[attr-defined]
+    probe = RedisProbeWorkload(app, keys=keys)
+    result = probe.run(duration_us, disturb_at_us=disturb_at_us,
+                       disturb=disturb)
+    return RecoveryOutcome("Unikraft", result.baseline_latency_us,
+                           result.max_latency_us, result.failures,
+                           disturb.downtime_us)  # type: ignore[attr-defined]
+
+
+def run(keys: int = 20_000, duration_s: float = 20.0,
+        disturb_at_s: float = 8.0, seed: int = 71) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="EXP-F8",
+        paper_artifact="Fig. 8 — Redis request latency across Unikraft- "
+                       f"and VampOS-based failure recovery ({keys} keys)")
+    duration_us = duration_s * 1e6
+    disturb_at_us = disturb_at_s * 1e6
+    vamp = run_vampos(keys, duration_us, disturb_at_us, seed)
+    vanilla = run_unikraft(keys, duration_us, disturb_at_us, seed)
+    report.headers = ["mode", "baseline latency us", "max latency us",
+                      "failed requests", "recovery downtime ms"]
+    for outcome in (vanilla, vamp):
+        report.add_row(outcome.mode, outcome.baseline_latency_us,
+                       outcome.max_latency_us, outcome.failures,
+                       outcome.downtime_us / 1000.0)
+
+    report.add_claim(
+        "VampOS recovers with almost zero latency penalty "
+        "(max probe latency stays near baseline)",
+        vamp.max_latency_us <= 5 * max(vamp.baseline_latency_us, 1.0),
+        f"max {vamp.max_latency_us:.0f}us vs baseline "
+        f"{vamp.baseline_latency_us:.0f}us")
+    report.add_claim(
+        "VampOS loses no requests across the recovery",
+        vamp.failures == 0, f"{vamp.failures} failures")
+    report.add_claim(
+        "the full reboot causes failed requests and degraded latency",
+        vanilla.failures > 0
+        and vanilla.max_latency_us > 10 * max(vanilla.baseline_latency_us,
+                                              1.0),
+        f"{vanilla.failures} failures, max latency "
+        f"{vanilla.max_latency_us / 1000:.1f}ms")
+    report.add_claim(
+        "VampOS downtime is orders of magnitude below the full "
+        "reboot's",
+        vamp.downtime_us * 100 < vanilla.downtime_us,
+        f"{vamp.downtime_us / 1000:.2f}ms vs "
+        f"{vanilla.downtime_us / 1000:.0f}ms")
+    report.add_note("the paper warms 1,000,000 keys (1.2 GB); the scale "
+                    "here preserves the AOF-replay-proportional outage")
+    return report

@@ -1,0 +1,117 @@
+"""EXP-F6 — Fig. 6: component reboot times.
+
+Reboots the six Nginx-related targets of the paper — PROCESS (stateless
+floor), VFS, LWIP, 9PFS, and the merged VFS+9PFS and LWIP+NETDEV
+composites — after serving GET requests (1,000 in the paper), ten
+trials each.
+
+Paper observations checked:
+
+* the stateless PROCESS reboot is orders of magnitude faster than any
+  stateful reboot (no snapshot, no replay);
+* snapshot restoration dominates stateful reboot time (so reboot time
+  tracks the component's memory footprint, not the log size);
+* 9PFS is the fastest stateful component — it has no data/bss image,
+  only a heap snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.config import DAS, FSM, NETM, VampConfig
+from ..metrics.report import ExperimentReport
+from ..metrics.stats import Summary, summarize
+from ..workloads.http_load import HttpLoadGenerator
+from .env import make_nginx
+
+#: (label, config to build, component to reboot)
+TARGETS: Tuple[Tuple[str, VampConfig, str], ...] = (
+    ("PROCESS", DAS, "PROCESS"),
+    ("VFS", DAS, "VFS"),
+    ("LWIP", DAS, "LWIP"),
+    ("9PFS", DAS, "9PFS"),
+    ("VFS+9PFS", FSM, "VFS"),
+    ("LWIP+NETDEV", NETM, "LWIP"),
+)
+
+
+def measure_target(config: VampConfig, component: str, trials: int,
+                   warmup_requests: int, seed: int) -> Dict[str, object]:
+    app = make_nginx(config, seed=seed)
+    load = HttpLoadGenerator(app, connections=4)
+    load.run_requests(warmup_requests)
+    downtimes: List[float] = []
+    snapshot_bytes = 0
+    replayed = 0
+    ledger_before = dict(app.sim.ledger.totals)
+    for _ in range(trials):
+        record = app.vampos.reboot_component(component, reason="bench")
+        downtimes.append(record.downtime_us)
+        snapshot_bytes = record.snapshot_bytes
+        replayed = record.entries_replayed
+    ledger_after = app.sim.ledger.totals
+    snapshot_time = (ledger_after.get("snapshot_restore", 0.0)
+                     - ledger_before.get("snapshot_restore", 0.0))
+    replay_time = (ledger_after.get("replay_call", 0.0)
+                   - ledger_before.get("replay_call", 0.0))
+    total = sum(downtimes)
+    return {
+        "summary": summarize(downtimes),
+        "snapshot_bytes": snapshot_bytes,
+        "replayed": replayed,
+        "snapshot_share": (snapshot_time / total) if total else 0.0,
+        "replay_share": (replay_time / total) if total else 0.0,
+    }
+
+
+def run(trials: int = 10, warmup_requests: int = 1000,
+        seed: int = 31) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="EXP-F6",
+        paper_artifact="Fig. 6 — component reboot times (after "
+                       f"{warmup_requests} Nginx GETs, {trials} trials)")
+    report.headers = ["target", "mean ms", "std ms", "snapshot KiB",
+                      "entries replayed", "snapshot share", "replay share"]
+    results: Dict[str, Dict[str, object]] = {}
+    for label, config, component in TARGETS:
+        data = measure_target(config, component, trials,
+                              warmup_requests, seed)
+        results[label] = data
+        summary: Summary = data["summary"]  # type: ignore[assignment]
+        report.add_row(label, summary.mean / 1000.0, summary.std / 1000.0,
+                       data["snapshot_bytes"] / 1024.0,  # type: ignore[operator]
+                       data["replayed"], data["snapshot_share"],
+                       data["replay_share"])
+
+    def mean_of(label: str) -> float:
+        return results[label]["summary"].mean  # type: ignore[union-attr]
+
+    stateful = ("VFS", "LWIP", "9PFS")
+    report.add_claim(
+        "stateless PROCESS reboot is the fastest (no snapshot/replay)",
+        all(mean_of("PROCESS") < mean_of(s) for s in stateful),
+        f"PROCESS {mean_of('PROCESS'):.1f}us")
+    report.add_claim(
+        "9PFS is the fastest stateful component (heap-only snapshot)",
+        mean_of("9PFS") <= min(mean_of("VFS"), mean_of("LWIP")),
+        f"9PFS {mean_of('9PFS')/1000:.2f}ms vs VFS "
+        f"{mean_of('VFS')/1000:.2f}ms, LWIP {mean_of('LWIP')/1000:.2f}ms")
+    for label in stateful:
+        data = results[label]
+        report.add_claim(
+            f"snapshot restoration dominates the {label} reboot",
+            data["snapshot_share"] > data["replay_share"],  # type: ignore[operator]
+            f"snapshot {data['snapshot_share']:.0%} vs "
+            f"replay {data['replay_share']:.0%}")
+    report.add_claim(
+        "merged VFS+9PFS reboot loads both snapshots (costlier than "
+        "either alone)",
+        mean_of("VFS+9PFS") > max(mean_of("VFS"), mean_of("9PFS")),
+        f"{mean_of('VFS+9PFS')/1000:.2f}ms")
+    report.add_claim(
+        "stateful reboots stay in the tens-of-milliseconds range "
+        "(paper: <= 48 ms)",
+        all(mean_of(s) < 100_000 for s in stateful),
+        ", ".join(f"{s}={mean_of(s)/1000:.1f}ms" for s in stateful))
+    return report

@@ -1,0 +1,6 @@
+"""Fault injection and software-aging models (§II-B)."""
+
+from .aging import AgingModel, AgingReport
+from .injector import FaultInjector, InjectionRecord
+
+__all__ = ["AgingModel", "AgingReport", "FaultInjector", "InjectionRecord"]

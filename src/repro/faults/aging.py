@@ -1,0 +1,118 @@
+"""Software-aging model (§II, §IV).
+
+Aging-related bugs — memory leaks and fragmentation from "numerous
+resource allocations/releases for long time execution" — are the reason
+rejuvenation exists.  The motivating Unikraft bug is a leak in
+``ukallocbuddy``; this module drives a component's real buddy allocator
+the same way:
+
+* **leaks** — a fraction of allocations is never freed;
+* **fragmentation** — alternating sizes and out-of-order frees shatter
+  the free space;
+* eventually allocation fails (:class:`OutOfMemory`) — the aging crash
+  rejuvenation is meant to prevent.
+
+A checkpoint restore (VampOS's component reboot) resets the allocator
+to its post-boot image, clearing both phenomena; the aging ablation
+benchmark measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..memory.buddy import BuddyAllocator, InvalidFree, OutOfMemory
+from ..sim.engine import Simulation
+from ..unikernel.component import Component
+
+
+@dataclass
+class AgingReport:
+    """Allocator health at one observation point."""
+
+    t_us: float
+    used_bytes: int
+    leaked_bytes: int
+    free_bytes: int
+    fragmentation: float
+    largest_free_block: int
+    failed_allocations: int
+
+
+class AgingModel:
+    """Drives leak/fragmentation load into one component's allocator."""
+
+    def __init__(self, sim: Simulation, component: Component,
+                 leak_probability: float = 0.05,
+                 min_alloc: int = 32, max_alloc: int = 4096,
+                 rng_stream: str = "aging") -> None:
+        if not 0.0 <= leak_probability <= 1.0:
+            raise ValueError("leak_probability must be in [0, 1]")
+        self.sim = sim
+        self.component = component
+        self.allocator: BuddyAllocator = component.allocator
+        self.leak_probability = leak_probability
+        self.min_alloc = min_alloc
+        self.max_alloc = max_alloc
+        self._rng = sim.rng.stream(f"{rng_stream}:{component.NAME}")
+        self._live: List[int] = []
+        self.reports: List[AgingReport] = []
+
+    def step(self, operations: int = 1) -> int:
+        """Run ``operations`` allocate/free cycles; returns how many
+        allocations failed (aging-induced)."""
+        failures = 0
+        for _ in range(operations):
+            size = self._rng.randint(self.min_alloc, self.max_alloc)
+            try:
+                offset = self.allocator.alloc(size)
+            except OutOfMemory:
+                failures += 1
+                self._free_one()
+                continue
+            if self._rng.random() < self.leak_probability:
+                self.allocator.leak(offset)
+            else:
+                self._live.append(offset)
+            # Free out of order to build fragmentation.
+            if len(self._live) > 24:
+                self._free_one()
+        return failures
+
+    def _free_one(self) -> None:
+        if not self._live:
+            return
+        idx = self._rng.randrange(len(self._live))
+        offset = self._live.pop(idx)
+        try:
+            self.allocator.free(offset)
+        except InvalidFree:
+            # The component was rebooted underneath the model (its
+            # allocator reset); the stale offset is simply forgotten.
+            pass
+
+    def run_until_exhaustion(self, max_operations: int = 1_000_000) -> int:
+        """Operations until the first allocation failure (or the cap)."""
+        for done in range(max_operations):
+            if self.step(1):
+                return done + 1
+        return max_operations
+
+    def observe(self) -> AgingReport:
+        report = AgingReport(
+            t_us=self.sim.clock.now_us,
+            used_bytes=self.allocator.used_bytes(),
+            leaked_bytes=self.allocator.leaked_bytes(),
+            free_bytes=self.allocator.free_bytes(),
+            fragmentation=self.allocator.fragmentation(),
+            largest_free_block=self.allocator.largest_free_block(),
+            failed_allocations=self.allocator.stats.failed_allocations,
+        )
+        self.reports.append(report)
+        return report
+
+    def forget_live(self) -> None:
+        """Drop references to live blocks (after a component reboot has
+        reset the allocator, the old offsets are meaningless)."""
+        self._live.clear()

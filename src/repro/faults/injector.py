@@ -1,0 +1,141 @@
+"""Fault injection (§II-B, §VII-E).
+
+Injects the fail-stop faults of the paper's fault model into running
+components:
+
+* **panic** — the next interface call into the component raises
+  ``panic()`` (non-deterministic: gone after one trigger).  This is the
+  Fig. 8 experiment's fault ("we force 9PFS to call panic()").
+* **deterministic bug** — a named function panics *every* time it runs;
+  VampOS's replay re-triggers it and the recovery fail-stops.
+* **hang** — the next message into the component never completes; the
+  detector flags it after the processing-time threshold.
+* **wild write** — the component writes into another component's
+  memory: blocked (and the writer rebooted) under VampOS, silent
+  corruption under vanilla Unikraft.
+* **bit flip** — a non-deterministic hardware fault in a region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.engine import Simulation
+from ..unikernel.component import Component
+from ..unikernel.kernel import Kernel
+
+
+@dataclass
+class InjectionRecord:
+    t_us: float
+    kind: str
+    component: str
+    detail: str = ""
+
+
+class FaultInjector:
+    """Targets a running kernel (either mode) with the fault model."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.sim: Simulation = kernel.sim
+        self.history: List[InjectionRecord] = []
+
+    def _record(self, kind: str, component: str, detail: str = "") -> None:
+        self.history.append(InjectionRecord(
+            t_us=self.sim.clock.now_us, kind=kind, component=component,
+            detail=detail))
+        self.sim.emit("inject", kind, component=component, detail=detail)
+
+    # --- the fault model ------------------------------------------------------------
+
+    def inject_panic(self, component: str,
+                     reason: str = "injected fault",
+                     count: int = 1) -> None:
+        """Arm a panic on the next ``count`` calls into ``component``.
+
+        ``count > 1`` models a multi-hit transient that survives one
+        reboot-and-retry cycle.
+        """
+        comp = self.kernel.component(component)
+        comp.injected_panic = reason
+        comp.injected_panic_count = count
+        self._record("panic", component, reason)
+
+    def inject_root_cause(self, root: str, victim: str,
+                          reason: str = "root-cause corruption") -> None:
+        """A fault whose *root cause* lives in another component.
+
+        ``victim`` keeps panicking — and is re-armed every time it is
+        rebooted alone — until ``root`` itself is rebooted (§II-B notes
+        VampOS "does not detect or recover the root-cause components";
+        the escalation extension handles exactly this by widening the
+        reboot scope).
+        """
+        self.kernel.component(root)  # validate both names
+        victim_comp = self.kernel.component(victim)
+        victim_comp.injected_panic = reason
+        state = {"active": True}
+
+        def on_event(event) -> None:
+            # React after the restart completed ("component_done"): the
+            # reboot path clears injected faults itself, so arming
+            # before it finishes would be undone.
+            if event.category != "reboot" or \
+                    event.name != "component_done":
+                return
+            rebooted = event.detail.get("component")
+            unit_members = [
+                name for name in self.kernel.image.boot_order
+                if self.kernel.scheduler.unit_of(name)
+                == self.kernel.scheduler.unit_of(rebooted)
+            ] if hasattr(self.kernel, "scheduler") else [rebooted]
+            if root in unit_members:
+                state["active"] = False
+                target = self.kernel.component(victim)
+                target.injected_panic = None
+                target.injected_panic_count = 1
+            elif victim in unit_members and state["active"]:
+                # rebooting the victim alone cannot help: the root
+                # cause re-corrupts it immediately
+                self.kernel.component(victim).injected_panic = reason
+
+        self.sim.trace.subscribe(on_event)
+        self._record("root_cause", victim, f"root={root}")
+
+    def inject_deterministic_bug(self, component: str, func: str) -> None:
+        """Make ``func`` panic on every execution (incl. replay)."""
+        comp = self.kernel.component(component)
+        if func not in comp.interface():
+            raise ValueError(
+                f"{component} exports no function {func!r}")
+        comp.deterministic_faults.add(func)
+        self._record("deterministic_bug", component, func)
+
+    def clear_deterministic_bug(self, component: str, func: str) -> None:
+        comp = self.kernel.component(component)
+        comp.deterministic_faults.discard(func)
+
+    def inject_hang(self, component: str) -> None:
+        """The next message into ``component`` never completes."""
+        comp = self.kernel.component(component)
+        comp.injected_hang = True
+        self._record("hang", component)
+
+    def inject_wild_write(self, source: str, victim: str) -> None:
+        """``source`` writes into ``victim``'s heap (error propagation)."""
+        self._record("wild_write", source, f"victim={victim}")
+        self.kernel.attempt_wild_write(source, victim)
+
+    def inject_bit_flip(self, component: str, region_suffix: str = "heap",
+                        offset: int = 0, bit: int = 0) -> None:
+        """Flip one bit in a component region (memory fault)."""
+        comp = self.kernel.component(component)
+        region = comp.regions.get(f"{component}.{region_suffix}")
+        region.flip_bit(offset, bit)
+        self._record("bit_flip", component,
+                     f"{region_suffix}@{offset}:{bit}")
+
+    def injections_for(self, component: str) -> List[InjectionRecord]:
+        return [r for r in self.history if r.component == component]

@@ -1,0 +1,62 @@
+"""Simulated memory subsystem: regions, buddy allocator, MPK, snapshots."""
+
+from .buddy import (
+    AllocationError,
+    AllocStats,
+    BuddyAllocator,
+    InvalidFree,
+    OutOfMemory,
+)
+from .mpk import (
+    ACCESS_DISABLE,
+    ARM_DOMAIN_KEYS,
+    INTEL_MPK_KEYS,
+    WRITE_DISABLE,
+    KeyExhaustion,
+    PKRU,
+    ProtectionDomains,
+    ProtectionFault,
+    VirtualizedProtectionDomains,
+)
+from .region import (
+    BACKING_LIMIT_BYTES,
+    PAGE_SIZE,
+    MemoryFault,
+    OutOfRegion,
+    Region,
+    RegionCorrupted,
+    RegionKind,
+    RegionSet,
+    RegionSnapshot,
+    pages_for,
+)
+from .snapshot import ComponentSnapshot, SnapshotStore
+
+__all__ = [
+    "AllocationError",
+    "AllocStats",
+    "BuddyAllocator",
+    "InvalidFree",
+    "OutOfMemory",
+    "ACCESS_DISABLE",
+    "ARM_DOMAIN_KEYS",
+    "INTEL_MPK_KEYS",
+    "WRITE_DISABLE",
+    "KeyExhaustion",
+    "PKRU",
+    "ProtectionDomains",
+    "ProtectionFault",
+    "VirtualizedProtectionDomains",
+    "BACKING_LIMIT_BYTES",
+    "PAGE_SIZE",
+    "MemoryFault",
+    "OutOfRegion",
+    "Region",
+    "RegionCorrupted",
+    "RegionKind",
+    "RegionSet",
+    "RegionSnapshot",
+    "pages_for",
+    "ComponentSnapshot",
+    "SnapshotStore",
+]

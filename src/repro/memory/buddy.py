@@ -1,0 +1,250 @@
+"""Binary buddy allocator (the substrate's ``ukallocbuddy``).
+
+Each VampOS component creates its own heap with its own allocator
+(Fig. 4).  We implement a real binary-buddy allocator — free lists per
+order, block splitting and buddy coalescing — because software aging is
+central to the paper: the motivating Unikraft bug is a memory leak in
+``ukallocbuddy``, and rejuvenation's whole point is to clear leaks and
+fragmentation.  The allocator therefore exposes leak injection and
+fragmentation metrics that the aging model (:mod:`repro.faults.aging`)
+drives and the rejuvenation experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .region import Region
+
+
+class AllocationError(Exception):
+    """The allocator could not satisfy a request."""
+
+
+class OutOfMemory(AllocationError):
+    """No free block large enough, even after coalescing."""
+
+
+class InvalidFree(AllocationError):
+    """free() of an address that is not an allocated block."""
+
+
+MIN_ORDER = 4  # 16-byte minimum block
+
+
+def _order_for(size: int, min_order: int = MIN_ORDER) -> int:
+    """Smallest order whose block size holds ``size`` bytes."""
+    if size <= 0:
+        raise AllocationError("allocation size must be positive")
+    order = min_order
+    while (1 << order) < size:
+        order += 1
+    return order
+
+
+@dataclass
+class AllocStats:
+    """Counters the aging experiments read."""
+
+    allocations: int = 0
+    frees: int = 0
+    leaked_blocks: int = 0
+    leaked_bytes: int = 0
+    failed_allocations: int = 0
+
+
+class BuddyAllocator:
+    """Binary buddy allocator over a heap :class:`Region`.
+
+    Addresses are offsets into the region.  ``total_order`` fixes the
+    arena at ``2**total_order`` bytes; the region must be at least that
+    large.
+    """
+
+    def __init__(self, region: Region, total_order: int,
+                 min_order: int = MIN_ORDER) -> None:
+        if total_order < min_order:
+            raise ValueError("total_order must be >= min_order")
+        if region.size_bytes < (1 << total_order):
+            raise ValueError(
+                f"region {region.name!r} ({region.size_bytes}B) smaller "
+                f"than arena (2**{total_order}B)")
+        self.region = region
+        self.total_order = total_order
+        self.min_order = min_order
+        # free_lists[order] -> sorted-insertion list of free block offsets
+        self.free_lists: Dict[int, List[int]] = {
+            order: [] for order in range(min_order, total_order + 1)
+        }
+        self.free_lists[total_order].append(0)
+        # offset -> order of live allocations
+        self.allocated: Dict[int, int] = {}
+        #: offsets the aging model decided will never be freed
+        self.leaked: Set[int] = set()
+        self.stats = AllocStats()
+
+    # --- core operations ------------------------------------------------------
+
+    @property
+    def arena_bytes(self) -> int:
+        return 1 << self.total_order
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the block's offset."""
+        order = _order_for(size, self.min_order)
+        if order > self.total_order:
+            self.stats.failed_allocations += 1
+            raise OutOfMemory(
+                f"request of {size}B exceeds arena of {self.arena_bytes}B")
+        # Find the smallest order with a free block.
+        found = None
+        for candidate in range(order, self.total_order + 1):
+            if self.free_lists[candidate]:
+                found = candidate
+                break
+        if found is None:
+            self.stats.failed_allocations += 1
+            raise OutOfMemory(
+                f"no free block of order >= {order} "
+                f"(free {self.free_bytes()}B of {self.arena_bytes}B)")
+        offset = self.free_lists[found].pop()
+        # Split down to the requested order, releasing upper buddies.
+        while found > order:
+            found -= 1
+            buddy = offset + (1 << found)
+            self.free_lists[found].append(buddy)
+        self.allocated[offset] = order
+        self.stats.allocations += 1
+        self.region.used_bytes += (1 << order)
+        self.region.touch()
+        return offset
+
+    def free(self, offset: int) -> None:
+        """Release a block, coalescing buddies upward."""
+        order = self.allocated.pop(offset, None)
+        if order is None:
+            raise InvalidFree(f"offset {offset} is not an allocated block")
+        self.leaked.discard(offset)
+        self.stats.frees += 1
+        self.region.used_bytes -= (1 << order)
+        self.region.touch()
+        # Coalesce with the buddy while it is free.
+        while order < self.total_order:
+            buddy = offset ^ (1 << order)
+            bucket = self.free_lists[order]
+            if buddy in bucket:
+                bucket.remove(buddy)
+                offset = min(offset, buddy)
+                order += 1
+            else:
+                break
+        self.free_lists[order].append(offset)
+
+    def block_size(self, offset: int) -> int:
+        order = self.allocated.get(offset)
+        if order is None:
+            raise InvalidFree(f"offset {offset} is not an allocated block")
+        return 1 << order
+
+    # --- aging hooks ------------------------------------------------------------
+
+    def leak(self, offset: int) -> None:
+        """Mark a live block as leaked (its free() will never come)."""
+        order = self.allocated.get(offset)
+        if order is None:
+            raise InvalidFree(f"offset {offset} is not an allocated block")
+        if offset not in self.leaked:
+            self.leaked.add(offset)
+            self.stats.leaked_blocks += 1
+            self.stats.leaked_bytes += (1 << order)
+
+    def reset(self) -> None:
+        """Return to the post-boot state: one free block, nothing leaked.
+
+        This is exactly what checkpoint-based initialization achieves
+        for the heap — leaks and fragmentation vanish (§V-E).
+        """
+        for order in self.free_lists:
+            self.free_lists[order].clear()
+        self.free_lists[self.total_order].append(0)
+        self.region.used_bytes -= sum(
+            1 << order for order in self.allocated.values())
+        self.allocated.clear()
+        self.leaked.clear()
+        self.stats = AllocStats()
+        self.region.touch()
+
+    # --- checkpoint support -----------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Serializable allocator state for component checkpoints."""
+        return {
+            "free_lists": {order: list(bucket)
+                           for order, bucket in self.free_lists.items()},
+            "allocated": dict(self.allocated),
+            "leaked": set(self.leaked),
+        }
+
+    def import_state(self, blob: Dict[str, object]) -> None:
+        """Restore a previously exported allocator state."""
+        old_used = self.used_bytes()
+        self.free_lists = {int(order): list(bucket)
+                           for order, bucket in blob["free_lists"].items()}  # type: ignore[union-attr]
+        self.allocated = dict(blob["allocated"])  # type: ignore[arg-type]
+        self.leaked = set(blob["leaked"])  # type: ignore[arg-type]
+        self.region.used_bytes += self.used_bytes() - old_used
+        self.region.touch()
+
+    # --- metrics ------------------------------------------------------------------
+
+    def used_bytes(self) -> int:
+        return sum(1 << order for order in self.allocated.values())
+
+    def leaked_bytes(self) -> int:
+        return sum(1 << self.allocated[off] for off in self.leaked)
+
+    def free_bytes(self) -> int:
+        return self.arena_bytes - self.used_bytes()
+
+    def largest_free_block(self) -> int:
+        for order in range(self.total_order, self.min_order - 1, -1):
+            if self.free_lists[order]:
+                return 1 << order
+        return 0
+
+    def fragmentation(self) -> float:
+        """External fragmentation in [0, 1].
+
+        ``1 - largest_free_block / free_bytes`` — zero when all free
+        memory is one block, approaching one as free memory shatters.
+        """
+        free = self.free_bytes()
+        if free == 0:
+            return 0.0
+        return 1.0 - (self.largest_free_block() / free)
+
+    def check_invariants(self) -> None:
+        """Verify allocator consistency (used by property-based tests).
+
+        * every byte is either in exactly one free block or one
+          allocated block;
+        * no free block overlaps another;
+        * free + used == arena size.
+        """
+        covered: List = []
+        for order, bucket in self.free_lists.items():
+            for offset in bucket:
+                covered.append((offset, offset + (1 << order), "free"))
+        for offset, order in self.allocated.items():
+            covered.append((offset, offset + (1 << order), "used"))
+        covered.sort()
+        cursor = 0
+        for start, end, _kind in covered:
+            if start != cursor:
+                raise AssertionError(
+                    f"gap or overlap at {cursor}..{start} in buddy arena")
+            cursor = end
+        if cursor != self.arena_bytes:
+            raise AssertionError(
+                f"arena ends at {cursor}, expected {self.arena_bytes}")

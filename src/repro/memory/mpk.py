@@ -1,0 +1,271 @@
+"""Software Memory Protection Keys (Intel MPK analogue).
+
+VampOS isolates each component's regions behind an MPK protection key
+and switches the PKRU register on every component-thread switch (§V-D).
+We reproduce the mechanism in software with identical semantics:
+
+* a small fixed pool of keys (16 on Intel MPK, 32 on ARM Memory
+  Domains) — running out of keys is a real failure mode the paper
+  discusses;
+* a per-thread PKRU word holding two bits per key (access-disable,
+  write-disable);
+* every region access is checked against the current PKRU; violations
+  raise :class:`ProtectionFault`, which the VampOS failure detector
+  turns into a component reboot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .region import Region
+
+INTEL_MPK_KEYS = 16
+ARM_DOMAIN_KEYS = 32
+
+# PKRU bit meanings per key (matching Intel's encoding)
+ACCESS_DISABLE = 0b01
+WRITE_DISABLE = 0b10
+
+
+class ProtectionFault(Exception):
+    """A simulated MPK violation (wild read/write across domains)."""
+
+    def __init__(self, message: str, region: Optional[Region] = None,
+                 key: Optional[int] = None, write: bool = False) -> None:
+        super().__init__(message)
+        self.region = region
+        self.key = key
+        self.write = write
+
+
+class KeyExhaustion(Exception):
+    """More protection domains requested than the hardware has keys."""
+
+
+class PKRU:
+    """One thread's protection-key rights register.
+
+    The default word denies everything except key 0 (the kernel/default
+    key), matching how VampOS grants each thread access only to its own
+    component's regions plus explicitly shared message domains.
+    """
+
+    def __init__(self, num_keys: int = INTEL_MPK_KEYS) -> None:
+        self.num_keys = num_keys
+        # two bits per key; start fully denied except key 0
+        self._word = 0
+        for key in range(1, num_keys):
+            self._set_bits(key, ACCESS_DISABLE | WRITE_DISABLE)
+
+    def _set_bits(self, key: int, bits: int) -> None:
+        shift = key * 2
+        self._word = (self._word & ~(0b11 << shift)) | (bits << shift)
+
+    def _get_bits(self, key: int) -> int:
+        return (self._word >> (key * 2)) & 0b11
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.num_keys:
+            raise KeyExhaustion(
+                f"key {key} outside the {self.num_keys}-key register")
+
+    def allow(self, key: int, write: bool = True) -> None:
+        """Grant access to ``key`` (read-only when ``write`` is False)."""
+        self._check_key(key)
+        self._set_bits(key, 0 if write else WRITE_DISABLE)
+
+    def deny(self, key: int) -> None:
+        self._check_key(key)
+        self._set_bits(key, ACCESS_DISABLE | WRITE_DISABLE)
+
+    def can_read(self, key: int) -> bool:
+        self._check_key(key)
+        return not (self._get_bits(key) & ACCESS_DISABLE)
+
+    def can_write(self, key: int) -> bool:
+        self._check_key(key)
+        bits = self._get_bits(key)
+        return not (bits & ACCESS_DISABLE) and not (bits & WRITE_DISABLE)
+
+    @property
+    def word(self) -> int:
+        """The raw register value (useful in traces/tests)."""
+        return self._word
+
+    def load(self, word: int) -> None:
+        """Bulk-restore the register (the thread-switch PKRU write)."""
+        self._word = word
+
+    def allowed_keys(self) -> Set[int]:
+        return {k for k in range(self.num_keys) if self.can_read(k)}
+
+
+class ProtectionDomains:
+    """Key allocation plus the access-check entry point.
+
+    The VampOS runtime allocates one key per protection domain
+    (application, each component, the message domain, the thread
+    scheduler) and tags every region.  ``check`` is the software MMU:
+    called on each simulated access with the accessing thread's PKRU.
+    """
+
+    def __init__(self, num_keys: int = INTEL_MPK_KEYS,
+                 enforce: bool = True) -> None:
+        self.num_keys = num_keys
+        self.enforce = enforce
+        self._names: Dict[int, str] = {0: "default"}
+        self._next_key = 1
+        self.violations: List[ProtectionFault] = []
+
+    def grant(self, pkru: PKRU, key: int, write: bool = True) -> None:
+        """Grant a thread access to a domain.
+
+        On plain hardware keys this is just a PKRU update; the
+        virtualized subclass additionally tracks the grant so it can be
+        re-applied when the key's physical slot moves.
+        """
+        pkru.allow(key, write=write)
+
+    def allocate(self, name: str) -> int:
+        """Allocate the next free key for the named domain."""
+        if self._next_key >= self.num_keys:
+            raise KeyExhaustion(
+                f"cannot allocate key for {name!r}: all {self.num_keys} "
+                f"protection keys in use (paper §V-D discusses this limit)")
+        key = self._next_key
+        self._next_key += 1
+        self._names[key] = name
+        return key
+
+    def keys_in_use(self) -> int:
+        return self._next_key
+
+    def name_of(self, key: int) -> str:
+        return self._names.get(key, f"key{key}")
+
+    def tag_region(self, region: Region, key: int) -> None:
+        if not 0 <= key < self.num_keys:
+            raise KeyExhaustion(f"key {key} out of range")
+        region.protection_key = key
+
+    def check(self, pkru: PKRU, region: Region, write: bool = False) -> None:
+        """Raise :class:`ProtectionFault` if the PKRU forbids this access.
+
+        With ``enforce=False`` (the vanilla-Unikraft baseline, which has
+        no isolation) the check records nothing and allows everything —
+        wild writes then silently corrupt, which is exactly the error
+        propagation VampOS prevents.
+        """
+        if not self.enforce:
+            return
+        key = region.protection_key
+        if key is None:
+            return  # untagged regions are unprotected
+        ok = pkru.can_write(key) if write else pkru.can_read(key)
+        if not ok:
+            fault = ProtectionFault(
+                f"{'write' if write else 'read'} to region "
+                f"{region.name!r} (domain {self.name_of(key)!r}, key {key}) "
+                f"denied by PKRU {pkru.word:#x}",
+                region=region, key=key, write=write)
+            self.violations.append(fault)
+            raise fault
+
+
+class VirtualizedProtectionDomains(ProtectionDomains):
+    """Protection-key virtualization (libmpk / EPK / VDom style).
+
+    §V-D notes that images can need more domains than the hardware has
+    keys (16 on Intel MPK) and points at key-virtualization techniques
+    [20], [55], [72].  This subclass provides them: domains get
+    *virtual* keys without limit; a virtual key is bound to one of the
+    15 physical slots on demand, evicting the least-recently-used
+    binding when the slots are full.  Each swap re-applies the evicted
+    and installed keys' grants (the PKRU rewrites libmpk does on its
+    pkey fault path) and charges the simulation a per-swap cost.
+    """
+
+    def __init__(self, num_physical: int = INTEL_MPK_KEYS,
+                 enforce: bool = True, sim=None,
+                 swap_cost_us: float = 2.0) -> None:
+        super().__init__(num_keys=num_physical, enforce=enforce)
+        self.sim = sim
+        self.swap_cost_us = swap_cost_us
+        #: virtual key -> physical slot (resident bindings)
+        self._vmap: Dict[int, int] = {}
+        #: physical slot -> virtual key
+        self._slots: Dict[int, int] = {}
+        self._free_slots: List[int] = list(range(1, num_physical))
+        #: virtual key -> list of (pkru, write) grants to re-apply
+        self._grants: Dict[int, List] = {}
+        #: LRU order of resident virtual keys (oldest first)
+        self._lru: List[int] = []
+        self.swaps = 0
+
+    # Virtual keys are unbounded: skip the physical-cap check.
+    def allocate(self, name: str) -> int:
+        key = self._next_key
+        self._next_key += 1
+        self._names[key] = name
+        return key
+
+    def tag_region(self, region: Region, key: int) -> None:
+        if key < 0:
+            raise KeyExhaustion(f"key {key} out of range")
+        region.protection_key = key
+
+    def grant(self, pkru: PKRU, key: int, write: bool = True) -> None:
+        self._grants.setdefault(key, []).append((pkru, write))
+        slot = self._vmap.get(key)
+        if slot is not None:
+            pkru.allow(slot, write=write)
+
+    def resident_keys(self) -> Set[int]:
+        return set(self._vmap)
+
+    def _touch(self, key: int) -> None:
+        if key in self._lru:
+            self._lru.remove(key)
+        self._lru.append(key)
+
+    def ensure_resident(self, key: int) -> int:
+        """Bind ``key`` to a physical slot, evicting LRU if needed."""
+        slot = self._vmap.get(key)
+        if slot is not None:
+            self._touch(key)
+            return slot
+        if self._free_slots:
+            slot = self._free_slots.pop(0)
+        else:
+            victim = self._lru.pop(0)
+            slot = self._vmap.pop(victim)
+            for pkru, _write in self._grants.get(victim, []):
+                pkru.deny(slot)
+        self._vmap[key] = slot
+        self._slots[slot] = key
+        for pkru, write in self._grants.get(key, []):
+            pkru.allow(slot, write=write)
+        self._touch(key)
+        self.swaps += 1
+        if self.sim is not None:
+            self.sim.charge("pkey_swap", self.swap_cost_us)
+        return slot
+
+    def check(self, pkru: PKRU, region: Region, write: bool = False) -> None:
+        if not self.enforce:
+            return
+        key = region.protection_key
+        if key is None:
+            return
+        slot = self.ensure_resident(key)
+        ok = pkru.can_write(slot) if write else pkru.can_read(slot)
+        if not ok:
+            fault = ProtectionFault(
+                f"{'write' if write else 'read'} to region "
+                f"{region.name!r} (virtual domain "
+                f"{self.name_of(key)!r}, key {key} @ slot {slot}) "
+                f"denied by PKRU {pkru.word:#x}",
+                region=region, key=key, write=write)
+            self.violations.append(fault)
+            raise fault

@@ -1,0 +1,229 @@
+"""Simulated memory regions.
+
+Each unikernel component owns a set of regions — ``text``, ``data``,
+``bss``, ``heap`` and ``stack`` — mirroring the VampOS implementation
+(Fig. 4) where static data is placed via a per-component linker section
+and each component creates its own heap.  Regions are the unit of MPK
+protection-key assignment and of checkpoint snapshots.
+
+Regions are *accounting-first*: they always track their size, the bytes
+in use and a version counter, and additionally carry a real backing
+``bytearray`` when small enough to afford one (the backing is what the
+fault injector flips bits in).  Gigabyte-scale regions (the warm Redis
+heap of Fig. 8) stay accounting-only so the simulation fits in host
+memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+PAGE_SIZE = 4096
+
+#: regions at or below this size get a real byte backing
+BACKING_LIMIT_BYTES = 1 << 20
+
+
+class RegionKind(enum.Enum):
+    TEXT = "text"
+    DATA = "data"
+    BSS = "bss"
+    HEAP = "heap"
+    STACK = "stack"
+    MESSAGE = "message"  # message domains (§V-D)
+
+
+class MemoryFault(Exception):
+    """Base class for simulated memory errors."""
+
+
+class OutOfRegion(MemoryFault):
+    """An access fell outside the region's address range."""
+
+
+class RegionCorrupted(MemoryFault):
+    """The region was marked corrupted by a fault and then accessed."""
+
+
+def pages_for(size_bytes: int) -> int:
+    """Number of whole pages needed to hold ``size_bytes``."""
+    if size_bytes < 0:
+        raise ValueError("size must be non-negative")
+    return (size_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+@dataclass
+class RegionSnapshot:
+    """A point-in-time image of a region (metadata + optional backing)."""
+
+    name: str
+    kind: RegionKind
+    size_bytes: int
+    used_bytes: int
+    version: int
+    backing: Optional[bytes]
+
+    @property
+    def snapshot_bytes(self) -> int:
+        """Bytes that would be written/read for this snapshot."""
+        return self.size_bytes
+
+
+class Region:
+    """A contiguous simulated memory area owned by one component.
+
+    ``used_bytes`` is maintained by the owning allocator/component;
+    ``version`` increments on every mutation so tests can assert whether
+    a restore actually rolled state back.
+    """
+
+    def __init__(self, name: str, kind: RegionKind, size_bytes: int,
+                 owner: str = "", backed: Optional[bool] = None) -> None:
+        if size_bytes < 0:
+            raise ValueError("region size must be non-negative")
+        self.name = name
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.owner = owner
+        self.used_bytes = 0
+        self.version = 0
+        self.corrupted = False
+        self.protection_key: Optional[int] = None
+        if backed is None:
+            backed = size_bytes <= BACKING_LIMIT_BYTES
+        self._backing: Optional[bytearray] = (
+            bytearray(size_bytes) if backed else None
+        )
+
+    # --- size management ----------------------------------------------------
+
+    @property
+    def pages(self) -> int:
+        return pages_for(self.size_bytes)
+
+    @property
+    def backed(self) -> bool:
+        return self._backing is not None
+
+    def grow(self, new_size_bytes: int) -> None:
+        """Extend the region (heaps grow; text/data never shrink)."""
+        if new_size_bytes < self.size_bytes:
+            raise ValueError("regions do not shrink; create a new region")
+        if self._backing is not None:
+            if new_size_bytes <= BACKING_LIMIT_BYTES:
+                self._backing.extend(
+                    bytearray(new_size_bytes - self.size_bytes))
+            else:
+                self._backing = None
+        self.size_bytes = new_size_bytes
+        self.version += 1
+
+    # --- access -------------------------------------------------------------
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size_bytes:
+            raise OutOfRegion(
+                f"access [{offset}, {offset + length}) outside region "
+                f"{self.name!r} of {self.size_bytes} bytes")
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read raw bytes (zero-filled when the region is accounting-only)."""
+        self._check_range(offset, length)
+        if self.corrupted:
+            raise RegionCorrupted(f"region {self.name!r} is corrupted")
+        if self._backing is None:
+            return bytes(length)
+        return bytes(self._backing[offset:offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        if self._backing is not None:
+            self._backing[offset:offset + len(data)] = data
+        self.version += 1
+
+    def touch(self) -> None:
+        """Record a mutation without byte-level detail (accounting mode)."""
+        self.version += 1
+
+    def flip_bit(self, offset: int, bit: int) -> None:
+        """Fault injection: flip one bit (marks corruption when unbacked)."""
+        if not 0 <= bit < 8:
+            raise ValueError("bit index must be in [0, 8)")
+        self._check_range(offset, 1)
+        if self._backing is not None:
+            self._backing[offset] ^= (1 << bit)
+        else:
+            self.corrupted = True
+        self.version += 1
+
+    def mark_corrupted(self) -> None:
+        self.corrupted = True
+        self.version += 1
+
+    # --- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> RegionSnapshot:
+        return RegionSnapshot(
+            name=self.name,
+            kind=self.kind,
+            size_bytes=self.size_bytes,
+            used_bytes=self.used_bytes,
+            version=self.version,
+            backing=bytes(self._backing) if self._backing is not None else None,
+        )
+
+    def restore(self, snap: RegionSnapshot) -> None:
+        if snap.name != self.name:
+            raise ValueError(
+                f"snapshot of {snap.name!r} cannot restore region "
+                f"{self.name!r}")
+        self.size_bytes = snap.size_bytes
+        self.used_bytes = snap.used_bytes
+        self.version = snap.version
+        self.corrupted = False
+        if snap.backing is not None:
+            self._backing = bytearray(snap.backing)
+        else:
+            self._backing = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Region({self.name!r}, {self.kind.value}, "
+                f"{self.size_bytes}B, used={self.used_bytes}B)")
+
+
+class RegionSet:
+    """The regions belonging to one component, keyed by kind/name."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._regions: Dict[str, Region] = {}
+
+    def add(self, region: Region) -> Region:
+        if region.name in self._regions:
+            raise ValueError(f"duplicate region {region.name!r}")
+        region.owner = self.owner
+        self._regions[region.name] = region
+        return region
+
+    def get(self, name: str) -> Region:
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __iter__(self):
+        return iter(self._regions.values())
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def by_kind(self, kind: RegionKind) -> list:
+        return [r for r in self._regions.values() if r.kind == kind]
+
+    def total_bytes(self) -> int:
+        return sum(r.size_bytes for r in self._regions.values())
+
+    def used_bytes(self) -> int:
+        return sum(r.used_bytes for r in self._regions.values())

@@ -1,0 +1,20 @@
+"""Measurement utilities: statistics, time series, report rendering."""
+
+from .ascii import bar_chart, chart_from_report
+from .report import Claim, ExperimentReport, format_table
+from .stats import Summary, percentile, ratio, summarize
+from .timeline import TimePoint, Timeline
+
+__all__ = [
+    "bar_chart",
+    "chart_from_report",
+    "Claim",
+    "ExperimentReport",
+    "format_table",
+    "Summary",
+    "percentile",
+    "ratio",
+    "summarize",
+    "TimePoint",
+    "Timeline",
+]

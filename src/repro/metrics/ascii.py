@@ -1,0 +1,78 @@
+"""ASCII bar charts — figure rendering without a plotting stack.
+
+The benchmark harness regenerates the paper's figures as tables; these
+helpers turn a table column into a quick horizontal bar chart so the
+*shape* (who wins, by how much) is visible at a glance in a terminal or
+a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .report import ExperimentReport
+
+BAR_CHAR = "█"
+HALF_CHAR = "▌"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: str = "", width: int = 48,
+              unit: str = "") -> str:
+    """Horizontal bar chart; bars scale to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title
+    numeric = [max(0.0, float(v)) for v in values]
+    peak = max(numeric) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, numeric):
+        filled = value / peak * width
+        whole = int(filled)
+        bar = BAR_CHAR * whole
+        if filled - whole >= 0.5:
+            bar += HALF_CHAR
+        if not bar and value > 0:
+            bar = HALF_CHAR
+        rendered = f"{value:,.2f}{unit}" if value < 1000 \
+            else f"{value:,.0f}{unit}"
+        lines.append(f"{str(label).ljust(label_width)} |{bar} {rendered}")
+    return "\n".join(lines)
+
+
+def chart_from_report(report: ExperimentReport,
+                      value_column: Optional[int] = None,
+                      label_column: int = 0,
+                      width: int = 48) -> str:
+    """Chart one numeric column of an experiment report.
+
+    ``value_column`` defaults to the first column (after the label)
+    whose cells are all numeric.
+    """
+    if not report.rows:
+        return ""
+    if value_column is None:
+        for index in range(len(report.headers)):
+            if index == label_column:
+                continue
+            cells = [row[index] for row in report.rows
+                     if index < len(row)]
+            if cells and all(isinstance(c, (int, float))
+                             and not isinstance(c, bool)
+                             for c in cells):
+                value_column = index
+                break
+        if value_column is None:
+            return ""
+    labels = [" ".join(str(row[i]) for i in range(label_column + 1)
+                       if i < len(row))
+              for row in report.rows]
+    values = [float(row[value_column]) for row in report.rows
+              if value_column < len(row)]
+    title = f"{report.headers[value_column]} " \
+            f"({report.experiment_id})"
+    return bar_chart(labels, values, title=title, width=width)

@@ -1,0 +1,110 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment prints the rows/series the paper reports next to the
+values measured on this substrate, plus a "holds?" column for the
+qualitative claim (ordering / rough factor), since absolute numbers are
+not expected to match the authors' Xeon testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Monospace table with right-padded columns."""
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered_rows:
+        lines.append(" | ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class Claim:
+    """One qualitative claim from the paper, checked by a benchmark."""
+
+    description: str
+    holds: bool
+    measured: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.holds else "FAIL"
+        extra = f" ({self.measured})" if self.measured else ""
+        return f"  [{mark}] {self.description}{extra}"
+
+
+@dataclass
+class ExperimentReport:
+    """The printable unit of one table/figure reproduction."""
+
+    experiment_id: str
+    paper_artifact: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[Any]] = field(default_factory=list)
+    claims: List[Claim] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+    def add_claim(self, description: str, holds: bool,
+                  measured: str = "") -> None:
+        self.claims.append(Claim(description, holds, measured))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.paper_artifact} ==="]
+        if self.headers:
+            lines.append(format_table(self.headers, self.rows))
+        if self.claims:
+            lines.append("claims:")
+            lines.extend(c.render() for c in self.claims)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as CSV — the plottable series behind the figure."""
+        def escape(value: Any) -> str:
+            text = str(value)
+            if any(ch in text for ch in ',"\n'):
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(escape(h) for h in self.headers)]
+        for row in self.rows:
+            lines.append(",".join(escape(v) for v in row))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,71 @@
+"""Summary statistics for experiment results (pure Python, no numpy
+dependency in the library core)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/min/max/percentiles of one measurement series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+                f"p50={self.p50:.3f} p95={self.p95:.3f} "
+                f"min={self.minimum:.3f} max={self.maximum:.3f}")
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile on pre-sorted values, q in [0,100]."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty series")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q={q} outside [0, 100]")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(sorted_values[low])
+    frac = rank - low
+    return float(sorted_values[low]) * (1 - frac) \
+        + float(sorted_values[high]) * frac
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("summarize of an empty series")
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+    )
+
+
+def ratio(value: float, baseline: float) -> float:
+    """value / baseline, tolerating a zero baseline."""
+    if baseline == 0:
+        return math.inf if value > 0 else 1.0
+    return value / baseline

@@ -1,0 +1,69 @@
+"""Time-series capture for the latency/throughput figures (Fig. 8)."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class TimePoint:
+    t_us: float
+    value: float
+
+
+class Timeline:
+    """An append-only (time, value) series with windowed queries."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, t_us: float, value: float) -> None:
+        if self._times and t_us < self._times[-1]:
+            raise ValueError(
+                f"timeline {self.name!r} must be appended in time order")
+        self._times.append(t_us)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def points(self) -> List[TimePoint]:
+        return [TimePoint(t, v)
+                for t, v in zip(self._times, self._values)]
+
+    def window(self, start_us: float, end_us: float) -> List[TimePoint]:
+        lo = bisect.bisect_left(self._times, start_us)
+        hi = bisect.bisect_right(self._times, end_us)
+        return [TimePoint(self._times[i], self._values[i])
+                for i in range(lo, hi)]
+
+    def max_in(self, start_us: float, end_us: float) -> Optional[float]:
+        pts = self.window(start_us, end_us)
+        return max((p.value for p in pts), default=None)
+
+    def mean_in(self, start_us: float, end_us: float) -> Optional[float]:
+        pts = self.window(start_us, end_us)
+        if not pts:
+            return None
+        return sum(p.value for p in pts) / len(pts)
+
+    def buckets(self, bucket_us: float) -> List[Tuple[float, float]]:
+        """(bucket start, mean value) pairs — the plotted series."""
+        if bucket_us <= 0:
+            raise ValueError("bucket size must be positive")
+        if not self._times:
+            return []
+        out: List[Tuple[float, float]] = []
+        start = self._times[0]
+        end = self._times[-1]
+        cursor = start
+        while cursor <= end:
+            mean = self.mean_in(cursor, cursor + bucket_us)
+            if mean is not None:
+                out.append((cursor, mean))
+            cursor += bucket_us
+        return out

@@ -1,0 +1,41 @@
+"""Host-side simulated environment: 9P file share and TCP network."""
+
+from .hostshare import (
+    FileExists,
+    HostShare,
+    IsADirectory,
+    NoSuchFile,
+    NotADirectory,
+    ShareError,
+    ShareStat,
+    normalize,
+)
+from .tcp import (
+    ClientSocket,
+    Connection,
+    ConnectionRefused,
+    ConnectionReset,
+    HostNetwork,
+    Listener,
+    NetError,
+    TcpState,
+)
+
+__all__ = [
+    "FileExists",
+    "HostShare",
+    "IsADirectory",
+    "NoSuchFile",
+    "NotADirectory",
+    "ShareError",
+    "ShareStat",
+    "normalize",
+    "ClientSocket",
+    "Connection",
+    "ConnectionRefused",
+    "ConnectionReset",
+    "HostNetwork",
+    "Listener",
+    "NetError",
+    "TcpState",
+]

@@ -1,0 +1,219 @@
+"""The host-side 9P file share.
+
+Unikraft's 9PFS talks the 9P protocol to a share exported by the host
+(QEMU virtfs).  The share is *host* state: it survives unikernel
+reboots, full or component-level — which is exactly why Redis's AOF
+file persists across the full-reboot recovery of Fig. 8.
+
+The share is a small in-memory file tree with POSIX-ish semantics
+(paths, directories, byte contents).  The 9PFS component layers fids,
+inodes and the 9P RPC cost model on top.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class ShareError(Exception):
+    """Base class for host-share errors (mapped to 9P Rerror)."""
+
+
+class NoSuchFile(ShareError):
+    def __init__(self, path: str) -> None:
+        super().__init__(f"no such file or directory: {path!r}")
+        self.path = path
+
+
+class NotADirectory(ShareError):
+    def __init__(self, path: str) -> None:
+        super().__init__(f"not a directory: {path!r}")
+        self.path = path
+
+
+class IsADirectory(ShareError):
+    def __init__(self, path: str) -> None:
+        super().__init__(f"is a directory: {path!r}")
+        self.path = path
+
+
+class FileExists(ShareError):
+    def __init__(self, path: str) -> None:
+        super().__init__(f"file exists: {path!r}")
+        self.path = path
+
+
+def normalize(path: str) -> str:
+    """Canonical absolute path ('' and '/' become '/')."""
+    if not path or path == "/":
+        return "/"
+    norm = posixpath.normpath("/" + path.lstrip("/"))
+    return norm
+
+
+@dataclass
+class ShareStat:
+    """stat() result for a share entry."""
+
+    path: str
+    is_dir: bool
+    size: int
+    version: int
+
+
+@dataclass
+class _FileEntry:
+    data: bytearray = field(default_factory=bytearray)
+    version: int = 0
+
+
+class HostShare:
+    """An in-memory file tree exported to the unikernel over 9P."""
+
+    def __init__(self, name: str = "share") -> None:
+        self.name = name
+        self._files: Dict[str, _FileEntry] = {}
+        self._dirs: Dict[str, int] = {"/": 0}  # path -> version
+        #: counters the experiments read (9P traffic accounting)
+        self.rpc_count = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # --- queries -----------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        path = normalize(path)
+        return path in self._files or path in self._dirs
+
+    def is_dir(self, path: str) -> bool:
+        return normalize(path) in self._dirs
+
+    def stat(self, path: str) -> ShareStat:
+        self.rpc_count += 1
+        path = normalize(path)
+        if path in self._dirs:
+            return ShareStat(path=path, is_dir=True, size=0,
+                             version=self._dirs[path])
+        entry = self._files.get(path)
+        if entry is None:
+            raise NoSuchFile(path)
+        return ShareStat(path=path, is_dir=False, size=len(entry.data),
+                         version=entry.version)
+
+    def listdir(self, path: str) -> List[str]:
+        self.rpc_count += 1
+        path = normalize(path)
+        if path in self._files:
+            raise NotADirectory(path)
+        if path not in self._dirs:
+            raise NoSuchFile(path)
+        prefix = path if path.endswith("/") else path + "/"
+        names = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate == path:
+                continue
+            if candidate.startswith(prefix):
+                rest = candidate[len(prefix):]
+                names.add(rest.split("/", 1)[0])
+        return sorted(names)
+
+    # --- mutation -------------------------------------------------------------
+
+    def _require_parent(self, path: str) -> None:
+        parent = posixpath.dirname(path) or "/"
+        if parent not in self._dirs:
+            if parent in self._files:
+                raise NotADirectory(parent)
+            raise NoSuchFile(parent)
+
+    def mkdir(self, path: str) -> None:
+        self.rpc_count += 1
+        path = normalize(path)
+        if self.exists(path):
+            raise FileExists(path)
+        self._require_parent(path)
+        self._dirs[path] = 0
+
+    def makedirs(self, path: str) -> None:
+        """Create a directory and all missing ancestors (test helper)."""
+        path = normalize(path)
+        parts = [p for p in path.split("/") if p]
+        current = "/"
+        for part in parts:
+            current = posixpath.join(current, part)
+            if current not in self._dirs:
+                if current in self._files:
+                    raise NotADirectory(current)
+                self._dirs[current] = 0
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        self.rpc_count += 1
+        path = normalize(path)
+        if self.exists(path):
+            raise FileExists(path)
+        self._require_parent(path)
+        self._files[path] = _FileEntry(bytearray(data))
+        self.bytes_written += len(data)
+
+    def read(self, path: str, offset: int = 0,
+             count: Optional[int] = None) -> bytes:
+        self.rpc_count += 1
+        path = normalize(path)
+        if path in self._dirs:
+            raise IsADirectory(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise NoSuchFile(path)
+        if count is None:
+            chunk = bytes(entry.data[offset:])
+        else:
+            chunk = bytes(entry.data[offset:offset + count])
+        self.bytes_read += len(chunk)
+        return chunk
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        self.rpc_count += 1
+        path = normalize(path)
+        if path in self._dirs:
+            raise IsADirectory(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise NoSuchFile(path)
+        end = offset + len(data)
+        if len(entry.data) < end:
+            entry.data.extend(b"\x00" * (end - len(entry.data)))
+        entry.data[offset:end] = data
+        entry.version += 1
+        self.bytes_written += len(data)
+        return len(data)
+
+    def truncate(self, path: str, length: int = 0) -> None:
+        self.rpc_count += 1
+        path = normalize(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise NoSuchFile(path)
+        del entry.data[length:]
+        entry.version += 1
+
+    def remove(self, path: str) -> None:
+        self.rpc_count += 1
+        path = normalize(path)
+        if path in self._dirs:
+            if self.listdir(path):
+                raise ShareError(f"directory not empty: {path!r}")
+            if path == "/":
+                raise ShareError("cannot remove the share root")
+            del self._dirs[path]
+            return
+        if path not in self._files:
+            raise NoSuchFile(path)
+        del self._files[path]
+
+    def size(self, path: str) -> int:
+        return self.stat(path).size
+
+    def total_bytes(self) -> int:
+        return sum(len(e.data) for e in self._files.values())

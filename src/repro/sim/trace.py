@@ -1,0 +1,117 @@
+"""Structured event trace.
+
+Mechanisms emit :class:`TraceEvent` records (message pushes, dispatches,
+reboots, faults, request completions).  Tests assert on the trace to
+verify behaviour ("the VFS thread was dispatched before 9PFS", "no
+message crossed a rebooting component"), and the experiment harness
+derives time series from it (Fig. 8's latency timeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence at a point in virtual time."""
+
+    t_us: float
+    category: str
+    name: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, category: Optional[str] = None,
+                name: Optional[str] = None, **detail: Any) -> bool:
+        if category is not None and self.category != category:
+            return False
+        if name is not None and self.name != name:
+            return False
+        for key, value in detail.items():
+            if self.detail.get(key) != value:
+                return False
+        return True
+
+
+class Trace:
+    """An append-only event log with query helpers.
+
+    Tracing is cheap but not free in Python, so a trace can be disabled
+    wholesale (``enabled=False``) for throughput-oriented benchmarks, or
+    restricted to a category allow-list.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 categories: Optional[List[str]] = None,
+                 max_events: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self._categories = set(categories) if categories else None
+        self._events: List[TraceEvent] = []
+        self._max_events = max_events
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def emit(self, t_us: float, category: str, name: str,
+             **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        event = TraceEvent(t_us=t_us, category=category, name=name,
+                           detail=detail)
+        self._events.append(event)
+        if self._max_events is not None and len(self._events) > self._max_events:
+            # Drop the oldest half to bound memory in long experiments.
+            del self._events[: self._max_events // 2]
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Call ``callback`` for every future event (even when filtered out
+        events are dropped, subscribers only see recorded events)."""
+        self._subscribers.append(callback)
+
+    # --- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def select(self, category: Optional[str] = None,
+               name: Optional[str] = None, **detail: Any) -> List[TraceEvent]:
+        return [e for e in self._events
+                if e.matches(category=category, name=name, **detail)]
+
+    def count(self, category: Optional[str] = None,
+              name: Optional[str] = None, **detail: Any) -> int:
+        return len(self.select(category=category, name=name, **detail))
+
+    def first(self, category: Optional[str] = None,
+              name: Optional[str] = None, **detail: Any) -> Optional[TraceEvent]:
+        for e in self._events:
+            if e.matches(category=category, name=name, **detail):
+                return e
+        return None
+
+    def last(self, category: Optional[str] = None,
+             name: Optional[str] = None, **detail: Any) -> Optional[TraceEvent]:
+        for e in reversed(self._events):
+            if e.matches(category=category, name=name, **detail):
+                return e
+        return None
+
+    def between(self, start_us: float, end_us: float) -> List[TraceEvent]:
+        return [e for e in self._events if start_us <= e.t_us <= end_us]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+#: A trace that records nothing; handy default for hot paths.
+NULL_TRACE = Trace(enabled=False)

@@ -1,0 +1,70 @@
+"""Unikraft-like substrate: components, images, and the vanilla kernel."""
+
+from .component import (
+    Component,
+    ComponentState,
+    ExportInfo,
+    KernelAPI,
+    MemoryLayout,
+    export,
+)
+from .errors import (
+    ApplicationHang,
+    ComponentFailure,
+    ComponentUnavailable,
+    HangDetected,
+    KernelPanic,
+    Panic,
+    RecoveryFailed,
+    SyscallError,
+    UnikernelError,
+    UnrebootableComponent,
+)
+from .image import APP, ImageBuilder, ImageSpec, UnikernelImage
+from .kernel import (
+    DirectDispatcher,
+    Kernel,
+    SyscallMeter,
+    SyscallRecord,
+    UnikraftKernel,
+    build_unikraft,
+)
+from .registry import (
+    GLOBAL_REGISTRY,
+    ComponentRegistry,
+    DependencyCycle,
+    UnknownComponent,
+)
+
+__all__ = [
+    "Component",
+    "ComponentState",
+    "ExportInfo",
+    "KernelAPI",
+    "MemoryLayout",
+    "export",
+    "ApplicationHang",
+    "ComponentFailure",
+    "ComponentUnavailable",
+    "HangDetected",
+    "KernelPanic",
+    "Panic",
+    "RecoveryFailed",
+    "SyscallError",
+    "UnikernelError",
+    "UnrebootableComponent",
+    "APP",
+    "ImageBuilder",
+    "ImageSpec",
+    "UnikernelImage",
+    "DirectDispatcher",
+    "Kernel",
+    "SyscallMeter",
+    "SyscallRecord",
+    "UnikraftKernel",
+    "build_unikraft",
+    "GLOBAL_REGISTRY",
+    "ComponentRegistry",
+    "DependencyCycle",
+    "UnknownComponent",
+]

@@ -1,0 +1,109 @@
+"""Failure taxonomy of the unikernel substrate.
+
+Mirrors the paper's fault model (§II-B): fail-stop component faults
+(panics, protection faults), hangs, and whole-image crashes.  The
+vanilla kernel escalates any component fault to :class:`KernelPanic`
+(the unikernel and the linked application die together); the VampOS
+runtime instead catches :class:`ComponentFailure` subclasses and reboots
+the one component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class UnikernelError(Exception):
+    """Base class for substrate errors."""
+
+
+class ComponentFailure(UnikernelError):
+    """A fail-stop fault inside one component."""
+
+    def __init__(self, component: str, message: str = "") -> None:
+        super().__init__(message or f"component {component!r} failed")
+        self.component = component
+
+
+class Panic(ComponentFailure):
+    """An explicit panic() — invalid pointer, assertion, injected fault."""
+
+
+class HangDetected(ComponentFailure):
+    """The failure detector flagged a component as hung (§V-A).
+
+    Only raised under VampOS, whose message thread monitors per-message
+    processing time; vanilla Unikraft has no detector, so a hang there
+    simply stalls the application (modelled as :class:`ApplicationHang`).
+    """
+
+
+class ApplicationHang(UnikernelError):
+    """The whole unikernel-linked application is stuck (vanilla hang)."""
+
+    def __init__(self, component: str) -> None:
+        super().__init__(
+            f"application hung inside component {component!r}; "
+            f"vanilla Unikraft has no detector — only a full reboot helps")
+        self.component = component
+
+
+class KernelPanic(UnikernelError):
+    """The whole unikernel image crashed; a full reboot is required."""
+
+    def __init__(self, cause: Optional[BaseException] = None,
+                 component: str = "") -> None:
+        super().__init__(
+            f"kernel panic"
+            + (f" in component {component!r}" if component else "")
+            + (f": {cause}" if cause else ""))
+        self.cause = cause
+        self.component = component
+
+
+class ComponentUnavailable(UnikernelError):
+    """A call targeted a component that is rebooting or dead.
+
+    Under VampOS, callers observe this only if they bypass the message
+    queue; queued messages simply wait for the reboot to finish.
+    """
+
+    def __init__(self, component: str, state: str) -> None:
+        super().__init__(f"component {component!r} is {state}")
+        self.component = component
+        self.state = state
+
+
+class UnrebootableComponent(UnikernelError):
+    """Reboot requested for a component that shares state with the host.
+
+    VIRTIO shares ring buffers with the host (§VIII); restarting it
+    would desynchronise the rings, so VampOS refuses.
+    """
+
+    def __init__(self, component: str, reason: str) -> None:
+        super().__init__(
+            f"component {component!r} cannot be rebooted: {reason}")
+        self.component = component
+        self.reason = reason
+
+
+class RecoveryFailed(UnikernelError):
+    """The rebooted component failed again — VampOS fail-stops (§II-B)."""
+
+    def __init__(self, component: str,
+                 cause: Optional[BaseException] = None) -> None:
+        super().__init__(
+            f"recovery of {component!r} failed"
+            + (f": {cause}" if cause else "")
+            + "; fault appears deterministic, VampOS fail-stops")
+        self.component = component
+        self.cause = cause
+
+
+class SyscallError(UnikernelError):
+    """A POSIX-ish error returned to the application (errno analogue)."""
+
+    def __init__(self, errno: str, message: str = "") -> None:
+        super().__init__(f"[{errno}] {message}")
+        self.errno = errno

@@ -1,0 +1,24 @@
+"""Lowest-free-slot id allocation.
+
+File descriptors, 9P fids and LWIP socket ids all use Unix semantics:
+the lowest unused id is handed out.  This is not just realism — it is
+what makes VampOS's log replay deterministic under session-aware log
+shrinking.  When a pruned ``open()``/``close()`` pair disappears from
+the log, a monotone counter would drift (later replayed opens would get
+different ids than the originals, breaking the fd→fid→socket references
+held by components that were *not* rebooted).  Lowest-free allocation
+reuses the freed slot, so the shrunk log replays to exactly the same id
+assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Container
+
+
+def lowest_free_id(occupied: Container[int], start: int = 1) -> int:
+    """The smallest integer >= ``start`` not in ``occupied``."""
+    candidate = start
+    while candidate in occupied:
+        candidate += 1
+    return candidate

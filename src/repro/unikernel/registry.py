@@ -1,0 +1,107 @@
+"""Component registry and dependency resolution.
+
+The registry plays the role of Unikraft's build system: it knows every
+available component class and, given an application's component
+selection, resolves transitive dependencies and produces a boot order
+(dependencies boot before their dependents).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from .component import Component
+from .errors import UnikernelError
+
+
+class UnknownComponent(UnikernelError):
+    def __init__(self, name: str, available: Iterable[str]) -> None:
+        super().__init__(
+            f"unknown component {name!r}; available: "
+            f"{', '.join(sorted(available))}")
+        self.name = name
+
+
+class DependencyCycle(UnikernelError):
+    def __init__(self, chain: List[str]) -> None:
+        super().__init__(f"dependency cycle: {' -> '.join(chain)}")
+        self.chain = chain
+
+
+class ComponentRegistry:
+    """Name → component class mapping with dependency resolution."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[Component]] = {}
+
+    def register(self, cls: Type[Component]) -> Type[Component]:
+        """Register a component class (usable as a class decorator)."""
+        name = cls.NAME
+        if name in self._classes and self._classes[name] is not cls:
+            raise UnikernelError(
+                f"component name {name!r} already registered by "
+                f"{self._classes[name].__name__}")
+        self._classes[name] = cls
+        return cls
+
+    def get(self, name: str) -> Type[Component]:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownComponent(name, self._classes) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._classes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def resolve(self, selection: Iterable[str]) -> List[str]:
+        """Transitive closure of ``selection`` in boot order.
+
+        Dependencies come before dependents; ties break alphabetically
+        for determinism.  Cycles raise :class:`DependencyCycle`.
+
+        Dependencies that are not registered and not selected are
+        treated as optional edges: LWIP lists NETDEV, but an image
+        without networking simply omits it — exactly how Unikraft's
+        Kconfig-style selection behaves.
+        """
+        selected = set(selection)
+        order: List[str] = []
+        visiting: List[str] = []
+        done = set()
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in visiting:
+                raise DependencyCycle(visiting[visiting.index(name):] + [name])
+            cls = self.get(name)
+            visiting.append(name)
+            for dep in sorted(cls.DEPENDENCIES):
+                if dep in self._classes and (dep in selected or
+                                             self._is_required(cls, dep)):
+                    selected.add(dep)
+                    visit(dep)
+            visiting.pop()
+            done.add(name)
+            order.append(name)
+
+        for name in sorted(selected):
+            visit(name)
+        return order
+
+    @staticmethod
+    def _is_required(cls: Type[Component], dep: str) -> bool:
+        """Whether ``dep`` is a hard dependency of ``cls``.
+
+        Components may declare OPTIONAL_DEPENDENCIES they can run
+        without; everything else in DEPENDENCIES is hard.
+        """
+        optional = getattr(cls, "OPTIONAL_DEPENDENCIES", ())
+        return dep not in optional
+
+
+#: the global registry the stock components register into
+GLOBAL_REGISTRY = ComponentRegistry()

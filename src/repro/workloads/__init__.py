@@ -1,0 +1,35 @@
+"""Workload generators matching §VII's configurations."""
+
+from .echo_load import EchoLoadResult, EchoWorkload
+from .http_load import HttpLoadGenerator, HttpLoadResult
+from .redis_load import (
+    MixedLoadResult,
+    ProbeResult,
+    RedisMixedWorkload,
+    RedisClient,
+    RedisLoadResult,
+    RedisProbeWorkload,
+    RedisSetWorkload,
+    warm_up,
+)
+from .siege import Siege, SiegeResult
+from .sqlite_load import SqliteInsertWorkload, SqliteLoadResult
+
+__all__ = [
+    "EchoLoadResult",
+    "EchoWorkload",
+    "HttpLoadGenerator",
+    "HttpLoadResult",
+    "MixedLoadResult",
+    "ProbeResult",
+    "RedisMixedWorkload",
+    "RedisClient",
+    "RedisLoadResult",
+    "RedisProbeWorkload",
+    "RedisSetWorkload",
+    "warm_up",
+    "Siege",
+    "SiegeResult",
+    "SqliteInsertWorkload",
+    "SqliteLoadResult",
+]

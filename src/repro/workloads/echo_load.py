@@ -1,0 +1,72 @@
+"""Echo workload (§VII-C).
+
+The paper sends a 159-byte message for a minute; clients close their
+connections after each exchange (which is why Echo's logs never grow —
+the canceling functions fire constantly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.echo import EchoServer
+from ..net.tcp import ConnectionRefused, ConnectionReset
+from ..sim.engine import Simulation
+
+
+@dataclass
+class EchoLoadResult:
+    exchanges: int
+    successes: int
+    failures: int
+    duration_us: float
+
+    @property
+    def throughput_per_s(self) -> float:
+        if self.duration_us == 0:
+            return 0.0
+        return self.successes / (self.duration_us / 1_000_000.0)
+
+
+class EchoWorkload:
+    """connect → send → recv → close, repeated."""
+
+    def __init__(self, app: EchoServer, message_bytes: int = 159) -> None:
+        self.app = app
+        self.message = b"e" * (message_bytes - 1) + b"\n"
+
+    def one_exchange(self) -> bool:
+        sock = self.app.network.connect(self.app.PORT)
+        try:
+            sock.send(self.message)
+            self.app.poll()
+            reply = sock.recv()
+            return reply == self.message
+        except (ConnectionReset, ConnectionRefused):
+            return False
+        finally:
+            if sock.is_open:
+                sock.close()
+
+    def run_for(self, duration_us: float) -> EchoLoadResult:
+        sim: Simulation = self.app.sim
+        start = sim.clock.now_us
+        deadline = start + duration_us
+        exchanges = successes = 0
+        while sim.clock.now_us < deadline:
+            exchanges += 1
+            if self.one_exchange():
+                successes += 1
+        return EchoLoadResult(
+            exchanges=exchanges, successes=successes,
+            failures=exchanges - successes,
+            duration_us=sim.clock.now_us - start)
+
+    def run_exchanges(self, count: int) -> EchoLoadResult:
+        sim: Simulation = self.app.sim
+        start = sim.clock.now_us
+        successes = sum(1 for _ in range(count) if self.one_exchange())
+        return EchoLoadResult(
+            exchanges=count, successes=successes,
+            failures=count - successes,
+            duration_us=sim.clock.now_us - start)

@@ -1,0 +1,267 @@
+"""Redis workloads (§VII-C and §VII-E).
+
+* ``RedisSetWorkload`` — the Fig. 7 benchmark: SETs of a 4-byte key and
+  3-byte value through the network path (1,000,000 in the paper;
+  parameterised here).
+* ``RedisProbeWorkload`` — the Fig. 8 scenario: a warm store serving
+  GETs while one probe GET per second measures response time across a
+  failure/recovery event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..apps.redis import MiniRedis
+from ..metrics.timeline import Timeline
+from ..net.tcp import ClientSocket, ConnectionRefused, ConnectionReset
+from ..sim.engine import Simulation
+
+
+@dataclass
+class RedisLoadResult:
+    operations: int
+    successes: int
+    failures: int
+    duration_us: float
+
+    @property
+    def throughput_per_s(self) -> float:
+        if self.duration_us == 0:
+            return 0.0
+        return self.successes / (self.duration_us / 1_000_000.0)
+
+
+class RedisClient:
+    """A line-protocol client with automatic reconnect accounting."""
+
+    def __init__(self, app: MiniRedis) -> None:
+        self.app = app
+        self.sim: Simulation = app.sim
+        self._sock: Optional[ClientSocket] = None
+        self.reconnects = 0
+
+    def _socket(self) -> ClientSocket:
+        if self._sock is None or not self._sock.is_open:
+            self._sock = self.app.network.connect(self.app.PORT)
+            self.reconnects += 1
+        return self._sock
+
+    def command(self, line: bytes) -> bytes:
+        sock = self._socket()
+        sock.send(line if line.endswith(b"\n") else line + b"\n")
+        self.app.poll()
+        return sock.recv()
+
+    def set(self, key: str, value: bytes) -> bool:
+        return self.command(b"SET %s %s" % (key.encode(), value)) == b"+OK\n"
+
+    def get(self, key: str) -> Optional[bytes]:
+        reply = self.command(b"GET %s" % key.encode())
+        if reply == b"$-1\n":
+            return None
+        if reply.startswith(b"$"):
+            return reply[1:-1]
+        return None
+
+    def close(self) -> None:
+        if self._sock is not None and self._sock.is_open:
+            self._sock.close()
+        self._sock = None
+
+
+class RedisSetWorkload:
+    """``n`` SETs of 4-byte keys / 3-byte values (Fig. 7)."""
+
+    def __init__(self, app: MiniRedis, operations: int = 1_000_000) -> None:
+        self.app = app
+        self.operations = operations
+        self.client = RedisClient(app)
+
+    def run(self) -> RedisLoadResult:
+        sim = self.app.sim
+        start = sim.clock.now_us
+        successes = failures = 0
+        for i in range(self.operations):
+            key = f"k{i % 9999:04d}"[:4]
+            try:
+                if self.client.set(key, b"val"):
+                    successes += 1
+                else:
+                    failures += 1
+            except (ConnectionReset, ConnectionRefused):
+                failures += 1
+        return RedisLoadResult(
+            operations=self.operations, successes=successes,
+            failures=failures, duration_us=sim.clock.now_us - start)
+
+
+@dataclass
+class MixedLoadResult:
+    gets: int
+    sets: int
+    failures: int
+    duration_us: float
+    get_latencies_us: List[float] = field(default_factory=list)
+    set_latencies_us: List[float] = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        return self.gets + self.sets
+
+    @property
+    def throughput_per_s(self) -> float:
+        if self.duration_us == 0:
+            return 0.0
+        return self.operations / (self.duration_us / 1e6)
+
+
+class RedisMixedWorkload:
+    """redis-benchmark-style GET/SET mix over a bounded key space."""
+
+    def __init__(self, app: MiniRedis, operations: int = 1000,
+                 get_ratio: float = 0.9, key_space: int = 1000,
+                 value_bytes: int = 16) -> None:
+        if not 0.0 <= get_ratio <= 1.0:
+            raise ValueError("get_ratio must be in [0, 1]")
+        self.app = app
+        self.operations = operations
+        self.get_ratio = get_ratio
+        self.key_space = key_space
+        self.value = b"v" * value_bytes
+        self.client = RedisClient(app)
+
+    def run(self) -> MixedLoadResult:
+        sim = self.app.sim
+        rng = sim.rng.stream("redis-mixed")
+        result = MixedLoadResult(gets=0, sets=0, failures=0,
+                                 duration_us=0.0)
+        start = sim.clock.now_us
+        for _ in range(self.operations):
+            key = f"mix:{rng.randrange(self.key_space):06d}"
+            t0 = sim.clock.now_us
+            try:
+                if rng.random() < self.get_ratio:
+                    self.client.get(key)
+                    result.gets += 1
+                    result.get_latencies_us.append(
+                        sim.clock.now_us - t0)
+                else:
+                    self.client.set(key, self.value)
+                    result.sets += 1
+                    result.set_latencies_us.append(
+                        sim.clock.now_us - t0)
+            except (ConnectionReset, ConnectionRefused):
+                result.failures += 1
+        result.duration_us = sim.clock.now_us - start
+        return result
+
+
+def warm_up(app: MiniRedis, keys: int, value_bytes: int = 1024,
+            durable: bool = True) -> None:
+    """Fill the store host-side (the paper's 1,000,000-key warm Redis).
+
+    Uses the direct API: warming through the network path would charge
+    hours of virtual time before the experiment starts.
+    """
+    value = b"v" * value_bytes
+    for i in range(keys):
+        app.set_direct(f"key:{i:07d}", value, durable=durable)
+
+
+@dataclass
+class ProbeResult:
+    timeline: Timeline
+    failures: int
+    max_latency_us: float
+    baseline_latency_us: float
+
+
+class RedisProbeWorkload:
+    """GET probes at a fixed virtual rate, measuring response time.
+
+    ``disturb`` (if given) is called once when the virtual clock passes
+    ``disturb_at_us`` — the Fig. 8 fault injection hook.
+    """
+
+    def __init__(self, app: MiniRedis, keys: int,
+                 probe_interval_us: float = 1_000_000.0,
+                 background_gets_per_probe: int = 10,
+                 client_timeout_us: float = 100_000.0) -> None:
+        self.app = app
+        self.keys = keys
+        self.probe_interval_us = probe_interval_us
+        self.background_gets_per_probe = background_gets_per_probe
+        #: a service stall shorter than this is absorbed as latency;
+        #: beyond it, in-flight requests time out and fail
+        self.client_timeout_us = client_timeout_us
+        self.client = RedisClient(app)
+        self._bg_client = RedisClient(app)
+
+    def run(self, duration_us: float,
+            disturb_at_us: Optional[float] = None,
+            disturb: Optional[Callable[[], None]] = None) -> ProbeResult:
+        sim = self.app.sim
+        rng = sim.rng.stream("redis-probe")
+        timeline = Timeline("redis-get-latency")
+        failures = 0
+        disturbed = disturb is None
+        start = sim.clock.now_us
+        deadline = start + duration_us
+        baseline: List[float] = []
+        while sim.clock.now_us < deadline:
+            tick_end = sim.clock.now_us + self.probe_interval_us
+            if not disturbed and disturb_at_us is not None \
+                    and sim.clock.now_us - start >= disturb_at_us:
+                disturbed = True
+                outage_t0 = sim.clock.now_us
+                disturb()
+                outage = sim.clock.now_us - outage_t0
+                # Requests arriving during a synchronous outage (the
+                # full-reboot recovery) fail; the request rate is the
+                # background GETs plus the probe per interval.  The
+                # timeline records the outage as the latency spike of
+                # Fig. 8 (one point per missed probe interval, at least
+                # one when any outage occurred).
+                if outage > self.client_timeout_us:
+                    rate = self.background_gets_per_probe + 1
+                    failures += max(
+                        1, int(outage / self.probe_interval_us * rate))
+                    missed = max(1,
+                                 int(outage // self.probe_interval_us))
+                    for i in range(missed):
+                        timeline.record(
+                            sim.clock.now_us,
+                            outage - i * self.probe_interval_us)
+            # Background traffic ("1,000 GET requests ... per second").
+            for _ in range(self.background_gets_per_probe):
+                key = f"key:{rng.randrange(self.keys):07d}"
+                try:
+                    self._bg_client.get(key)
+                except (ConnectionReset, ConnectionRefused):
+                    failures += 1
+            # The probe.
+            key = f"key:{rng.randrange(self.keys):07d}"
+            t0 = sim.clock.now_us
+            try:
+                value = self.client.get(key)
+                latency = sim.clock.now_us - t0
+                if value is None:
+                    failures += 1
+                timeline.record(sim.clock.now_us, latency)
+                if disturb_at_us is None or \
+                        sim.clock.now_us - start < disturb_at_us:
+                    baseline.append(latency)
+            except (ConnectionReset, ConnectionRefused):
+                failures += 1
+                timeline.record(sim.clock.now_us,
+                                sim.clock.now_us - t0)
+            sim.clock.advance_to(tick_end)
+        max_latency = max((p.value for p in timeline.points()),
+                          default=0.0)
+        baseline_latency = (sum(baseline) / len(baseline)) if baseline \
+            else 0.0
+        return ProbeResult(timeline=timeline, failures=failures,
+                           max_latency_us=max_latency,
+                           baseline_latency_us=baseline_latency)

@@ -1,0 +1,53 @@
+"""SQLite insert workload (§VII-C).
+
+The paper's SQLite configuration performs 10,000 inserts of a 1-byte
+data item through the query API.  The driver measures virtual execution
+time and derived throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.sqlite import MiniSQLite
+from ..sim.engine import Simulation
+
+
+@dataclass
+class SqliteLoadResult:
+    inserts: int
+    duration_us: float
+
+    @property
+    def throughput_per_s(self) -> float:
+        if self.duration_us == 0:
+            return 0.0
+        return self.inserts / (self.duration_us / 1_000_000.0)
+
+
+class SqliteInsertWorkload:
+    """``n`` single-row inserts of a 1-byte item."""
+
+    TABLE = "bench"
+
+    def __init__(self, app: MiniSQLite, inserts: int = 10_000) -> None:
+        if inserts < 1:
+            raise ValueError("need at least one insert")
+        self.app = app
+        self.inserts = inserts
+
+    def prepare(self) -> None:
+        if self.TABLE not in self.app.tables():
+            self.app.execute(f"CREATE TABLE {self.TABLE} (id, item)")
+
+    def run(self) -> SqliteLoadResult:
+        self.prepare()
+        sim: Simulation = self.app.sim
+        start = sim.clock.now_us
+        for i in range(self.inserts):
+            self.app.execute(
+                f"INSERT INTO {self.TABLE} VALUES ({i}, 'x')")
+        return SqliteLoadResult(
+            inserts=self.inserts,
+            duration_us=sim.clock.now_us - start)

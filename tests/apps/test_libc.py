@@ -1,0 +1,108 @@
+"""Coverage of the libc shim: every call routed to the right place."""
+
+import pytest
+
+from repro.apps.libc import Libc
+from repro.unikernel.errors import SyscallError
+from tests.conftest import build_kernel
+
+
+@pytest.fixture
+def libc(sim, share):
+    kernel = build_kernel(sim, share, mode="unikraft")
+    shim = Libc(kernel)
+    shim.mount("/", "/")
+    shim.test_kernel = kernel  # type: ignore[attr-defined]
+    return shim
+
+
+class TestFileCalls:
+    def test_open_read_write_close(self, libc):
+        fd = libc.open("/data/hello.txt", "rw")
+        assert libc.read(fd, 5) == b"hello"
+        libc.lseek(fd, 0, "set")
+        assert libc.write(fd, b"HELLO") == 5
+        libc.fsync(fd)
+        libc.close(fd)
+
+    def test_create_and_stat(self, libc):
+        fd = libc.create("/data/new")
+        libc.write(fd, b"xy")
+        assert libc.stat("/data/new")["size"] == 2
+        assert libc.fstat(fd)["size"] == 2
+
+    def test_pread_pwrite(self, libc):
+        fd = libc.open("/data/hello.txt", "rw")
+        libc.pwrite(fd, b"X", 0)
+        assert libc.pread(fd, 1, 0) == b"X"
+
+    def test_writev(self, libc):
+        fd = libc.open("/data/vec", "rwc")
+        assert libc.writev(fd, [b"a", b"bc"]) == 3
+
+    def test_mkdir_readdir_unlink(self, libc):
+        libc.mkdir("/data/sub")
+        assert "sub" in libc.readdir("/data")
+        libc.unlink("/data/hello.txt")
+        assert "hello.txt" not in libc.readdir("/data")
+
+    def test_pipe(self, libc):
+        rfd, wfd = libc.pipe()
+        libc.write(wfd, b"pipe!")
+        assert libc.read(rfd, 5) == b"pipe!"
+
+    def test_fcntl_ioctl(self, libc):
+        fd = libc.open("/data/hello.txt", "r")
+        libc.fcntl(fd, "setfl", 1)
+        assert libc.fcntl(fd, "getfl") == 1
+        libc.ioctl(fd, "X", 2)
+
+
+class TestSocketCalls:
+    def test_server_loop(self, libc):
+        kernel = libc.test_kernel
+        sfd = libc.socket()
+        libc.bind(sfd, 80)
+        libc.listen(sfd, 8)
+        client = kernel.test_network.connect(80)
+        afd = libc.accept(sfd)
+        client.send(b"in")
+        assert libc.socket_pending(afd) == 2
+        assert libc.recv(afd, 2) == b"in"
+        libc.send(afd, b"out")
+        assert client.recv() == b"out"
+        libc.setsockopt(afd, "OPT", 3)
+        assert libc.getsockopt(afd, "OPT") == 3
+        libc.shutdown(afd, "wr")
+        with pytest.raises(SyscallError):
+            libc.send(afd, b"late")
+
+
+class TestMiscCalls:
+    def test_identity(self, libc):
+        assert libc.getpid() == 1
+        assert libc.getuid() == 0
+        assert libc.uname()["sysname"] == "Unikraft"
+
+    def test_time(self, libc):
+        t0 = libc.clock_gettime()
+        libc.nanosleep(1_000_000)
+        assert libc.clock_gettime() >= t0 + 1.0
+
+
+class TestUnikernelAppBasics:
+    def test_unknown_mode_rejected(self, sim):
+        from repro.apps.nginx import MiniNginx
+        with pytest.raises(ValueError):
+            MiniNginx(sim, mode="xen")
+
+    def test_memory_footprint_includes_overhead(self):
+        from repro.apps.nginx import MiniNginx
+        from repro.core.config import DAS
+        from repro.sim.engine import Simulation
+        vamp = MiniNginx(Simulation(seed=130), mode=DAS)
+        vanilla = MiniNginx(Simulation(seed=130), mode="unikraft")
+        assert vamp.memory_footprint_bytes() \
+            > vanilla.memory_footprint_bytes()
+        assert vanilla.mpk_tag_count() == 0
+        assert not vanilla.is_vampos() and vamp.is_vampos()

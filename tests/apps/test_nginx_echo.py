@@ -1,0 +1,157 @@
+"""Unit tests for MiniNginx and EchoServer."""
+
+import pytest
+
+from repro.apps.echo import EchoServer
+from repro.apps.nginx import DEFAULT_PAGE, MiniNginx, _page_of
+from repro.core.config import DAS
+from repro.sim.engine import Simulation
+
+
+def get(app, sock, path="/index.html", close=False):
+    connection = "close" if close else "keep-alive"
+    sock.send(f"GET {path} HTTP/1.1\r\nHost: t\r\n"
+              f"Connection: {connection}\r\n\r\n".encode())
+    app.poll()
+    return sock.recv()
+
+
+class TestPageHelper:
+    def test_default_page_is_180_bytes(self):
+        assert len(DEFAULT_PAGE) == 180
+
+    def test_arbitrary_sizes(self):
+        assert len(_page_of(300)) == 300
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            _page_of(10)
+
+
+class TestNginx:
+    @pytest.fixture
+    def app(self):
+        return MiniNginx(Simulation(seed=11), mode="unikraft")
+
+    def test_serves_index(self, app):
+        sock = app.network.connect(80)
+        response = get(app, sock)
+        assert response.startswith(b"HTTP/1.1 200 OK")
+        assert response.endswith(DEFAULT_PAGE)
+        assert b"Content-Length: 180" in response
+        assert app.responses_200 == 1
+
+    def test_directory_request_maps_to_index(self, app):
+        sock = app.network.connect(80)
+        assert get(app, sock, "/").startswith(b"HTTP/1.1 200")
+
+    def test_404(self, app):
+        sock = app.network.connect(80)
+        response = get(app, sock, "/missing.html")
+        assert response.startswith(b"HTTP/1.1 404")
+        assert app.responses_404 == 1
+
+    def test_bad_request(self, app):
+        sock = app.network.connect(80)
+        sock.send(b"BREW /coffee HTCPCP/1.0\r\n\r\n")
+        app.poll()
+        assert sock.recv().startswith(b"HTTP/1.1 400")
+
+    def test_keep_alive_serves_many(self, app):
+        sock = app.network.connect(80)
+        for _ in range(3):
+            assert get(app, sock).startswith(b"HTTP/1.1 200")
+        assert app.requests_served == 3
+        assert sock.is_open
+
+    def test_connection_close_honoured(self, app):
+        sock = app.network.connect(80)
+        response = get(app, sock, close=True)
+        assert b"Connection: close" in response
+        app.poll()
+        assert app.open_connections() == 0
+
+    def test_partial_request_buffered(self, app):
+        sock = app.network.connect(80)
+        sock.send(b"GET /index.html HTTP/1.1\r\n")
+        app.poll()
+        assert sock.pending() == 0  # incomplete: no response yet
+        sock.send(b"Host: t\r\n\r\n")
+        app.poll()
+        assert sock.recv().startswith(b"HTTP/1.1 200")
+
+    def test_pipelined_requests(self, app):
+        sock = app.network.connect(80)
+        request = b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n"
+        sock.send(request * 2)
+        app.poll()
+        body = sock.recv()
+        assert body.count(b"HTTP/1.1 200") == 2
+
+    def test_add_page(self, app):
+        app.add_page("big.html", _page_of(600))
+        sock = app.network.connect(80)
+        response = get(app, sock, "/big.html")
+        assert b"Content-Length: 600" in response
+        app.add_page("big.html", _page_of(200))  # overwrite
+        response = get(app, sock, "/big.html")
+        assert b"Content-Length: 200" in response
+
+    def test_works_under_vampos(self):
+        app = MiniNginx(Simulation(seed=12), mode=DAS)
+        sock = app.network.connect(80)
+        assert get(app, sock).startswith(b"HTTP/1.1 200")
+        assert app.mpk_tag_count() == 12
+
+    def test_full_reboot_resets_clients_but_recovers(self):
+        app = MiniNginx(Simulation(seed=13), mode="unikraft")
+        sock = app.network.connect(80)
+        get(app, sock)
+        app.kernel.full_reboot()
+        assert sock.is_reset
+        fresh = app.network.connect(80)
+        assert get(app, fresh).startswith(b"HTTP/1.1 200")
+
+    def test_component_reboot_is_transparent(self):
+        app = MiniNginx(Simulation(seed=14), mode=DAS)
+        sock = app.network.connect(80)
+        get(app, sock)
+        for name in ("VFS", "9PFS", "LWIP", "NETDEV", "PROCESS"):
+            app.vampos.reboot_component(name)
+        assert get(app, sock).startswith(b"HTTP/1.1 200")
+        assert not sock.is_reset
+
+
+class TestEcho:
+    @pytest.fixture
+    def app(self):
+        return EchoServer(Simulation(seed=15), mode="unikraft")
+
+    def test_echoes_line(self, app):
+        sock = app.network.connect(7)
+        sock.send(b"hello\n")
+        app.poll()
+        assert sock.recv() == b"hello\n"
+
+    def test_multiple_lines_echoed_separately(self, app):
+        sock = app.network.connect(7)
+        sock.send(b"one\ntwo\n")
+        app.poll()
+        assert sock.recv() == b"one\ntwo\n"
+        assert app.requests_served == 2
+
+    def test_incomplete_line_waits(self, app):
+        sock = app.network.connect(7)
+        sock.send(b"no newline yet")
+        app.poll()
+        assert sock.pending() == 0
+
+    def test_component_count_matches_paper(self, app):
+        # §VI: Echo links seven components
+        assert len(app.kernel.image.boot_order) == 7
+        assert "9PFS" not in app.kernel.image.boot_order
+        assert "SYSINFO" not in app.kernel.image.boot_order
+
+    def test_ten_tags_under_vampos(self):
+        app = EchoServer(Simulation(seed=16), mode=DAS)
+        assert app.mpk_tag_count() == 10

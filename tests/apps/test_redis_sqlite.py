@@ -1,0 +1,272 @@
+"""Unit tests for MiniRedis and MiniSQLite."""
+
+import pytest
+
+from repro.apps.redis import MiniRedis
+from repro.apps.sqlite import MiniSQLite, SqlError, _split_values
+from repro.core.config import DAS
+from repro.sim.engine import Simulation
+
+
+def command(app, sock, line: bytes) -> bytes:
+    sock.send(line + b"\n")
+    app.poll()
+    return sock.recv()
+
+
+class TestRedisProtocol:
+    @pytest.fixture
+    def app(self):
+        return MiniRedis(Simulation(seed=21), mode="unikraft")
+
+    def test_ping(self, app):
+        sock = app.network.connect(6379)
+        assert command(app, sock, b"PING") == b"+PONG\n"
+
+    def test_set_get(self, app):
+        sock = app.network.connect(6379)
+        assert command(app, sock, b"SET k1 val") == b"+OK\n"
+        assert command(app, sock, b"GET k1") == b"$val\n"
+        assert app.sets == 1 and app.gets == 1
+
+    def test_get_missing(self, app):
+        sock = app.network.connect(6379)
+        assert command(app, sock, b"GET ghost") == b"$-1\n"
+
+    def test_del_and_dbsize(self, app):
+        sock = app.network.connect(6379)
+        command(app, sock, b"SET a 1")
+        command(app, sock, b"SET b 2")
+        assert command(app, sock, b"DBSIZE") == b":2\n"
+        assert command(app, sock, b"DEL a") == b":1\n"
+        assert command(app, sock, b"DEL a") == b":0\n"
+        assert command(app, sock, b"DBSIZE") == b":1\n"
+
+    def test_unknown_command(self, app):
+        sock = app.network.connect(6379)
+        assert command(app, sock, b"FLY").startswith(b"-ERR")
+
+    def test_value_with_spaces(self, app):
+        sock = app.network.connect(6379)
+        command(app, sock, b"SET k hello world")
+        assert command(app, sock, b"GET k") == b"$hello world\n"
+
+    def test_aof_mode_validation(self):
+        with pytest.raises(ValueError):
+            MiniRedis(Simulation(seed=1), aof="sometimes")
+
+
+class TestRedisDurability:
+    def test_aof_written_synchronously(self):
+        app = MiniRedis(Simulation(seed=22), mode="unikraft",
+                        aof="always")
+        sock = app.network.connect(6379)
+        command(app, sock, b"SET k v")
+        assert b"SET k v" in app.share.read("/redis/appendonly.aof")
+
+    def test_full_reboot_restores_from_aof(self):
+        app = MiniRedis(Simulation(seed=23), mode="unikraft",
+                        aof="always")
+        sock = app.network.connect(6379)
+        command(app, sock, b"SET k v")
+        app.kernel.full_reboot()
+        assert app.get_direct("k") == b"v"
+
+    def test_full_reboot_without_aof_loses_data(self):
+        app = MiniRedis(Simulation(seed=24), mode="unikraft", aof="off")
+        sock = app.network.connect(6379)
+        command(app, sock, b"SET k v")
+        app.kernel.full_reboot()
+        assert app.get_direct("k") is None
+
+    def test_aof_costs_fsync_per_set(self):
+        sim = Simulation(seed=25)
+        app = MiniRedis(sim, mode="unikraft", aof="always")
+        sock = app.network.connect(6379)
+        before = sim.ledger.totals.get("storage_fsync", 0.0)
+        command(app, sock, b"SET k v")
+        assert sim.ledger.totals.get("storage_fsync", 0.0) > before
+
+    def test_vampos_component_reboot_keeps_kvs_without_aof(self):
+        app = MiniRedis(Simulation(seed=26), mode=DAS, aof="off")
+        sock = app.network.connect(6379)
+        command(app, sock, b"SET k v")
+        app.vampos.reboot_component("9PFS")
+        app.vampos.reboot_component("VFS")
+        assert command(app, sock, b"GET k") == b"$v\n"
+
+    def test_warm_up_direct(self):
+        from repro.workloads.redis_load import warm_up
+        app = MiniRedis(Simulation(seed=27), mode="unikraft")
+        warm_up(app, keys=100, value_bytes=16)
+        assert app.dbsize() == 100
+        assert app.app_state_bytes() > 100 * 16
+
+
+class TestSqlEngine:
+    @pytest.fixture
+    def db(self):
+        return MiniSQLite(Simulation(seed=31), mode="unikraft")
+
+    def test_create_insert_select(self, db):
+        db.execute("CREATE TABLE users (id, name)")
+        db.execute("INSERT INTO users VALUES (1, 'ada')")
+        db.execute("INSERT INTO users VALUES (2, 'bob')")
+        assert db.execute("SELECT * FROM users") == [(1, "ada"),
+                                                     (2, "bob")]
+
+    def test_select_where(self, db):
+        db.execute("CREATE TABLE t (k, v)")
+        db.execute("INSERT INTO t VALUES ('a', 10)")
+        db.execute("INSERT INTO t VALUES ('b', 20)")
+        assert db.execute("SELECT * FROM t WHERE k = 'b'") == [("b", 20)]
+        assert db.execute("SELECT * FROM t WHERE v = 10") == [("a", 10)]
+
+    def test_projection(self, db):
+        db.execute("CREATE TABLE t (a, b, c)")
+        db.execute("INSERT INTO t VALUES (1, 2, 3)")
+        assert db.execute("SELECT c, a FROM t") == [(3, 1)]
+
+    def test_update(self, db):
+        db.execute("CREATE TABLE t (k, v)")
+        db.execute("INSERT INTO t VALUES ('a', 1)")
+        db.execute("UPDATE t SET v = 9 WHERE k = 'a'")
+        assert db.execute("SELECT v FROM t") == [(9,)]
+
+    def test_update_without_where_hits_all(self, db):
+        db.execute("CREATE TABLE t (v)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+        db.execute("UPDATE t SET v = 0")
+        assert db.execute("SELECT * FROM t") == [(0,), (0,)]
+
+    def test_delete(self, db):
+        db.execute("CREATE TABLE t (k)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+        db.execute("DELETE FROM t WHERE k = 1")
+        assert db.row_count("t") == 1
+
+    def test_string_escaping(self, db):
+        db.execute("CREATE TABLE t (s)")
+        db.execute("INSERT INTO t VALUES ('it''s')")
+        assert db.execute("SELECT * FROM t") == [("it's",)]
+
+    def test_floats(self, db):
+        db.execute("CREATE TABLE t (x)")
+        db.execute("INSERT INTO t VALUES (1.5)")
+        assert db.execute("SELECT * FROM t") == [(1.5,)]
+
+    def test_errors(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT * FROM nope")
+        with pytest.raises(SqlError):
+            db.execute("DROP TABLE x")  # unsupported verb
+        db.execute("CREATE TABLE t (a)")
+        with pytest.raises(SqlError):
+            db.execute("CREATE TABLE t (b)")
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO t VALUES (1, 2)")  # arity
+        with pytest.raises(SqlError):
+            db.execute("SELECT nope FROM t")
+
+    def test_transactions_commit(self, db):
+        db.execute("CREATE TABLE t (v)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("COMMIT")
+        assert db.row_count("t") == 1
+
+    def test_transactions_rollback(self, db):
+        db.execute("CREATE TABLE t (v)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("ROLLBACK")
+        assert db.row_count("t") == 0
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(SqlError):
+            db.execute("BEGIN")
+
+    def test_commit_outside_txn_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("COMMIT")
+
+
+class TestSqliteDurability:
+    def test_full_reboot_recovers_committed_rows(self):
+        db = MiniSQLite(Simulation(seed=32), mode="unikraft")
+        db.execute("CREATE TABLE t (v)")
+        db.execute("INSERT INTO t VALUES (42)")
+        db.kernel.full_reboot()
+        assert db.execute("SELECT * FROM t") == [(42,)]
+
+    def test_uncommitted_txn_lost_on_reboot(self):
+        db = MiniSQLite(Simulation(seed=33), mode="unikraft")
+        db.execute("CREATE TABLE t (v)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.kernel.full_reboot()
+        assert db.row_count("t") == 0
+
+    def test_synchronous_mode_uses_journal(self):
+        sim = Simulation(seed=34)
+        db = MiniSQLite(sim, mode="unikraft", synchronous=True)
+        before = sim.ledger.counts.get("storage_fsync", 0)
+        db.execute("CREATE TABLE t (v)")
+        assert sim.ledger.counts.get("storage_fsync", 0) >= before + 2
+
+    def test_component_reboot_under_vampos(self):
+        db = MiniSQLite(Simulation(seed=35), mode=DAS)
+        db.execute("CREATE TABLE t (v)")
+        db.execute("INSERT INTO t VALUES (7)")
+        db.vampos.reboot_component("VFS")
+        db.execute("INSERT INTO t VALUES (8)")
+        assert db.execute("SELECT * FROM t") == [(7,), (8,)]
+
+    def test_tag_count_matches_paper(self):
+        db = MiniSQLite(Simulation(seed=36), mode=DAS)
+        assert db.mpk_tag_count() == 10  # §VI
+
+
+class TestSplitValues:
+    @pytest.mark.parametrize("raw,expected", [
+        ("1, 2", ["1", "2"]),
+        ("'a,b', 2", ["'a,b'", "2"]),
+        ("'it''s', 3", ["'it''s'", "3"]),
+        ("1", ["1"]),
+    ])
+    def test_cases(self, raw, expected):
+        assert _split_values(raw) == expected
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            _split_values("'oops")
+
+
+class TestRedisPartialCommands:
+    def test_command_split_across_segments(self):
+        app = MiniRedis(Simulation(seed=120), mode="unikraft")
+        sock = app.network.connect(6379)
+        sock.send(b"SET sp")
+        app.poll()
+        assert sock.pending() == 0  # incomplete: no reply yet
+        sock.send(b"lit done\n")
+        app.poll()
+        assert sock.recv() == b"+OK\n"
+        assert app.get_direct("split") == b"done"
+
+    def test_multiple_commands_in_one_segment(self):
+        app = MiniRedis(Simulation(seed=121), mode="unikraft")
+        sock = app.network.connect(6379)
+        sock.send(b"SET a 1\nSET b 2\nGET a\n")
+        app.poll()
+        assert sock.recv() == b"+OK\n+OK\n$1\n"
+
+    def test_crlf_tolerated(self):
+        app = MiniRedis(Simulation(seed=122), mode="unikraft")
+        sock = app.network.connect(6379)
+        sock.send(b"PING\r\n")
+        app.poll()
+        assert sock.recv() == b"+PONG\n"

@@ -1,0 +1,72 @@
+"""Crash-consistency tests for MiniSQLite's write-ahead journal."""
+
+import pytest
+
+from repro.apps.sqlite import DB_PATH, JOURNAL_PATH, MiniSQLite
+from repro.net.hostshare import HostShare
+from repro.sim.engine import Simulation
+
+
+def make_db(share=None, seed=91):
+    return MiniSQLite(Simulation(seed=seed), mode="unikraft",
+                      share=share)
+
+
+class TestJournalRecovery:
+    def test_journal_reset_after_clean_persist(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (v)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.share.size(JOURNAL_PATH) == 0
+
+    def test_crash_after_journal_before_db(self):
+        """Simulate a power cut between the journal fsync and the db
+        write: the statement exists only in the journal; the next boot
+        must complete it."""
+        db = make_db()
+        db.execute("CREATE TABLE t (v)")
+        # Hand-craft the crash state on the host share.
+        db.share.truncate(JOURNAL_PATH)
+        db.share.write(JOURNAL_PATH, 0, b"INSERT INTO t VALUES (42)\n")
+        recovered = make_db(share=db.share, seed=92)
+        assert recovered.execute("SELECT * FROM t") == [(42,)]
+        assert recovered.share.size(JOURNAL_PATH) == 0
+        # the completed statement reached the database file too
+        assert b"INSERT INTO t VALUES (42)" in \
+            recovered.share.read(DB_PATH)
+
+    def test_crash_after_db_before_journal_reset(self):
+        """Power cut after the db fsync but before the journal reset:
+        the statement is in both places and must not apply twice."""
+        db = make_db()
+        db.execute("CREATE TABLE t (v)")
+        db.execute("INSERT INTO t VALUES (7)")
+        # re-create the pre-reset journal state
+        db.share.truncate(JOURNAL_PATH)
+        db.share.write(JOURNAL_PATH, 0, b"INSERT INTO t VALUES (7)\n")
+        recovered = make_db(share=db.share, seed=93)
+        assert recovered.execute("SELECT * FROM t") == [(7,)]  # once!
+
+    def test_empty_journal_is_noop(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (v)")
+        recovered = make_db(share=db.share, seed=94)
+        assert recovered.row_count("t") == 0
+
+    def test_full_reboot_completes_journalled_statement(self):
+        """The same recovery, via the kernel's own full-reboot path."""
+        db = make_db()
+        db.execute("CREATE TABLE t (v)")
+        db.share.truncate(JOURNAL_PATH)
+        db.share.write(JOURNAL_PATH, 0, b"INSERT INTO t VALUES (5)\n")
+        db.kernel.full_reboot()
+        assert db.execute("SELECT * FROM t") == [(5,)]
+
+    def test_async_mode_skips_journal(self):
+        sim = Simulation(seed=95)
+        db = MiniSQLite(sim, mode="unikraft", synchronous=False)
+        fsyncs_before = sim.ledger.counts.get("storage_fsync", 0)
+        db.execute("CREATE TABLE t (v)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert sim.ledger.counts.get("storage_fsync", 0) == fsyncs_before
+        assert not db.share.exists(JOURNAL_PATH)

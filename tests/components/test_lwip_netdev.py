@@ -1,0 +1,195 @@
+"""Unit tests for LWIP and NETDEV."""
+
+import pytest
+
+from repro.unikernel.errors import SyscallError
+
+
+@pytest.fixture
+def kernel(vanilla_kernel):
+    return vanilla_kernel
+
+
+def listening_socket(kernel, port=80):
+    sock = kernel.syscall("LWIP", "socket")
+    kernel.syscall("LWIP", "bind", sock, port)
+    kernel.syscall("LWIP", "listen", sock, 8)
+    return sock
+
+
+class TestSocketLifecycle:
+    def test_socket_bind_listen(self, kernel):
+        sock = listening_socket(kernel)
+        entry = kernel.component("LWIP").socket_entry(sock)
+        assert entry.listening and entry.bound_port == 80
+
+    def test_only_tcp_supported(self, kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("LWIP", "socket", "udp")
+        assert excinfo.value.errno == "EPROTONOSUPPORT"
+
+    def test_listen_before_bind_rejected(self, kernel):
+        sock = kernel.syscall("LWIP", "socket")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("LWIP", "listen", sock)
+        assert excinfo.value.errno == "EINVAL"
+
+    def test_double_bind_same_port_rejected(self, kernel):
+        listening_socket(kernel, 80)
+        other = kernel.syscall("LWIP", "socket")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("LWIP", "bind", other, 80)
+        assert excinfo.value.errno == "EADDRINUSE"
+
+    def test_close_releases_listener(self, kernel):
+        sock = listening_socket(kernel)
+        kernel.syscall("LWIP", "sock_net_close", sock)
+        with pytest.raises(Exception):
+            kernel.test_network.connect(80)
+
+    def test_sock_ids_reuse_lowest_free(self, kernel):
+        a = kernel.syscall("LWIP", "socket")
+        b = kernel.syscall("LWIP", "socket")
+        kernel.syscall("LWIP", "sock_net_close", a)
+        c = kernel.syscall("LWIP", "socket")
+        assert c == a and b != c
+
+    def test_unknown_socket(self, kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("LWIP", "bind", 99, 80)
+        assert excinfo.value.errno == "EBADF"
+
+    def test_connect_unsupported(self, kernel):
+        sock = kernel.syscall("LWIP", "socket")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("LWIP", "connect", sock, 80)
+        assert excinfo.value.errno == "ENETUNREACH"
+
+
+class TestOptions:
+    def test_sockopt_roundtrip(self, kernel):
+        sock = kernel.syscall("LWIP", "socket")
+        kernel.syscall("LWIP", "setsockopt", sock, "SO_REUSEADDR", 1)
+        assert kernel.syscall("LWIP", "getsockopt", sock,
+                              "SO_REUSEADDR") == 1
+        assert kernel.syscall("LWIP", "getsockopt", sock, "UNSET") == 0
+
+    def test_ioctl_recorded(self, kernel):
+        sock = kernel.syscall("LWIP", "socket")
+        kernel.syscall("LWIP", "sock_net_ioctl", sock, "FIONBIO", 1)
+        entry = kernel.component("LWIP").socket_entry(sock)
+        assert entry.options["ioctl:FIONBIO"] == 1
+
+
+class TestDataPath:
+    def test_accept_send_recv(self, kernel):
+        sock = listening_socket(kernel)
+        client = kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", sock)
+        assert accepted is not None
+        client.send(b"hi")
+        assert kernel.syscall("LWIP", "recv", accepted, 10) == b"hi"
+        kernel.syscall("LWIP", "send", accepted, b"yo")
+        assert client.recv() == b"yo"
+
+    def test_accept_none_when_empty(self, kernel):
+        sock = listening_socket(kernel)
+        assert kernel.syscall("LWIP", "accept", sock) is None
+
+    def test_accept_on_non_listener_rejected(self, kernel):
+        sock = kernel.syscall("LWIP", "socket")
+        with pytest.raises(SyscallError):
+            kernel.syscall("LWIP", "accept", sock)
+
+    def test_send_on_unconnected_rejected(self, kernel):
+        sock = kernel.syscall("LWIP", "socket")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("LWIP", "send", sock, b"x")
+        assert excinfo.value.errno == "ENOTCONN"
+
+    def test_shutdown_blocks_send(self, kernel):
+        sock = listening_socket(kernel)
+        kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", sock)
+        kernel.syscall("LWIP", "shutdown", accepted, "wr")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("LWIP", "send", accepted, b"x")
+        assert excinfo.value.errno == "EPIPE"
+
+    def test_reset_surfaces_as_econnreset(self, kernel):
+        sock = listening_socket(kernel)
+        client = kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", sock)
+        client.close()
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("LWIP", "send", accepted, b"late")
+        assert excinfo.value.errno == "ECONNRESET"
+
+    def test_pcb_tracks_sequence_numbers(self, kernel):
+        sock = listening_socket(kernel)
+        client = kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", sock)
+        pcb = kernel.component("LWIP").socket_entry(accepted).pcb
+        snd0 = pcb.snd_nxt
+        kernel.syscall("LWIP", "send", accepted, b"abcd")
+        assert pcb.snd_nxt == snd0 + 4
+        client.send(b"xy")
+        kernel.syscall("LWIP", "recv", accepted, 10)
+        assert pcb.rcv_nxt == client.connection.client_isn + 2
+
+    def test_poll_set_batches(self, kernel):
+        sock = listening_socket(kernel)
+        clients = [kernel.test_network.connect(80) for _ in range(2)]
+        accepted = [kernel.syscall("LWIP", "accept", sock)
+                    for _ in range(2)]
+        clients[0].send(b"abc")
+        result = kernel.syscall("LWIP", "poll_set",
+                                accepted + [999])
+        assert result[accepted[0]] == 3
+        assert result[accepted[1]] == 0
+        assert result[999] == -1
+
+
+class TestRuntimeData:
+    def test_export_covers_connected_sockets_only(self, kernel):
+        listener = listening_socket(kernel)
+        kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", listener)
+        data = kernel.component("LWIP").export_runtime_data()
+        assert accepted in data["sockets"]
+        assert listener not in data["sockets"]
+
+    def test_import_restores_pcbs(self, kernel):
+        lwip = kernel.component("LWIP")
+        listener = listening_socket(kernel)
+        kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", listener)
+        blob = lwip.export_runtime_data()
+        pcb_before = lwip.socket_entry(accepted).pcb
+        lwip.on_boot()  # wipe (also re-attaches; fine in this test)
+        lwip.import_runtime_data(blob)
+        pcb_after = lwip.socket_entry(accepted).pcb
+        assert pcb_after.snd_nxt == pcb_before.snd_nxt
+        assert pcb_after.conn_id == pcb_before.conn_id
+
+    def test_import_none_tolerated(self, kernel):
+        kernel.component("LWIP").import_runtime_data(None)
+
+
+class TestNetdev:
+    def test_counters(self, kernel):
+        netdev = kernel.component("NETDEV")
+        sock = listening_socket(kernel)
+        client = kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", sock)
+        kernel.syscall("LWIP", "send", accepted, b"x")
+        client.send(b"y")
+        kernel.syscall("LWIP", "recv", accepted, 1)
+        assert netdev.tx_packets == 1
+        assert netdev.rx_packets == 1
+
+    def test_reinit_resets_counters_only(self, kernel):
+        netdev = kernel.component("NETDEV")
+        netdev.tx_packets = 7
+        netdev.on_boot()
+        assert netdev.tx_packets == 0

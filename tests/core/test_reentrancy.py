@@ -1,0 +1,134 @@
+"""Dispatcher-level re-entrancy: the §V-A on-demand thread spawn.
+
+"Even if a running thread is blocked in a component, another thread is
+allocated by the scheduler to handle the arriving message."  Synthetic
+components that call back into their caller exercise that path through
+the full dispatcher.
+"""
+
+import pytest
+
+from repro.core.config import DAS, NOOP
+from repro.core.runtime import VampOSKernel
+from repro.sim.engine import Simulation
+from repro.unikernel.component import Component, MemoryLayout, export
+from repro.unikernel.image import ImageBuilder, ImageSpec
+from repro.unikernel.registry import ComponentRegistry
+
+
+def build_pingpong_kernel(config=DAS):
+    registry = ComponentRegistry()
+
+    class Ping(Component):
+        NAME = "PING"
+        DEPENDENCIES = ("PONG",)
+        LAYOUT = MemoryLayout(heap_order=12)
+
+        @export(state_changing=False)
+        def rally(self, hops: int) -> int:
+            if hops <= 0:
+                return 0
+            return 1 + self.os.invoke("PONG", "rally", hops - 1)
+
+    class Pong(Component):
+        NAME = "PONG"
+        # the back-edge to PING is intentionally undeclared: the
+        # dependency graph is a scheduling hint, not a call whitelist
+        DEPENDENCIES = ()
+        LAYOUT = MemoryLayout(heap_order=12)
+
+        @export(state_changing=False)
+        def rally(self, hops: int) -> int:
+            if hops <= 0:
+                return 0
+            return 1 + self.os.invoke("PING", "rally", hops - 1)
+
+    registry.register(Ping)
+    registry.register(Pong)
+    sim = Simulation(seed=170)
+    image = ImageBuilder(registry).build(
+        ImageSpec("pingpong", ["PING", "PONG"]), sim)
+    kernel = VampOSKernel(image, config)
+    kernel.boot()
+    return kernel
+
+
+class TestReentrancy:
+    def test_mutual_recursion_completes(self):
+        kernel = build_pingpong_kernel()
+        assert kernel.syscall("PING", "rally", 6) == 6
+
+    def test_reentry_spawns_threads(self):
+        """Each re-entry into a busy component attaches a fresh thread."""
+        kernel = build_pingpong_kernel()
+        kernel.syscall("PING", "rally", 6)
+        stats = kernel.scheduler.stats
+        # PING re-entered at depths 2, 4, 6; PONG at 3, 5 → 5 spawns
+        assert stats.spawns == 5
+        assert kernel.scheduler.threads["PING"].spawned >= 2
+        assert kernel.scheduler.threads["PONG"].spawned >= 2
+
+    def test_spawns_charge_time(self):
+        deep = build_pingpong_kernel()
+        shallow = build_pingpong_kernel()
+        deep.syscall("PING", "rally", 8)
+        t_deep = deep.sim.clock.now_us
+        shallow.syscall("PING", "rally", 1)
+        # more than linear: the extra spawns cost on top of the hops
+        assert t_deep > 4 * shallow.sim.clock.now_us
+
+    def test_reverse_edge_is_predicted_under_das(self):
+        """PONG→PING is the reverse of a declared edge — replies flow
+        back, so the correlation table predicts it (no fallback)."""
+        kernel = build_pingpong_kernel(DAS)
+        kernel.syscall("PING", "rally", 4)
+        assert kernel.scheduler.fallback_dispatches == 0
+
+    def test_truly_undeclared_edge_falls_back_under_das(self):
+        """An edge absent from the correlation table in *both*
+        directions takes the dependency-aware fallback scan."""
+        registry = ComponentRegistry()
+
+        class Left(Component):
+            NAME = "LEFT"
+            DEPENDENCIES = ()
+            LAYOUT = MemoryLayout(heap_order=12)
+
+            @export(state_changing=False)
+            def sidestep(self) -> int:
+                return self.os.invoke("RIGHT", "answer")
+
+        class Right(Component):
+            NAME = "RIGHT"
+            DEPENDENCIES = ()
+            LAYOUT = MemoryLayout(heap_order=12)
+
+            @export(state_changing=False)
+            def answer(self) -> int:
+                return 42
+
+        registry.register(Left)
+        registry.register(Right)
+        sim = Simulation(seed=171)
+        image = ImageBuilder(registry).build(
+            ImageSpec("undeclared", ["LEFT", "RIGHT"]), sim)
+        kernel = VampOSKernel(image, DAS)
+        kernel.boot()
+        assert kernel.syscall("LEFT", "sidestep") == 42
+        assert kernel.scheduler.fallback_dispatches > 0
+
+    def test_round_robin_needs_no_graph(self):
+        kernel = build_pingpong_kernel(NOOP)
+        assert kernel.syscall("PING", "rally", 4) == 4
+
+    def test_chain_unwinds_cleanly(self):
+        """After the rally returns, no thread is left marked active."""
+        kernel = build_pingpong_kernel()
+        kernel.syscall("PING", "rally", 6)
+        from repro.core.scheduler import APP_THREAD, ThreadState
+        assert kernel.scheduler._active_chain == [APP_THREAD]
+        for name in ("PING", "PONG"):
+            assert kernel.scheduler.threads[name].state \
+                is ThreadState.IDLE
+        # and the message domain drained completely
+        assert kernel.message_domain.in_flight_count() == 0

@@ -1,0 +1,336 @@
+"""Integration-grade unit tests for the VampOS runtime (§IV, §V)."""
+
+import pytest
+
+from repro.core.config import DAS, FSM, NETM, NOOP
+from repro.core.runtime import VampOSKernel
+from repro.unikernel.errors import (
+    RecoveryFailed,
+    SyscallError,
+    UnrebootableComponent,
+)
+from tests.conftest import build_kernel
+
+
+@pytest.fixture
+def kernel(vamp_kernel):
+    vamp_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return vamp_kernel
+
+
+class TestTagAllocation:
+    def test_nginx_like_image_uses_twelve_tags(self, vamp_kernel):
+        # app + 9 components + message domain + scheduler (§VI)
+        assert vamp_kernel.mpk_tag_count() == 12
+
+    def test_merged_config_saves_a_tag(self, sim, share):
+        kernel = build_kernel(sim, share, config=FSM)
+        assert kernel.mpk_tag_count() == 11
+
+    def test_regions_tagged_per_unit(self, vamp_kernel):
+        vfs_key = vamp_kernel.component("VFS").heap.protection_key
+        lwip_key = vamp_kernel.component("LWIP").heap.protection_key
+        assert vfs_key is not None and vfs_key != lwip_key
+
+    def test_merged_components_share_a_tag(self, sim, share):
+        kernel = build_kernel(sim, share, config=FSM)
+        assert kernel.component("VFS").heap.protection_key == \
+            kernel.component("9PFS").heap.protection_key
+
+
+class TestLogging:
+    def test_logged_calls_recorded_with_keys(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        entry = kernel.logs["VFS"].entries[-1]
+        assert entry.func == "open" and entry.key == fd
+        assert entry.completed and entry.result == fd
+
+    def test_nested_retvals_recorded(self, kernel):
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        entry = next(e for e in kernel.logs["VFS"].entries
+                     if e.func == "open")
+        targets = [(r.target, r.func) for r in entry.nested]
+        assert ("9PFS", "uk_9pfs_lookup") in targets
+        assert ("9PFS", "uk_9pfs_open") in targets
+
+    def test_state_neutral_calls_not_logged(self, kernel):
+        kernel.syscall("VFS", "stat", "/data/hello.txt")
+        assert all(e.func != "stat" for e in kernel.logs["VFS"].entries)
+
+    def test_errno_calls_leave_no_log_entry(self, kernel):
+        before = len(kernel.logs["VFS"])
+        with pytest.raises(SyscallError):
+            kernel.syscall("VFS", "open", "/data/ghost", "r")
+        assert len(kernel.logs["VFS"]) == before
+
+    def test_errno_recorded_in_caller_retval_log(self, kernel):
+        """VFS.open('…', 'c') sees ENOENT from lookup then creates; the
+        error outcome must be in VFS's retval log for replay."""
+        kernel.syscall("VFS", "open", "/data/fresh", "rwc")
+        entry = next(e for e in reversed(kernel.logs["VFS"].entries)
+                     if e.func == "open")
+        assert any(r.error and r.error[0] == "ENOENT"
+                   for r in entry.nested)
+        assert any(r.func == "uk_9pfs_create" for r in entry.nested)
+
+    def test_stateless_components_have_no_log(self, kernel):
+        assert "PROCESS" not in kernel.logs
+        assert set(kernel.logs) == {"VFS", "9PFS", "LWIP"}
+
+    def test_logging_disabled_config(self, sim, share):
+        kernel = build_kernel(sim, share,
+                              config=DAS.with_(logging_enabled=False))
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert len(kernel.logs["VFS"]) == 0
+
+
+class TestRebootStateful:
+    def test_vfs_offset_survives(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 5)
+        record = kernel.reboot_component("VFS")
+        assert record.entries_replayed > 0
+        assert kernel.component("VFS").fd_entry(fd).offset == 5
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+
+    def test_replay_feeds_logged_retvals_not_live_calls(self, kernel):
+        """Encapsulated restoration: 9PFS must not execute anything
+        while VFS replays (Fig. 3)."""
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        ninep = kernel.component("9PFS")
+        fids_before = ninep.live_fids()
+        share_rpcs = kernel.component("VIRTIO").share.rpc_count
+        kernel.reboot_component("VFS")
+        assert ninep.live_fids() == fids_before
+        assert kernel.component("VIRTIO").share.rpc_count == share_rpcs
+
+    def test_9pfs_reboot_keeps_vfs_fids_valid(self, kernel):
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.reboot_component("9PFS")
+        assert kernel.syscall("VFS", "read", fd, 5) == b"hello"
+
+    def test_lwip_reboot_preserves_connections(self, sim, share):
+        kernel = build_kernel(sim, share)
+        network = kernel.test_network
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "bind", sfd, 80)
+        kernel.syscall("VFS", "listen", sfd, 8)
+        client = network.connect(80)
+        afd = kernel.syscall("VFS", "accept", sfd)
+        client.send(b"before")
+        kernel.syscall("VFS", "read", afd, 6)
+        kernel.reboot_component("LWIP")
+        kernel.syscall("VFS", "write", afd, b"after")
+        assert client.recv() == b"after"
+        assert not client.is_reset
+
+    def test_lwip_reboot_without_runtime_data_resets(self, sim, share):
+        """The ablation the paper implies: drop the saved seq/ACK
+        numbers and the restored stack kills its connections."""
+        kernel = build_kernel(sim, share)
+        network = kernel.test_network
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "bind", sfd, 80)
+        kernel.syscall("VFS", "listen", sfd, 8)
+        client = network.connect(80)
+        afd = kernel.syscall("VFS", "accept", sfd)
+        kernel._runtime_data.pop("LWIP")  # sabotage
+        kernel.reboot_component("LWIP")
+        with pytest.raises(SyscallError):
+            kernel.syscall("VFS", "write", afd, b"after")
+
+    def test_downtime_recorded(self, kernel):
+        record = kernel.reboot_component("VFS")
+        assert record.downtime_us > 0
+        assert kernel.reboots[-1] is record
+
+    def test_reboot_clears_aging(self, kernel):
+        ninep = kernel.component("9PFS")
+        offset = ninep.alloc(512)
+        ninep.allocator.leak(offset)
+        kernel.reboot_component("9PFS")
+        assert ninep.allocator.leaked_bytes() == 0
+
+
+class TestRebootStateless:
+    def test_process_reboot_is_cheap(self, kernel):
+        record = kernel.reboot_component("PROCESS")
+        assert record.stateless
+        assert record.entries_replayed == 0
+        assert record.snapshot_bytes == 0
+        stateful = kernel.reboot_component("VFS")
+        assert record.downtime_us < stateful.downtime_us
+
+    def test_process_still_works_after(self, kernel):
+        kernel.reboot_component("PROCESS")
+        assert kernel.syscall("PROCESS", "getpid") == 1
+
+
+class TestMergedReboot:
+    def test_composite_reboot_covers_all_members(self, sim, share):
+        kernel = build_kernel(sim, share, config=FSM)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 5)
+        record = kernel.reboot_component("VFS")
+        assert set(record.members) == {"VFS", "9PFS"}
+        assert kernel.component("VFS").fd_entry(fd).offset == 5
+        assert kernel.syscall("VFS", "read", fd, 6) == b" world"
+
+    def test_merged_calls_skip_message_passing(self, sim, share):
+        kernel = build_kernel(sim, share, config=FSM)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        dispatches_before = kernel.scheduler.stats.dispatches
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        fsm_dispatches = kernel.scheduler.stats.dispatches \
+            - dispatches_before
+        # compare against the unmerged config
+        sim2 = Simulation = None
+        from repro.sim.engine import Simulation as Sim
+        from repro.net.hostshare import HostShare
+        share2 = HostShare()
+        share2.makedirs("/data")
+        share2.create("/data/hello.txt", b"hello world")
+        kernel2 = build_kernel(Sim(seed=1234), share2, config=DAS)
+        kernel2.syscall("VFS", "mount", "/", "9pfs", "/")
+        before2 = kernel2.scheduler.stats.dispatches
+        kernel2.syscall("VFS", "open", "/data/hello.txt", "r")
+        das_dispatches = kernel2.scheduler.stats.dispatches - before2
+        assert fsm_dispatches < das_dispatches
+
+    def test_merged_logs_still_kept_per_component(self, sim, share):
+        """Merging removes message passing but not logging — the
+        composite reboot replays each member's own log (§V-F)."""
+        kernel = build_kernel(sim, share, config=FSM)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert len(kernel.logs["VFS"]) > 0
+        assert len(kernel.logs["9PFS"]) > 0
+
+
+class TestFailureRecovery:
+    def test_panic_recovered_transparently(self, kernel):
+        kernel.component("9PFS").injected_panic = "bit flip"
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert kernel.syscall("VFS", "read", fd, 5) == b"hello"
+        assert any(r.component == "9PFS" and r.reason == "Panic"
+                   for r in kernel.reboots)
+        assert kernel.detector.failures_for("9PFS")
+
+    def test_hang_detected_and_recovered(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.component("9PFS").injected_hang = True
+        t0 = sim.clock.now_us
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert fd >= 3
+        # detection costs the hang threshold (1.0 s)
+        assert sim.clock.now_us - t0 >= kernel.config.hang_threshold_us
+        assert any(f.kind == "hang" for f in kernel.detector.failures)
+
+    def test_deterministic_bug_fail_stops(self, kernel):
+        """§II-B: replay re-triggers a deterministic bug; VampOS
+        fail-stops instead of looping."""
+        kernel.component("9PFS").deterministic_faults.add(
+            "uk_9pfs_lookup")
+        with pytest.raises(RecoveryFailed):
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert kernel.crashed
+
+    def test_virtio_unrebootable(self, kernel):
+        with pytest.raises(UnrebootableComponent):
+            kernel.reboot_component("VIRTIO")
+
+    def test_wild_write_blocked_and_writer_rebooted(self, kernel):
+        """§V-D: the protection domain confines the error; the faulty
+        component (not the victim) is rebooted."""
+        vfs_heap = kernel.component("VFS").heap
+        boots_before = kernel.component("LWIP").boot_count
+        kernel.attempt_wild_write("LWIP", "VFS")
+        assert not vfs_heap.corrupted
+        assert any(r.component == "LWIP" for r in kernel.reboots)
+        assert any(f.kind == "protection_fault"
+                   for f in kernel.detector.failures)
+
+    def test_wild_write_lands_when_mpk_disabled(self, sim, share):
+        kernel = build_kernel(sim, share,
+                              config=DAS.with_(enforce_mpk=False))
+        kernel.attempt_wild_write("LWIP", "VFS")
+        assert kernel.component("VFS").heap.corrupted
+
+    def test_rejuvenate_all(self, kernel):
+        records = kernel.rejuvenate_all()
+        rebooted = {r.component for r in records}
+        assert "VIRTIO" not in rebooted
+        assert {"VFS", "9PFS", "LWIP", "PROCESS"} <= rebooted
+        assert kernel.syscall("PROCESS", "getpid") == 1
+
+
+class TestMemoryAccounting:
+    def test_overhead_includes_logs_and_snapshots(self, kernel):
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        overhead = kernel.memory_overhead_bytes()
+        assert overhead >= kernel.config.msg_domain_bytes
+        assert kernel.log_space_bytes() > 0
+        assert kernel.total_memory_bytes() > \
+            kernel.image.total_memory_bytes()
+
+
+class TestConfigValidation:
+    def test_merge_member_must_be_linked(self, sim, share):
+        from repro.unikernel.image import ImageBuilder, ImageSpec
+        spec = ImageSpec("mini", ["PROCESS"])
+        image = ImageBuilder().build(spec, sim)
+        with pytest.raises(ValueError):
+            VampOSKernel(image, FSM)
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            DAS.with_(scheduler="lottery").validate()
+
+    def test_overlapping_merges_rejected(self):
+        bad = DAS.with_(merges={"A": ("VFS", "9PFS"),
+                                "B": ("9PFS", "LWIP")})
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestVampOSFullReboot:
+    """§IV keeps the regular reboot around for updates/reconfiguration."""
+
+    def test_full_reboot_rebuilds_everything(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        downtime = kernel.full_reboot()
+        assert downtime >= kernel.sim.costs.full_reboot_fixed
+        assert kernel.full_reboots == 1
+        # the old descriptor died with the image
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        with pytest.raises(SyscallError):
+            kernel.syscall("VFS", "read", fd, 1)
+        # the VampOS machinery is live again
+        assert kernel.mpk_tag_count() == 12
+        kernel.reboot_component("VFS")
+
+    def test_full_reboot_resets_connections(self, sim, share):
+        kernel = build_kernel(sim, share)
+        network = kernel.test_network
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "bind", sfd, 80)
+        kernel.syscall("VFS", "listen", sfd, 8)
+        client = network.connect(80)
+        kernel.syscall("VFS", "accept", sfd)
+        kernel.full_reboot()
+        assert client.is_reset
+
+    def test_listeners_survive_and_fire(self, sim, share):
+        kernel = build_kernel(sim, share)
+        seen = []
+        kernel.on_full_reboot(lambda: seen.append(True))
+        kernel.full_reboot()
+        kernel.full_reboot()
+        assert seen == [True, True]
+        assert kernel.full_reboots == 2

@@ -1,0 +1,151 @@
+"""Unit tests for the component-thread schedulers (§V-A, §V-C)."""
+
+import pytest
+
+from repro.core.scheduler import (
+    APP_THREAD,
+    MSG_THREAD,
+    DependencyAwareScheduler,
+    RoundRobinScheduler,
+    ThreadState,
+    build_units,
+)
+from repro.sim.engine import Simulation
+
+UNITS = [APP_THREAD, "VFS", "9PFS", "LWIP", MSG_THREAD]
+GRAPH = {"VFS": ["9PFS", "LWIP"], "9PFS": [], "LWIP": []}
+
+
+class TestBuildUnits:
+    def test_no_merges(self):
+        units, member_map = build_units(["VFS", "9PFS"], {})
+        assert units == [APP_THREAD, "VFS", "9PFS", MSG_THREAD]
+        assert member_map == {}
+
+    def test_merge_collapses_members(self):
+        units, member_map = build_units(
+            ["VFS", "9PFS", "LWIP"], {"FS": ("VFS", "9PFS")})
+        assert units == [APP_THREAD, "FS", "LWIP", MSG_THREAD]
+        assert member_map == {"VFS": "FS", "9PFS": "FS"}
+
+    def test_merge_preserves_order_of_first_member(self):
+        units, _ = build_units(
+            ["LWIP", "VFS", "9PFS"], {"FS": ("VFS", "9PFS")})
+        assert units == [APP_THREAD, "LWIP", "FS", MSG_THREAD]
+
+
+class TestRoundRobin:
+    def test_walks_the_ring_charging_wasted_polls(self):
+        sim = Simulation()
+        sched = RoundRobinScheduler(sim, UNITS)
+        assert sched.current == APP_THREAD
+        sched.dispatch("LWIP", needs_msg_thread=False)
+        # APP -> VFS -> 9PFS -> LWIP: two wasted polls
+        assert sched.stats.wasted_polls == 2
+        assert sched.current == "LWIP"
+
+    def test_adjacent_dispatch_wastes_nothing(self):
+        sim = Simulation()
+        sched = RoundRobinScheduler(sim, UNITS)
+        sched.dispatch("VFS", needs_msg_thread=False)
+        assert sched.stats.wasted_polls == 0
+
+    def test_msg_thread_detour(self):
+        sim = Simulation()
+        sched = RoundRobinScheduler(sim, UNITS)
+        sched.dispatch("VFS", needs_msg_thread=True)
+        assert sched.stats.msg_thread_dispatches == 1
+        # detour APP->...->MSG wastes three polls, MSG->...->VFS wastes one
+        assert sched.stats.wasted_polls > 0
+
+    def test_dispatch_charges_time(self):
+        sim = Simulation()
+        sched = RoundRobinScheduler(sim, UNITS)
+        sched.dispatch("9PFS", needs_msg_thread=False)
+        assert sim.clock.now_us > 0
+
+    def test_complete_returns_to_caller(self):
+        sim = Simulation()
+        sched = RoundRobinScheduler(sim, UNITS)
+        sched.dispatch("VFS", needs_msg_thread=False)
+        sched.complete("VFS", APP_THREAD, needs_msg_thread=False)
+        assert sched.current == APP_THREAD
+        assert sched.threads["VFS"].state is ThreadState.IDLE
+
+
+class TestDependencyAware:
+    def make(self):
+        sim = Simulation()
+        return sim, DependencyAwareScheduler(sim, UNITS, GRAPH)
+
+    def test_predicted_dispatch_wastes_nothing(self):
+        sim, sched = self.make()
+        sched.dispatch("VFS", needs_msg_thread=False)   # APP -> VFS
+        sched.dispatch("9PFS", needs_msg_thread=False)  # VFS -> 9PFS
+        assert sched.stats.wasted_polls == 0
+        assert sched.fallback_dispatches == 0
+
+    def test_reverse_edges_for_replies(self):
+        sim, sched = self.make()
+        assert "VFS" in sched.candidates_of("9PFS")
+
+    def test_app_reaches_every_component(self):
+        sim, sched = self.make()
+        assert sched.candidates_of(APP_THREAD) >= {"VFS", "9PFS", "LWIP"}
+
+    def test_unpredicted_dispatch_falls_back(self):
+        sim, sched = self.make()
+        sched.dispatch("9PFS", needs_msg_thread=False)  # APP->9PFS fine
+        sched.dispatch("LWIP", needs_msg_thread=False)  # 9PFS->LWIP: no edge
+        assert sched.fallback_dispatches == 1
+        assert sched.stats.wasted_polls > 0
+
+    def test_cheaper_than_round_robin(self):
+        sim_rr = Simulation()
+        rr = RoundRobinScheduler(sim_rr, UNITS)
+        sim_da = Simulation()
+        da = DependencyAwareScheduler(sim_da, UNITS, GRAPH)
+        for sched in (rr, da):
+            sched.dispatch("VFS", needs_msg_thread=True)
+            sched.dispatch("LWIP", needs_msg_thread=True)
+            sched.complete("LWIP", "VFS", needs_msg_thread=True)
+            sched.complete("VFS", APP_THREAD, needs_msg_thread=True)
+        assert sim_da.clock.now_us < sim_rr.clock.now_us
+
+
+class TestThreadBookkeeping:
+    def test_reentrant_dispatch_spawns_thread(self):
+        """§V-A: when the bound thread is blocked inside the component,
+        a fresh thread is attached to handle the arriving message."""
+        sim = Simulation()
+        sched = RoundRobinScheduler(sim, UNITS)
+        sched.dispatch("VFS", needs_msg_thread=False)
+        sched.dispatch("9PFS", needs_msg_thread=False)
+        sched.dispatch("VFS", needs_msg_thread=False)  # re-entry
+        assert sched.stats.spawns == 1
+        assert sched.threads["VFS"].spawned == 1
+
+    def test_merged_components_share_a_thread(self):
+        sim = Simulation()
+        units, member_map = build_units(
+            ["VFS", "9PFS"], {"FS": ("VFS", "9PFS")})
+        sched = RoundRobinScheduler(sim, units, member_map)
+        assert sched.unit_of("VFS") == sched.unit_of("9PFS") == "FS"
+        assert sched.same_unit("VFS", "9PFS")
+        assert not sched.same_unit("VFS", APP_THREAD)
+
+    def test_mark_rebooting_and_reattach(self):
+        sim = Simulation()
+        sched = RoundRobinScheduler(sim, UNITS)
+        sched.mark_rebooting("VFS")
+        assert sched.threads["VFS"].state is ThreadState.REBOOTING
+        t0 = sim.clock.now_us
+        sched.reattach("VFS")
+        assert sched.threads["VFS"].state is ThreadState.IDLE
+        assert sim.clock.now_us > t0
+
+    def test_dispatch_counts(self):
+        sim = Simulation()
+        sched = RoundRobinScheduler(sim, UNITS)
+        sched.dispatch("VFS", needs_msg_thread=False)
+        assert sched.threads["VFS"].dispatches == 1

@@ -1,0 +1,58 @@
+"""Keep the examples runnable: each script's main() must complete and
+print its headline lines.  (Examples are documentation; broken docs are
+worse than none.)"""
+
+import contextlib
+import importlib.util
+import io
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart")
+        assert "[unikraft] served: HTTP/1.1 200 OK" in out
+        assert "same connection still works" in out
+        assert "shorter than the full reboot" in out
+
+    def test_rejuvenate_nginx(self):
+        out = run_example("rejuvenate_nginx")
+        assert "100.0% success" in out       # the VampOS arm
+        assert "full reboot in" in out       # the Unikraft arm
+        assert out.count("rebooted") >= 4
+
+    def test_recover_redis(self):
+        out = run_example("recover_redis")
+        assert "failed requests      : 0" in out   # VampOS arm
+        assert "full reboot + AOF replay" in out   # Unikraft arm
+
+    def test_aging_study(self):
+        out = run_example("aging_study")
+        assert "without rejuvenation" in out
+        assert "rejuvenated 9PFS" in out
+        assert "leaks cleared" in out
+
+    def test_live_update_and_variants(self):
+        out = run_example("live_update_and_variants")
+        assert "KV survived the code swap: True" in out
+        assert "running: PatchedNinePFS" in out
+        assert "KVs were dumped" in out
+        assert "wild write still confined: VFS heap corrupted = False" \
+            in out

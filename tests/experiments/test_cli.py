@@ -1,0 +1,86 @@
+"""Tests for the experiment CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "EXP-T3"])
+        assert args.ids == ["EXP-T3"]
+        assert args.scale == 300
+
+    def test_all_quick(self):
+        args = build_parser().parse_args(["all", "--quick"])
+        assert args.quick
+
+
+class TestExecution:
+    def test_list_prints_all_ids(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for exp_id in EXPERIMENTS:
+            assert exp_id in text
+
+    def test_run_single_experiment(self):
+        out = io.StringIO()
+        code = main(["run", "EXP-T3"], out=out)
+        assert code == 0
+        assert "EXP-T3" in out.getvalue()
+        assert "[PASS]" in out.getvalue()
+
+    def test_run_is_case_insensitive(self):
+        out = io.StringIO()
+        assert main(["run", "exp-t3"], out=out) == 0
+
+    def test_unknown_experiment(self):
+        out = io.StringIO()
+        assert main(["run", "EXP-NOPE"], out=out) == 2
+        assert "unknown experiment" in out.getvalue()
+
+    @pytest.mark.slow
+    def test_run_scaled_down_ablation(self):
+        out = io.StringIO()
+        code = main(["run", "ABL-AGING", "--scale", "150"], out=out)
+        assert code == 0
+        assert "rejuvenation effect" in out.getvalue()
+
+    @pytest.mark.slow
+    def test_run_multiple(self):
+        out = io.StringIO()
+        code = main(["run", "EXP-T3", "ABL-SHRINK", "--scale", "60"],
+                    out=out)
+        assert code == 0
+        assert out.getvalue().count("===") >= 2
+
+
+@pytest.mark.slow
+class TestCliAll:
+    def test_all_quick_runs_everything_green(self):
+        out = io.StringIO()
+        code = main(["all", "--quick"], out=out)
+        text = out.getvalue()
+        assert code == 0, text[-2000:]
+        for exp_id in EXPERIMENTS:
+            assert exp_id in text
+
+
+class TestInfo:
+    def test_info_lists_inventory(self):
+        out = io.StringIO()
+        assert main(["info"], out=out) == 0
+        text = out.getvalue()
+        for name in ("VFS", "9PFS", "LWIP", "VIRTIO", "RAMFS"):
+            assert name in text
+        assert "unrebootable" in text          # VIRTIO
+        assert "hang-exempt" in text           # LWIP
+        assert "VampOS-Noop" in text
+        assert "snapshot_restore_per_byte" in text

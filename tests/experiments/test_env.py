@@ -1,0 +1,50 @@
+"""Tests for the experiment environment helpers."""
+
+import pytest
+
+from repro.experiments.env import (
+    MODES,
+    make_echo,
+    make_nginx,
+    make_redis,
+    make_sim,
+    make_sqlite,
+)
+from repro.core.config import DAS
+
+
+class TestMakeSim:
+    def test_default_costs(self):
+        sim = make_sim(seed=5)
+        assert sim.costs.net_latency == 40.0
+
+    def test_remote_clients_scale_the_wire(self):
+        sim = make_sim(seed=5, remote_clients=True)
+        assert sim.costs.net_latency == 400.0
+        assert sim.costs.net_per_byte == pytest.approx(0.032)
+        # non-network costs untouched
+        assert sim.costs.msg_push == make_sim().costs.msg_push
+
+
+class TestAppFactories:
+    def test_modes_order_matches_paper(self):
+        from repro.experiments.env import mode_name
+        assert [mode_name(m) for m in MODES] == [
+            "Unikraft", "VampOS-Noop", "VampOS-DaS", "VampOS-FSm",
+            "VampOS-NETm"]
+
+    def test_redis_aof_defaults_per_mode(self):
+        assert make_redis("unikraft", seed=6).aof == "always"
+        assert make_redis(DAS, seed=6).aof == "off"
+
+    def test_redis_aof_override(self):
+        assert make_redis("unikraft", seed=6, aof="off").aof == "off"
+
+    def test_factories_build_working_apps(self):
+        assert make_sqlite(DAS, seed=7).tables() == []
+        assert make_echo(DAS, seed=7).PORT == 7
+        nginx = make_nginx(DAS, seed=7, remote_clients=True)
+        sock = nginx.network.connect(80)
+        sock.send(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+        nginx.poll()
+        assert sock.recv().startswith(b"HTTP/1.1 200")

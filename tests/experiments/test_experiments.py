@@ -1,0 +1,139 @@
+"""End-to-end checks: every reproduced table/figure at reduced scale.
+
+Each experiment module is run with small parameters and must (a)
+produce a well-formed report and (b) uphold every qualitative claim the
+paper makes — these are the assertions that the reproduction actually
+reproduces.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    app_overhead,
+    failure_recovery,
+    log_space,
+    reboot_time,
+    rejuvenation,
+    shrink_threshold,
+    syscall_overhead,
+)
+
+
+def assert_all_claims(report):
+    failed = [c for c in report.claims if not c.holds]
+    assert not failed, "\n".join(c.render() for c in failed)
+
+
+@pytest.mark.slow
+class TestPaperArtifacts:
+    def test_exp_f5_syscall_overheads(self):
+        report = syscall_overhead.run(trials=10)
+        assert report.experiment_id == "EXP-F5"
+        assert len(report.rows) == 7
+        assert_all_claims(report)
+
+    def test_exp_t3_log_space(self):
+        report = log_space.run()
+        assert len(report.rows) == 7
+        assert_all_claims(report)
+
+    def test_exp_f6_reboot_times(self):
+        report = reboot_time.run(trials=3, warmup_requests=60)
+        assert len(report.rows) == 6
+        assert_all_claims(report)
+
+    def test_exp_f7_app_overheads(self):
+        report = app_overhead.run(scale=60)
+        # 5 modes x Nginx/Redis + 4 x SQLite + 4 x Echo
+        # + 2 remote-client Nginx rows (§VII-C separate machine)
+        assert len(report.rows) == 20
+        assert_all_claims(report)
+
+    def test_exp_t4_shrink_threshold(self):
+        report = shrink_threshold.run(scale=120)
+        assert len(report.rows) == 3
+        assert_all_claims(report)
+
+    def test_exp_t5_rejuvenation(self):
+        report = rejuvenation.run(rounds=6, rejuvenate_every=2,
+                                  clients=20)
+        assert_all_claims(report)
+
+    def test_exp_f8_failure_recovery(self):
+        report = failure_recovery.run(keys=1500, duration_s=10,
+                                      disturb_at_s=4)
+        assert len(report.rows) == 2
+        assert_all_claims(report)
+
+
+@pytest.mark.slow
+class TestAblations:
+    def test_scheduler(self):
+        assert_all_claims(ablations.run_scheduler_ablation(requests=60))
+
+    def test_shrink(self):
+        assert_all_claims(ablations.run_shrink_ablation(requests=60))
+
+    def test_checkpoint(self):
+        assert_all_claims(ablations.run_checkpoint_ablation(requests=30))
+
+    def test_aging(self):
+        assert_all_claims(ablations.run_aging_ablation(operations=1500))
+
+
+class TestReportPlumbing:
+    def test_mode_name(self):
+        from repro.core.config import DAS
+        from repro.experiments.env import mode_name
+        assert mode_name("unikraft") == "Unikraft"
+        assert mode_name(DAS) == "VampOS-DaS"
+
+    def test_applicable_filters_netm_for_sqlite(self):
+        from repro.core.config import FSM, NETM
+        from repro.experiments.env import applicable
+        sqlite_components = ("PROCESS", "SYSINFO", "USER", "TIMER",
+                             "VFS", "9PFS", "VIRTIO")
+        assert not applicable(NETM, sqlite_components)
+        assert applicable(FSM, sqlite_components)
+        assert applicable("unikraft", sqlite_components)
+
+    def test_config_by_name(self):
+        from repro.core.config import config_by_name, DAS
+        assert config_by_name("VampOS-DaS") is DAS
+        assert config_by_name("das") is DAS
+        with pytest.raises(KeyError):
+            config_by_name("turbo")
+
+
+@pytest.mark.slow
+class TestExtendedAblations:
+    def test_scalability(self):
+        from repro.experiments import scalability
+        report = scalability.run(lengths=(2, 4, 8), calls=10)
+        assert_all_claims(report)
+        assert len(report.rows) == 3
+
+    def test_fault_campaign(self):
+        from repro.experiments import fault_campaign
+        report = fault_campaign.run(faults=10, requests_per_fault=4)
+        assert_all_claims(report)
+
+    def test_chain_registry_shape(self):
+        from repro.experiments.scalability import make_chain_registry
+        registry, names = make_chain_registry(5)
+        assert names == ["C1", "C2", "C3", "C4", "C5"]
+        assert registry.get("C1").DEPENDENCIES == ("C2",)
+        assert registry.get("C5").DEPENDENCIES == ()
+
+    def test_chain_call_reaches_the_end(self):
+        from repro.experiments.scalability import build_chain_kernel
+        from repro.core.config import DAS
+        kernel = build_chain_kernel(4, DAS)
+        assert kernel.syscall("C1", "work", 4) == 1
+
+    def test_endurance(self):
+        from repro.experiments import endurance
+        report = endurance.run(rounds=30, requests_per_round=5,
+                               aging_ops_per_round=80)
+        assert_all_claims(report)

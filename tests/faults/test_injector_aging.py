@@ -1,0 +1,124 @@
+"""Unit tests for fault injection and the aging model."""
+
+import pytest
+
+from repro.faults.aging import AgingModel
+from repro.faults.injector import FaultInjector
+from repro.unikernel.errors import KernelPanic, RecoveryFailed
+
+
+class TestInjector:
+    def test_panic_one_shot(self, vamp_kernel):
+        injector = FaultInjector(vamp_kernel)
+        injector.inject_panic("9PFS", "test")
+        assert vamp_kernel.component("9PFS").injected_panic == "test"
+        assert injector.history[0].kind == "panic"
+
+    def test_panic_recovery_under_vampos(self, vamp_kernel):
+        vamp_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        FaultInjector(vamp_kernel).inject_panic("9PFS")
+        fd = vamp_kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert fd >= 3  # recovered transparently
+
+    def test_panic_kills_vanilla(self, vanilla_kernel):
+        vanilla_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        FaultInjector(vanilla_kernel).inject_panic("9PFS")
+        with pytest.raises(KernelPanic):
+            vanilla_kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+
+    def test_deterministic_bug_validated(self, vamp_kernel):
+        injector = FaultInjector(vamp_kernel)
+        with pytest.raises(ValueError):
+            injector.inject_deterministic_bug("9PFS", "no_such_func")
+        injector.inject_deterministic_bug("9PFS", "uk_9pfs_lookup")
+        vamp_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        with pytest.raises(RecoveryFailed):
+            vamp_kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+
+    def test_clear_deterministic_bug(self, vamp_kernel):
+        injector = FaultInjector(vamp_kernel)
+        injector.inject_deterministic_bug("9PFS", "uk_9pfs_lookup")
+        injector.clear_deterministic_bug("9PFS", "uk_9pfs_lookup")
+        vamp_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        assert vamp_kernel.syscall("VFS", "open", "/data/hello.txt",
+                                   "r") >= 3
+
+    def test_hang_injection(self, vamp_kernel):
+        FaultInjector(vamp_kernel).inject_hang("9PFS")
+        assert vamp_kernel.component("9PFS").injected_hang
+
+    def test_wild_write_routed_through_kernel(self, vamp_kernel):
+        FaultInjector(vamp_kernel).inject_wild_write("LWIP", "VFS")
+        assert not vamp_kernel.component("VFS").heap.corrupted
+        assert any(r.component == "LWIP" for r in vamp_kernel.reboots)
+
+    def test_bit_flip(self, vamp_kernel):
+        injector = FaultInjector(vamp_kernel)
+        injector.inject_bit_flip("VFS", "data", offset=0, bit=2)
+        region = vamp_kernel.component("VFS").regions.get("VFS.data")
+        assert region.read(0, 1) == bytes([4])
+
+    def test_injections_for(self, vamp_kernel):
+        injector = FaultInjector(vamp_kernel)
+        injector.inject_panic("9PFS")
+        injector.inject_hang("LWIP")
+        assert len(injector.injections_for("9PFS")) == 1
+
+
+class TestAging:
+    def make(self, vamp_kernel, **kwargs):
+        comp = vamp_kernel.component("9PFS")
+        return comp, AgingModel(vamp_kernel.sim, comp, **kwargs)
+
+    def test_leaks_accumulate(self, vamp_kernel):
+        comp, aging = self.make(vamp_kernel, leak_probability=0.5)
+        aging.step(200)
+        assert comp.allocator.leaked_bytes() > 0
+
+    def test_zero_leak_probability_never_leaks(self, vamp_kernel):
+        comp, aging = self.make(vamp_kernel, leak_probability=0.0)
+        aging.step(200)
+        assert comp.allocator.leaked_bytes() == 0
+
+    def test_bad_probability_rejected(self, vamp_kernel):
+        with pytest.raises(ValueError):
+            self.make(vamp_kernel, leak_probability=1.5)
+
+    def test_run_until_exhaustion_terminates(self, vamp_kernel):
+        comp, aging = self.make(vamp_kernel, leak_probability=0.9,
+                                min_alloc=2048, max_alloc=4096)
+        operations = aging.run_until_exhaustion(max_operations=100_000)
+        assert operations < 100_000
+        assert comp.allocator.stats.failed_allocations > 0
+
+    def test_observe_records_reports(self, vamp_kernel):
+        comp, aging = self.make(vamp_kernel)
+        aging.step(50)
+        report = aging.observe()
+        assert report.used_bytes == comp.allocator.used_bytes()
+        assert aging.reports[-1] is report
+
+    def test_determinism(self, sim, share):
+        from tests.conftest import build_kernel
+        results = []
+        for _ in range(2):
+            from repro.sim.engine import Simulation
+            from repro.net.hostshare import HostShare
+            s = HostShare()
+            s.makedirs("/data")
+            s.create("/data/hello.txt", b"x")
+            kernel = build_kernel(Simulation(seed=77), s)
+            comp = kernel.component("9PFS")
+            aging = AgingModel(kernel.sim, comp, leak_probability=0.2)
+            aging.step(300)
+            results.append(comp.allocator.leaked_bytes())
+        assert results[0] == results[1]
+
+    def test_rejuvenation_resets_aging(self, vamp_kernel):
+        comp, aging = self.make(vamp_kernel, leak_probability=0.3)
+        aging.step(300)
+        assert comp.allocator.leaked_bytes() > 0
+        vamp_kernel.reboot_component("9PFS")
+        aging.forget_live()
+        assert comp.allocator.leaked_bytes() == 0
+        assert aging.step(20) == 0

@@ -1,0 +1,103 @@
+"""Observability: trace lifecycle events and cost-ledger attribution.
+
+These verify that a downstream user can *see* what the system did —
+every reboot leaves a start/done trace pair, every mechanism's cost is
+attributed to a ledger category, and the categories account for all
+virtual time.
+"""
+
+import pytest
+
+from repro.core.config import DAS, NOOP
+from repro.faults.injector import FaultInjector
+from tests.conftest import build_kernel
+
+
+class TestRebootTrace:
+    def test_component_reboot_emits_lifecycle_pair(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.reboot_component("9PFS", reason="trace-test")
+        start = sim.trace.first("reboot", "component_start",
+                                component="9PFS")
+        done = sim.trace.first("reboot", "component_done",
+                               component="9PFS")
+        assert start is not None and done is not None
+        assert start.t_us <= done.t_us
+        assert start.detail["reason"] == "trace-test"
+        assert done.detail["downtime_us"] > 0
+
+    def test_checkpoint_events(self, sim, share):
+        kernel = build_kernel(sim, share)
+        takes = sim.trace.select("checkpoint", "take")
+        assert {e.detail["component"] for e in takes} == \
+            {"VFS", "9PFS", "LWIP"}
+        kernel.reboot_component("VFS")
+        assert sim.trace.count("checkpoint", "restore",
+                               component="VFS") == 1
+
+    def test_restore_replay_event(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.reboot_component("VFS")
+        event = sim.trace.last("restore", "replayed", component="VFS")
+        assert event is not None
+        assert event.detail["entries"] >= 2
+
+    def test_detector_events_on_injection(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        FaultInjector(kernel).inject_panic("9PFS")
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert sim.trace.count("detector", "panic",
+                               component="9PFS") == 1
+        assert sim.trace.count("inject", "panic") == 1
+
+    def test_boot_event_carries_mode(self, sim, share):
+        kernel = build_kernel(sim, share)
+        boot = sim.trace.first("kernel", "boot")
+        assert boot.detail["mode"] == "vampos"
+
+
+class TestLedgerAttribution:
+    def test_vampos_categories_present(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.syscall("VFS", "read", fd, 5)
+        categories = set(sim.ledger.totals)
+        assert {"msg_push", "msg_pull", "thread_switch", "log_append",
+                "function_body", "ninep_rpc"} <= categories
+
+    def test_reboot_categories_present(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.reboot_component("VFS")
+        categories = set(sim.ledger.totals)
+        assert {"reboot_teardown", "snapshot_restore",
+                "replay_call", "thread_reattach"} <= categories
+
+    def test_ledger_accounts_for_all_time(self, sim, share):
+        """Every charged microsecond lands in exactly one category."""
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        kernel.reboot_component("9PFS")
+        assert sim.ledger.total_us() == pytest.approx(sim.clock.now_us)
+
+    def test_round_robin_charges_wasted_polls(self, sim, share):
+        kernel = build_kernel(sim, share, config=NOOP)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        assert sim.ledger.totals.get("wasted_poll", 0) > 0
+
+    def test_dependency_aware_charges_lookups_not_polls(self, sim, share):
+        kernel = build_kernel(sim, share, config=DAS)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        assert sim.ledger.totals.get("dependency_lookup", 0) > 0
+        assert sim.ledger.totals.get("wasted_poll", 0) == 0
+
+    def test_breakdown_shares_sum_to_one(self, sim, share):
+        kernel = build_kernel(sim, share)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        shares = sim.ledger.breakdown()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9

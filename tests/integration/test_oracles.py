@@ -1,0 +1,195 @@
+"""Oracle-based property tests: the substrate vs pure-Python models.
+
+The file stack (VFS → 9PFS → VIRTIO → host share) and the TCP stream
+must behave exactly like the obvious reference models — a dict of
+byte-buffers with POSIX offset semantics, and a pair of FIFO byte
+queues.  Hypothesis drives random operation sequences against both and
+compares every observable result.
+"""
+
+import io
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.components  # noqa: F401
+from repro.net.hostshare import HostShare
+from repro.net.tcp import ConnectionReset, HostNetwork
+from repro.sim.engine import Simulation
+from repro.unikernel.errors import SyscallError
+from repro.unikernel.image import ImageBuilder, ImageSpec
+from repro.unikernel.kernel import UnikraftKernel
+
+
+# --- file-stack oracle ------------------------------------------------------
+
+
+class FileModel:
+    """POSIX-offset reference semantics over a byte buffer."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+        self.offset = 0
+
+    def write(self, payload: bytes) -> int:
+        end = self.offset + len(payload)
+        if len(self.data) < end:
+            self.data.extend(b"\x00" * (end - len(self.data)))
+        self.data[self.offset:end] = payload
+        self.offset = end
+        return len(payload)
+
+    def read(self, count: int) -> bytes:
+        chunk = bytes(self.data[self.offset:self.offset + count])
+        self.offset += len(chunk)
+        return chunk
+
+    def seek(self, position: int) -> int:
+        self.offset = position
+        return position
+
+
+FILE_OP = st.one_of(
+    st.tuples(st.just("write"),
+              st.binary(min_size=1, max_size=12)),
+    st.tuples(st.just("read"), st.integers(1, 16)),
+    st.tuples(st.just("seek"), st.integers(0, 24)),
+    st.tuples(st.just("pread"), st.integers(0, 24), st.integers(1, 8)),
+    st.tuples(st.just("pwrite"), st.integers(0, 24),
+              st.binary(min_size=1, max_size=6)),
+)
+
+
+def build_file_kernel():
+    sim = Simulation(seed=3030)
+    share = HostShare()
+    share.makedirs("/data")
+    spec = ImageSpec("oracle", ["VFS", "9PFS", "PROCESS"],
+                     component_args={"VIRTIO": {"share": share}})
+    kernel = UnikraftKernel(ImageBuilder().build(spec, sim))
+    kernel.boot()
+    kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return kernel, share
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=st.lists(FILE_OP, max_size=30))
+def test_file_stack_matches_posix_model(script):
+    kernel, share = build_file_kernel()
+    fd = kernel.syscall("VFS", "open", "/data/oracle.bin", "rwc")
+    model = FileModel()
+    for op in script:
+        if op[0] == "write":
+            assert kernel.syscall("VFS", "write", fd, op[1]) \
+                == model.write(op[1])
+        elif op[0] == "read":
+            assert kernel.syscall("VFS", "read", fd, op[1]) \
+                == model.read(op[1])
+        elif op[0] == "seek":
+            assert kernel.syscall("VFS", "lseek", fd, op[1], "set") \
+                == model.seek(op[1])
+        elif op[0] == "pread":
+            offset, count = op[1], op[2]
+            expected = bytes(model.data[offset:offset + count])
+            assert kernel.syscall("VFS", "pread", fd, count, offset) \
+                == expected
+        elif op[0] == "pwrite":
+            offset, payload = op[1], op[2]
+            end = offset + len(payload)
+            if len(model.data) < end:
+                model.data.extend(b"\x00" * (end - len(model.data)))
+            model.data[offset:end] = payload
+            kernel.syscall("VFS", "pwrite", fd, payload, offset)
+    # the durable bytes on the host share match the model exactly
+    assert share.read("/data/oracle.bin") == bytes(model.data)
+    assert kernel.syscall("VFS", "fstat", fd)["size"] == len(model.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(script=st.lists(FILE_OP, max_size=25))
+def test_ramfs_matches_posix_model(script):
+    """The same oracle over the RAMFS backend."""
+    sim = Simulation(seed=3131)
+    spec = ImageSpec("oracle-ram", ["VFS", "RAMFS", "PROCESS"])
+    kernel = UnikraftKernel(ImageBuilder().build(spec, sim))
+    kernel.boot()
+    kernel.syscall("VFS", "mount", "/", "ramfs")
+    fd = kernel.syscall("VFS", "open", "/oracle.bin", "rwc")
+    model = FileModel()
+    for op in script:
+        if op[0] == "write":
+            assert kernel.syscall("VFS", "write", fd, op[1]) \
+                == model.write(op[1])
+        elif op[0] == "read":
+            assert kernel.syscall("VFS", "read", fd, op[1]) \
+                == model.read(op[1])
+        elif op[0] == "seek":
+            assert kernel.syscall("VFS", "lseek", fd, op[1], "set") \
+                == model.seek(op[1])
+        elif op[0] == "pread":
+            offset, count = op[1], op[2]
+            expected = bytes(model.data[offset:offset + count])
+            assert kernel.syscall("VFS", "pread", fd, count, offset) \
+                == expected
+        elif op[0] == "pwrite":
+            offset, payload = op[1], op[2]
+            end = offset + len(payload)
+            if len(model.data) < end:
+                model.data.extend(b"\x00" * (end - len(model.data)))
+            model.data[offset:end] = payload
+            kernel.syscall("VFS", "pwrite", fd, payload, offset)
+    node = kernel.component("RAMFS")._nodes["/oracle.bin"]
+    assert bytes(node.data) == bytes(model.data)
+
+
+# --- TCP stream oracle ----------------------------------------------------------
+
+
+TCP_OP = st.one_of(
+    st.tuples(st.just("c2s"), st.binary(min_size=1, max_size=10)),
+    st.tuples(st.just("s2c"), st.binary(min_size=1, max_size=10)),
+    st.tuples(st.just("srecv"), st.integers(1, 12)),
+    st.tuples(st.just("crecv"), st.integers(1, 12)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=st.lists(TCP_OP, max_size=40))
+def test_tcp_stream_matches_fifo_model(script):
+    """The TCP connection behaves as two lossless FIFO byte queues."""
+    sim = Simulation(seed=3232)
+    net = HostNetwork(sim)
+    net.listen(80)
+    client = net.connect(80)
+    info = net.accept(80)
+    cid = info["conn_id"]
+    server_seq = info["server_isn"]
+    server_ack = info["client_isn"]
+    to_server = bytearray()
+    to_client = bytearray()
+    for op in script:
+        if op[0] == "c2s":
+            client.send(op[1])
+            to_server.extend(op[1])
+        elif op[0] == "s2c":
+            net.server_send(cid, op[1], seq=server_seq)
+            server_seq += len(op[1])
+            to_client.extend(op[1])
+        elif op[0] == "srecv":
+            got = net.server_recv(cid, op[1], ack=server_ack)
+            expected = bytes(to_server[:op[1]])
+            del to_server[:len(expected)]
+            server_ack += len(got)
+            assert got == expected
+        elif op[0] == "crecv":
+            got = client.recv(op[1])
+            expected = bytes(to_client[:op[1]])
+            del to_client[:len(expected)]
+            assert got == expected
+    # nothing was lost or duplicated
+    assert net.server_pending_bytes(cid) in (len(to_server),
+                                             -1 if not to_server else
+                                             len(to_server))
+    assert client.pending() == len(to_client)

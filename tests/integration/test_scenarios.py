@@ -1,0 +1,182 @@
+"""Cross-module integration scenarios.
+
+These walk the paper's end-to-end stories across the full stack:
+applications, VampOS machinery, the network, fault injection, and both
+recovery strategies.
+"""
+
+import pytest
+
+from repro.apps.nginx import MiniNginx
+from repro.apps.redis import MiniRedis
+from repro.apps.sqlite import MiniSQLite
+from repro.core.config import ALL_CONFIGS, DAS, FSM, NETM, NOOP
+from repro.faults.injector import FaultInjector
+from repro.sim.engine import Simulation
+from repro.unikernel.errors import KernelPanic
+from repro.workloads.http_load import HttpLoadGenerator
+from repro.workloads.redis_load import RedisClient
+
+
+class TestSameAppBothKernels:
+    """The same application binary 'relinks' against either kernel."""
+
+    @pytest.mark.parametrize("mode", ["unikraft", NOOP, DAS, FSM, NETM])
+    def test_nginx_serves_under_every_mode(self, mode):
+        app = MiniNginx(Simulation(seed=100), mode=mode)
+        load = HttpLoadGenerator(app, connections=3)
+        result = load.run_requests(9)
+        assert result.successes == 9
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS,
+                             ids=lambda c: c.name)
+    def test_sqlite_queries_under_every_config(self, config):
+        if "NET" in config.merges:
+            pytest.skip("SQLite links no network stack")
+        db = MiniSQLite(Simulation(seed=101), mode=config)
+        db.execute("CREATE TABLE t (v)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.execute("SELECT * FROM t") == [(1,)]
+
+
+class TestLongRunningRejuvenation:
+    def test_repeated_rejuvenation_cycles(self):
+        """Reboot every component ten times while serving traffic; no
+        request may fail and the logs must stay bounded."""
+        app = MiniNginx(Simulation(seed=102), mode=DAS)
+        load = HttpLoadGenerator(app, connections=4)
+        for cycle in range(10):
+            result = load.run_requests(8)
+            assert result.failures == 0
+            for name in app.kernel.image.boot_order:
+                if app.kernel.component(name).REBOOTABLE:
+                    app.vampos.rejuvenate(name)
+        for log in app.vampos.logs.values():
+            assert len(log) < 100
+
+    def test_downtime_accumulates_far_below_full_reboots(self):
+        app = MiniNginx(Simulation(seed=103), mode=DAS)
+        HttpLoadGenerator(app, connections=2).run_requests(10)
+        records = app.vampos.rejuvenate_all()
+        total_component = sum(r.downtime_us for r in records)
+        assert total_component < app.sim.costs.full_reboot_fixed / 10
+
+
+class TestFaultStorm:
+    def test_sequential_faults_in_every_stateful_component(self):
+        app = MiniNginx(Simulation(seed=104), mode=DAS)
+        load = HttpLoadGenerator(app, connections=2)
+        injector = FaultInjector(app.kernel)
+        for target in ("9PFS", "VFS", "LWIP"):
+            injector.inject_panic(target)
+            result = load.run_requests(4)
+            assert result.failures == 0, target
+        assert {r.component for r in app.vampos.reboots} \
+            >= {"9PFS", "VFS"}
+
+    def test_hang_then_panic(self):
+        app = MiniNginx(Simulation(seed=105), mode=DAS)
+        load = HttpLoadGenerator(app, connections=2)
+        injector = FaultInjector(app.kernel)
+        injector.inject_hang("9PFS")
+        assert load.run_requests(2).failures == 0
+        injector.inject_panic("VFS")
+        assert load.run_requests(2).failures == 0
+        kinds = {f.kind for f in app.vampos.detector.failures}
+        assert {"hang", "panic"} <= kinds
+
+    def test_error_confinement_between_components(self):
+        """A wild write from LWIP must never corrupt VFS state, and
+        file service must continue while LWIP reboots."""
+        app = MiniNginx(Simulation(seed=106), mode=DAS)
+        load = HttpLoadGenerator(app, connections=2)
+        load.run_requests(2)
+        FaultInjector(app.kernel).inject_wild_write("LWIP", "VFS")
+        assert not app.kernel.component("VFS").heap.corrupted
+        assert load.run_requests(2).failures == 0
+
+
+class TestRecoveryComparison:
+    """The core thesis: component reboot vs full reboot, side by side."""
+
+    def build_pair(self):
+        vamp = MiniRedis(Simulation(seed=107), mode=DAS, aof="off")
+        vanilla = MiniRedis(Simulation(seed=107), mode="unikraft",
+                            aof="always")
+        return vamp, vanilla
+
+    def test_data_survival(self):
+        vamp, vanilla = self.build_pair()
+        RedisClient(vamp).set("k", b"v")
+        RedisClient(vanilla).set("k", b"v")
+        # fault + recovery on each
+        vamp.vampos.reboot_component("9PFS")
+        vanilla.kernel.full_reboot()
+        assert vamp.get_direct("k") == b"v"      # from memory
+        assert vanilla.get_direct("k") == b"v"   # from AOF replay
+
+    def test_downtime_gap(self):
+        vamp, vanilla = self.build_pair()
+        record = vamp.vampos.reboot_component("9PFS")
+        full = vanilla.kernel.full_reboot()
+        assert record.downtime_us * 100 < full
+
+    def test_vanilla_crash_requires_full_reboot(self):
+        _, vanilla = self.build_pair()
+        FaultInjector(vanilla.kernel).inject_panic("9PFS")
+        with pytest.raises(KernelPanic):
+            vanilla.libc.stat("/redis")
+        assert vanilla.kernel.crashed
+        vanilla.kernel.full_reboot()
+        client = RedisClient(vanilla)
+        assert client.set("post", b"reboot")
+
+
+class TestDeterminismAcrossTheStack:
+    def test_identical_runs_produce_identical_clocks(self):
+        def run():
+            app = MiniNginx(Simulation(seed=108), mode=DAS)
+            load = HttpLoadGenerator(app, connections=3)
+            load.run_requests(12)
+            app.vampos.reboot_component("VFS")
+            load.run_requests(3)
+            return (app.sim.clock.now_us,
+                    app.vampos.reboots[0].downtime_us,
+                    len(app.vampos.logs["VFS"]))
+
+        assert run() == run()
+
+    def test_trace_is_reproducible(self):
+        def run():
+            app = MiniNginx(Simulation(seed=109), mode=DAS)
+            HttpLoadGenerator(app, connections=2).run_requests(4)
+            return [(e.t_us, e.category, e.name)
+                    for e in app.sim.trace.events]
+
+        assert run() == run()
+
+
+class TestSqliteFailureRecovery:
+    """The Fig. 8 pattern applied to the database workload."""
+
+    def test_insert_stream_survives_9pfs_panic(self):
+        db = MiniSQLite(Simulation(seed=110), mode=DAS)
+        db.execute("CREATE TABLE t (i)")
+        FaultInjector(db.kernel).inject_panic("9PFS")
+        for i in range(10):
+            db.execute(f"INSERT INTO t VALUES ({i})")
+        assert db.row_count("t") == 10
+        assert any(r.component == "9PFS" for r in db.vampos.reboots)
+        # durability intact: a full reload sees every row
+        db.kernel.full_reboot()
+        assert db.row_count("t") == 10
+
+    def test_open_transaction_survives_vfs_reboot(self):
+        db = MiniSQLite(Simulation(seed=111), mode=DAS)
+        db.execute("CREATE TABLE t (i)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.vampos.reboot_component("VFS")
+        db.execute("INSERT INTO t VALUES (2)")
+        db.execute("COMMIT")
+        assert db.execute("SELECT * FROM t") == [(1,), (2,)]

@@ -1,0 +1,192 @@
+"""Reboot-transparency property tests.
+
+The paper's thesis is that a VampOS component reboot is *invisible* to
+the application: "restarts only the damaged one while keeping the
+others and the application running" with consistent state.  These
+hypothesis tests make that a checkable property: drive two identical
+kernels with the same random syscall script, interleave component
+reboots into one of them, and require that
+
+* every syscall returns the same result in both runs, and
+* the final component states (fd table, fid table, file contents) are
+  identical.
+"""
+
+from typing import Any, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.components  # noqa: F401
+from repro.core.config import DAS, FSM
+from repro.core.runtime import VampOSKernel
+from repro.net.hostshare import HostShare
+from repro.sim.engine import Simulation
+from repro.unikernel.errors import SyscallError
+from repro.unikernel.image import ImageBuilder, ImageSpec
+
+COMPONENTS = ["VFS", "9PFS", "RAMFS", "PROCESS", "TIMER"]
+PATHS = ["/data/a.txt", "/data/b.txt", "/tmp/x", "/tmp/y"]
+
+
+def build_kernel(config=DAS) -> VampOSKernel:
+    sim = Simulation(seed=4242)
+    share = HostShare()
+    share.makedirs("/data")
+    spec = ImageSpec("prop", list(COMPONENTS),
+                     component_args={"VIRTIO": {"share": share}})
+    kernel = VampOSKernel(ImageBuilder().build(spec, sim), config)
+    kernel.boot()
+    kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    kernel.syscall("VFS", "mount", "/tmp", "ramfs")
+    kernel.test_share = share  # type: ignore[attr-defined]
+    return kernel
+
+
+class ScriptDriver:
+    """Applies one op script to a kernel, recording results."""
+
+    def __init__(self, kernel: VampOSKernel) -> None:
+        self.kernel = kernel
+        self.fds: List[int] = []
+        self.results: List[Any] = []
+
+    def apply(self, op: Tuple) -> None:
+        kind = op[0]
+        try:
+            if kind == "open":
+                fd = self.kernel.syscall("VFS", "open", PATHS[op[1]],
+                                         "rwc")
+                self.fds.append(fd)
+                self.results.append(("open", fd))
+            elif kind == "write" and self.fds:
+                fd = self.fds[op[1] % len(self.fds)]
+                n = self.kernel.syscall("VFS", "write", fd,
+                                        op[2].encode())
+                self.results.append(("write", fd, n))
+            elif kind == "read" and self.fds:
+                fd = self.fds[op[1] % len(self.fds)]
+                data = self.kernel.syscall("VFS", "read", fd, op[2])
+                self.results.append(("read", fd, data))
+            elif kind == "seek" and self.fds:
+                fd = self.fds[op[1] % len(self.fds)]
+                pos = self.kernel.syscall("VFS", "lseek", fd,
+                                          op[2], "set")
+                self.results.append(("seek", fd, pos))
+            elif kind == "close" and self.fds:
+                fd = self.fds.pop(op[1] % len(self.fds))
+                self.kernel.syscall("VFS", "close", fd)
+                self.results.append(("close", fd))
+            elif kind == "stat":
+                info = self.kernel.syscall("VFS", "stat", PATHS[op[1]])
+                self.results.append(("stat", info["size"]))
+        except SyscallError as exc:
+            self.results.append(("errno", kind, exc.errno))
+
+    def final_state(self) -> Tuple:
+        vfs = self.kernel.component("VFS")
+        ninep = self.kernel.component("9PFS")
+        ramfs = self.kernel.component("RAMFS")
+        return (
+            {fd: (e.path, e.offset, e.fstype)
+             for fd, e in vfs._fds.items()},
+            sorted(ninep.live_fids()),
+            {p: bytes(n.data)
+             for p, n in ramfs._nodes.items() if not n.is_dir},
+            {p: self.kernel.test_share.read(p)
+             for p in PATHS[:2]
+             if self.kernel.test_share.exists(p)},
+        )
+
+
+OP = st.one_of(
+    st.tuples(st.just("open"), st.integers(0, 3)),
+    st.tuples(st.just("write"), st.integers(0, 7),
+              st.text(alphabet="abc", min_size=1, max_size=6)),
+    st.tuples(st.just("read"), st.integers(0, 7), st.integers(1, 16)),
+    st.tuples(st.just("seek"), st.integers(0, 7), st.integers(0, 12)),
+    st.tuples(st.just("close"), st.integers(0, 7)),
+    st.tuples(st.just("stat"), st.integers(0, 3)),
+)
+
+REBOOTABLE = ["VFS", "9PFS", "RAMFS", "PROCESS"]
+
+
+from repro.core.config import NOOP
+
+
+@settings(max_examples=25, deadline=None)
+@given(script=st.lists(OP, min_size=1, max_size=25),
+       reboot_points=st.lists(
+           st.tuples(st.integers(0, 24), st.integers(0, 3)),
+           max_size=4))
+def test_component_reboots_are_transparent(script, reboot_points):
+    """Same script ± interleaved reboots → same results, same state."""
+    reference = ScriptDriver(build_kernel())
+    rebooted = ScriptDriver(build_kernel())
+    reboot_map = {}
+    for position, component_idx in reboot_points:
+        reboot_map.setdefault(position % max(1, len(script)),
+                              []).append(REBOOTABLE[component_idx])
+    for index, op in enumerate(script):
+        reference.apply(op)
+        for component in reboot_map.get(index, []):
+            rebooted.kernel.reboot_component(component,
+                                             reason="property")
+        rebooted.apply(op)
+    assert rebooted.results == reference.results
+    assert rebooted.final_state() == reference.final_state()
+
+
+@settings(max_examples=10, deadline=None)
+@given(script=st.lists(OP, min_size=3, max_size=20),
+       reboot_at=st.integers(0, 19))
+def test_merged_group_reboots_are_transparent(script, reboot_at):
+    """The same property for a merged VFS+9PFS composite reboot."""
+    reference = ScriptDriver(build_kernel(FSM))
+    rebooted = ScriptDriver(build_kernel(FSM))
+    for index, op in enumerate(script):
+        reference.apply(op)
+        if index == reboot_at % len(script):
+            rebooted.kernel.reboot_component("VFS", reason="property")
+        rebooted.apply(op)
+    assert rebooted.results == reference.results
+    assert rebooted.final_state() == reference.final_state()
+
+
+@settings(max_examples=8, deadline=None)
+@given(script=st.lists(OP, min_size=2, max_size=15),
+       reboot_at=st.integers(0, 14))
+def test_reboots_transparent_under_round_robin_too(script, reboot_at):
+    """Restoration correctness is scheduler-independent: the same
+    property holds under the round-robin (Noop) configuration."""
+    reference = ScriptDriver(build_kernel(NOOP))
+    rebooted = ScriptDriver(build_kernel(NOOP))
+    for index, op in enumerate(script):
+        reference.apply(op)
+        if index == reboot_at % len(script):
+            rebooted.kernel.reboot_component("VFS", reason="property")
+            rebooted.kernel.reboot_component("9PFS", reason="property")
+        rebooted.apply(op)
+    assert rebooted.results == reference.results
+    assert rebooted.final_state() == reference.final_state()
+
+
+@settings(max_examples=10, deadline=None)
+@given(script=st.lists(OP, min_size=2, max_size=15),
+       panic_at=st.integers(0, 14),
+       victim=st.integers(0, 2))
+def test_panic_recovery_is_transparent(script, panic_at, victim):
+    """Even an injected fail-stop (detect → reboot → retry) must leave
+    no observable trace in results or state."""
+    reference = ScriptDriver(build_kernel())
+    faulted = ScriptDriver(build_kernel())
+    target = ["VFS", "9PFS", "RAMFS"][victim]
+    for index, op in enumerate(script):
+        reference.apply(op)
+        if index == panic_at % len(script):
+            faulted.kernel.component(target).injected_panic = "prop"
+        faulted.apply(op)
+    assert faulted.results == reference.results
+    assert faulted.final_state() == reference.final_state()

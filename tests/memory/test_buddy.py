@@ -1,0 +1,224 @@
+"""Unit + property tests for the binary buddy allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.buddy import (
+    BuddyAllocator,
+    InvalidFree,
+    OutOfMemory,
+    _order_for,
+)
+from repro.memory.region import Region, RegionKind
+
+
+def make_alloc(total_order=12, min_order=4) -> BuddyAllocator:
+    region = Region("heap", RegionKind.HEAP, 1 << total_order)
+    return BuddyAllocator(region, total_order, min_order)
+
+
+class TestOrderFor:
+    @pytest.mark.parametrize("size,order", [
+        (1, 4), (16, 4), (17, 5), (32, 5), (33, 6), (4096, 12),
+    ])
+    def test_orders(self, size, order):
+        assert _order_for(size) == order
+
+    def test_zero_rejected(self):
+        with pytest.raises(Exception):
+            _order_for(0)
+
+
+class TestBuddyBasics:
+    def test_alloc_free_roundtrip(self):
+        alloc = make_alloc()
+        offset = alloc.alloc(100)
+        assert alloc.block_size(offset) == 128
+        alloc.free(offset)
+        assert alloc.used_bytes() == 0
+        assert alloc.free_bytes() == alloc.arena_bytes
+
+    def test_distinct_blocks_do_not_overlap(self):
+        alloc = make_alloc()
+        offsets = [alloc.alloc(64) for _ in range(8)]
+        spans = sorted((o, o + alloc.block_size(o)) for o in offsets)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_full_coalescing_after_all_freed(self):
+        alloc = make_alloc()
+        offsets = [alloc.alloc(64) for _ in range(16)]
+        for offset in offsets:
+            alloc.free(offset)
+        assert alloc.largest_free_block() == alloc.arena_bytes
+
+    def test_oversized_request(self):
+        alloc = make_alloc(total_order=10)
+        with pytest.raises(OutOfMemory):
+            alloc.alloc(2048)
+        assert alloc.stats.failed_allocations == 1
+
+    def test_exhaustion(self):
+        alloc = make_alloc(total_order=8)  # 256 bytes
+        alloc.alloc(256)
+        with pytest.raises(OutOfMemory):
+            alloc.alloc(16)
+
+    def test_double_free_rejected(self):
+        alloc = make_alloc()
+        offset = alloc.alloc(32)
+        alloc.free(offset)
+        with pytest.raises(InvalidFree):
+            alloc.free(offset)
+
+    def test_free_of_unallocated_rejected(self):
+        alloc = make_alloc()
+        with pytest.raises(InvalidFree):
+            alloc.free(12345)
+
+    def test_region_usage_tracking(self):
+        alloc = make_alloc()
+        offset = alloc.alloc(100)
+        assert alloc.region.used_bytes == 128
+        alloc.free(offset)
+        assert alloc.region.used_bytes == 0
+
+    def test_region_too_small_rejected(self):
+        region = Region("heap", RegionKind.HEAP, 100)
+        with pytest.raises(ValueError):
+            BuddyAllocator(region, 12)
+
+    def test_stats_counters(self):
+        alloc = make_alloc()
+        a = alloc.alloc(16)
+        alloc.alloc(16)
+        alloc.free(a)
+        assert alloc.stats.allocations == 2
+        assert alloc.stats.frees == 1
+
+
+class TestLeaks:
+    def test_leak_tracking(self):
+        alloc = make_alloc()
+        offset = alloc.alloc(64)
+        alloc.leak(offset)
+        assert alloc.leaked_bytes() == 64
+        assert alloc.stats.leaked_blocks == 1
+
+    def test_leak_of_unallocated_rejected(self):
+        alloc = make_alloc()
+        with pytest.raises(InvalidFree):
+            alloc.leak(999)
+
+    def test_double_leak_counted_once(self):
+        alloc = make_alloc()
+        offset = alloc.alloc(64)
+        alloc.leak(offset)
+        alloc.leak(offset)
+        assert alloc.stats.leaked_blocks == 1
+
+    def test_freeing_a_leaked_block_unleaks(self):
+        alloc = make_alloc()
+        offset = alloc.alloc(64)
+        alloc.leak(offset)
+        alloc.free(offset)
+        assert alloc.leaked_bytes() == 0
+
+    def test_reset_clears_everything(self):
+        alloc = make_alloc()
+        offset = alloc.alloc(64)
+        alloc.leak(offset)
+        alloc.alloc(128)
+        alloc.reset()
+        assert alloc.used_bytes() == 0
+        assert alloc.leaked_bytes() == 0
+        assert alloc.largest_free_block() == alloc.arena_bytes
+        assert alloc.region.used_bytes == 0
+
+
+class TestFragmentationMetric:
+    def test_zero_when_untouched(self):
+        assert make_alloc().fragmentation() == 0.0
+
+    def test_grows_with_scattered_allocations(self):
+        alloc = make_alloc()
+        offsets = [alloc.alloc(16) for _ in range(64)]
+        for offset in offsets[::2]:
+            alloc.free(offset)
+        assert alloc.fragmentation() > 0.0
+
+    def test_full_arena_reports_zero(self):
+        alloc = make_alloc(total_order=8)
+        alloc.alloc(256)
+        assert alloc.fragmentation() == 0.0
+
+
+class TestCheckpointState:
+    def test_export_import_roundtrip(self):
+        alloc = make_alloc()
+        kept = alloc.alloc(64)
+        leaked = alloc.alloc(32)
+        alloc.leak(leaked)
+        blob = alloc.export_state()
+        # mutate further
+        alloc.alloc(128)
+        alloc.free(kept)
+        alloc.import_state(blob)
+        assert set(alloc.allocated) == {kept, leaked}
+        assert alloc.leaked == {leaked}
+        alloc.check_invariants()
+
+    def test_import_fixes_region_accounting(self):
+        alloc = make_alloc()
+        alloc.alloc(64)
+        blob = alloc.export_state()
+        alloc.alloc(1024)
+        alloc.import_state(blob)
+        assert alloc.region.used_bytes == alloc.used_bytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1,
+                                                max_value=512)),
+        st.tuples(st.just("free"), st.integers(min_value=0,
+                                               max_value=30)),
+    ),
+    max_size=80,
+))
+def test_buddy_invariants_hold_under_any_sequence(operations):
+    """Property: after any alloc/free sequence, the arena is exactly
+    partitioned into non-overlapping free and allocated blocks."""
+    alloc = make_alloc(total_order=11)
+    live = []
+    for op, value in operations:
+        if op == "alloc":
+            try:
+                live.append(alloc.alloc(value))
+            except OutOfMemory:
+                pass
+        elif live:
+            index = value % len(live)
+            alloc.free(live.pop(index))
+    alloc.check_invariants()
+    assert alloc.used_bytes() + alloc.free_bytes() == alloc.arena_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=256), min_size=1,
+                max_size=32))
+def test_free_all_always_coalesces_to_one_block(sizes):
+    """Property: freeing everything restores the pristine arena."""
+    alloc = make_alloc(total_order=13)
+    offsets = []
+    for size in sizes:
+        try:
+            offsets.append(alloc.alloc(size))
+        except OutOfMemory:
+            break
+    for offset in offsets:
+        alloc.free(offset)
+    assert alloc.largest_free_block() == alloc.arena_bytes
+    assert alloc.fragmentation() == 0.0

@@ -1,0 +1,136 @@
+"""Unit tests for the software MPK (protection keys)."""
+
+import pytest
+
+from repro.memory.mpk import (
+    ARM_DOMAIN_KEYS,
+    INTEL_MPK_KEYS,
+    KeyExhaustion,
+    PKRU,
+    ProtectionDomains,
+    ProtectionFault,
+)
+from repro.memory.region import Region, RegionKind
+
+
+class TestPKRU:
+    def test_default_denies_all_but_key_zero(self):
+        pkru = PKRU()
+        assert pkru.can_read(0) and pkru.can_write(0)
+        for key in range(1, INTEL_MPK_KEYS):
+            assert not pkru.can_read(key)
+            assert not pkru.can_write(key)
+
+    def test_allow_read_write(self):
+        pkru = PKRU()
+        pkru.allow(3, write=True)
+        assert pkru.can_read(3) and pkru.can_write(3)
+
+    def test_allow_read_only(self):
+        pkru = PKRU()
+        pkru.allow(3, write=False)
+        assert pkru.can_read(3)
+        assert not pkru.can_write(3)
+
+    def test_deny(self):
+        pkru = PKRU()
+        pkru.allow(3)
+        pkru.deny(3)
+        assert not pkru.can_read(3)
+
+    def test_out_of_range_key(self):
+        pkru = PKRU(num_keys=4)
+        with pytest.raises(KeyExhaustion):
+            pkru.allow(4)
+        with pytest.raises(KeyExhaustion):
+            pkru.can_read(7)
+
+    def test_word_load_roundtrip(self):
+        pkru = PKRU()
+        pkru.allow(5, write=True)
+        word = pkru.word
+        other = PKRU()
+        other.load(word)
+        assert other.can_write(5)
+
+    def test_allowed_keys(self):
+        pkru = PKRU()
+        pkru.allow(2)
+        pkru.allow(7, write=False)
+        assert pkru.allowed_keys() == {0, 2, 7}
+
+
+class TestProtectionDomains:
+    def test_allocation_names(self):
+        domains = ProtectionDomains()
+        key = domains.allocate("VFS")
+        assert domains.name_of(key) == "VFS"
+        assert domains.keys_in_use() == 2  # default + VFS
+
+    def test_key_exhaustion_matches_hardware_limit(self):
+        """Intel MPK has 16 keys; the 16th user allocation must fail —
+        the limit the paper discusses in §V-D."""
+        domains = ProtectionDomains(INTEL_MPK_KEYS)
+        for i in range(INTEL_MPK_KEYS - 1):
+            domains.allocate(f"c{i}")
+        with pytest.raises(KeyExhaustion):
+            domains.allocate("one-too-many")
+
+    def test_arm_has_more_keys(self):
+        domains = ProtectionDomains(ARM_DOMAIN_KEYS)
+        for i in range(ARM_DOMAIN_KEYS - 1):
+            domains.allocate(f"c{i}")
+
+    def test_check_allows_own_domain(self):
+        domains = ProtectionDomains()
+        key = domains.allocate("VFS")
+        region = Region("VFS.heap", RegionKind.HEAP, 64)
+        domains.tag_region(region, key)
+        pkru = PKRU()
+        pkru.allow(key)
+        domains.check(pkru, region, write=True)  # must not raise
+
+    def test_check_blocks_foreign_write(self):
+        domains = ProtectionDomains()
+        vfs_key = domains.allocate("VFS")
+        lwip_key = domains.allocate("LWIP")
+        region = Region("LWIP.heap", RegionKind.HEAP, 64)
+        domains.tag_region(region, lwip_key)
+        vfs_pkru = PKRU()
+        vfs_pkru.allow(vfs_key)
+        with pytest.raises(ProtectionFault) as excinfo:
+            domains.check(vfs_pkru, region, write=True)
+        assert excinfo.value.key == lwip_key
+        assert excinfo.value.write
+        assert len(domains.violations) == 1
+
+    def test_read_only_grant_blocks_write(self):
+        domains = ProtectionDomains()
+        key = domains.allocate("MSGDOM")
+        region = Region("msg", RegionKind.MESSAGE, 64)
+        domains.tag_region(region, key)
+        pkru = PKRU()
+        pkru.allow(key, write=False)
+        domains.check(pkru, region, write=False)
+        with pytest.raises(ProtectionFault):
+            domains.check(pkru, region, write=True)
+
+    def test_untagged_region_is_unprotected(self):
+        domains = ProtectionDomains()
+        region = Region("free", RegionKind.DATA, 64)
+        domains.check(PKRU(), region, write=True)  # no key, no fault
+
+    def test_enforce_false_allows_everything(self):
+        """The vanilla-Unikraft baseline has no isolation."""
+        domains = ProtectionDomains(enforce=False)
+        key = domains.allocate("LWIP")
+        region = Region("LWIP.heap", RegionKind.HEAP, 64)
+        domains.tag_region(region, key)
+        domains.check(PKRU(), region, write=True)  # wild write lands
+        assert domains.violations == []
+
+    def test_tag_region_validates_key(self):
+        domains = ProtectionDomains(num_keys=4)
+        region = Region("r", RegionKind.DATA, 16)
+        with pytest.raises(KeyExhaustion):
+            domains.tag_region(region, 9)

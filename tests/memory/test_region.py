@@ -1,0 +1,162 @@
+"""Unit tests for simulated memory regions."""
+
+import pytest
+
+from repro.memory.region import (
+    BACKING_LIMIT_BYTES,
+    PAGE_SIZE,
+    OutOfRegion,
+    Region,
+    RegionCorrupted,
+    RegionKind,
+    RegionSet,
+    pages_for,
+)
+
+
+class TestPagesFor:
+    @pytest.mark.parametrize("size,pages", [
+        (0, 0), (1, 1), (PAGE_SIZE, 1), (PAGE_SIZE + 1, 2),
+        (10 * PAGE_SIZE, 10),
+    ])
+    def test_rounding(self, size, pages):
+        assert pages_for(size) == pages
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(-1)
+
+
+class TestRegion:
+    def test_small_region_is_backed(self):
+        region = Region("r", RegionKind.HEAP, 4096)
+        assert region.backed
+
+    def test_huge_region_is_accounting_only(self):
+        region = Region("r", RegionKind.HEAP, BACKING_LIMIT_BYTES + 1)
+        assert not region.backed
+
+    def test_read_write_roundtrip(self):
+        region = Region("r", RegionKind.DATA, 64)
+        region.write(10, b"abc")
+        assert region.read(10, 3) == b"abc"
+
+    def test_write_bumps_version(self):
+        region = Region("r", RegionKind.DATA, 64)
+        v0 = region.version
+        region.write(0, b"x")
+        assert region.version == v0 + 1
+
+    def test_unbacked_reads_zeroes(self):
+        region = Region("r", RegionKind.HEAP, 64, backed=False)
+        region.write(0, b"abc")  # accounted, not stored
+        assert region.read(0, 3) == b"\x00\x00\x00"
+
+    def test_out_of_range_read(self):
+        region = Region("r", RegionKind.DATA, 16)
+        with pytest.raises(OutOfRegion):
+            region.read(10, 10)
+
+    def test_out_of_range_write(self):
+        region = Region("r", RegionKind.DATA, 16)
+        with pytest.raises(OutOfRegion):
+            region.write(15, b"abc")
+
+    def test_negative_offset(self):
+        region = Region("r", RegionKind.DATA, 16)
+        with pytest.raises(OutOfRegion):
+            region.read(-1, 4)
+
+    def test_grow_extends_backing(self):
+        region = Region("r", RegionKind.HEAP, 16)
+        region.write(0, b"abcd")
+        region.grow(32)
+        assert region.size_bytes == 32
+        assert region.read(0, 4) == b"abcd"
+        region.write(30, b"z")
+
+    def test_shrink_rejected(self):
+        region = Region("r", RegionKind.HEAP, 32)
+        with pytest.raises(ValueError):
+            region.grow(16)
+
+    def test_grow_past_backing_limit_drops_backing(self):
+        region = Region("r", RegionKind.HEAP, 64)
+        region.grow(BACKING_LIMIT_BYTES + 1)
+        assert not region.backed
+
+    def test_bit_flip_backed(self):
+        region = Region("r", RegionKind.DATA, 16)
+        region.write(0, b"\x00")
+        region.flip_bit(0, 3)
+        assert region.read(0, 1) == bytes([1 << 3])
+
+    def test_bit_flip_unbacked_marks_corrupted(self):
+        region = Region("r", RegionKind.HEAP, 16, backed=False)
+        region.flip_bit(0, 0)
+        assert region.corrupted
+
+    def test_bit_flip_bad_bit(self):
+        region = Region("r", RegionKind.DATA, 16)
+        with pytest.raises(ValueError):
+            region.flip_bit(0, 8)
+
+    def test_corrupted_read_raises(self):
+        region = Region("r", RegionKind.DATA, 16)
+        region.mark_corrupted()
+        with pytest.raises(RegionCorrupted):
+            region.read(0, 1)
+
+    def test_snapshot_restore_roundtrip(self):
+        region = Region("r", RegionKind.DATA, 32)
+        region.write(0, b"state-A")
+        snap = region.snapshot()
+        region.write(0, b"state-B")
+        region.mark_corrupted()
+        region.restore(snap)
+        assert region.read(0, 7) == b"state-A"
+        assert not region.corrupted
+
+    def test_restore_wrong_region_rejected(self):
+        a = Region("a", RegionKind.DATA, 16)
+        b = Region("b", RegionKind.DATA, 16)
+        with pytest.raises(ValueError):
+            b.restore(a.snapshot())
+
+    def test_snapshot_bytes_equal_region_size(self):
+        region = Region("r", RegionKind.DATA, 4096)
+        assert region.snapshot().snapshot_bytes == 4096
+
+
+class TestRegionSet:
+    def make(self):
+        regions = RegionSet("comp")
+        regions.add(Region("comp.heap", RegionKind.HEAP, 128))
+        regions.add(Region("comp.data", RegionKind.DATA, 64))
+        return regions
+
+    def test_add_and_get(self):
+        regions = self.make()
+        assert regions.get("comp.heap").size_bytes == 128
+        assert "comp.data" in regions
+        assert len(regions) == 2
+
+    def test_owner_is_applied(self):
+        regions = self.make()
+        assert all(r.owner == "comp" for r in regions)
+
+    def test_duplicate_rejected(self):
+        regions = self.make()
+        with pytest.raises(ValueError):
+            regions.add(Region("comp.heap", RegionKind.HEAP, 16))
+
+    def test_by_kind(self):
+        regions = self.make()
+        heaps = regions.by_kind(RegionKind.HEAP)
+        assert [r.name for r in heaps] == ["comp.heap"]
+
+    def test_totals(self):
+        regions = self.make()
+        assert regions.total_bytes() == 192
+        regions.get("comp.heap").used_bytes = 100
+        assert regions.used_bytes() == 100

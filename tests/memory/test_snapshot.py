@@ -1,0 +1,113 @@
+"""Unit tests for component-level snapshots (checkpoint store)."""
+
+import pytest
+
+from repro.memory.region import Region, RegionKind, RegionSet
+from repro.memory.snapshot import SnapshotStore
+from repro.sim.engine import Simulation
+
+
+def make_regions() -> RegionSet:
+    regions = RegionSet("VFS")
+    regions.add(Region("VFS.heap", RegionKind.HEAP, 4096))
+    regions.add(Region("VFS.data", RegionKind.DATA, 1024))
+    return regions
+
+
+class TestSnapshotStore:
+    def test_take_and_get(self):
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        regions = make_regions()
+        snap = store.take("VFS", regions, {"fds": {}})
+        assert store.get("VFS") is snap
+        assert store.has("VFS")
+        assert snap.snapshot_bytes == 5120
+
+    def test_take_charges_time(self):
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        store.take("VFS", make_regions(), None)
+        assert sim.clock.now_us > 0
+
+    def test_restore_rolls_back_regions(self):
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        regions = make_regions()
+        regions.get("VFS.data").write(0, b"boot")
+        snap = store.take("VFS", regions, {"v": 1})
+        regions.get("VFS.data").write(0, b"aged")
+        state = store.restore(snap, regions)
+        assert regions.get("VFS.data").read(0, 4) == b"boot"
+        assert state == {"v": 1}
+
+    def test_restore_cost_scales_with_bytes(self):
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        small = RegionSet("S")
+        small.add(Region("S.heap", RegionKind.HEAP, 4096))
+        big = RegionSet("B")
+        big.add(Region("B.heap", RegionKind.HEAP, 4096 * 64,
+                       backed=False))
+        snap_small = store.take("S", small, None)
+        snap_big = store.take("B", big, None)
+        t0 = sim.clock.now_us
+        store.restore(snap_small, small)
+        small_cost = sim.clock.now_us - t0
+        t1 = sim.clock.now_us
+        store.restore(snap_big, big)
+        big_cost = sim.clock.now_us - t1
+        assert big_cost > small_cost
+
+    def test_state_blob_is_isolated(self):
+        """Mutating the live state after the checkpoint must not
+        retroactively change the snapshot (deep copy semantics)."""
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        regions = make_regions()
+        state = {"fds": {3: "open"}}
+        snap = store.take("VFS", regions, state)
+        state["fds"][4] = "leaked"
+        restored = store.restore(snap, regions)
+        assert restored == {"fds": {3: "open"}}
+
+    def test_restored_blob_is_a_fresh_copy_each_time(self):
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        regions = make_regions()
+        snap = store.take("VFS", regions, {"n": []})
+        first = store.restore(snap, regions)
+        first["n"].append(1)
+        second = store.restore(snap, regions)
+        assert second == {"n": []}
+
+    def test_labels_and_drop(self):
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        regions = make_regions()
+        store.take("VFS", regions, None, label="post-boot")
+        store.take("VFS", regions, None, label="extra")
+        assert store.labels("VFS") == ["extra", "post-boot"]
+        store.drop("VFS", "extra")
+        assert store.labels("VFS") == ["post-boot"]
+        store.drop("VFS")
+        assert not store.has("VFS")
+
+    def test_missing_snapshot(self):
+        store = SnapshotStore(Simulation())
+        assert store.get("NOPE") is None
+
+    def test_total_bytes(self):
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        store.take("VFS", make_regions(), None)
+        assert store.total_bytes() == 5120
+
+    def test_restore_ignores_regions_grown_after_checkpoint(self):
+        sim = Simulation()
+        store = SnapshotStore(sim)
+        regions = make_regions()
+        snap = store.take("VFS", regions, None)
+        regions.add(Region("VFS.extra", RegionKind.HEAP, 64))
+        store.restore(snap, regions)  # must not raise
+        assert "VFS.extra" in regions

@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.metrics.ascii import bar_chart, chart_from_report
+from repro.metrics.report import ExperimentReport
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title_and_values_rendered(self):
+        chart = bar_chart(["x"], [3.0], title="demo", unit="ms")
+        assert chart.splitlines()[0] == "demo"
+        assert "3.00ms" in chart
+
+    def test_zero_values_have_no_bar(self):
+        chart = bar_chart(["z"], [0.0])
+        assert "█" not in chart
+
+    def test_tiny_nonzero_value_still_visible(self):
+        chart = bar_chart(["big", "tiny"], [1000.0, 0.5], width=20)
+        assert "▌" in chart.splitlines()[1]
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["a", "longer"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_is_title_only(self):
+        assert bar_chart([], [], title="t") == "t"
+
+
+class TestChartFromReport:
+    def make_report(self):
+        report = ExperimentReport("EXP-X", "demo")
+        report.headers = ["name", "mode", "time ms"]
+        report.add_row("a", "das", 4.0)
+        report.add_row("b", "noop", 8.0)
+        return report
+
+    def test_picks_first_numeric_column(self):
+        chart = chart_from_report(self.make_report())
+        assert "time ms (EXP-X)" in chart
+        assert "8.00" in chart
+
+    def test_explicit_column(self):
+        chart = chart_from_report(self.make_report(), value_column=2)
+        assert "4.00" in chart
+
+    def test_no_numeric_column(self):
+        report = ExperimentReport("E", "f")
+        report.headers = ["a", "b"]
+        report.add_row("x", "y")
+        assert chart_from_report(report) == ""
+
+    def test_empty_report(self):
+        report = ExperimentReport("E", "f")
+        assert chart_from_report(report) == ""

@@ -1,0 +1,146 @@
+"""Unit + property tests for the metrics utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.report import Claim, ExperimentReport, format_table
+from repro.metrics.stats import percentile, ratio, summarize
+from repro.metrics.timeline import Timeline
+
+
+class TestStats:
+    def test_summarize_basics(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.p50 == 2.5
+
+    def test_summarize_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0 and s.p99 == 7.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+        assert percentile([0.0, 10.0], 0) == 0.0
+        assert percentile([0.0, 10.0], 100) == 10.0
+
+    def test_percentile_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_percentile_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_ratio(self):
+        assert ratio(4.0, 2.0) == 2.0
+        assert ratio(0.0, 0.0) == 1.0
+        assert math.isinf(ratio(1.0, 0.0))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_summary_invariants(self, values):
+        def le(a, b):
+            # tolerate 1-ULP interpolation noise
+            return a <= b or math.isclose(a, b, rel_tol=1e-12)
+
+        s = summarize(values)
+        assert le(s.minimum, s.p50) and le(s.p50, s.maximum)
+        assert le(s.minimum, s.mean) and le(s.mean, s.maximum)
+        assert le(s.p50, s.p95) and le(s.p95, s.p99) \
+            and le(s.p99, s.maximum)
+        assert s.std >= 0
+
+
+class TestTimeline:
+    def test_record_and_window(self):
+        tl = Timeline("lat")
+        for t, v in [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]:
+            tl.record(t, v)
+        assert len(tl) == 3
+        assert [p.value for p in tl.window(1.5, 3.0)] == [20.0, 30.0]
+
+    def test_out_of_order_rejected(self):
+        tl = Timeline()
+        tl.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tl.record(4.0, 1.0)
+
+    def test_max_and_mean_in_window(self):
+        tl = Timeline()
+        for t in range(10):
+            tl.record(float(t), float(t * 2))
+        assert tl.max_in(0.0, 4.0) == 8.0
+        assert tl.mean_in(0.0, 4.0) == 4.0
+        assert tl.max_in(100.0, 200.0) is None
+        assert tl.mean_in(100.0, 200.0) is None
+
+    def test_buckets(self):
+        tl = Timeline()
+        for t in range(10):
+            tl.record(float(t), 1.0)
+        buckets = tl.buckets(5.0)
+        assert len(buckets) == 2
+        assert all(v == 1.0 for _, v in buckets)
+
+    def test_buckets_validation(self):
+        with pytest.raises(ValueError):
+            Timeline().buckets(0.0)
+        assert Timeline().buckets(5.0) == []
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], ["long", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_experiment_report_render(self):
+        report = ExperimentReport("EXP-X", "a figure")
+        report.headers = ["k", "v"]
+        report.add_row("x", 1)
+        report.add_claim("it holds", True, "1 == 1")
+        report.add_claim("it fails", False)
+        report.add_note("scaled down")
+        text = report.render()
+        assert "EXP-X" in text
+        assert "[PASS] it holds (1 == 1)" in text
+        assert "[FAIL] it fails" in text
+        assert "note: scaled down" in text
+        assert not report.all_claims_hold
+
+    def test_all_claims_hold(self):
+        report = ExperimentReport("E", "f")
+        report.add_claim("a", True)
+        assert report.all_claims_hold
+
+    def test_claim_render(self):
+        assert Claim("x", True).render() == "  [PASS] x"
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self):
+        report = ExperimentReport("E", "f")
+        report.headers = ["name", "value"]
+        report.add_row("plain", 1.5)
+        report.add_row('quo"ted, cell', 2)
+        csv = report.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "plain,1.5"
+        assert lines[2] == '"quo""ted, cell",2'
+
+    def test_empty_rows_still_has_header(self):
+        report = ExperimentReport("E", "f")
+        report.headers = ["a"]
+        assert report.to_csv() == "a\n"

@@ -1,0 +1,167 @@
+"""Unit tests for the host-side 9P share."""
+
+import pytest
+
+from repro.net.hostshare import (
+    FileExists,
+    HostShare,
+    IsADirectory,
+    NoSuchFile,
+    NotADirectory,
+    ShareError,
+    normalize,
+)
+
+
+class TestNormalize:
+    @pytest.mark.parametrize("raw,expected", [
+        ("", "/"), ("/", "/"), ("a/b", "/a/b"), ("/a//b/", "/a/b"),
+        ("/a/./b", "/a/b"), ("/a/../b", "/b"),
+    ])
+    def test_cases(self, raw, expected):
+        assert normalize(raw) == expected
+
+
+class TestFiles:
+    def test_create_read_write(self):
+        share = HostShare()
+        share.create("/f", b"abc")
+        assert share.read("/f") == b"abc"
+        share.write("/f", 1, b"XY")
+        assert share.read("/f") == b"aXY"
+
+    def test_write_extends_with_zero_fill(self):
+        share = HostShare()
+        share.create("/f")
+        share.write("/f", 4, b"zz")
+        assert share.read("/f") == b"\x00\x00\x00\x00zz"
+        assert share.size("/f") == 6
+
+    def test_read_window(self):
+        share = HostShare()
+        share.create("/f", b"abcdef")
+        assert share.read("/f", offset=2, count=3) == b"cde"
+        assert share.read("/f", offset=10, count=3) == b""
+
+    def test_create_duplicate(self):
+        share = HostShare()
+        share.create("/f")
+        with pytest.raises(FileExists):
+            share.create("/f")
+
+    def test_create_in_missing_dir(self):
+        share = HostShare()
+        with pytest.raises(NoSuchFile):
+            share.create("/nodir/f")
+
+    def test_create_under_a_file(self):
+        share = HostShare()
+        share.create("/f")
+        with pytest.raises(NotADirectory):
+            share.create("/f/child")
+
+    def test_read_missing(self):
+        share = HostShare()
+        with pytest.raises(NoSuchFile):
+            share.read("/ghost")
+
+    def test_read_directory(self):
+        share = HostShare()
+        share.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            share.read("/d")
+
+    def test_truncate(self):
+        share = HostShare()
+        share.create("/f", b"abcdef")
+        share.truncate("/f", 2)
+        assert share.read("/f") == b"ab"
+        share.truncate("/f")
+        assert share.size("/f") == 0
+
+    def test_remove(self):
+        share = HostShare()
+        share.create("/f")
+        share.remove("/f")
+        assert not share.exists("/f")
+        with pytest.raises(NoSuchFile):
+            share.remove("/f")
+
+    def test_version_bumps_on_write(self):
+        share = HostShare()
+        share.create("/f", b"a")
+        v0 = share.stat("/f").version
+        share.write("/f", 0, b"b")
+        assert share.stat("/f").version == v0 + 1
+
+
+class TestDirectories:
+    def test_mkdir_and_listdir(self):
+        share = HostShare()
+        share.mkdir("/d")
+        share.create("/d/a")
+        share.create("/d/b")
+        share.mkdir("/d/sub")
+        share.create("/d/sub/deep")
+        assert share.listdir("/d") == ["a", "b", "sub"]
+        assert share.listdir("/") == ["d"]
+
+    def test_makedirs(self):
+        share = HostShare()
+        share.makedirs("/a/b/c")
+        assert share.is_dir("/a/b/c")
+        share.makedirs("/a/b/c")  # idempotent
+
+    def test_makedirs_through_file(self):
+        share = HostShare()
+        share.create("/f")
+        with pytest.raises(NotADirectory):
+            share.makedirs("/f/sub")
+
+    def test_listdir_of_file(self):
+        share = HostShare()
+        share.create("/f")
+        with pytest.raises(NotADirectory):
+            share.listdir("/f")
+
+    def test_remove_nonempty_dir(self):
+        share = HostShare()
+        share.mkdir("/d")
+        share.create("/d/f")
+        with pytest.raises(ShareError):
+            share.remove("/d")
+
+    def test_remove_empty_dir(self):
+        share = HostShare()
+        share.mkdir("/d")
+        share.remove("/d")
+        assert not share.exists("/d")
+
+    def test_cannot_remove_root(self):
+        with pytest.raises(ShareError):
+            HostShare().remove("/")
+
+    def test_stat(self):
+        share = HostShare()
+        share.mkdir("/d")
+        share.create("/f", b"xy")
+        assert share.stat("/d").is_dir
+        stat = share.stat("/f")
+        assert not stat.is_dir and stat.size == 2
+
+
+class TestAccounting:
+    def test_rpc_and_byte_counters(self):
+        share = HostShare()
+        share.create("/f", b"abc")
+        share.read("/f")
+        share.write("/f", 0, b"xy")
+        assert share.rpc_count >= 3
+        assert share.bytes_read == 3
+        assert share.bytes_written == 5
+
+    def test_total_bytes(self):
+        share = HostShare()
+        share.create("/a", b"xx")
+        share.create("/b", b"yyy")
+        assert share.total_bytes() == 5

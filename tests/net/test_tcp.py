@@ -1,0 +1,172 @@
+"""Unit tests for the simulated TCP network.
+
+The sequence/ACK verification is load-bearing for the reproduction: it
+is what makes LWIP's runtime data (§V-B) *necessary* rather than
+decorative — a rebooted stack with wrong numbers gets reset.
+"""
+
+import pytest
+
+from repro.net.tcp import (
+    ConnectionRefused,
+    ConnectionReset,
+    HostNetwork,
+    TcpState,
+)
+from repro.sim.engine import Simulation
+
+
+@pytest.fixture
+def net():
+    return HostNetwork(Simulation(seed=5))
+
+
+def establish(net, port=80):
+    net.listen(port)
+    client = net.connect(port)
+    info = net.accept(port)
+    return client, info
+
+
+class TestHandshake:
+    def test_connect_accept(self, net):
+        client, info = establish(net)
+        conn = client.connection
+        assert conn.state is TcpState.ESTABLISHED
+        assert info["conn_id"] == conn.conn_id
+        assert info["client_isn"] == conn.client_isn
+
+    def test_refused_without_listener(self, net):
+        with pytest.raises(ConnectionRefused):
+            net.connect(9999)
+        assert net.refused == 1
+
+    def test_backlog_limit(self, net):
+        net.listen(80, backlog=1)
+        net.connect(80)
+        with pytest.raises(ConnectionRefused):
+            net.connect(80)
+
+    def test_accept_empty_returns_none(self, net):
+        net.listen(80)
+        assert net.accept(80) is None
+
+    def test_listen_is_idempotent(self, net):
+        """Replayed listen() must not clobber the pending queue."""
+        net.listen(80)
+        net.connect(80)
+        listener = net.listen(80)
+        assert len(listener.pending) == 1
+
+    def test_unlisten(self, net):
+        net.listen(80)
+        net.unlisten(80)
+        with pytest.raises(ConnectionRefused):
+            net.connect(80)
+
+
+class TestDataTransfer:
+    def test_roundtrip(self, net):
+        client, info = establish(net)
+        conn = client.connection
+        client.send(b"ping")
+        got = net.server_recv(conn.conn_id, 100, ack=info["client_isn"])
+        assert got == b"ping"
+        net.server_send(conn.conn_id, b"pong", seq=info["server_isn"])
+        assert client.recv() == b"pong"
+
+    def test_sequence_numbers_advance_with_bytes(self, net):
+        client, info = establish(net)
+        cid = info["conn_id"]
+        net.server_send(cid, b"abc", seq=info["server_isn"])
+        net.server_send(cid, b"de", seq=info["server_isn"] + 3)
+        assert client.recv() == b"abcde"
+
+    def test_stale_server_seq_resets(self, net):
+        """A rebooted stack replaying an old seq gets RST — the
+        mechanism behind the LWIP runtime-data requirement."""
+        client, info = establish(net)
+        cid = info["conn_id"]
+        net.server_send(cid, b"abc", seq=info["server_isn"])
+        with pytest.raises(ConnectionReset):
+            net.server_send(cid, b"xyz", seq=info["server_isn"])  # stale
+        assert client.connection.state is TcpState.RESET
+        assert net.resets == 1
+
+    def test_bad_ack_resets(self, net):
+        client, info = establish(net)
+        client.send(b"data")
+        with pytest.raises(ConnectionReset):
+            net.server_recv(info["conn_id"], 10,
+                            ack=info["client_isn"] + 999)
+
+    def test_partial_recv(self, net):
+        client, info = establish(net)
+        client.send(b"abcdef")
+        cid = info["conn_id"]
+        assert net.server_recv(cid, 4, ack=info["client_isn"]) == b"abcd"
+        assert net.server_recv(cid, 4,
+                               ack=info["client_isn"] + 4) == b"ef"
+
+    def test_pending_bytes(self, net):
+        client, info = establish(net)
+        assert net.server_pending_bytes(info["conn_id"]) == 0
+        client.send(b"abc")
+        assert net.server_pending_bytes(info["conn_id"]) == 3
+
+    def test_pending_eof_after_client_close(self, net):
+        client, info = establish(net)
+        client.close()
+        assert net.server_pending_bytes(info["conn_id"]) == -1
+
+    def test_pending_unknown_conn(self, net):
+        assert net.server_pending_bytes(999) == -1
+
+
+class TestClose:
+    def test_client_close_blocks_server_send(self, net):
+        client, info = establish(net)
+        client.close()
+        with pytest.raises(ConnectionReset):
+            net.server_send(info["conn_id"], b"late",
+                            seq=info["server_isn"])
+
+    def test_server_close_blocks_client(self, net):
+        client, info = establish(net)
+        net.server_close(info["conn_id"])
+        with pytest.raises(ConnectionReset):
+            client.send(b"x")
+
+    def test_reset_connection(self, net):
+        client, info = establish(net)
+        net.reset_connection(info["conn_id"], "test")
+        assert client.is_reset
+        with pytest.raises(ConnectionReset):
+            client.recv()
+
+
+class TestStackAttach:
+    def test_attach_resets_everything(self, net):
+        """A full reboot re-attaches the stack: connections die and
+        listeners vanish — Table V's Unikraft failure mode."""
+        client, info = establish(net)
+        generation = net.attach_stack()
+        assert client.is_reset
+        assert net.listeners == {}
+        assert generation >= 1
+
+    def test_open_connections_listing(self, net):
+        client, _ = establish(net)
+        assert client.conn_id in net.open_connections()
+        client.close()
+        assert client.conn_id not in net.open_connections()
+
+
+class TestDeterminism:
+    def test_isns_reproducible(self):
+        def run():
+            net = HostNetwork(Simulation(seed=42))
+            client, info = establish(net)
+            return (info["client_isn"], info["server_isn"])
+
+        assert run() == run()

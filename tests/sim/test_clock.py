@@ -1,0 +1,147 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import (
+    ClockError,
+    Stopwatch,
+    Timer,
+    VirtualClock,
+    format_us,
+    us_from_ms,
+    us_from_s,
+)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_us == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(start_us=50.0).now_us == 50.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock(start_us=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance(10.5)
+        clock.advance(4.5)
+        assert clock.now_us == 15.0
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(3.0) == 3.0
+
+    def test_zero_advance_is_noop(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now_us == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_advance_to_jumps_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(100.0)
+        assert clock.now_us == 100.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(start_us=100.0)
+        clock.advance_to(50.0)
+        assert clock.now_us == 100.0
+
+    def test_unit_views(self):
+        clock = VirtualClock(start_us=2_500_000.0)
+        assert clock.now_ms == 2_500.0
+        assert clock.now_s == 2.5
+
+    def test_watchers_see_every_advance(self):
+        clock = VirtualClock()
+        seen = []
+        clock.on_advance(lambda old, new: seen.append((old, new)))
+        clock.advance(5.0)
+        clock.advance(3.0)
+        assert seen == [(0.0, 5.0), (5.0, 8.0)]
+
+    def test_watchers_skip_zero_advance(self):
+        clock = VirtualClock()
+        seen = []
+        clock.on_advance(lambda old, new: seen.append((old, new)))
+        clock.advance(0.0)
+        assert seen == []
+
+    def test_remove_watcher(self):
+        clock = VirtualClock()
+        seen = []
+        watcher = lambda old, new: seen.append(new)  # noqa: E731
+        clock.on_advance(watcher)
+        clock.remove_watcher(watcher)
+        clock.advance(1.0)
+        assert seen == []
+
+    def test_remove_unknown_watcher_is_noop(self):
+        VirtualClock().remove_watcher(lambda a, b: None)
+
+
+class TestStopwatch:
+    def test_measures_span(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        watch.start()
+        clock.advance(12.0)
+        assert watch.stop() == 12.0
+
+    def test_context_manager(self):
+        clock = VirtualClock()
+        with Stopwatch(clock) as watch:
+            clock.advance(7.0)
+        assert watch.elapsed_us == 7.0
+
+    def test_elapsed_while_running(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        watch.start()
+        clock.advance(3.0)
+        assert watch.elapsed_us == 3.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ClockError):
+            Stopwatch(VirtualClock()).stop()
+
+
+class TestTimer:
+    def test_expiry(self):
+        clock = VirtualClock()
+        timer = Timer.after(clock, 10.0)
+        assert not timer.expired
+        clock.advance(10.0)
+        assert timer.expired
+
+    def test_remaining(self):
+        clock = VirtualClock()
+        timer = Timer.after(clock, 10.0)
+        clock.advance(4.0)
+        assert timer.remaining_us == 6.0
+        clock.advance(20.0)
+        assert timer.remaining_us == 0.0
+
+
+class TestConversions:
+    def test_us_from_ms(self):
+        assert us_from_ms(1.5) == 1500.0
+
+    def test_us_from_s(self):
+        assert us_from_s(2.0) == 2_000_000.0
+
+    @pytest.mark.parametrize("value,expected", [
+        (1.0, "1.00 us"),
+        (999.0, "999.00 us"),
+        (1_500.0, "1.50 ms"),
+        (2_500_000.0, "2.500 s"),
+    ])
+    def test_format_us(self, value, expected):
+        assert format_us(value) == expected

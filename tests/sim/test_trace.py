@@ -1,0 +1,81 @@
+"""Unit tests for the event trace."""
+
+from repro.sim.trace import NULL_TRACE, Trace, TraceEvent
+
+
+class TestTrace:
+    def test_emit_and_select(self):
+        trace = Trace()
+        trace.emit(1.0, "net", "syn", conn=1)
+        trace.emit(2.0, "net", "rst", conn=1)
+        trace.emit(3.0, "net", "syn", conn=2)
+        assert trace.count("net", "syn") == 2
+        assert trace.count("net", "syn", conn=2) == 1
+        assert len(trace) == 3
+
+    def test_first_and_last(self):
+        trace = Trace()
+        trace.emit(1.0, "a", "x", n=1)
+        trace.emit(2.0, "a", "x", n=2)
+        assert trace.first("a", "x").detail["n"] == 1
+        assert trace.last("a", "x").detail["n"] == 2
+        assert trace.first("missing") is None
+        assert trace.last("missing") is None
+
+    def test_between(self):
+        trace = Trace()
+        for t in (1.0, 5.0, 9.0):
+            trace.emit(t, "c", "e")
+        assert [e.t_us for e in trace.between(2.0, 9.0)] == [5.0, 9.0]
+
+    def test_disabled_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.emit(1.0, "c", "e")
+        assert len(trace) == 0
+
+    def test_null_trace_is_disabled(self):
+        NULL_TRACE.emit(1.0, "c", "e")
+        assert len(NULL_TRACE) == 0
+
+    def test_category_filter(self):
+        trace = Trace(categories=["keep"])
+        trace.emit(1.0, "keep", "a")
+        trace.emit(2.0, "drop", "b")
+        assert len(trace) == 1
+        assert trace.events[0].category == "keep"
+
+    def test_max_events_bounds_memory(self):
+        trace = Trace(max_events=10)
+        for i in range(25):
+            trace.emit(float(i), "c", "e", i=i)
+        assert len(trace) <= 11
+        # the newest events survive
+        assert trace.last("c", "e").detail["i"] == 24
+
+    def test_subscriber_sees_events(self):
+        trace = Trace()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1.0, "c", "e")
+        assert len(seen) == 1
+        assert isinstance(seen[0], TraceEvent)
+
+    def test_clear(self):
+        trace = Trace()
+        trace.emit(1.0, "c", "e")
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestTraceEvent:
+    def test_matches_by_detail(self):
+        event = TraceEvent(1.0, "net", "rst", {"conn": 5})
+        assert event.matches(category="net")
+        assert event.matches(name="rst", conn=5)
+        assert not event.matches(conn=6)
+        assert not event.matches(category="io")
+        assert not event.matches(name="syn")
+
+    def test_matches_missing_detail_key(self):
+        event = TraceEvent(1.0, "net", "rst", {})
+        assert not event.matches(conn=5)

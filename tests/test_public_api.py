@@ -1,0 +1,47 @@
+"""The package's public surface: everything advertised must resolve."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", [
+        "repro.sim", "repro.memory", "repro.unikernel",
+        "repro.components", "repro.net", "repro.core", "repro.faults",
+        "repro.apps", "repro.workloads", "repro.metrics",
+        "repro.experiments", "repro.cli",
+    ])
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_is_runnable(self):
+        """The package docstring's quickstart, as written."""
+        from repro import Simulation, MiniNginx, DAS
+
+        sim = Simulation(seed=1)
+        nginx = MiniNginx(sim, mode=DAS)
+        sock = nginx.network.connect(80)
+        sock.send(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+        nginx.poll()
+        assert sock.recv().startswith(b"HTTP/1.1 200")
+        nginx.vampos.reboot_component("VFS")
+
+    def test_every_public_module_has_a_docstring(self):
+        import pkgutil
+
+        for info in pkgutil.walk_packages(repro.__path__,
+                                          prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a docstring"

@@ -1,0 +1,205 @@
+"""Unit tests for the component model."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+from repro.unikernel.component import (
+    Component,
+    ComponentState,
+    MemoryLayout,
+    export,
+)
+from repro.unikernel.errors import Panic
+from repro.unikernel.idalloc import lowest_free_id
+
+
+class Counter(Component):
+    NAME = "COUNTER"
+    STATEFUL = True
+    LAYOUT = MemoryLayout(heap_order=12)
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self.value = 0
+
+    def on_boot(self):
+        self.value = 0
+
+    @export()
+    def increment(self, by: int = 1) -> int:
+        self.value += by
+        return self.value
+
+    @export(state_changing=False)
+    def peek(self) -> int:
+        return self.value
+
+    @export(key_arg=0, canceling=True)
+    def drop(self, key: int) -> int:
+        return key
+
+    @export(key_from_result=True, session_opener=True)
+    def open_session(self) -> int:
+        return 7
+
+    def export_custom_state(self):
+        return {"value": self.value}
+
+    def import_custom_state(self, blob):
+        self.value = blob["value"]
+
+
+class TestInterfaceReflection:
+    def test_exports_discovered(self):
+        interface = Counter.interface()
+        assert set(interface) == {"increment", "peek", "drop",
+                                  "open_session"}
+
+    def test_state_changing_implies_logged(self):
+        interface = Counter.interface()
+        assert interface["increment"].logged
+        assert not interface["peek"].logged
+
+    def test_canceling_and_key_metadata(self):
+        interface = Counter.interface()
+        assert interface["drop"].canceling
+        assert interface["drop"].key_arg == 0
+        assert interface["open_session"].key_from_result
+        assert interface["open_session"].session_opener
+        assert interface["open_session"].allocates_ids
+
+    def test_private_methods_not_exported(self):
+        assert "_entry" not in Counter.interface()
+
+
+class TestLifecycle:
+    def test_boot_sets_state(self):
+        comp = Counter(Simulation())
+        assert comp.state is ComponentState.CREATED
+        comp.boot()
+        assert comp.state is ComponentState.BOOTED
+        assert comp.boot_count == 1
+
+    def test_shutdown(self):
+        comp = Counter(Simulation())
+        comp.boot()
+        comp.shutdown()
+        assert comp.state is ComponentState.SHUTDOWN
+
+    def test_reboot_increments_count(self):
+        comp = Counter(Simulation())
+        comp.boot()
+        comp.boot()
+        assert comp.boot_count == 2
+
+
+class TestCallInterface:
+    def test_executes_and_charges(self):
+        sim = Simulation()
+        comp = Counter(sim)
+        comp.boot()
+        assert comp.call_interface("increment", (5,), {}) == 5
+        assert comp.value == 5
+        assert sim.clock.now_us > 0
+
+    def test_unknown_function(self):
+        comp = Counter(Simulation())
+        with pytest.raises(AttributeError):
+            comp.call_interface("nope", (), {})
+
+    def test_injected_panic_fires_once(self):
+        comp = Counter(Simulation())
+        comp.boot()
+        comp.injected_panic = "bitflip"
+        with pytest.raises(Panic):
+            comp.call_interface("increment", (), {})
+        assert comp.state is ComponentState.FAILED
+        # one-shot: the fault is non-deterministic
+        comp.state = ComponentState.BOOTED
+        assert comp.call_interface("increment", (), {}) == 1
+
+    def test_deterministic_fault_fires_every_time(self):
+        comp = Counter(Simulation())
+        comp.boot()
+        comp.deterministic_faults.add("increment")
+        for _ in range(2):
+            with pytest.raises(Panic):
+                comp.call_interface("increment", (), {})
+        # other functions unaffected
+        assert comp.call_interface("peek", (), {}) == 0
+
+
+class TestMemory:
+    def test_regions_created_from_layout(self):
+        comp = Counter(Simulation())
+        names = {r.name for r in comp.regions}
+        assert names == {"COUNTER.text", "COUNTER.data", "COUNTER.bss",
+                         "COUNTER.heap", "COUNTER.stack"}
+
+    def test_zero_sized_layout_regions_omitted(self):
+        class NoData(Component):
+            NAME = "NODATA"
+            LAYOUT = MemoryLayout(data=0, bss=0, heap_order=12)
+
+        comp = NoData(Simulation())
+        names = {r.name for r in comp.regions}
+        assert "NODATA.data" not in names
+        assert "NODATA.bss" not in names
+
+    def test_alloc_free_through_component(self):
+        comp = Counter(Simulation())
+        offset = comp.alloc(64)
+        assert comp.allocator.used_bytes() == 64
+        comp.free(offset)
+        assert comp.allocator.used_bytes() == 0
+
+    def test_memory_footprint(self):
+        comp = Counter(Simulation())
+        assert comp.memory_footprint() == comp.regions.total_bytes()
+
+
+class TestStateExport:
+    def test_roundtrip_includes_allocator(self):
+        comp = Counter(Simulation())
+        comp.boot()
+        offset = comp.alloc(64)
+        comp.value = 42
+        blob = comp.export_state()
+        comp.value = 0
+        comp.free(offset)
+        comp.import_state(blob)
+        assert comp.value == 42
+        assert offset in comp.allocator.allocated
+
+    def test_import_none_is_noop(self):
+        comp = Counter(Simulation())
+        comp.value = 9
+        comp.import_state(None)
+        assert comp.value == 9
+
+
+class TestForcedIds:
+    def test_take_in_order(self):
+        comp = Counter(Simulation())
+        comp.set_forced_ids([5, 9])
+        assert comp.take_forced_id() == 5
+        assert comp.take_forced_id() == 9
+        assert comp.take_forced_id() is None
+
+    def test_clearing(self):
+        comp = Counter(Simulation())
+        comp.set_forced_ids([5])
+        comp.set_forced_ids([])
+        assert comp.take_forced_id() is None
+
+
+class TestLowestFreeId:
+    def test_empty(self):
+        assert lowest_free_id(set()) == 1
+
+    def test_skips_occupied(self):
+        assert lowest_free_id({1, 2, 4}) == 3
+
+    def test_start(self):
+        assert lowest_free_id({3, 4}, start=3) == 5
+        assert lowest_free_id(set(), start=3) == 3

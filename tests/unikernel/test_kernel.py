@@ -1,0 +1,120 @@
+"""Unit tests for the vanilla (full-reboot) kernel."""
+
+import pytest
+
+from repro.unikernel.errors import (
+    ApplicationHang,
+    KernelPanic,
+    UnikernelError,
+)
+from tests.conftest import build_kernel
+
+
+class TestBoot:
+    def test_boot_all_components(self, sim, share):
+        kernel = build_kernel(sim, share, mode="unikraft")
+        for name in kernel.image.boot_order:
+            assert kernel.component(name).boot_count == 1
+        assert kernel.booted
+
+    def test_double_boot_rejected(self, sim, share):
+        kernel = build_kernel(sim, share, mode="unikraft")
+        with pytest.raises(UnikernelError):
+            kernel.boot()
+
+
+class TestSyscalls:
+    def test_direct_dispatch(self, vanilla_kernel):
+        assert vanilla_kernel.syscall("PROCESS", "getpid") == 1
+
+    def test_meter_counts_transitions(self, vanilla_kernel):
+        vanilla_kernel.syscall("PROCESS", "getpid")
+        record = vanilla_kernel.meter.records[-1]
+        assert record.name == "getpid"
+        assert record.transitions == 2
+        assert record.duration_us > 0
+
+    def test_nested_calls_accumulate_into_one_record(self, vanilla_kernel):
+        vanilla_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        before = len(vanilla_kernel.meter.records)
+        fd = vanilla_kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert len(vanilla_kernel.meter.records) == before + 1
+        record = vanilla_kernel.meter.records[-1]
+        assert record.transitions > 2  # VFS -> 9PFS -> VIRTIO hops
+        assert fd >= 3
+
+
+class TestFailureSemantics:
+    def test_panic_crashes_whole_image(self, vanilla_kernel):
+        vanilla_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        vanilla_kernel.component("9PFS").injected_panic = "fault"
+        with pytest.raises(KernelPanic):
+            vanilla_kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert vanilla_kernel.crashed
+
+    def test_crashed_kernel_rejects_syscalls(self, vanilla_kernel):
+        vanilla_kernel.component("PROCESS").injected_panic = "fault"
+        with pytest.raises(KernelPanic):
+            vanilla_kernel.syscall("PROCESS", "getpid")
+        with pytest.raises(KernelPanic):
+            vanilla_kernel.syscall("PROCESS", "getpid")
+
+    def test_hang_stalls_application(self, vanilla_kernel):
+        """No detector in vanilla Unikraft: a hang is terminal."""
+        vanilla_kernel.component("VFS").injected_hang = True
+        with pytest.raises(ApplicationHang):
+            vanilla_kernel.syscall("VFS", "stat", "/data/hello.txt")
+        assert vanilla_kernel.crashed
+
+    def test_wild_write_corrupts_victim(self, vanilla_kernel):
+        """No isolation in vanilla: the write lands (§V-D contrast)."""
+        vanilla_kernel.attempt_wild_write("LWIP", "VFS")
+        assert vanilla_kernel.component("VFS").heap.corrupted
+
+
+class TestFullReboot:
+    def test_recovers_from_crash(self, vanilla_kernel):
+        vanilla_kernel.component("PROCESS").injected_panic = "fault"
+        with pytest.raises(KernelPanic):
+            vanilla_kernel.syscall("PROCESS", "getpid")
+        downtime = vanilla_kernel.full_reboot()
+        assert downtime > 0
+        assert not vanilla_kernel.crashed
+        assert vanilla_kernel.syscall("PROCESS", "getpid") == 1
+
+    def test_loses_unikernel_state(self, vanilla_kernel):
+        vanilla_kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        fd = vanilla_kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        vanilla_kernel.full_reboot()
+        # The fd table is gone: reading the old descriptor fails.
+        from repro.unikernel.errors import SyscallError
+        with pytest.raises(SyscallError):
+            vanilla_kernel.syscall("VFS", "read", fd, 1)
+
+    def test_host_share_survives(self, sim, share):
+        kernel = build_kernel(sim, share, mode="unikraft")
+        kernel.full_reboot()
+        assert share.read("/data/hello.txt") == b"hello world"
+
+    def test_listeners_notified(self, vanilla_kernel):
+        seen = []
+        vanilla_kernel.on_full_reboot(lambda: seen.append(True))
+        vanilla_kernel.full_reboot()
+        assert seen == [True]
+        assert vanilla_kernel.full_reboots == 1
+
+    def test_downtime_is_substantial(self, vanilla_kernel):
+        """The motivation: full reboots cost ~seconds of virtual time."""
+        downtime = vanilla_kernel.full_reboot()
+        assert downtime >= 900_000  # >= the fixed boot cost
+
+    def test_connections_reset_across_full_reboot(self, sim, share):
+        kernel = build_kernel(sim, share, mode="unikraft")
+        network = kernel.test_network
+        sfd = kernel.syscall("VFS", "vfs_alloc_socket")
+        kernel.syscall("VFS", "bind", sfd, 80)
+        kernel.syscall("VFS", "listen", sfd, 8)
+        client = network.connect(80)
+        kernel.syscall("VFS", "accept", sfd)
+        kernel.full_reboot()
+        assert client.is_reset

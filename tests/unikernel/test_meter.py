@@ -1,0 +1,73 @@
+"""Unit tests for the syscall meter (the Fig. 5 raw-data collector)."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+from repro.unikernel.kernel import SyscallMeter
+
+
+@pytest.fixture
+def meter():
+    return SyscallMeter(Simulation())
+
+
+class TestSyscallMeter:
+    def test_begin_end_records_duration(self, meter):
+        meter.begin("open")
+        meter._sim.charge("x", 12.0)
+        record = meter.end()
+        assert record.name == "open"
+        assert record.duration_us == 12.0
+        assert meter.records == [record]
+
+    def test_end_without_begin_is_none(self, meter):
+        assert meter.end() is None
+
+    def test_transitions_and_log_entries_accumulate(self, meter):
+        meter.begin("read")
+        meter.note_transition(2)
+        meter.note_transition(2)
+        meter.note_log_entries(3)
+        record = meter.end()
+        assert record.transitions == 4
+        assert record.log_entries == 3
+
+    def test_notes_outside_syscall_are_ignored(self, meter):
+        meter.note_transition(2)
+        meter.note_log_entries(1)
+        meter.begin("f")
+        record = meter.end()
+        assert record.transitions == 0
+        assert record.log_entries == 0
+
+    def test_in_syscall_flag(self, meter):
+        assert not meter.in_syscall
+        meter.begin("f")
+        assert meter.in_syscall
+        meter.end()
+        assert not meter.in_syscall
+
+    def test_by_name(self, meter):
+        for name in ("a", "b", "a"):
+            meter.begin(name)
+            meter.end()
+        assert len(meter.by_name("a")) == 2
+        assert len(meter.by_name("c")) == 0
+
+    def test_clear(self, meter):
+        meter.begin("f")
+        meter.end()
+        meter.begin("dangling")
+        meter.clear()
+        assert meter.records == []
+        assert not meter.in_syscall
+
+    def test_nested_syscalls_fold_into_outer_record(self, sim, share):
+        """kernel.syscall re-entered from a component accumulates into
+        the top-level record rather than opening a new one."""
+        from tests.conftest import build_kernel
+        kernel = build_kernel(sim, share, mode="unikraft")
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        before = len(kernel.meter.records)
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert len(kernel.meter.records) == before + 1

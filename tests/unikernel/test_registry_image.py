@@ -1,0 +1,138 @@
+"""Unit tests for the registry, dependency resolution and image link."""
+
+import pytest
+
+import repro.components  # noqa: F401
+from repro.sim.engine import Simulation
+from repro.unikernel.component import Component
+from repro.unikernel.image import APP, ImageBuilder, ImageSpec
+from repro.unikernel.registry import (
+    GLOBAL_REGISTRY,
+    ComponentRegistry,
+    DependencyCycle,
+    UnknownComponent,
+)
+from repro.unikernel.errors import UnikernelError
+
+
+class TestRegistry:
+    def test_global_registry_has_table_one(self):
+        """All nine components of Table I must be registered."""
+        for name in ("VFS", "LWIP", "9PFS", "PROCESS", "SYSINFO",
+                     "USER", "TIMER", "NETDEV", "VIRTIO"):
+            assert name in GLOBAL_REGISTRY
+
+    def test_unknown_component(self):
+        registry = ComponentRegistry()
+        with pytest.raises(UnknownComponent):
+            registry.get("GHOST")
+
+    def test_duplicate_name_rejected(self):
+        registry = ComponentRegistry()
+
+        class A(Component):
+            NAME = "DUP"
+
+        class B(Component):
+            NAME = "DUP"
+
+        registry.register(A)
+        registry.register(A)  # same class re-registration is fine
+        with pytest.raises(UnikernelError):
+            registry.register(B)
+
+    def test_resolve_pulls_hard_dependencies(self):
+        order = GLOBAL_REGISTRY.resolve(["9PFS"])
+        assert order.index("VIRTIO") < order.index("9PFS")
+
+    def test_resolve_optional_dependencies_stay_out(self):
+        """VFS lists 9PFS and LWIP as optional: an Echo-style image
+        (no 9PFS) must not pull 9PFS in."""
+        order = GLOBAL_REGISTRY.resolve(["VFS", "LWIP"])
+        assert "9PFS" not in order
+        assert "LWIP" in order
+
+    def test_resolve_deterministic(self):
+        a = GLOBAL_REGISTRY.resolve(["VFS", "9PFS", "LWIP"])
+        b = GLOBAL_REGISTRY.resolve(["LWIP", "9PFS", "VFS"])
+        assert a == b
+
+    def test_cycle_detection(self):
+        registry = ComponentRegistry()
+
+        class X(Component):
+            NAME = "X"
+            DEPENDENCIES = ("Y",)
+
+        class Y(Component):
+            NAME = "Y"
+            DEPENDENCIES = ("X",)
+
+        registry.register(X)
+        registry.register(Y)
+        with pytest.raises(DependencyCycle):
+            registry.resolve(["X"])
+
+
+class TestImageSpec:
+    def test_requires_components(self):
+        with pytest.raises(UnikernelError):
+            ImageSpec("app", [])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(UnikernelError):
+            ImageSpec("app", ["VFS", "VFS"])
+
+
+class TestImageBuilder:
+    def build(self, components):
+        sim = Simulation()
+        return ImageBuilder().build(ImageSpec("app", components), sim)
+
+    def test_builds_in_boot_order(self):
+        image = self.build(["VFS", "9PFS"])
+        assert image.boot_order.index("VIRTIO") \
+            < image.boot_order.index("9PFS")
+        assert "VFS" in image
+
+    def test_component_access(self):
+        image = self.build(["PROCESS"])
+        assert image.component("PROCESS").NAME == "PROCESS"
+        with pytest.raises(UnikernelError):
+            image.component("LWIP")
+
+    def test_stateful_split(self):
+        image = self.build(["VFS", "9PFS", "LWIP", "PROCESS"])
+        assert set(image.stateful_components()) == {"VFS", "9PFS", "LWIP"}
+        assert "PROCESS" in image.stateless_components()
+
+    def test_dependency_graph_restricted_to_image(self):
+        image = self.build(["VFS", "9PFS"])
+        graph = image.dependency_graph()
+        assert graph["VFS"] == ["9PFS"]  # LWIP not linked
+        assert graph["9PFS"] == ["VIRTIO"]
+
+    def test_mpk_tag_counts_match_paper(self):
+        """§VI: SQLite (7 components) -> 10 tags; Nginx/Redis (9) -> 12."""
+        sqlite_image = self.build(
+            ["PROCESS", "SYSINFO", "USER", "TIMER", "VFS", "9PFS",
+             "VIRTIO"])
+        assert sqlite_image.mpk_tag_count() == 10
+        nginx_image = self.build(
+            ["PROCESS", "SYSINFO", "USER", "NETDEV", "TIMER", "VFS",
+             "9PFS", "LWIP", "VIRTIO"])
+        assert nginx_image.mpk_tag_count() == 12
+
+    def test_total_memory(self):
+        image = self.build(["PROCESS"])
+        assert image.total_memory_bytes() == sum(
+            c.memory_footprint() for c in image.components.values())
+
+    def test_component_args_forwarded(self):
+        from repro.net.hostshare import HostShare
+        share = HostShare()
+        sim = Simulation()
+        spec = ImageSpec("app", ["VIRTIO"],
+                         component_args={"VIRTIO": {"share": share}})
+        image = ImageBuilder().build(spec, sim)
+        assert image.component("VIRTIO").share is share

@@ -1,0 +1,235 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.apps.echo import EchoServer
+from repro.apps.nginx import MiniNginx
+from repro.apps.redis import MiniRedis
+from repro.apps.sqlite import MiniSQLite
+from repro.core.config import DAS
+from repro.sim.engine import Simulation
+from repro.workloads.echo_load import EchoWorkload
+from repro.workloads.http_load import HttpLoadGenerator
+from repro.workloads.redis_load import (
+    RedisClient,
+    RedisProbeWorkload,
+    RedisSetWorkload,
+    warm_up,
+)
+from repro.workloads.siege import Siege
+from repro.workloads.sqlite_load import SqliteInsertWorkload
+
+
+class TestSqliteLoad:
+    def test_inserts_counted(self):
+        app = MiniSQLite(Simulation(seed=41), mode="unikraft")
+        result = SqliteInsertWorkload(app, inserts=25).run()
+        assert result.inserts == 25
+        assert app.row_count("bench") == 25
+        assert result.duration_us > 0
+        assert result.throughput_per_s > 0
+
+    def test_prepare_idempotent(self):
+        app = MiniSQLite(Simulation(seed=42), mode="unikraft")
+        load = SqliteInsertWorkload(app, inserts=5)
+        load.run()
+        load.run()  # second run must not re-create the table
+        assert app.row_count("bench") == 10
+
+    def test_validates_count(self):
+        app = MiniSQLite(Simulation(seed=43), mode="unikraft")
+        with pytest.raises(ValueError):
+            SqliteInsertWorkload(app, inserts=0)
+
+
+class TestHttpLoad:
+    def test_run_requests(self):
+        app = MiniNginx(Simulation(seed=44), mode="unikraft")
+        load = HttpLoadGenerator(app, connections=4)
+        result = load.run_requests(20)
+        assert result.successes == 20
+        assert result.failures == 0
+        assert len(result.latencies_us) == 20
+        assert result.success_ratio == 1.0
+
+    def test_run_for_duration(self):
+        app = MiniNginx(Simulation(seed=45), mode="unikraft")
+        load = HttpLoadGenerator(app, connections=2)
+        result = load.run_for(duration_us=20_000.0)
+        assert result.requests > 1
+        assert result.duration_us >= 20_000.0
+
+    def test_connections_are_reused(self):
+        app = MiniNginx(Simulation(seed=46), mode="unikraft")
+        load = HttpLoadGenerator(app, connections=3)
+        load.run_requests(12)
+        assert len(app.network.connections) == 3
+
+    def test_transparent_reconnect_after_full_reboot(self):
+        """Between-requests resets reconnect silently (the generator is
+        not mid-transaction); in-flight failures are Siege's domain."""
+        app = MiniNginx(Simulation(seed=47), mode="unikraft")
+        load = HttpLoadGenerator(app, connections=2)
+        load.run_requests(4)
+        app.kernel.full_reboot()
+        result = load.run_requests(4)
+        assert result.failures == 0
+        assert result.successes == 4
+        assert app.network.resets >= 2  # the old connections died
+
+    def test_close_all(self):
+        app = MiniNginx(Simulation(seed=48), mode="unikraft")
+        load = HttpLoadGenerator(app, connections=2)
+        load.run_requests(4)
+        load.close_all()
+        assert all(s is None for s in load._sockets)
+
+
+class TestRedisLoad:
+    def test_set_workload(self):
+        app = MiniRedis(Simulation(seed=49), mode="unikraft", aof="off")
+        result = RedisSetWorkload(app, operations=30).run()
+        assert result.successes == 30
+        assert app.dbsize() > 0
+
+    def test_client_reconnects_after_reset(self):
+        app = MiniRedis(Simulation(seed=50), mode="unikraft", aof="off")
+        client = RedisClient(app)
+        assert client.set("a", b"1")
+        app.kernel.full_reboot()
+        assert client.get("a") is None  # data lost (aof off)
+        assert client.reconnects == 2   # reconnected transparently
+
+    def test_warm_up_durable_writes_aof(self):
+        app = MiniRedis(Simulation(seed=51), mode="unikraft",
+                        aof="always")
+        warm_up(app, keys=10, value_bytes=8)
+        assert app.share.size("/redis/appendonly.aof") > 0
+
+    def test_probe_workload_baseline(self):
+        app = MiniRedis(Simulation(seed=52), mode="unikraft", aof="off")
+        warm_up(app, keys=50, value_bytes=8, durable=False)
+        probe = RedisProbeWorkload(app, keys=50,
+                                   probe_interval_us=10_000.0,
+                                   background_gets_per_probe=2)
+        result = probe.run(duration_us=100_000.0)
+        assert len(result.timeline) >= 9
+        assert result.failures == 0
+        assert result.baseline_latency_us > 0
+
+    def test_probe_disturb_fires_once(self):
+        app = MiniRedis(Simulation(seed=53), mode="unikraft", aof="off")
+        warm_up(app, keys=20, value_bytes=8, durable=False)
+        fired = []
+        probe = RedisProbeWorkload(app, keys=20,
+                                   probe_interval_us=10_000.0,
+                                   background_gets_per_probe=0)
+        probe.run(duration_us=80_000.0, disturb_at_us=30_000.0,
+                  disturb=lambda: fired.append(app.sim.clock.now_us))
+        assert len(fired) == 1
+        assert fired[0] >= 30_000.0
+
+
+class TestEchoLoad:
+    def test_exchanges(self):
+        app = EchoServer(Simulation(seed=54), mode="unikraft")
+        result = EchoWorkload(app, message_bytes=159).run_exchanges(10)
+        assert result.successes == 10
+        assert result.failures == 0
+
+    def test_message_size_matches_paper(self):
+        app = EchoServer(Simulation(seed=55), mode="unikraft")
+        load = EchoWorkload(app, message_bytes=159)
+        assert len(load.message) == 159
+
+    def test_connections_closed_after_each_exchange(self):
+        app = EchoServer(Simulation(seed=56), mode="unikraft")
+        EchoWorkload(app).run_exchanges(5)
+        app.poll()  # let the server reap EOFs
+        assert app.open_connections() == 0
+
+    def test_run_for(self):
+        app = EchoServer(Simulation(seed=57), mode="unikraft")
+        result = EchoWorkload(app).run_for(duration_us=50_000.0)
+        assert result.exchanges > 0
+        assert result.duration_us >= 50_000.0
+
+
+class TestSiege:
+    def test_no_rejuvenation_all_succeed(self):
+        app = MiniNginx(Simulation(seed=58), mode="unikraft")
+        siege = Siege(app, clients=10)
+        result = siege.run(rounds=3, rejuvenate_every_rounds=0,
+                           rejuvenate=lambda k: None)
+        assert result.successes == 30
+        assert result.failures == 0
+        assert result.rejuvenations == 0
+
+    def test_full_reboot_fails_in_flight_requests(self):
+        app = MiniNginx(Simulation(seed=59), mode="unikraft")
+        siege = Siege(app, clients=10)
+        result = siege.run(rounds=3, rejuvenate_every_rounds=3,
+                           rejuvenate=lambda k: app.kernel.full_reboot())
+        assert result.rejuvenations == 1
+        assert result.failures >= 10  # the whole in-flight round died
+        assert result.success_ratio < 1.0
+
+    def test_vampos_rejuvenation_keeps_all(self):
+        app = MiniNginx(Simulation(seed=60), mode=DAS)
+        siege = Siege(app, clients=10)
+        result = siege.run(
+            rounds=3, rejuvenate_every_rounds=1,
+            rejuvenate=lambda k: app.vampos.rejuvenate("VFS"))
+        assert result.failures == 0
+        assert result.rejuvenations == 3
+
+    def test_client_count_validated(self):
+        app = MiniNginx(Simulation(seed=61), mode="unikraft")
+        with pytest.raises(ValueError):
+            Siege(app, clients=0)
+
+
+class TestRedisMixedWorkload:
+    def make(self, seed=70, **kwargs):
+        from repro.workloads.redis_load import RedisMixedWorkload
+        app = MiniRedis(Simulation(seed=seed), mode="unikraft",
+                        aof="off")
+        return app, RedisMixedWorkload(app, **kwargs)
+
+    def test_ratio_respected_roughly(self):
+        app, load = self.make(operations=300, get_ratio=0.9)
+        result = load.run()
+        assert result.operations == 300
+        assert result.gets > result.sets * 3
+        assert result.failures == 0
+
+    def test_all_sets(self):
+        app, load = self.make(operations=50, get_ratio=0.0,
+                              key_space=10)
+        result = load.run()
+        assert result.sets == 50 and result.gets == 0
+        assert app.dbsize() <= 10
+
+    def test_all_gets(self):
+        app, load = self.make(operations=50, get_ratio=1.0)
+        result = load.run()
+        assert result.gets == 50
+
+    def test_latencies_recorded_per_type(self):
+        app, load = self.make(operations=100, get_ratio=0.5)
+        result = load.run()
+        assert len(result.get_latencies_us) == result.gets
+        assert len(result.set_latencies_us) == result.sets
+        assert result.throughput_per_s > 0
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            self.make(get_ratio=1.5)
+
+    def test_deterministic(self):
+        results = []
+        for _ in range(2):
+            app, load = self.make(seed=71, operations=100)
+            r = load.run()
+            results.append((r.gets, r.sets, r.duration_us))
+        assert results[0] == results[1]

@@ -1,0 +1,229 @@
+"""Wall-clock benchmark harness (real seconds, not virtual time).
+
+Every other file in ``benchmarks/`` regenerates a *virtual-time*
+artifact of the paper; this one measures how fast the reproduction
+itself runs on the host CPU.  It times three hot paths:
+
+* **syscall_loop** — the Fig. 5 mix (getpid / open / write / read /
+  close / socket echo) driven through a booted MiniNginx, under both
+  the vanilla Unikraft kernel and VampOS-DaS (logging + shrinking on);
+* **recovery** — the Fig. 8 path: a warm MiniRedis has a panic
+  injected into 9PFS, the failure detector reboots the component
+  (checkpoint restore + encapsulated log replay), repeatedly;
+* **shrink_endurance** — long per-key operation series that cross the
+  forced-shrink threshold, exercising append / canceling prune /
+  pair prune / forced compaction continuously.
+
+Results land in ``BENCH_wallclock.json`` at the repository root so the
+project has a wall-clock perf trajectory across PRs.  ``--check FILE``
+compares a fresh run against a committed baseline and exits non-zero
+on a > ``--tolerance`` ops/sec regression (used by CI's smoke run).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_wallclock.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps.nginx import MiniNginx  # noqa: E402
+from repro.core.config import DAS  # noqa: E402
+from repro.faults.injector import FaultInjector  # noqa: E402
+from repro.sim.engine import Simulation  # noqa: E402
+from repro.workloads.redis_load import warm_up  # noqa: E402
+
+#: ops per phase at full scale; --quick divides by 10
+FULL_SYSCALL_OPS = 10_000
+FULL_RECOVERY_REBOOTS = 150
+FULL_ENDURANCE_OPS = 10_000
+
+SOCKET_MESSAGE = b"m" * 221 + b"\n"  # the Fig. 5 222-byte message
+FILE_PATH = "/srv/bench.dat"
+
+
+def _timed(fn: Callable[[], int]) -> Tuple[int, float]:
+    """Run ``fn`` and return (ops it reports, wall seconds)."""
+    start = time.perf_counter()
+    ops = fn()
+    return ops, time.perf_counter() - start
+
+
+def _make_nginx(mode) -> MiniNginx:
+    app = MiniNginx(Simulation(seed=17), mode=mode)
+    if not app.share.exists(FILE_PATH):
+        app.share.create(FILE_PATH, b"z" * 4096)
+    return app
+
+
+def _syscall_loop(app: MiniNginx, ops: int) -> int:
+    """The Fig. 5 syscall mix; one iteration = 8 top-level syscalls."""
+    libc = app.libc
+    client = app.network.connect(app.PORT)
+    server_fd = app.kernel.syscall("VFS", "accept", app._listen_fd)
+    done = 0
+    while done < ops:
+        libc.getpid()
+        fd = libc.open(FILE_PATH, "rw")
+        libc.write(fd, b"x")
+        libc.read(fd, 1)
+        libc.close(fd)
+        libc.send(server_fd, SOCKET_MESSAGE)
+        client.recv()
+        client.send(SOCKET_MESSAGE)
+        libc.recv(server_fd, 222)
+        done += 8
+        if len(app.kernel.meter.records) > 4096:
+            app.kernel.meter.clear()
+    return done
+
+
+def bench_syscall_loop(ops: int) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for label, mode in (("vampos", DAS), ("unikraft", "unikraft")):
+        app = _make_nginx(mode)
+        _syscall_loop(app, max(ops // 10, 80))  # warm caches + steady state
+        done, seconds = _timed(lambda: _syscall_loop(app, ops))
+        out[f"syscall_loop_{label}"] = _phase(done, seconds)
+    return out
+
+
+def bench_recovery(reboots: int) -> Dict[str, Dict[str, float]]:
+    from repro.experiments.env import make_redis
+
+    app = make_redis(DAS, seed=29)
+    warm_up(app, keys=400, value_bytes=256)
+    injector = FaultInjector(app.kernel)
+
+    def loop() -> int:
+        for _ in range(reboots):
+            injector.inject_panic("9PFS", "bench fail-stop")
+            app.libc.stat("/redis")  # detector catches, reboots 9PFS
+        return reboots
+
+    loop()  # one warm pass is enough to populate every cache
+    done, seconds = _timed(loop)
+    return {"recovery_vampos": _phase(done, seconds)}
+
+
+def bench_shrink_endurance(ops: int) -> Dict[str, Dict[str, float]]:
+    app = _make_nginx(DAS.with_(shrink_threshold=40))
+    libc = app.libc
+    done = 0
+
+    def loop() -> int:
+        nonlocal done
+        target = done + ops
+        while done < target:
+            fd = libc.open(FILE_PATH, "rw")
+            # A long same-key series crosses the forced-shrink
+            # threshold before the canceling close prunes the rest.
+            for _ in range(60):
+                libc.write(fd, b"endurance payload")
+                done += 1
+            libc.close(fd)
+            done += 2
+            app.kernel.meter.clear()
+        return done
+
+    loop()
+    start_ops = done
+    _, seconds = _timed(loop)
+    return {"shrink_endurance_vampos": _phase(done - start_ops, seconds)}
+
+
+def _phase(ops: int, seconds: float) -> Dict[str, float]:
+    return {
+        "ops": ops,
+        "seconds": round(seconds, 4),
+        "ops_per_sec": round(ops / seconds, 1) if seconds > 0 else 0.0,
+    }
+
+
+def run_all(quick: bool) -> Dict[str, object]:
+    scale = 10 if quick else 1
+    phases: Dict[str, Dict[str, float]] = {}
+    phases.update(bench_syscall_loop(FULL_SYSCALL_OPS // scale))
+    phases.update(bench_recovery(FULL_RECOVERY_REBOOTS // scale))
+    phases.update(bench_shrink_endurance(FULL_ENDURANCE_OPS // scale))
+    return {
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "phases": phases,
+    }
+
+
+def check_against(result: Dict[str, object], baseline_path: pathlib.Path,
+                  tolerance: float) -> int:
+    """Exit status 1 when any shared phase regressed > tolerance."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, phase in result["phases"].items():  # type: ignore[union-attr]
+        base_phase = baseline.get("phases", {}).get(name)
+        if base_phase is None:
+            continue
+        base = base_phase["ops_per_sec"]
+        now = phase["ops_per_sec"]
+        if base > 0 and now < base * (1.0 - tolerance):
+            failures.append(
+                f"  {name}: {now:.0f} ops/s vs baseline {base:.0f} "
+                f"(-{(1 - now / base) * 100:.0f}%)")
+        else:
+            print(f"  ok {name}: {now:.0f} ops/s "
+                  f"(baseline {base:.0f})")
+    if failures:
+        print(f"REGRESSION beyond {tolerance * 100:.0f}% tolerance:")
+        print("\n".join(failures))
+        return 1
+    print("no wall-clock regression beyond "
+          f"{tolerance * 100:.0f}% tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="1/10th scale smoke run (CI)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="where to write the JSON result")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure only, leave the JSON untouched")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        metavar="BASELINE",
+                        help="compare against a baseline JSON; exit 1 "
+                             "on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed ops/sec regression for --check "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    result = run_all(quick=args.quick)
+    for name, phase in result["phases"].items():
+        print(f"{name:28s} {phase['ops']:>7d} ops  "
+              f"{phase['seconds']:>8.3f}s  "
+              f"{phase['ops_per_sec']:>10.1f} ops/s")
+
+    status = 0
+    if args.check is not None:
+        status = check_against(result, args.check, args.tolerance)
+    if not args.no_write and status == 0:
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ Quickstart::
 
 from . import components  # noqa: F401  (registers Table I components)
 from .apps import EchoServer, Libc, MiniNginx, MiniRedis, MiniSQLite
+from .fastpath import FLAGS, FastPathFlags, reference_mode
 from .core import (
     ALL_CONFIGS,
     DAS,
@@ -73,6 +74,9 @@ __all__ = [
     "VampOSKernel",
     "build_vampos",
     "config_by_name",
+    "FLAGS",
+    "FastPathFlags",
+    "reference_mode",
     "AgingModel",
     "FaultInjector",
     "HostNetwork",

@@ -101,6 +101,10 @@ class LwipComponent(Component):
     NAME = "LWIP"
     STATEFUL = True
     HANG_EXEMPT = True
+    #: every socket/pcb mutator below calls mark_runtime_data_dirty(),
+    #: so the runtime's continuous save (§V-B) can skip LWIP whenever
+    #: no connection state changed since the last syscall
+    TRACKS_RUNTIME_DATA_DIRTY = True
     DEPENDENCIES = ("NETDEV",)
     LAYOUT = MemoryLayout(text=120 * 1024, data=24 * 1024, bss=48 * 1024,
                           heap_order=18, stack=32 * 1024)
@@ -111,6 +115,7 @@ class LwipComponent(Component):
 
     def on_boot(self) -> None:
         self._sockets = {}
+        self.mark_runtime_data_dirty()
         # Cold boot brings the NIC up, resetting any host-side state.
         # Checkpoint restores skip this path, which is why a VampOS
         # component reboot keeps connections alive.
@@ -125,6 +130,7 @@ class LwipComponent(Component):
     def import_custom_state(self, blob: Any) -> None:
         self._sockets = {sock_id: SocketEntry.from_blob(entry)
                          for sock_id, entry in blob.items()}
+        self.mark_runtime_data_dirty()
 
     def export_runtime_data(self) -> Any:
         """The §V-B special data: pcbs plus accept-created sockets.
@@ -145,12 +151,14 @@ class LwipComponent(Component):
             return
         for sock_id, entry_blob in blob["sockets"].items():
             self._sockets[sock_id] = SocketEntry.from_blob(entry_blob)
+        self.mark_runtime_data_dirty()
 
     def extract_key_state(self, key: Any) -> Any:
         entry = self._sockets.get(key)
         return entry.to_blob() if entry is not None else None
 
     def apply_key_state(self, key: Any, patch: Any) -> None:
+        self.mark_runtime_data_dirty()
         if patch is None:
             self._sockets.pop(key, None)
             return
@@ -172,6 +180,7 @@ class LwipComponent(Component):
         entry = SocketEntry(sock_id=sock_id, accepted=accepted,
                             heap_offset=offset)
         self._sockets[sock_id] = entry
+        self.mark_runtime_data_dirty()
         return entry
 
     # --- Table II logged interface ------------------------------------------------------
@@ -190,6 +199,7 @@ class LwipComponent(Component):
                     and other.listening:
                 raise SyscallError("EADDRINUSE", f"port {port}")
         entry.bound_port = port
+        self.mark_runtime_data_dirty()
         return 0
 
     @export(key_arg=0)
@@ -199,6 +209,7 @@ class LwipComponent(Component):
             raise SyscallError("EINVAL", "listen() before bind()")
         entry.listening = True
         entry.backlog = backlog
+        self.mark_runtime_data_dirty()
         self.os.invoke("NETDEV", "dev_listen", entry.bound_port, backlog)
         return 0
 
@@ -224,12 +235,14 @@ class LwipComponent(Component):
     def setsockopt(self, sock_id: int, option: str, value: int) -> int:
         entry = self._entry(sock_id)
         entry.options[option] = value
+        self.mark_runtime_data_dirty()
         return 0
 
     @export(key_arg=0)
     def shutdown(self, sock_id: int, how: str = "rdwr") -> int:
         entry = self._entry(sock_id)
         entry.shutdown_mode = how
+        self.mark_runtime_data_dirty()
         return 0
 
     @export(key_arg=0, canceling=True)
@@ -241,12 +254,14 @@ class LwipComponent(Component):
             self.os.invoke("NETDEV", "dev_close", entry.pcb.conn_id)
         self.free(entry.heap_offset)
         del self._sockets[sock_id]
+        self.mark_runtime_data_dirty()
         return 0
 
     @export(key_arg=0)
     def sock_net_ioctl(self, sock_id: int, request: str, value: int = 0) -> int:
         entry = self._entry(sock_id)
         entry.options[f"ioctl:{request}"] = value
+        self.mark_runtime_data_dirty()
         return 0
 
     # --- unlogged data path (rebuilt from runtime data) -----------------------------------
@@ -267,6 +282,7 @@ class LwipComponent(Component):
             snd_nxt=info["server_isn"],
             rcv_nxt=info["client_isn"],
         )
+        self.mark_runtime_data_dirty()
         return new_entry.sock_id
 
     @export(state_changing=False)
@@ -282,6 +298,7 @@ class LwipComponent(Component):
         except ConnectionReset as exc:
             raise SyscallError("ECONNRESET", str(exc)) from exc
         entry.pcb.snd_nxt += sent
+        self.mark_runtime_data_dirty()
         return sent
 
     @export(state_changing=False)
@@ -295,6 +312,7 @@ class LwipComponent(Component):
         except ConnectionReset as exc:
             raise SyscallError("ECONNRESET", str(exc)) from exc
         entry.pcb.rcv_nxt += len(data)
+        self.mark_runtime_data_dirty()
         return data
 
     @export(state_changing=False)

@@ -12,7 +12,24 @@ Entries deep-copy arguments and results: the log must stay valid even
 if the caller later mutates the objects it passed (and a faulty
 component must not be able to corrupt its own recovery data — in the
 paper the logs live in the message domain behind their own MPK tag for
-exactly this reason).
+exactly this reason).  Immutable payloads (the vast majority of logged
+syscall arguments) are stored by reference instead — mutation-safety
+holds trivially and the copy is free.
+
+Hot-path data structures (see DESIGN.md, "Fast-path invariants"):
+
+* ``self._entries`` holds every entry in append order, with pruned
+  entries tombstoned (``entry.alive = False``) and compacted away once
+  they outnumber the live ones; the public ``entries`` view exposes
+  only live entries.
+* ``self._by_key`` indexes live entries per session key, so the
+  shrinker's per-key queries cost O(entries for that key) instead of
+  O(log length).
+* ``space_bytes()`` / ``record_count()`` are maintained incrementally
+  on append / prune / retval-attach instead of walking the log.  A
+  ``CallLogEntry`` notifies its owning log when its ``key`` or
+  ``result`` is assigned after append (the dispatcher does both), so
+  the index and the accounting never go stale.
 """
 
 from __future__ import annotations
@@ -21,6 +38,8 @@ import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
+
+from ..fastpath import FLAGS
 
 
 @dataclass
@@ -61,6 +80,23 @@ class CallLogEntry:
     #: False while the call is still executing; replay skips in-flight
     #: entries (their nested retvals are partial)
     completed: bool = False
+    #: tombstone flag: False once the entry has been pruned
+    alive: bool = True
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # ``key`` and ``result`` are assigned by the dispatcher *after*
+        # the entry is in the log (key_from_result, completion); route
+        # those through the owning log so the per-key index and the
+        # incremental space accounting stay exact.
+        log = self.__dict__.get("_log")
+        if log is not None:
+            if name == "key":
+                log._rekey(self, value)
+                return
+            if name == "result":
+                log._reresult(self, value)
+                return
+        object.__setattr__(self, name, value)
 
     @property
     def is_synthetic(self) -> bool:
@@ -70,13 +106,36 @@ class CallLogEntry:
         """How many log records this entry holds (call + retvals)."""
         return 1 + len(self.nested)
 
+    def space_bytes(self) -> int:
+        """This entry's contribution to the Fig. 7b space accounting."""
+        total = 64 + _payload_bytes(self.args) + _payload_bytes(self.result)
+        for record in self.nested:
+            total += 64 + _payload_bytes(record.result)
+        return total
+
 
 class ComponentCallLog:
     """The per-component slice of the message domain's logs."""
 
+    #: compact the tombstoned entry list once the dead outnumber the
+    #: live beyond this floor (amortised O(1) per prune)
+    _COMPACT_FLOOR = 32
+
     def __init__(self, component: str) -> None:
         self.component = component
-        self.entries: List[CallLogEntry] = []
+        #: append-ordered entries, including tombstones (see `entries`)
+        self._entries: List[CallLogEntry] = []
+        self._dead = 0
+        #: per-key index over live entries (may hold stale references
+        #: that `entries_for_key` lazily compacts away)
+        self._by_key: Dict[Any, List[CallLogEntry]] = {}
+        #: live entries per key / count of keys with >= 2 live entries
+        self._key_live: Dict[Any, int] = {}
+        self._multi_keys = 0
+        # incremental accounting (kept equal to a full recompute)
+        self._live_count = 0
+        self._record_count = 0
+        self._space_bytes = 0
         self._seq = itertools.count(1)
         #: entries currently being executed (innermost last); outbound
         #: retvals attach to the innermost active entry
@@ -96,14 +155,21 @@ class ComponentCallLog:
         entry = CallLogEntry(
             seq=next(self._seq),
             func=func,
-            args=copy.deepcopy(args),
-            kwargs=copy.deepcopy(kwargs),
+            args=_copy_payload(args),
+            kwargs=_copy_kwargs(kwargs),
             key=key,
             session_opener=session_opener,
             canceling=canceling,
             durable=durable,
         )
-        self.entries.append(entry)
+        self._register(entry)
+        self.total_appended += 1
+        return entry
+
+    def adopt(self, entry: CallLogEntry) -> CallLogEntry:
+        """Append an externally built entry (e.g. a synthetic one from
+        :meth:`make_synthetic`) with full index + accounting."""
+        self._register(entry)
         self.total_appended += 1
         return entry
 
@@ -111,8 +177,23 @@ class ComponentCallLog:
         self._active.append(entry)
 
     def pop_active(self, entry: CallLogEntry) -> None:
-        if self._active and self._active[-1] is entry:
-            self._active.pop()
+        """Close the innermost active entry.
+
+        The active stack mirrors the dispatcher's call nesting exactly
+        (push/pop happen in paired try/finally blocks); a mismatch
+        means nested return values are being attributed to the wrong
+        entry — recovery data corruption — so it is a hard error rather
+        than a silent no-op.
+        """
+        if not self._active or self._active[-1] is not entry:
+            innermost = (f"{self._active[-1].func!r} "
+                         f"seq={self._active[-1].seq}"
+                         if self._active else "<none>")
+            raise RuntimeError(
+                f"call-log corruption in {self.component!r}: "
+                f"pop_active({entry.func!r} seq={entry.seq}) does not "
+                f"match the innermost active entry ({innermost})")
+        self._active.pop()
 
     @property
     def active_entry(self) -> Optional[CallLogEntry]:
@@ -130,21 +211,63 @@ class ComponentCallLog:
             return False
         entry.nested.append(ReturnValueRecord(
             target=target, func=func,
-            result=copy.deepcopy(result), error=error))
+            result=_copy_payload(result), error=error))
+        if entry.alive:
+            self._record_count += 1
+            self._space_bytes += 64 + _payload_bytes(result)
         self.total_retvals += 1
         return True
 
+    def clear_nested(self, entry: CallLogEntry) -> None:
+        """Drop an entry's recorded return values (retry-after-reboot
+        repopulates them)."""
+        if entry.alive and entry.nested:
+            self._record_count -= len(entry.nested)
+            for record in entry.nested:
+                self._space_bytes -= 64 + _payload_bytes(record.result)
+        entry.nested.clear()
+
     # --- queries -------------------------------------------------------------------
 
+    @property
+    def entries(self) -> List[CallLogEntry]:
+        """The live entries, in append order (tombstones hidden)."""
+        if self._dead:
+            return [e for e in self._entries if e.alive]
+        return list(self._entries)
+
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._live_count
 
     def record_count(self) -> int:
         """Total records: call entries plus attached return values."""
-        return sum(e.entry_count() for e in self.entries)
+        if not FLAGS.indexed_log:
+            return sum(e.entry_count() for e in self.entries)
+        return self._record_count
 
     def entries_for_key(self, key: Any) -> List[CallLogEntry]:
-        return [e for e in self.entries if e.key == key]
+        if not FLAGS.indexed_log:
+            return [e for e in self.entries if e.key == key]
+        bucket = self._by_key.get(key)
+        if not bucket:
+            return []
+        live = [e for e in bucket if e.alive and e.key == key]
+        if len(live) != len(bucket):
+            # lazily drop tombstones / rekeyed strays from the bucket
+            if live:
+                self._by_key[key] = list(live)
+            else:
+                del self._by_key[key]
+        return live
+
+    def live_keys(self) -> List[Any]:
+        """Keys with at least one live entry, oldest key first."""
+        return list(self._key_live)
+
+    def has_multi_entry_key(self) -> bool:
+        """O(1): does any key hold >= 2 live entries?  (This is the
+        forced-shrink `_compactable` predicate.)"""
+        return self._multi_keys > 0
 
     def space_bytes(self) -> int:
         """Approximate log memory footprint (for Fig. 7b accounting).
@@ -152,26 +275,30 @@ class ComponentCallLog:
         Priced per record rather than via sys.getsizeof so the number
         is deterministic across Python builds: 64 bytes of header per
         record plus the payload bytes of any byte-string arguments and
-        results.
+        results.  Maintained incrementally; `recompute_space_bytes`
+        walks the log and must always agree.
         """
-        total = 0
-        for entry in self.entries:
-            total += 64 + _payload_bytes(entry.args) \
-                + _payload_bytes(entry.result)
-            for record in entry.nested:
-                total += 64 + _payload_bytes(record.result)
-        return total
+        if not FLAGS.indexed_log:
+            return self.recompute_space_bytes()
+        return self._space_bytes
+
+    def recompute_space_bytes(self) -> int:
+        """Reference O(n) walk (tests assert it matches the counter)."""
+        return sum(e.space_bytes() for e in self._entries if e.alive)
 
     # --- pruning primitives (used by the shrinker) -------------------------------------
 
     def remove_entries(self, doomed: List[CallLogEntry]) -> int:
-        if not doomed:
-            return 0
-        doomed_ids = {id(e) for e in doomed}
-        kept = [e for e in self.entries if id(e) not in doomed_ids]
-        removed = len(self.entries) - len(kept)
-        self.entries = kept
+        removed = 0
+        for entry in doomed:
+            if entry.alive and entry.__dict__.get("_log") is self:
+                self._unregister(entry)
+                removed += 1
         self.total_pruned += removed
+        if self._dead > self._COMPACT_FLOOR \
+                and self._dead * 2 > len(self._entries):
+            self._entries = [e for e in self._entries if e.alive]
+            self._dead = 0
         return removed
 
     def replace_entries(self, doomed: List[CallLogEntry],
@@ -179,15 +306,10 @@ class ComponentCallLog:
                         at_entry: CallLogEntry) -> None:
         """Replace ``doomed`` with ``replacement`` at the position of
         ``at_entry`` (forced shrinking)."""
-        doomed_ids = {id(e) for e in doomed}
-        out: List[CallLogEntry] = []
-        for entry in self.entries:
-            if entry is at_entry:
-                out.append(replacement)
-            if id(entry) not in doomed_ids:
-                out.append(entry)
-        self.total_pruned += len(self.entries) - (len(out) - 1)
-        self.entries = out
+        index = next(i for i, e in enumerate(self._entries)
+                     if e is at_entry)  # identity, not dataclass ==
+        self._register(replacement, index=index)
+        self.remove_entries(doomed)
 
     def make_synthetic(self, key: Any, patch: Any) -> CallLogEntry:
         entry = CallLogEntry(seq=next(self._seq), func="__setstate__",
@@ -197,15 +319,124 @@ class ComponentCallLog:
         return entry
 
     def clear(self) -> None:
-        self.entries.clear()
+        for entry in self._entries:
+            if entry.alive:
+                object.__setattr__(entry, "alive", False)
+            entry.__dict__.pop("_log", None)
+        self._entries.clear()
+        self._dead = 0
+        self._by_key.clear()
+        self._key_live.clear()
+        self._multi_keys = 0
+        self._live_count = 0
+        self._record_count = 0
+        self._space_bytes = 0
         self._active.clear()
+
+    # --- index + accounting internals -----------------------------------------------
+
+    def _register(self, entry: CallLogEntry,
+                  index: Optional[int] = None) -> None:
+        object.__setattr__(entry, "alive", True)
+        if index is None:
+            self._entries.append(entry)
+        else:
+            self._entries.insert(index, entry)
+        entry.__dict__["_log"] = self
+        if entry.key is not None:
+            self._index_add(entry.key, entry)
+        self._live_count += 1
+        self._record_count += entry.entry_count()
+        self._space_bytes += entry.space_bytes()
+
+    def _unregister(self, entry: CallLogEntry) -> None:
+        object.__setattr__(entry, "alive", False)
+        self._dead += 1
+        if entry.key is not None:
+            self._index_drop(entry.key)
+        self._live_count -= 1
+        self._record_count -= entry.entry_count()
+        self._space_bytes -= entry.space_bytes()
+
+    def _index_add(self, key: Any, entry: CallLogEntry) -> None:
+        self._by_key.setdefault(key, []).append(entry)
+        count = self._key_live.get(key, 0) + 1
+        self._key_live[key] = count
+        if count == 2:
+            self._multi_keys += 1
+
+    def _index_drop(self, key: Any) -> None:
+        count = self._key_live.get(key, 0) - 1
+        if count <= 0:
+            self._key_live.pop(key, None)
+            self._by_key.pop(key, None)
+        else:
+            self._key_live[key] = count
+        if count == 1:
+            self._multi_keys -= 1
+
+    def _rekey(self, entry: CallLogEntry, new_key: Any) -> None:
+        """Re-index an entry whose ``key`` is assigned after append
+        (the dispatcher's key_from_result path)."""
+        old_key = entry.__dict__.get("key")
+        if new_key == old_key:
+            return
+        object.__setattr__(entry, "key", new_key)
+        if not entry.alive:
+            return
+        if old_key is not None:
+            self._index_drop(old_key)
+        if new_key is not None:
+            self._index_add(new_key, entry)
+
+    def _reresult(self, entry: CallLogEntry, result: Any) -> None:
+        """Track the space delta when ``result`` is assigned late."""
+        old = entry.__dict__.get("result")
+        object.__setattr__(entry, "result", result)
+        if entry.alive:
+            self._space_bytes += _payload_bytes(result) - _payload_bytes(old)
+
+
+# --- payload helpers -------------------------------------------------------------
+
+#: types safe to log by reference: no mutation can ever reach them
+_IMMUTABLE_SCALARS = (type(None), bool, int, float, str, bytes, frozenset)
+
+
+def _is_immutable(value: Any) -> bool:
+    if isinstance(value, _IMMUTABLE_SCALARS):
+        return True
+    if type(value) is tuple:
+        return all(_is_immutable(item) for item in value)
+    return False
+
+
+def _copy_payload(value: Any) -> Any:
+    """The copy fast path: immutable payloads (None/bool/int/float/str/
+    bytes and tuples thereof — the vast majority of logged syscall
+    arguments) need no defensive copy; everything else deep-copies
+    exactly as before."""
+    if FLAGS.copy_fast_path and _is_immutable(value):
+        return value
+    return copy.deepcopy(value)
+
+
+def _copy_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    if not kwargs:
+        return {}
+    if FLAGS.copy_fast_path \
+            and all(_is_immutable(v) for v in kwargs.values()):
+        return dict(kwargs)
+    return copy.deepcopy(kwargs)
 
 
 def _payload_bytes(value: Any) -> int:
     if isinstance(value, (bytes, bytearray)):
         return len(value)
     if isinstance(value, str):
-        return len(value)
+        # encoded byte length, not character count (a str payload costs
+        # what its UTF-8 serialisation occupies)
+        return len(value.encode("utf-8"))
     if isinstance(value, (tuple, list)):
         return sum(_payload_bytes(v) for v in value)
     if isinstance(value, dict):

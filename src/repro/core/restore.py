@@ -21,14 +21,13 @@ The replay also:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from ..sim.engine import Simulation
 from ..unikernel.component import Component
 from ..unikernel.errors import ComponentFailure, SyscallError, UnikernelError
-from .calllog import CallLogEntry, ComponentCallLog
+from .calllog import CallLogEntry, ComponentCallLog, _copy_payload
 
 
 class ReplayMismatch(UnikernelError):
@@ -79,7 +78,9 @@ class ReplaySession:
         self.retvals_fed += 1
         if record.error is not None:
             raise SyscallError(record.error[0], record.error[1])
-        return copy.deepcopy(record.result)
+        # same copy fast path as recording: immutable results need no
+        # defensive copy before being handed to the replaying component
+        return _copy_payload(record.result)
 
 
 class EncapsulatedRestorer:

@@ -53,6 +53,7 @@ from .config import (
     VampConfig,
 )
 from .detector import FailureDetector
+from ..fastpath import FLAGS
 from .messages import MessageDomain
 from .restore import EncapsulatedRestorer, ReplayMismatch, ReplaySession
 from .scheduler import (
@@ -105,9 +106,9 @@ class VampDispatcher:
             return session.next_retval(target, func)
 
         comp = kernel.component(target)
-        info = comp.interface().get(func)
-        if info is None:
-            raise AttributeError(f"{target} exports no function {func!r}")
+        # Pre-resolved dispatch: one cached dict hit instead of an
+        # interface rebuild (raises AttributeError like the old lookup).
+        info = comp.resolve_export(func)[1]
 
         kernel.meter.note_transition(2)
         merged = kernel.scheduler.same_unit(caller, target)
@@ -151,7 +152,7 @@ class VampDispatcher:
                 # The message thread detected the fault; reboot the
                 # component and retry the same input once (§II-B).
                 if entry is not None:
-                    entry.nested.clear()
+                    log.clear_nested(entry)
                 result = self._recover_and_retry(
                     comp, func, args, kwargs, failure)
         finally:
@@ -366,11 +367,22 @@ class VampOSKernel(Kernel):
 
     def _save_runtime_data(self) -> None:
         """§V-B: save the special runtime data every time it may have
-        been updated (after each top-level syscall)."""
+        been updated (after each top-level syscall).
+
+        Components that track a ``runtime_data_dirty`` flag are only
+        re-exported when a mutator actually ran since the last save;
+        everything else is re-exported unconditionally, as before.
+        """
         for name in list(self._runtime_data):
             comp = self.image.component(name)
-            if comp.state is ComponentState.BOOTED:
-                self._runtime_data[name] = comp.export_runtime_data()
+            if comp.state is not ComponentState.BOOTED:
+                continue
+            if (FLAGS.dirty_runtime_data
+                    and comp.TRACKS_RUNTIME_DATA_DIRTY
+                    and not comp.runtime_data_dirty):
+                continue
+            self._runtime_data[name] = comp.export_runtime_data()
+            comp.runtime_data_dirty = False
 
     # --- component-level reboot (§IV) ------------------------------------------------------
 

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional
 from ..sim.engine import Simulation
 from ..unikernel.component import Component
 from .calllog import CallLogEntry, ComponentCallLog
+from ..fastpath import FLAGS
 
 DEFAULT_SHRINK_THRESHOLD = 100
 
@@ -76,12 +77,19 @@ class LogShrinker:
 
     # --- canceling-function pruning ------------------------------------------------------
 
+    def _entries_for_key(self, key: Any) -> List[CallLogEntry]:
+        """Per-key candidates: the index makes this O(entries for the
+        key); the reference mode scans the whole log as the original
+        implementation did (identical result, identical charges)."""
+        if FLAGS.indexed_log:
+            return self.log.entries_for_key(key)
+        return [e for e in self.log.entries if e.key == key]
+
     def _prune_canceled(self, canceling_entry: CallLogEntry) -> None:
         """Drop the data operations of the canceled session."""
         doomed = [
-            e for e in self.log.entries
-            if e.key == canceling_entry.key
-            and e is not canceling_entry
+            e for e in self._entries_for_key(canceling_entry.key)
+            if e is not canceling_entry
             and not e.session_opener
             and not e.canceling
             # synthetic entries re-establish the session state and act
@@ -106,8 +114,8 @@ class LogShrinker:
     def _prune_stale_pair(self, opener_entry: CallLogEntry) -> None:
         """A reused key prunes the previous opener..canceling pair."""
         doomed = [
-            e for e in self.log.entries
-            if e.key == opener_entry.key and e is not opener_entry
+            e for e in self._entries_for_key(opener_entry.key)
+            if e is not opener_entry
         ]
         # Only prune when the old session actually ended (a canceling
         # entry — or a synthetic tombstone from a forced shrink — is
@@ -134,7 +142,12 @@ class LogShrinker:
         when all keys are already down to one entry would only burn
         time; the prototype's threshold check has the same effect
         because a shrink drops the log below the threshold.
+
+        The per-key live counts make this O(1); the reference scan is
+        kept for the neutrality tests.
         """
+        if FLAGS.indexed_log:
+            return self.log.has_multi_entry_key()
         seen: Dict[Any, int] = {}
         for entry in self.log.entries:
             if entry.key is None:
@@ -156,9 +169,15 @@ class LogShrinker:
         self.sim.charge("forced_shrink", self.sim.costs.forced_shrink)
         self.stats.forced_shrinks += 1
         by_key: Dict[Any, List[CallLogEntry]] = {}
-        for entry in self.log.entries:
-            if entry.key is not None:
-                by_key.setdefault(entry.key, []).append(entry)
+        if FLAGS.indexed_log:
+            for key in self.log.live_keys():
+                series = self.log.entries_for_key(key)
+                if series:
+                    by_key[key] = series
+        else:
+            for entry in self.log.entries:
+                if entry.key is not None:
+                    by_key.setdefault(entry.key, []).append(entry)
         removed_total = 0
         for key, series in by_key.items():
             if len(series) < 2:

@@ -1,0 +1,61 @@
+"""Fast-path switches for the hot-path optimisations.
+
+The runtime carries four wall-clock optimisations that, by design,
+change **no** virtual-time (`sim.charge`) semantics:
+
+* memoized component interfaces + pre-resolved dispatch targets,
+* the per-key call-log index with incremental space accounting,
+* a deep-copy bypass for immutable logged payloads,
+* dirty-tracked runtime-data saving.
+
+Each can be switched off to fall back to the original scan-everything /
+copy-everything reference implementation.  The switches exist for one
+purpose: the virtual-time-neutrality regression tests run the same
+workload under both settings and assert bit-identical ledgers and
+clocks (see ``tests/core/test_fastpath_neutrality.py``).  Production
+code never turns them off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+
+@dataclass
+class FastPathFlags:
+    """Global on/off switches; all True outside neutrality tests."""
+
+    #: memoize Component.interface() per class and the bound
+    #: method + ExportInfo per instance
+    cached_dispatch: bool = True
+    #: answer call-log key queries from the per-key index instead of
+    #: scanning the whole entry list
+    indexed_log: bool = True
+    #: skip copy.deepcopy for immutable logged payloads
+    copy_fast_path: bool = True
+    #: re-export runtime data only for components that flagged a
+    #: mutation since the last save
+    dirty_runtime_data: bool = True
+
+    def set_all(self, value: bool) -> None:
+        for f in fields(self):
+            setattr(self, f.name, value)
+
+
+#: the process-wide switch block consulted by the hot paths
+FLAGS = FastPathFlags()
+
+
+@contextlib.contextmanager
+def reference_mode() -> Iterator[FastPathFlags]:
+    """Temporarily disable every fast path (the pre-optimisation
+    reference semantics).  Used by the neutrality tests."""
+    saved = {f.name: getattr(FLAGS, f.name) for f in fields(FLAGS)}
+    FLAGS.set_all(False)
+    try:
+        yield FLAGS
+    finally:
+        for name, value in saved.items():
+            setattr(FLAGS, name, value)

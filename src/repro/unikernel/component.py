@@ -30,6 +30,7 @@ import functools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..fastpath import FLAGS
 from ..memory.buddy import BuddyAllocator
 from ..memory.region import Region, RegionKind, RegionSet
 from ..sim.engine import Simulation
@@ -174,6 +175,12 @@ class Component:
     #: components exempt from the hang detector because they legitimately
     #: wait on external events (LWIP waiting for connections, §V-A)
     HANG_EXEMPT: bool = False
+    #: True when the component marks ``runtime_data_dirty`` on every
+    #: mutation of its runtime data (§V-B): the runtime then skips the
+    #: per-syscall re-export while the data is unchanged.  Components
+    #: that export runtime data without opting in are re-exported every
+    #: time, as before (correct by default).
+    TRACKS_RUNTIME_DATA_DIRTY: bool = False
 
     def __init__(self, sim: Simulation) -> None:
         self.sim = sim
@@ -208,6 +215,12 @@ class Component:
         #: id hints consumed during log replay (see unikernel.idalloc)
         self._forced_ids: List[int] = []
         self._boot_count = 0
+        #: per-instance (bound method, ExportInfo) dispatch cache
+        self._export_cache: Dict[str, Tuple[Callable, ExportInfo]] = {}
+        #: runtime data changed since the last save (see
+        #: TRACKS_RUNTIME_DATA_DIRTY); starts dirty so the first save
+        #: always exports
+        self.runtime_data_dirty = True
 
     # --- lifecycle -----------------------------------------------------------
 
@@ -299,6 +312,13 @@ class Component:
     def import_runtime_data(self, blob: Any) -> None:
         """Re-install runtime data after encapsulated restoration."""
 
+    def mark_runtime_data_dirty(self) -> None:
+        """Flag that :meth:`export_runtime_data` would now return
+        something new.  Dirty-tracking components (see
+        TRACKS_RUNTIME_DATA_DIRTY) call this from every mutator so the
+        runtime's continuous save touches only changed components."""
+        self.runtime_data_dirty = True
+
     # --- memory helpers ------------------------------------------------------------
 
     @property
@@ -368,7 +388,17 @@ class Component:
 
     @classmethod
     def interface(cls) -> Dict[str, ExportInfo]:
-        """All exported functions of this component type."""
+        """All exported functions of this component type.
+
+        Memoized per class (``cls.__dict__``, so subclasses build their
+        own): component classes are immutable after definition, which
+        makes the `dir()` reflection walk a one-time cost instead of a
+        per-dispatch one.
+        """
+        if FLAGS.cached_dispatch:
+            cached = cls.__dict__.get("_interface_cache")
+            if cached is not None:
+                return cached
         exported: Dict[str, ExportInfo] = {}
         for name in dir(cls):
             if name.startswith("_"):
@@ -377,7 +407,30 @@ class Component:
             info = getattr(attr, "__export_info__", None)
             if info is not None:
                 exported[info.name] = info
+        if FLAGS.cached_dispatch:
+            cls._interface_cache = exported
         return exported
+
+    def resolve_export(self, func: str) -> Tuple[Callable, ExportInfo]:
+        """The pre-resolved dispatch target: (bound method, ExportInfo).
+
+        Cached per instance, so the dispatcher's per-call work is one
+        dict hit instead of an interface rebuild plus ``getattr``.
+        Raises AttributeError for non-exported names, like the
+        uncached lookup did.
+        """
+        if FLAGS.cached_dispatch:
+            hit = self._export_cache.get(func)
+            if hit is not None:
+                return hit
+        info = self.interface().get(func)
+        if info is None:
+            raise AttributeError(
+                f"{self.NAME} exports no function {func!r}")
+        hit = (getattr(self, func), info)
+        if FLAGS.cached_dispatch:
+            self._export_cache[func] = hit
+        return hit
 
     def call_interface(self, func: str, args: Tuple[Any, ...],
                        kwargs: Dict[str, Any]) -> Any:
@@ -387,14 +440,11 @@ class Component:
         cost; fault checks happen first so injected panics surface at
         the call boundary like a real crash would.
         """
-        info = self.interface().get(func)
-        if info is None:
-            raise AttributeError(
-                f"{self.NAME} exports no function {func!r}")
+        method, info = self.resolve_export(func)
         self.check_injected_faults(func)
         self.sim.charge("function_body",
                         self.sim.costs.function_body + info.body_cost)
-        return getattr(self, func)(*args, **kwargs)
+        return method(*args, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.NAME} {self.state.value}>"

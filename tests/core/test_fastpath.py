@@ -1,0 +1,390 @@
+"""Fast-path regression tests (DESIGN.md, "Fast-path invariants").
+
+The hot-path optimizations — cached dispatch, indexed call logs, copy
+fast path, dirty-tracked runtime data — must be *virtual-time neutral*:
+they change how fast the reproduction runs on the host CPU, never what
+it computes.  These tests run paper-figure workloads twice, once with
+every optimization enabled (the default) and once under
+``reference_mode()`` (the original O(n)-scan / deepcopy / re-export
+semantics), and assert the cost ledgers and virtual clocks are
+identical.  They also pin the incremental index/accounting against the
+reference recomputation, and the shrinker edge cases against the
+indexed log specifically.
+"""
+
+import pytest
+
+from repro.core.calllog import ComponentCallLog, _is_immutable, _payload_bytes
+from repro.core.config import DAS
+from repro.core.shrink import LogShrinker
+from repro.fastpath import FLAGS, reference_mode
+from repro.sim.engine import Simulation
+from repro.unikernel.component import Component, MemoryLayout, export
+
+from tests.core.test_shrink import SessionComponent, make_world, record
+
+MESSAGE = b"m" * 221 + b"\n"
+
+
+def _fig5_syscall_loop(mode, iterations=40):
+    """A scaled-down Fig. 5 mix: file churn plus a socket echo."""
+    from repro.apps.nginx import MiniNginx
+
+    app = MiniNginx(Simulation(seed=17), mode=mode)
+    app.share.create("/srv/neutral.dat", b"z" * 512)
+    libc = app.libc
+    client = app.network.connect(app.PORT)
+    server_fd = app.kernel.syscall("VFS", "accept", app._listen_fd)
+    for _ in range(iterations):
+        libc.getpid()
+        fd = libc.open("/srv/neutral.dat", "rw")
+        libc.write(fd, b"x")
+        libc.read(fd, 1)
+        libc.close(fd)
+        libc.send(server_fd, MESSAGE)
+        client.recv()
+        client.send(MESSAGE)
+        libc.recv(server_fd, 222)
+    return app.sim
+
+
+def _fig8_recovery_loop(reboots=6):
+    """A scaled-down Fig. 8 path: repeated 9PFS panic + reboot."""
+    from repro.experiments.env import make_redis
+    from repro.faults.injector import FaultInjector
+    from repro.workloads.redis_load import warm_up
+
+    app = make_redis(DAS, seed=29)
+    warm_up(app, keys=40, value_bytes=64)
+    injector = FaultInjector(app.kernel)
+    for _ in range(reboots):
+        injector.inject_panic("9PFS", "neutrality fail-stop")
+        app.libc.stat("/redis")
+    return app.sim
+
+
+def _shrink_heavy_loop(cycles=8):
+    """Same-key series crossing the forced-shrink threshold."""
+    from repro.apps.nginx import MiniNginx
+
+    app = MiniNginx(Simulation(seed=5), mode=DAS.with_(shrink_threshold=30))
+    app.share.create("/srv/shrink.dat", b"z" * 512)
+    libc = app.libc
+    for _ in range(cycles):
+        fd = libc.open("/srv/shrink.dat", "rw")
+        for _ in range(45):
+            libc.write(fd, b"endurance payload")
+        libc.close(fd)
+    return app.sim
+
+
+def _ledger_state(sim):
+    return (dict(sim.ledger.counts), dict(sim.ledger.totals),
+            sim.clock.now_us)
+
+
+class TestVirtualTimeNeutrality:
+    """Flags on vs. reference mode: bit-identical virtual time."""
+
+    @pytest.mark.parametrize("workload", [
+        lambda: _fig5_syscall_loop(DAS),
+        lambda: _fig5_syscall_loop("unikraft"),
+        _fig8_recovery_loop,
+        _shrink_heavy_loop,
+    ], ids=["fig5_vampos", "fig5_unikraft", "fig8_recovery",
+            "shrink_heavy"])
+    def test_workload_is_neutral(self, workload):
+        fast = _ledger_state(workload())
+        with reference_mode():
+            slow = _ledger_state(workload())
+        assert fast[0] == slow[0]   # per-category charge counts
+        assert fast[1] == slow[1]   # per-category totals (us)
+        assert fast[2] == slow[2]   # final virtual clock
+
+    def test_reference_mode_restores_flags(self):
+        assert FLAGS.indexed_log
+        with reference_mode():
+            assert not FLAGS.indexed_log
+            assert not FLAGS.cached_dispatch
+            assert not FLAGS.copy_fast_path
+            assert not FLAGS.dirty_runtime_data
+        assert FLAGS.indexed_log and FLAGS.cached_dispatch
+
+
+class TestIncrementalAccounting:
+    """The O(1) counters always equal the reference recomputation."""
+
+    def _check(self, log):
+        assert log.space_bytes() == log.recompute_space_bytes()
+        assert log.record_count() == sum(
+            e.entry_count() for e in log.entries)
+        assert len(log) == len(log.entries)
+
+    def test_accounting_through_mixed_workload(self):
+        sim, comp, log, shrinker = make_world(threshold=25)
+        for cycle in range(6):
+            record(log, shrinker, "open_session", comp)
+            key = max(comp.sessions)
+            for _ in range(10):
+                record(log, shrinker, "operate", comp, key)
+                self._check(log)
+            if cycle % 2 == 0:
+                record(log, shrinker, "close_session", comp, key)
+            self._check(log)
+        assert shrinker.stats.forced_shrinks > 0
+        assert shrinker.stats.canceling_prunes > 0
+        self._check(log)
+
+    def test_accounting_tracks_retvals_and_clears(self):
+        log = ComponentCallLog("VFS")
+        entry = log.append("open", ("/f",), {})
+        log.push_active(entry)
+        log.record_retval("9PFS", "lookup", b"x" * 100)
+        log.record_retval("9PFS", "open", 7)
+        log.pop_active(entry)
+        self._check(log)
+        log.clear_nested(entry)
+        assert entry.nested == []
+        self._check(log)
+
+    def test_late_key_and_result_assignment_reindexes(self):
+        log = ComponentCallLog("VFS")
+        entry = log.append("open", ("/f",), {})
+        entry.result = b"r" * 50   # dispatcher completion path
+        entry.key = 3              # dispatcher key_from_result path
+        assert log.entries_for_key(3) == [entry]
+        self._check(log)
+        entry.key = 4              # rekey moves the index bucket
+        assert log.entries_for_key(3) == []
+        assert log.entries_for_key(4) == [entry]
+        self._check(log)
+
+    def test_tombstone_compaction_preserves_order(self):
+        log = ComponentCallLog("VFS")
+        entries = [log.append("op", (i,), {}, key=i % 3)
+                   for i in range(120)]
+        log.remove_entries([e for i, e in enumerate(entries) if i % 2])
+        survivors = [e.seq for e in log.entries]
+        assert survivors == [e.seq for i, e in enumerate(entries)
+                             if not i % 2]
+        self._check(log)
+
+    def test_entries_for_key_matches_reference_scan(self):
+        log = ComponentCallLog("VFS")
+        for i in range(30):
+            log.append("op", (i,), {}, key=i % 4)
+        log.remove_entries(log.entries_for_key(1))
+        for key in range(5):
+            indexed = log.entries_for_key(key)
+            with reference_mode():
+                scanned = log.entries_for_key(key)
+            assert indexed == scanned
+
+
+class TestPopActiveStrict:
+    def test_mismatched_pop_raises(self):
+        log = ComponentCallLog("VFS")
+        outer = log.append("open", (), {})
+        inner = log.append("read", (), {})
+        log.push_active(outer)
+        log.push_active(inner)
+        with pytest.raises(RuntimeError, match="call-log corruption"):
+            log.pop_active(outer)
+
+    def test_pop_on_empty_stack_raises(self):
+        log = ComponentCallLog("VFS")
+        entry = log.append("open", (), {})
+        with pytest.raises(RuntimeError, match="call-log corruption"):
+            log.pop_active(entry)
+
+    def test_matched_pops_unwind(self):
+        log = ComponentCallLog("VFS")
+        outer = log.append("open", (), {})
+        inner = log.append("read", (), {})
+        log.push_active(outer)
+        log.push_active(inner)
+        log.pop_active(inner)
+        log.pop_active(outer)
+        assert log.active_entry is None
+
+
+class TestShrinkEdgeCasesIndexed:
+    """§V-F edge cases, exercised against the indexed log."""
+
+    def test_durable_entry_survives_non_durable_close(self):
+        sim, comp, log, shrinker = make_world()
+        record(log, shrinker, "open_session", comp)
+        key = max(comp.sessions)
+        durable = log.append("persist", (key,), {}, key=key, durable=True)
+        durable.completed = True
+        record(log, shrinker, "close_session", comp, key)
+        funcs = [e.func for e in log.entries]
+        assert "persist" in funcs          # durable data outlives close
+        assert log.entries_for_key(key) != []
+
+    def test_pair_prune_fires_on_synthetic_tombstone(self):
+        """A forced shrink leaves a synthetic entry for the key; reuse
+        of the key must still prune the stale series (the synthetic
+        stands in for the canceling close)."""
+        sim, comp, log, shrinker = make_world()
+        record(log, shrinker, "open_session", comp)
+        key = max(comp.sessions)
+        synthetic = log.make_synthetic(key, {"ops": 3})
+        opener = log.entries_for_key(key)[0]
+        log.replace_entries([opener], synthetic, at_entry=opener)
+        del comp.sessions[key]             # session state already folded
+        record(log, shrinker, "open_session", comp)  # key reused
+        assert shrinker.stats.pair_prunes == 1
+        live = log.entries_for_key(key)
+        assert len(live) == 1 and live[0].session_opener
+
+    def test_pair_prune_skips_live_session(self):
+        sim, comp, log, shrinker = make_world()
+        record(log, shrinker, "open_session", comp)
+        key = max(comp.sessions)
+        record(log, shrinker, "operate", comp, key)
+        # Force a colliding opener on the same key: no canceling entry
+        # and no synthetic tombstone, so nothing may be pruned.
+        entry = log.append("open_session", (), {}, key=key,
+                           session_opener=True)
+        entry.completed = True
+        shrinker._prune_stale_pair(entry)
+        assert shrinker.stats.pair_prunes == 0
+        assert len(log.entries_for_key(key)) == 3
+
+    def test_compactable_matches_reference_scan(self):
+        sim, comp, log, shrinker = make_world()
+        record(log, shrinker, "open_session", comp)
+        key = max(comp.sessions)
+        assert not shrinker._compactable()
+        with reference_mode():
+            assert not shrinker._compactable()
+        record(log, shrinker, "operate", comp, key)
+        assert shrinker._compactable()
+        with reference_mode():
+            assert shrinker._compactable()
+        record(log, shrinker, "close_session", comp, key)
+        # close pruned the operate; opener+close remain on the key
+        assert shrinker._compactable() == log.has_multi_entry_key()
+
+    def test_forced_shrink_collapses_series_under_index(self):
+        sim, comp, log, shrinker = make_world(threshold=8)
+        record(log, shrinker, "open_session", comp)
+        key = max(comp.sessions)
+        for _ in range(10):
+            record(log, shrinker, "operate", comp, key)
+        assert shrinker.stats.forced_shrinks >= 1
+        shrinker.force_shrink()    # collapse the post-threshold tail too
+        live = log.entries_for_key(key)
+        assert len(live) == 1 and live[0].is_synthetic
+        assert log.space_bytes() == log.recompute_space_bytes()
+
+
+class TestCopyFastPath:
+    def test_immutable_payloads_stored_by_reference(self):
+        log = ComponentCallLog("VFS")
+        payload = ("path", 7, b"data", (True, None))
+        entry = log.append("open", payload, {})
+        assert entry.args is payload
+
+    def test_mutable_payloads_still_deep_copied(self):
+        log = ComponentCallLog("VFS")
+        buf = [1, 2, 3]
+        entry = log.append("writev", (buf,), {})
+        buf.append(4)
+        assert entry.args == ([1, 2, 3],)
+
+    def test_mutable_kwargs_still_deep_copied(self):
+        log = ComponentCallLog("VFS")
+        opts = {"mode": [0, 6, 6]}
+        entry = log.append("open", (), opts)
+        opts["mode"].append(4)
+        assert entry.kwargs == {"mode": [0, 6, 6]}
+
+    def test_tuple_with_mutable_member_is_not_immutable(self):
+        assert _is_immutable((1, "a", b"b"))
+        assert not _is_immutable((1, [2]))
+        assert not _is_immutable({"k": 1})
+
+
+class TestPayloadBytes:
+    def test_str_counts_utf8_bytes_not_characters(self):
+        assert _payload_bytes("abc") == 3
+        assert _payload_bytes("héllo") == 6      # é is 2 bytes in UTF-8
+        assert _payload_bytes("日本語") == 9      # 3 bytes each
+        assert _payload_bytes(("日本語", b"xy")) == 11
+
+
+class TestCachedDispatch:
+    def test_interface_cache_is_per_class(self):
+        class Child(SessionComponent):
+            NAME = "CHILD"
+
+            @export()
+            def extra(self):
+                return 1
+
+        sim = Simulation()
+        parent = SessionComponent(sim)
+        child = Child(sim)
+        assert "extra" not in parent.interface()
+        assert "extra" in child.interface()
+        assert parent.interface() is parent.interface()  # memoized
+
+    def test_resolve_export_unknown_function_raises(self):
+        sim = Simulation()
+        comp = SessionComponent(sim)
+        with pytest.raises(AttributeError):
+            comp.resolve_export("no_such_export")
+
+
+class TestDirtyRuntimeData:
+    def test_default_component_is_always_saved(self):
+        sim = Simulation()
+        comp = SessionComponent(sim)
+        assert not comp.TRACKS_RUNTIME_DATA_DIRTY
+        assert comp.runtime_data_dirty
+
+    def test_lwip_marks_dirty_on_mutation(self):
+        from repro.apps.nginx import MiniNginx
+
+        app = MiniNginx(Simulation(seed=3), mode=DAS)
+        lwip = app.kernel.image.components["LWIP"]
+        assert lwip.TRACKS_RUNTIME_DATA_DIRTY
+        client = app.network.connect(app.PORT)
+        server_fd = app.kernel.syscall("VFS", "accept", app._listen_fd)
+        saved = app.kernel._runtime_data["LWIP"]
+        app.libc.getpid()            # LWIP untouched: save skipped
+        assert app.kernel._runtime_data["LWIP"] is saved
+        app.libc.send(server_fd, MESSAGE)   # pcb mutated: fresh export
+        client.recv()
+        assert app.kernel._runtime_data["LWIP"] is not saved
+
+    def test_runtime_data_identical_after_skip(self):
+        """After the save is skipped (clean), a reboot restores the
+        same pcb state a reference-mode run would have restored."""
+        from repro.apps.nginx import MiniNginx
+        from repro.faults.injector import FaultInjector
+
+        def run():
+            app = MiniNginx(Simulation(seed=11), mode=DAS)
+            client = app.network.connect(app.PORT)
+            server_fd = app.kernel.syscall("VFS", "accept", app._listen_fd)
+            app.libc.send(server_fd, MESSAGE)
+            client.recv()
+            for _ in range(5):
+                app.libc.getpid()   # LWIP untouched: save skipped
+            FaultInjector(app.kernel).inject_panic("LWIP", "dirty test")
+            try:
+                app.libc.send(server_fd, MESSAGE)
+            except Exception:
+                pass
+            app.libc.send(server_fd, MESSAGE)
+            lwip = app.kernel.image.components["LWIP"]
+            return {sid: (e.pcb.snd_nxt, e.pcb.rcv_nxt)
+                    for sid, e in lwip._sockets.items() if e.pcb}
+
+        fast = run()
+        with reference_mode():
+            slow = run()
+        assert fast == slow

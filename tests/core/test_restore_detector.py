@@ -122,7 +122,7 @@ class TestRestorerSkips:
         comp = SessionComponent(sim)
         comp.boot()
         log = ComponentCallLog("SESSION")
-        log.entries.append(log.make_synthetic(4, {"ops": 17}))
+        log.adopt(log.make_synthetic(4, {"ops": 17}))
         restorer = EncapsulatedRestorer(sim)
         stats = restorer.replay(comp, log, ReplaySession("SESSION"))
         assert stats.synthetic_applied == 1

@@ -12,7 +12,11 @@ itself runs on the host CPU.  It times three hot paths:
   (checkpoint restore + encapsulated log replay), repeatedly;
 * **shrink_endurance** — long per-key operation series that cross the
   forced-shrink threshold, exercising append / canceling prune /
-  pair prune / forced compaction continuously.
+  pair prune / forced compaction continuously;
+* **snapshot_restore** — checkpoint churn on a multi-region component
+  (one dirty heap page per round, clean text/data): take + restore,
+  the paths the copy-on-write snapshot store accelerates by sharing
+  unchanged region images instead of copying them.
 
 Results land in ``BENCH_wallclock.json`` at the repository root so the
 project has a wall-clock perf trajectory across PRs.  ``--check FILE``
@@ -27,6 +31,7 @@ Run directly::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import pathlib
 import platform
@@ -49,6 +54,7 @@ from repro.workloads.redis_load import warm_up  # noqa: E402
 FULL_SYSCALL_OPS = 10_000
 FULL_RECOVERY_REBOOTS = 150
 FULL_ENDURANCE_OPS = 10_000
+FULL_SNAPSHOT_CYCLES = 2_000
 
 SOCKET_MESSAGE = b"m" * 221 + b"\n"  # the Fig. 5 222-byte message
 FILE_PATH = "/srv/bench.dat"
@@ -144,6 +150,45 @@ def bench_shrink_endurance(ops: int) -> Dict[str, Dict[str, float]]:
     return {"shrink_endurance_vampos": _phase(done - start_ops, seconds)}
 
 
+def bench_snapshot_restore(cycles: int) -> Dict[str, Dict[str, float]]:
+    """Checkpoint churn: take + restore a three-region component with
+    one dirty heap page per round.  Under the COW store the clean
+    text/data images are shared (zero-copy) and only the heap pays a
+    copy; the reference implementation copies all three both ways."""
+    from repro.memory.region import Region, RegionKind, RegionSet
+    from repro.memory.snapshot import SnapshotStore
+
+    sim = Simulation(seed=41)
+    store = SnapshotStore(sim)
+    regions = RegionSet("BENCH")
+    regions.add(Region("BENCH.text", RegionKind.TEXT, 128 * 1024))
+    regions.add(Region("BENCH.data", RegionKind.DATA, 64 * 1024))
+    regions.add(Region("BENCH.heap", RegionKind.HEAP, 256 * 1024))
+    heap = regions.get("BENCH.heap")
+    # an immutable state blob, the common case for small components
+    state = tuple((i, "open") for i in range(32))
+
+    def loop() -> int:
+        for i in range(cycles):
+            heap.write((i * 97) % 4096, b"dirty")
+            snap = store.take("BENCH", regions, state, label="bench")
+            store.restore(snap, regions)
+        return cycles
+
+    loop()  # warm pass: populate the intern table and snapshot caches
+    # This phase allocates a fresh heap image every cycle, which keeps
+    # triggering collections that scan whatever the earlier phases left
+    # alive — at --quick scale that GC tax dominates the measurement.
+    # Park the live graph in the permanent generation while timing.
+    gc.collect()
+    gc.freeze()
+    try:
+        done, seconds = _timed(loop)
+    finally:
+        gc.unfreeze()
+    return {"snapshot_restore": _phase(done, seconds)}
+
+
 def _phase(ops: int, seconds: float) -> Dict[str, float]:
     return {
         "ops": ops,
@@ -158,6 +203,7 @@ def run_all(quick: bool) -> Dict[str, object]:
     phases.update(bench_syscall_loop(FULL_SYSCALL_OPS // scale))
     phases.update(bench_recovery(FULL_RECOVERY_REBOOTS // scale))
     phases.update(bench_shrink_endurance(FULL_ENDURANCE_OPS // scale))
+    phases.update(bench_snapshot_restore(FULL_SNAPSHOT_CYCLES // scale))
     return {
         "schema": 1,
         "quick": quick,

@@ -3,12 +3,18 @@
 Usage::
 
     python -m repro list
-    python -m repro run EXP-F5 [--trials 100]
+    python -m repro run EXP-F5 [--trials 100] [--jobs 4]
     python -m repro run EXP-T5 EXP-F8
-    python -m repro all [--quick]
+    python -m repro all [--quick] [--jobs N]
 
 Every experiment prints its paper-vs-measured report and exits non-zero
 if any of the paper's qualitative claims failed to hold.
+
+``--jobs N`` (default: every host CPU) shards the work across worker
+processes: ``run`` with several ids / ``all`` shards at the experiment
+level, a single ``run`` id shards inside the experiment (per mode, arm
+or sweep point).  The output is byte-identical to ``--jobs 1`` — the
+pool only changes wall-clock time.
 """
 
 from __future__ import annotations
@@ -31,10 +37,15 @@ from .experiments import (
     syscall_overhead,
 )
 from .metrics.report import ExperimentReport
+from .parallel import parallel_map, resolve_jobs
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    return resolve_jobs(getattr(args, "jobs", 1))
 
 
 def _run_f5(args: argparse.Namespace) -> ExperimentReport:
-    return syscall_overhead.run(trials=args.trials)
+    return syscall_overhead.run(trials=args.trials, jobs=_jobs(args))
 
 
 def _run_t3(args: argparse.Namespace) -> ExperimentReport:
@@ -43,7 +54,8 @@ def _run_t3(args: argparse.Namespace) -> ExperimentReport:
 
 def _run_f6(args: argparse.Namespace) -> ExperimentReport:
     return reboot_time.run(trials=args.trials,
-                           warmup_requests=args.scale)
+                           warmup_requests=args.scale,
+                           jobs=_jobs(args))
 
 
 def _run_f7(args: argparse.Namespace) -> ExperimentReport:
@@ -61,21 +73,25 @@ def _run_t5(args: argparse.Namespace) -> ExperimentReport:
 
 def _run_f8(args: argparse.Namespace) -> ExperimentReport:
     return failure_recovery.run(keys=max(1000, args.scale * 10),
-                                duration_s=20, disturb_at_s=8)
+                                duration_s=20, disturb_at_s=8,
+                                jobs=_jobs(args))
 
 
 def _run_abl_endurance(args: argparse.Namespace) -> ExperimentReport:
     # the unmanaged arm needs enough rounds for aging to reach the
     # crash point, so the round count has a floor
-    return endurance.run(rounds=max(30, args.scale // 10))
+    return endurance.run(rounds=max(30, args.scale // 10),
+                         jobs=_jobs(args))
 
 
 def _run_abl_scale(args: argparse.Namespace) -> ExperimentReport:
-    return scalability.run(calls=max(5, args.scale // 10))
+    return scalability.run(calls=max(5, args.scale // 10),
+                           jobs=_jobs(args))
 
 
 def _run_abl_campaign(args: argparse.Namespace) -> ExperimentReport:
-    return fault_campaign.run(faults=max(5, args.scale // 15))
+    return fault_campaign.run(faults=max(5, args.scale // 15),
+                              jobs=_jobs(args))
 
 
 def _run_abl_sched(args: argparse.Namespace) -> ExperimentReport:
@@ -135,26 +151,54 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trials for per-syscall / per-reboot timings")
     run.add_argument("--plot", action="store_true",
                      help="append an ASCII bar chart per report")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes (default: all host CPUs); "
+                          "output is byte-identical to --jobs 1")
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--quick", action="store_true",
                             help="reduced scales (CI-friendly)")
     everything.add_argument("--scale", type=int, default=300)
     everything.add_argument("--trials", type=int, default=50)
+    everything.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes (default: all host "
+                                 "CPUs); output is byte-identical to "
+                                 "--jobs 1")
     return parser
+
+
+def _experiment_cell(exp_id: str, scale: int, trials: int,
+                     jobs: int) -> ExperimentReport:
+    """One shard of ``run``/``all``: a whole experiment.
+
+    Top level so it pickles into pool workers; inside a worker the
+    experiment's own ``parallel_map`` calls degrade to serial, so
+    sharding at the experiment level never nests pools.
+    """
+    runner, _ = EXPERIMENTS[exp_id]
+    return runner(argparse.Namespace(scale=scale, trials=trials,
+                                     jobs=jobs))
 
 
 def _execute(ids: List[str], args: argparse.Namespace,
              out=sys.stdout) -> int:
-    failures = 0
-    for exp_id in ids:
-        key = exp_id.upper()
+    keys = [exp_id.upper() for exp_id in ids]
+    for exp_id, key in zip(ids, keys):
         if key not in EXPERIMENTS:
             print(f"unknown experiment {exp_id!r}; "
                   f"try: {', '.join(EXPERIMENTS)}", file=out)
             return 2
-        runner, _ = EXPERIMENTS[key]
-        report = runner(args)
+    jobs = _jobs(args)
+    # Shard at the experiment level; a single-experiment invocation
+    # falls through to the experiment's internal (mode/arm/point)
+    # shards instead.  Reports are merged back into id order, so the
+    # printed output never depends on completion order.
+    reports = parallel_map(
+        _experiment_cell,
+        [(key, args.scale, args.trials, jobs) for key in keys],
+        jobs)
+    failures = 0
+    for report in reports:
         print(report.render(), file=out)
         if getattr(args, "plot", False):
             from .metrics.ascii import chart_from_report

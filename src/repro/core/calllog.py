@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..fastpath import FLAGS
+from ..fastpath import IMMUTABLE_SCALARS as _IMMUTABLE_SCALARS  # noqa: F401
+from ..fastpath import is_immutable as _is_immutable
 
 
 @dataclass
@@ -399,16 +401,9 @@ class ComponentCallLog:
 
 # --- payload helpers -------------------------------------------------------------
 
-#: types safe to log by reference: no mutation can ever reach them
-_IMMUTABLE_SCALARS = (type(None), bool, int, float, str, bytes, frozenset)
-
-
-def _is_immutable(value: Any) -> bool:
-    if isinstance(value, _IMMUTABLE_SCALARS):
-        return True
-    if type(value) is tuple:
-        return all(_is_immutable(item) for item in value)
-    return False
+# The immutability check (`_is_immutable`) is shared with the snapshot
+# store's state-blob fast path; the canonical implementation lives in
+# repro.fastpath and is imported at the top of this module.
 
 
 def _copy_payload(value: Any) -> Any:

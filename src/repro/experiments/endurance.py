@@ -25,6 +25,7 @@ from ..core.config import DAS
 from ..core.policy import AgingDrivenPolicy, RejuvenationPolicy
 from ..faults.aging import AgingModel
 from ..metrics.report import ExperimentReport
+from ..parallel import parallel_map
 from ..workloads.http_load import HttpLoadGenerator
 from .env import make_nginx
 
@@ -96,9 +97,13 @@ def _run(mode: str, rounds: int, requests_per_round: int,
     return outcome
 
 
+#: the sweep's x-axis: one independent long-running arm per policy
+POLICY_MODES = ("none", "timer", "aging-driven")
+
+
 def run(rounds: int = 30, requests_per_round: int = 8,
         aging_ops_per_round: int = 60,
-        seed: int = 151) -> ExperimentReport:
+        seed: int = 151, jobs: int = 1) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="ABL-ENDURANCE",
         paper_artifact="ablation — long-running service under aging "
@@ -106,10 +111,11 @@ def run(rounds: int = 30, requests_per_round: int = 8,
     report.headers = ["mode", "requests ok", "failures",
                       "rejuvenations", "aging crashes",
                       "rejuv downtime ms", "worst pressure"]
+    cells = [(mode, rounds, requests_per_round, aging_ops_per_round,
+              seed) for mode in POLICY_MODES]
+    results = parallel_map(_run, cells, jobs)
     outcomes: Dict[str, EnduranceOutcome] = {}
-    for mode in ("none", "timer", "aging-driven"):
-        outcome = _run(mode, rounds, requests_per_round,
-                       aging_ops_per_round, seed)
+    for mode, outcome in zip(POLICY_MODES, results):
         outcomes[mode] = outcome
         report.add_row(mode, outcome.requests - outcome.failures,
                        outcome.failures, outcome.rejuvenations,

@@ -28,6 +28,32 @@ def mode_name(mode: KernelMode) -> str:
     return "Unikraft"
 
 
+#: report-name -> mode, for cells whose arguments cross process
+#: boundaries as plain strings (the parallel engine's shards)
+MODES_BY_NAME: Dict[str, KernelMode] = {}
+
+
+def resolve_mode(mode: Union[KernelMode, str]) -> KernelMode:
+    """Accept a mode object, the ``"unikraft"`` selector, or a report
+    name (``"VampOS-DaS"``, ``"Unikraft"``).
+
+    Every experiment cell function resolves its mode through here, so a
+    shard is a pure function of picklable arguments whichever spelling
+    the caller used.
+    """
+    if isinstance(mode, VampConfig):
+        return mode
+    if mode in MODES_BY_NAME:
+        return MODES_BY_NAME[mode]
+    if isinstance(mode, str) and mode.lower() == "unikraft":
+        return "unikraft"
+    raise KeyError(f"unknown kernel mode {mode!r}; "
+                   f"try one of {sorted(MODES_BY_NAME)}")
+
+
+MODES_BY_NAME.update({mode_name(m): m for m in MODES})
+
+
 def make_sim(seed: int = 0, remote_clients: bool = False) -> Simulation:
     """``remote_clients`` models the paper's separate-machine setup
     (§VII-C): clients reach the server over gigabit Ethernet instead of

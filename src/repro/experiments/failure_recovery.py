@@ -22,6 +22,7 @@ from ..core.config import DAS
 from ..faults.injector import FaultInjector
 from ..metrics.report import ExperimentReport
 from ..unikernel.errors import KernelPanic, SyscallError
+from ..parallel import parallel_map
 from ..workloads.redis_load import RedisProbeWorkload, warm_up
 from .env import make_redis
 
@@ -88,16 +89,30 @@ def run_unikraft(keys: int, duration_us: float, disturb_at_us: float,
                            disturb.downtime_us)  # type: ignore[attr-defined]
 
 
+#: the two independent arms of the figure, by cell label
+ARMS = {"vampos": run_vampos, "unikraft": run_unikraft}
+
+
+def arm_cell(arm: str, keys: int, duration_us: float,
+             disturb_at_us: float, seed: int) -> RecoveryOutcome:
+    """One shard: a whole warm-up + probe + recovery arm."""
+    return ARMS[arm](keys, duration_us, disturb_at_us, seed)
+
+
 def run(keys: int = 20_000, duration_s: float = 20.0,
-        disturb_at_s: float = 8.0, seed: int = 71) -> ExperimentReport:
+        disturb_at_s: float = 8.0, seed: int = 71,
+        jobs: int = 1) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="EXP-F8",
         paper_artifact="Fig. 8 — Redis request latency across Unikraft- "
                        f"and VampOS-based failure recovery ({keys} keys)")
     duration_us = duration_s * 1e6
     disturb_at_us = disturb_at_s * 1e6
-    vamp = run_vampos(keys, duration_us, disturb_at_us, seed)
-    vanilla = run_unikraft(keys, duration_us, disturb_at_us, seed)
+    vamp, vanilla = parallel_map(
+        arm_cell,
+        [(arm, keys, duration_us, disturb_at_us, seed)
+         for arm in ("vampos", "unikraft")],
+        jobs)
     report.headers = ["mode", "baseline latency us", "max latency us",
                       "failed requests", "recovery downtime ms"]
     for outcome in (vanilla, vamp):

@@ -24,6 +24,7 @@ from ..core.config import DAS
 from ..faults.injector import FaultInjector
 from ..metrics.report import ExperimentReport
 from ..metrics.stats import summarize
+from ..parallel import parallel_map, trial_seeds
 from ..unikernel.errors import ApplicationHang, KernelPanic
 from ..workloads.http_load import HttpLoadGenerator
 from .env import make_nginx
@@ -124,14 +125,52 @@ def run_unikraft_campaign(faults: int, requests_per_fault: int,
     return outcome
 
 
+#: the two independent campaign arms, by cell label
+ARMS = {"vampos": run_vampos_campaign, "unikraft": run_unikraft_campaign}
+
+
+def arm_cell(arm: str, faults: int, requests_per_fault: int,
+             seed: int) -> CampaignOutcome:
+    """One shard: a whole campaign arm under one seed."""
+    return ARMS[arm](faults, requests_per_fault, seed)
+
+
+def _aggregate(outcomes: List[CampaignOutcome]) -> CampaignOutcome:
+    """Fold per-seed campaign outcomes into one (order-independent:
+    every field is a sum except the downtime list, concatenated in
+    canonical seed order)."""
+    total = CampaignOutcome(mode=outcomes[0].mode)
+    for outcome in outcomes:
+        total.faults_injected += outcome.faults_injected
+        total.recovered += outcome.recovered
+        total.terminal += outcome.terminal
+        total.requests += outcome.requests
+        total.request_failures += outcome.request_failures
+        total.downtimes_us.extend(outcome.downtimes_us)
+        total.corrupted_components += outcome.corrupted_components
+    return total
+
+
 def run(faults: int = 20, requests_per_fault: int = 6,
-        seed: int = 131) -> ExperimentReport:
+        seed: int = 131, repeats: int = 1,
+        jobs: int = 1) -> ExperimentReport:
+    """The campaign, sharded (arm x repeat-seed).
+
+    ``repeats`` widens the campaign with extra independently-seeded
+    rounds per arm (``trial_seeds`` derivation; repeat 0 is the root
+    seed, so ``repeats=1`` is bit-identical to the unsharded run).
+    """
+    suffix = f", {repeats} seeds" if repeats > 1 else ""
     report = ExperimentReport(
         experiment_id="ABL-CAMPAIGN",
         paper_artifact="ablation — randomized fault-injection campaign "
-                       f"({faults} faults)")
-    vamp = run_vampos_campaign(faults, requests_per_fault, seed)
-    vanilla = run_unikraft_campaign(faults, requests_per_fault, seed)
+                       f"({faults} faults{suffix})")
+    seeds = trial_seeds(seed, repeats, label="campaign")
+    cells = [(arm, faults, requests_per_fault, s)
+             for arm in ("vampos", "unikraft") for s in seeds]
+    results = parallel_map(arm_cell, cells, jobs)
+    vamp = _aggregate(results[:repeats])
+    vanilla = _aggregate(results[repeats:])
     report.headers = ["metric", "Unikraft", "VampOS-DaS"]
 
     def downtime_stats(outcome: CampaignOutcome) -> str:

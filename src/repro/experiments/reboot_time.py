@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 from ..core.config import DAS, FSM, NETM, VampConfig
 from ..metrics.report import ExperimentReport
 from ..metrics.stats import Summary, summarize
+from ..parallel import parallel_map
 from ..workloads.http_load import HttpLoadGenerator
 from .env import make_nginx
 
@@ -66,17 +67,18 @@ def measure_target(config: VampConfig, component: str, trials: int,
 
 
 def run(trials: int = 10, warmup_requests: int = 1000,
-        seed: int = 31) -> ExperimentReport:
+        seed: int = 31, jobs: int = 1) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="EXP-F6",
         paper_artifact="Fig. 6 — component reboot times (after "
                        f"{warmup_requests} Nginx GETs, {trials} trials)")
     report.headers = ["target", "mean ms", "std ms", "snapshot KiB",
                       "entries replayed", "snapshot share", "replay share"]
+    cells = [(config, component, trials, warmup_requests, seed)
+             for _, config, component in TARGETS]
+    cell_results = parallel_map(measure_target, cells, jobs)
     results: Dict[str, Dict[str, object]] = {}
-    for label, config, component in TARGETS:
-        data = measure_target(config, component, trials,
-                              warmup_requests, seed)
+    for (label, _, _), data in zip(TARGETS, cell_results):
         results[label] = data
         summary: Summary = data["summary"]  # type: ignore[assignment]
         report.add_row(label, summary.mean / 1000.0, summary.std / 1000.0,

@@ -19,6 +19,7 @@ from ..core.config import DAS, NOOP, VampConfig
 from ..core.runtime import VampOSKernel
 from ..metrics.report import ExperimentReport
 from ..metrics.stats import ratio
+from ..parallel import parallel_map
 from ..sim.engine import Simulation
 from ..unikernel.component import Component, MemoryLayout, export
 from ..unikernel.image import ImageBuilder, ImageSpec
@@ -76,17 +77,22 @@ def chain_call_cost(length: int, config: VampConfig, calls: int,
 
 
 def run(lengths: Tuple[int, ...] = (2, 4, 8, 12),
-        calls: int = 30, seed: int = 97) -> ExperimentReport:
+        calls: int = 30, seed: int = 97,
+        jobs: int = 1) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="ABL-SCALE",
         paper_artifact="ablation — scheduler cost vs component count "
                        "(§V-C's motivation)")
     report.headers = ["components", "round-robin us/call",
                       "dependency-aware us/call", "RR/DaS"]
+    # One shard per (chain length, scheduler) point; each builds its
+    # own synthetic chain image, so every point is independent.
+    cells = [(length, config, calls, seed)
+             for length in lengths for config in (NOOP, DAS)]
+    costs = parallel_map(chain_call_cost, cells, jobs)
     ratios: Dict[int, float] = {}
-    for length in lengths:
-        rr = chain_call_cost(length, NOOP, calls, seed)
-        das = chain_call_cost(length, DAS, calls, seed)
+    for index, length in enumerate(lengths):
+        rr, das = costs[2 * index], costs[2 * index + 1]
         ratios[length] = ratio(rr, das)
         report.add_row(length, rr, das, ratios[length])
 

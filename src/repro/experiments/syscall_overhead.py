@@ -26,7 +26,8 @@ from ..apps.base import KernelMode
 from ..apps.nginx import MiniNginx
 from ..metrics.report import ExperimentReport
 from ..metrics.stats import Summary, ratio, summarize
-from .env import MODES, make_nginx, mode_name
+from ..parallel import merge_dicts, parallel_map
+from .env import MODES, make_nginx, mode_name, resolve_mode
 
 SYSCALLS = ("getpid", "open", "write", "read", "close",
             "socket_read", "socket_write")
@@ -117,8 +118,27 @@ class SyscallBench:
         self.libc.recv(self._server_fd, 222)
 
 
-def run(trials: int = 100, seed: int = 11) -> ExperimentReport:
-    """Run EXP-F5 and build its report."""
+def measure_mode_cell(mode: KernelMode, trials: int,
+                      seed: int) -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """One shard: every syscall measured against one booted mode.
+
+    A pure function of its arguments (fresh seeded app, no shared
+    state), so it can run in any pool worker; ``mode`` may be a mode
+    object or its report name.
+    """
+    mode = resolve_mode(mode)
+    app = make_nginx(mode, seed=seed)
+    bench = SyscallBench(app)
+    out: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for syscall in SYSCALLS:
+        summary, transitions = bench.measure(syscall, trials)
+        out[(mode_name(mode), syscall)] = (summary.mean, transitions)
+    return out
+
+
+def run(trials: int = 100, seed: int = 11,
+        jobs: int = 1) -> ExperimentReport:
+    """Run EXP-F5 and build its report (one shard per mode)."""
     report = ExperimentReport(
         experiment_id="EXP-F5",
         paper_artifact="Fig. 5 — system call overheads "
@@ -126,16 +146,14 @@ def run(trials: int = 100, seed: int = 11) -> ExperimentReport:
     report.headers = ["syscall"] + [mode_name(m) for m in MODES] \
         + ["DaS/Noop", "vs Unikraft (DaS)", "transitions",
            "paper transitions"]
-    means: Dict[Tuple[str, str], float] = {}
-    measured_transitions: Dict[str, float] = {}
-    for mode in MODES:
-        app = make_nginx(mode, seed=seed)
-        bench = SyscallBench(app)
-        for syscall in SYSCALLS:
-            summary, transitions = bench.measure(syscall, trials)
-            means[(mode_name(mode), syscall)] = summary.mean
-            if mode_name(mode) == "VampOS-DaS":
-                measured_transitions[syscall] = transitions
+    cells = [(mode, trials, seed) for mode in MODES]
+    merged = merge_dicts(parallel_map(measure_mode_cell, cells, jobs))
+    means: Dict[Tuple[str, str], float] = {
+        key: mean for key, (mean, _) in merged.items()}
+    measured_transitions: Dict[str, float] = {
+        syscall: transitions
+        for (name, syscall), (_, transitions) in merged.items()
+        if name == "VampOS-DaS"}
     for syscall in SYSCALLS:
         row = [syscall]
         for mode in MODES:

@@ -1,18 +1,20 @@
 """Fast-path switches for the hot-path optimisations.
 
-The runtime carries four wall-clock optimisations that, by design,
+The runtime carries five wall-clock optimisations that, by design,
 change **no** virtual-time (`sim.charge`) semantics:
 
 * memoized component interfaces + pre-resolved dispatch targets,
 * the per-key call-log index with incremental space accounting,
 * a deep-copy bypass for immutable logged payloads,
-* dirty-tracked runtime-data saving.
+* dirty-tracked runtime-data saving,
+* the copy-on-write snapshot store (shared region images, content-hash
+  interning, deep-copy bypass for immutable state blobs).
 
 Each can be switched off to fall back to the original scan-everything /
 copy-everything reference implementation.  The switches exist for one
 purpose: the virtual-time-neutrality regression tests run the same
 workload under both settings and assert bit-identical ledgers and
-clocks (see ``tests/core/test_fastpath_neutrality.py``).  Production
+clocks (see ``tests/core/test_fastpath.py``).  Production
 code never turns them off.
 """
 
@@ -20,7 +22,21 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, fields
-from typing import Iterator
+from typing import Any, Iterator
+
+#: types safe to share by reference: no mutation can ever reach them
+IMMUTABLE_SCALARS = (type(None), bool, int, float, str, bytes, frozenset)
+
+
+def is_immutable(value: Any) -> bool:
+    """Whether ``value`` is transitively immutable (and so never needs a
+    defensive deep copy).  Shared by the call log's payload fast path
+    and the snapshot store's state-blob fast path."""
+    if isinstance(value, IMMUTABLE_SCALARS):
+        return True
+    if type(value) is tuple:
+        return all(is_immutable(item) for item in value)
+    return False
 
 
 @dataclass
@@ -38,6 +54,11 @@ class FastPathFlags:
     #: re-export runtime data only for components that flagged a
     #: mutation since the last save
     dirty_runtime_data: bool = True
+    #: copy-on-write snapshots: share immutable region images between
+    #: the store and restored regions (materialized on first write),
+    #: dedupe identical images by content hash, and skip deep-copying
+    #: immutable state blobs
+    cow_snapshots: bool = True
 
     def set_all(self, value: bool) -> None:
         for f in fields(self):

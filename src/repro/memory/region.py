@@ -17,13 +17,38 @@ memory.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional
+
+from ..fastpath import FLAGS
 
 PAGE_SIZE = 4096
 
 #: regions at or below this size get a real byte backing
 BACKING_LIMIT_BYTES = 1 << 20
+
+#: content-hash intern table for snapshot images: identical post-boot
+#: images (zeroed bss, common text/data) share one ``bytes`` object
+#: instead of one copy per component snapshot.  Bounded so a long
+#: process full of distinct dirty images cannot grow it without limit.
+_IMAGE_INTERN: Dict[bytes, bytes] = {}
+_IMAGE_INTERN_LIMIT = 512
+
+
+def intern_image(data: bytes) -> bytes:
+    """Return a canonical shared ``bytes`` object equal to ``data``.
+
+    Purely a storage optimisation: the returned object always compares
+    equal to the input, so sharing is invisible to every reader.
+    """
+    digest = hashlib.sha256(data).digest()
+    canonical = _IMAGE_INTERN.get(digest)
+    if canonical is not None:
+        return canonical
+    if len(_IMAGE_INTERN) < _IMAGE_INTERN_LIMIT:
+        _IMAGE_INTERN[digest] = data
+    return data
 
 
 class RegionKind(enum.Enum):
@@ -96,6 +121,14 @@ class Region:
         self._backing: Optional[bytearray] = (
             bytearray(size_bytes) if backed else None
         )
+        #: copy-on-write source: an immutable image shared with the
+        #: snapshot store.  Mutually exclusive with ``_backing`` — reads
+        #: serve from either; the first mutation materializes a private
+        #: ``bytearray`` copy so the shared image is never written.
+        self._shared: Optional[bytes] = None
+        #: the last snapshot taken of (or restored into) this region,
+        #: reused zero-copy while the region is provably unchanged
+        self._snap_cache: Optional[RegionSnapshot] = None
 
     # --- size management ----------------------------------------------------
 
@@ -105,12 +138,20 @@ class Region:
 
     @property
     def backed(self) -> bool:
-        return self._backing is not None
+        return self._backing is not None or self._shared is not None
+
+    def _materialize(self) -> None:
+        """Break copy-on-write sharing before a mutation: give the
+        region its own private ``bytearray`` copy of the shared image."""
+        if self._shared is not None:
+            self._backing = bytearray(self._shared)
+            self._shared = None
 
     def grow(self, new_size_bytes: int) -> None:
         """Extend the region (heaps grow; text/data never shrink)."""
         if new_size_bytes < self.size_bytes:
             raise ValueError("regions do not shrink; create a new region")
+        self._materialize()
         if self._backing is not None:
             if new_size_bytes <= BACKING_LIMIT_BYTES:
                 self._backing.extend(
@@ -133,12 +174,15 @@ class Region:
         self._check_range(offset, length)
         if self.corrupted:
             raise RegionCorrupted(f"region {self.name!r} is corrupted")
+        if self._shared is not None:
+            return self._shared[offset:offset + length]
         if self._backing is None:
             return bytes(length)
         return bytes(self._backing[offset:offset + length])
 
     def write(self, offset: int, data: bytes) -> None:
         self._check_range(offset, len(data))
+        self._materialize()
         if self._backing is not None:
             self._backing[offset:offset + len(data)] = data
         self.version += 1
@@ -152,6 +196,7 @@ class Region:
         if not 0 <= bit < 8:
             raise ValueError("bit index must be in [0, 8)")
         self._check_range(offset, 1)
+        self._materialize()
         if self._backing is not None:
             self._backing[offset] ^= (1 << bit)
         else:
@@ -165,14 +210,54 @@ class Region:
     # --- snapshots ------------------------------------------------------------
 
     def snapshot(self) -> RegionSnapshot:
-        return RegionSnapshot(
+        if not FLAGS.cow_snapshots:
+            # Reference semantics: a fresh private image every time.
+            backing = None
+            if self._shared is not None:
+                backing = bytes(self._shared)
+            elif self._backing is not None:
+                backing = bytes(self._backing)
+            return RegionSnapshot(
+                name=self.name,
+                kind=self.kind,
+                size_bytes=self.size_bytes,
+                used_bytes=self.used_bytes,
+                version=self.version,
+                backing=backing,
+            )
+        # Every mutation bumps ``version``; allocators additionally
+        # adjust ``used_bytes`` without one, so a cache hit requires
+        # both (plus the size, which only ``grow`` — a version bump —
+        # changes, kept for belt-and-braces).
+        cached = self._snap_cache
+        if (cached is not None
+                and cached.version == self.version
+                and cached.used_bytes == self.used_bytes
+                and cached.size_bytes == self.size_bytes):
+            return cached
+        if self._shared is not None:
+            backing: Optional[bytes] = self._shared
+        elif self._backing is not None:
+            backing = bytes(self._backing)
+            if self.kind not in (RegionKind.HEAP, RegionKind.STACK):
+                # Dedupe text/data/bss/message images — identical
+                # across same-class components after boot.  Heaps and
+                # stacks are per-instance (and dirty on every miss of
+                # the snapshot cache), so hashing them would cost more
+                # than the sharing saves.
+                backing = intern_image(backing)
+        else:
+            backing = None
+        snap = RegionSnapshot(
             name=self.name,
             kind=self.kind,
             size_bytes=self.size_bytes,
             used_bytes=self.used_bytes,
             version=self.version,
-            backing=bytes(self._backing) if self._backing is not None else None,
+            backing=backing,
         )
+        self._snap_cache = snap
+        return snap
 
     def restore(self, snap: RegionSnapshot) -> None:
         if snap.name != self.name:
@@ -183,6 +268,16 @@ class Region:
         self.used_bytes = snap.used_bytes
         self.version = snap.version
         self.corrupted = False
+        if FLAGS.cow_snapshots:
+            # Share the stored image; the first write materializes a
+            # private copy, so the snapshot can never be corrupted
+            # through the region.
+            self._backing = None
+            self._shared = snap.backing
+            self._snap_cache = snap
+            return
+        self._snap_cache = None
+        self._shared = None
         if snap.backing is not None:
             self._backing = bytearray(snap.backing)
         else:

@@ -4,7 +4,15 @@ Checkpoint-based initialization (§V-E) takes a memory snapshot of each
 component just after boot and restores it on reboot instead of running
 the shutdown/boot routines (which would disturb other components).  The
 paper reuses QEMU's snapshot feature; here a snapshot is the set of
-region images plus an opaque, deep-copied component state blob.
+region images plus an opaque component state blob.
+
+Storage is copy-on-write (gated by ``fastpath.FLAGS.cow_snapshots``):
+region images are immutable ``bytes`` shared between the store and the
+regions restored from them, deduplicated by content hash, and reused
+across takes while the region is unchanged; mutable state blobs are
+still deep-copied, immutable ones shared by reference.  None of this
+touches virtual time — take/restore charge ``snapshot_bytes`` exactly
+as the eager-copy reference implementation does.
 
 Costs: taking and restoring a snapshot charge the simulation clock
 proportionally to the snapshot's byte size — Fig. 6 shows restoration
@@ -18,8 +26,18 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..fastpath import FLAGS, is_immutable
 from ..sim.engine import Simulation
 from .region import Region, RegionSet, RegionSnapshot
+
+
+def _copy_state_blob(state: Any) -> Any:
+    """Deep-copy a component state blob — unless it is transitively
+    immutable, in which case sharing the reference is indistinguishable
+    (the same fast path the call log applies to logged payloads)."""
+    if FLAGS.cow_snapshots and is_immutable(state):
+        return state
+    return copy.deepcopy(state)
 
 
 @dataclass
@@ -51,12 +69,18 @@ class SnapshotStore:
 
     def take(self, component: str, regions: RegionSet, state: Any,
              label: str = "post-boot") -> ComponentSnapshot:
-        """Snapshot the regions and a deep copy of ``state``."""
+        """Snapshot the regions and a copy of ``state``.
+
+        Region images are taken copy-on-write: unchanged regions reuse
+        their previous snapshot's image, identical images are shared by
+        content hash, and immutable state blobs skip the deep copy
+        (``reference_mode()`` restores the eager-copy semantics).
+        """
         snap = ComponentSnapshot(
             component=component,
             label=label,
             regions=[r.snapshot() for r in regions],
-            state_blob=copy.deepcopy(state),
+            state_blob=_copy_state_blob(state),
             taken_at_us=self._sim.clock.now_us,
         )
         self._sim.charge(
@@ -76,11 +100,16 @@ class SnapshotStore:
 
     def restore(self, snap: ComponentSnapshot,
                 regions: RegionSet) -> Any:
-        """Write the snapshot back into the regions; returns a deep copy
-        of the stored state blob (callers install it as component state).
+        """Write the snapshot back into the regions; returns a copy of
+        the stored state blob (callers install it as component state).
+        Restored regions share the stored image copy-on-write — the
+        first mutation materializes a private copy — and immutable
+        state blobs are returned by reference.
 
         Charges the clock for the snapshot-load, the dominant factor in
-        stateful component reboot time (Fig. 6).
+        stateful component reboot time (Fig. 6); the charge is always
+        the full ``snapshot_bytes``, shared storage or not (virtual
+        time is sharing-neutral).
         """
         self._sim.charge("snapshot_restore",
                          self._sim.costs.snapshot_restore_fixed)
@@ -98,7 +127,7 @@ class SnapshotStore:
             region.restore(region_snap)
         self._sim.emit("checkpoint", "restore", component=snap.component,
                        label=snap.label, bytes=snap.snapshot_bytes)
-        return copy.deepcopy(snap.state_blob)
+        return _copy_state_blob(snap.state_blob)
 
     def drop(self, component: str, label: Optional[str] = None) -> None:
         if label is None:

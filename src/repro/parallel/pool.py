@@ -1,0 +1,81 @@
+"""The worker pool: shard pure cells across processes.
+
+``parallel_map(fn, cells, jobs)`` is the single entry point.  ``fn``
+must be a module-level (picklable) function and every cell an argument
+tuple; each invocation builds its own seeded simulation, so cells share
+nothing and any execution order is valid.  Results stream back tagged
+with their cell index (``imap_unordered``) and are merged back into
+canonical order by :func:`repro.parallel.merge.merge_indexed` — the
+merge, not the scheduler, defines the output order.
+
+Nested maps never nest pools: workers flag themselves via the pool
+initializer, and ``parallel_map`` inside a worker degrades to the
+serial loop.  The serial loop is also the ``jobs <= 1`` path, so a
+``--jobs 1`` run executes exactly the code a parallel worker would.
+
+On platforms with ``fork`` (Linux) workers inherit the warm parent
+process; elsewhere ``spawn`` re-imports ``repro`` — both are safe
+because cells depend only on their arguments and module-level
+constants.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .merge import merge_indexed
+
+#: set in pool workers by the initializer; guards against nested pools
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """Whether this process is a parallel_map pool worker."""
+    return _IN_WORKER
+
+
+def _worker_init() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None`` means every host CPU."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _call_indexed(packed: Tuple[int, Callable[..., Any], Tuple[Any, ...]]
+                  ) -> Tuple[int, Any]:
+    index, fn, args = packed
+    return index, fn(*args)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def parallel_map(fn: Callable[..., Any],
+                 cells: Sequence[Tuple[Any, ...]],
+                 jobs: Optional[int] = 1) -> List[Any]:
+    """Run ``fn(*cell)`` for every cell, on up to ``jobs`` processes.
+
+    Returns results in cell order regardless of completion order.  The
+    serial path (``jobs <= 1``, a single cell, or already inside a
+    worker) runs in-process and produces the identical result list.
+    """
+    cells = list(cells)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1 or _IN_WORKER:
+        return [fn(*args) for args in cells]
+    tagged = [(index, fn, tuple(args)) for index, args in enumerate(cells)]
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(jobs, len(cells)),
+                  initializer=_worker_init) as pool:
+        return merge_indexed(pool.imap_unordered(_call_indexed, tagged),
+                             len(cells))

@@ -1,0 +1,67 @@
+"""Serial/parallel determinism: the engine's core contract.
+
+The same seed must yield **identical** `ExperimentReport`s — full
+dataclass equality (headers, every row value, every claim, notes) and
+byte-identical rendered text — whether the cells run in-process or on
+a 4-worker pool.  Covered: EXP-F5 (per-mode shards), EXP-F8 (per-arm
+shards), the fault campaign (arm x seed shards, including derived
+repeat seeds), and the CLI end to end.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import failure_recovery, fault_campaign, \
+    syscall_overhead
+
+
+def assert_reports_identical(serial, parallel):
+    # Full structural equality, not just summaries …
+    assert serial == parallel
+    # … and byte-identical rendered artifacts.
+    assert serial.render() == parallel.render()
+    assert serial.to_csv() == parallel.to_csv()
+
+
+class TestExperimentDeterminism:
+    def test_exp_f5_modes_shard_deterministically(self):
+        serial = syscall_overhead.run(trials=3, jobs=1)
+        parallel = syscall_overhead.run(trials=3, jobs=4)
+        assert_reports_identical(serial, parallel)
+
+    def test_exp_f8_arms_shard_deterministically(self):
+        kwargs = dict(keys=400, duration_s=6, disturb_at_s=2)
+        serial = failure_recovery.run(jobs=1, **kwargs)
+        parallel = failure_recovery.run(jobs=4, **kwargs)
+        assert_reports_identical(serial, parallel)
+
+    def test_fault_campaign_shards_deterministically(self):
+        kwargs = dict(faults=5, requests_per_fault=3)
+        serial = fault_campaign.run(jobs=1, **kwargs)
+        parallel = fault_campaign.run(jobs=4, **kwargs)
+        assert_reports_identical(serial, parallel)
+
+    def test_fault_campaign_repeat_seeds_shard_deterministically(self):
+        """Extra repeats derive per-shard seeds; the derivation must be
+        identical in workers and in-process."""
+        kwargs = dict(faults=4, requests_per_fault=2, repeats=2)
+        serial = fault_campaign.run(jobs=1, **kwargs)
+        parallel = fault_campaign.run(jobs=4, **kwargs)
+        assert_reports_identical(serial, parallel)
+        assert "2 seeds" in serial.paper_artifact
+
+    def test_fault_campaign_single_repeat_matches_unsharded_title(self):
+        report = fault_campaign.run(faults=4, requests_per_fault=2)
+        assert "seeds" not in report.paper_artifact
+
+
+@pytest.mark.slow
+class TestCliDeterminism:
+    def test_multi_experiment_stdout_is_byte_identical(self):
+        argv = ["run", "EXP-T3", "ABL-SCALE", "--scale", "60"]
+        serial, parallel = io.StringIO(), io.StringIO()
+        assert main(argv + ["--jobs", "1"], out=serial) == 0
+        assert main(argv + ["--jobs", "4"], out=parallel) == 0
+        assert serial.getvalue() == parallel.getvalue()

@@ -14,6 +14,9 @@ The package is layered bottom-up:
   call logs, session-aware shrinking, checkpoints, encapsulated
   restoration, protection domains, the failure detector, and the
   component-level reboot;
+* :mod:`repro.supervisor` — the recovery supervisor: escalation
+  ladder, retry budgets with backoff, crash-storm detection and
+  graceful degradation;
 * :mod:`repro.faults` — fault injection and software aging;
 * :mod:`repro.apps` — SQLite, Nginx, Redis and Echo analogues;
 * :mod:`repro.workloads` — the §VII workload drivers;
@@ -42,12 +45,14 @@ from .core import (
     FSM,
     NETM,
     NOOP,
+    SUPERVISED,
     VampConfig,
     VampOSKernel,
     build_vampos,
     config_by_name,
 )
 from .faults import AgingModel, FaultInjector
+from .supervisor import RecoverySupervisor, RecoveryTelemetry
 from .net import HostNetwork, HostShare
 from .sim import CostModel, Simulation
 from .unikernel import (
@@ -70,10 +75,13 @@ __all__ = [
     "FSM",
     "NETM",
     "NOOP",
+    "SUPERVISED",
     "VampConfig",
     "VampOSKernel",
     "build_vampos",
     "config_by_name",
+    "RecoverySupervisor",
+    "RecoveryTelemetry",
     "FLAGS",
     "FastPathFlags",
     "reference_mode",

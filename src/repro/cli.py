@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 
 from .experiments import (
     ablations,
+    chaos_soak,
     endurance,
     app_overhead,
     failure_recovery,
@@ -94,6 +95,11 @@ def _run_abl_campaign(args: argparse.Namespace) -> ExperimentReport:
                               jobs=_jobs(args))
 
 
+def _run_chaos_soak(args: argparse.Namespace) -> ExperimentReport:
+    return chaos_soak.run(rounds=max(6, args.scale // 10),
+                          jobs=_jobs(args))
+
+
 def _run_abl_sched(args: argparse.Namespace) -> ExperimentReport:
     return ablations.run_scheduler_ablation(requests=args.scale)
 
@@ -128,6 +134,8 @@ EXPERIMENTS: Dict[str, tuple] = {
                      "ablation — randomized fault-injection campaign"),
     "ABL-ENDURANCE": (_run_abl_endurance,
                       "ablation — long-running aging + policies"),
+    "CHAOS-SOAK": (_run_chaos_soak,
+                   "recovery supervisor — randomized chaos soak"),
 }
 
 
@@ -154,6 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="worker processes (default: all host CPUs); "
                           "output is byte-identical to --jobs 1")
+
+    soak = sub.add_parser(
+        "chaos-soak",
+        help="soak the recovery supervisor in a seeded fault storm")
+    soak.add_argument("--rounds", type=int, default=30,
+                      help="soak rounds (one injected fault each)")
+    soak.add_argument("--requests", type=int, default=6,
+                      help="HTTP requests per round")
+    soak.add_argument("--seed", type=int, default=20240624,
+                      help="root seed (byte-identical per seed+jobs)")
+    soak.add_argument("--repeats", type=int, default=1,
+                      help="independently-seeded campaigns per arm")
+    soak.add_argument("--quick", action="store_true",
+                      help="reduced rounds (CI-friendly)")
+    soak.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes; output is byte-identical "
+                           "to --jobs 1")
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--quick", action="store_true",
@@ -243,6 +268,13 @@ def _info(out=sys.stdout) -> int:
                            for g, m in config.merges.items()) or "-"
         print(f"  {config.name:<12} scheduler={config.scheduler} "
               f"merges={merges}", file=out)
+    print("\nrecovery escalation ladder (supervisor):", file=out)
+    from .supervisor import DEFAULT_LADDER
+    for rung in DEFAULT_LADDER:
+        cost = getattr(DEFAULT_COSTS, rung.cost_attr)
+        print(f"  {rung.key:<16} cost={cost}us"
+              + ("  [degrades]" if rung.degrades else ""), file=out)
+    print("  fail-stop        (implicit last resort)", file=out)
     print("\ncost model (virtual us):", file=out)
     for name, value in DEFAULT_COSTS.as_dict().items():
         print(f"  {name:<28} {value}", file=out)
@@ -259,6 +291,14 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return _info(out)
     if args.command == "run":
         return _execute(args.ids, args, out=out)
+    if args.command == "chaos-soak":
+        rounds = min(args.rounds, 12) if args.quick else args.rounds
+        report = chaos_soak.run(rounds=rounds,
+                                requests_per_round=args.requests,
+                                seed=args.seed, repeats=args.repeats,
+                                jobs=_jobs(args))
+        print(report.render(), file=out)
+        return 0 if report.all_claims_hold else 1
     if args.command == "all":
         if args.quick:
             args.scale = min(args.scale, 120)

@@ -9,6 +9,7 @@ from .config import (
     NOOP,
     SCHEDULER_DEPENDENCY_AWARE,
     SCHEDULER_ROUND_ROBIN,
+    SUPERVISED,
     VampConfig,
     config_by_name,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "NOOP",
     "SCHEDULER_DEPENDENCY_AWARE",
     "SCHEDULER_ROUND_ROBIN",
+    "SUPERVISED",
     "VampConfig",
     "config_by_name",
     "Message",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
+from ..sim.clock import us_from_s
 from .detector import DEFAULT_HANG_THRESHOLD_US
 from .shrink import DEFAULT_SHRINK_THRESHOLD
 
@@ -53,6 +54,39 @@ class VampConfig:
     #: cause lives in another component (§II-B's out-of-scope case)
     escalation_enabled: bool = False
 
+    # --- recovery supervisor (escalation ladder beyond the paper) ---------
+    #: fresh-restart rung: when the replay itself re-triggers the fault,
+    #: restart from the post-boot checkpoint *without* replaying the log
+    #: (lossy — logged state is dropped — but keeps the kernel serving)
+    fresh_restart_enabled: bool = False
+    #: dependency-scoped widening rung: reboot BFS rings of the failed
+    #: component's declared callers/callees before giving up — reaches
+    #: §II-B's root-cause-in-another-component case without the full
+    #: rejuvenate-all sweep
+    scope_widening_enabled: bool = False
+    #: degraded-mode rung: instead of fail-stopping on a chronic fault,
+    #: quarantine the component — its interface calls return an
+    #: ENODEV-style error and the rest of the image keeps serving
+    degraded_mode_enabled: bool = False
+    #: free recoveries per component inside ``retry_window_us`` before
+    #: exponential backoff (quarantine time charged to the clock) starts
+    retry_budget: int = 3
+    retry_window_us: float = us_from_s(10.0)
+    #: first over-budget recovery waits this long; doubles per overrun
+    backoff_base_us: float = 100_000.0
+    backoff_factor: float = 2.0
+    backoff_cap_us: float = us_from_s(2.0)
+    #: crash-storm detector: this many detected failures of one
+    #: component inside ``storm_window_us`` trip it straight into
+    #: degraded mode (when enabled) instead of walking the ladder again
+    storm_threshold: int = 5
+    storm_window_us: float = us_from_s(10.0)
+    #: degraded components are probed (rebooted and given another
+    #: chance) at geometrically growing virtual-time intervals
+    probation_base_us: float = us_from_s(5.0)
+    probation_factor: float = 2.0
+    probation_cap_us: float = us_from_s(60.0)
+
     def with_(self, **overrides: object) -> "VampConfig":
         """A modified copy (keyword names match the field names)."""
         return replace(self, **overrides)
@@ -63,6 +97,18 @@ class VampConfig:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.shrink_threshold < 1:
             raise ValueError("shrink_threshold must be >= 1")
+        if self.retry_budget < 1:
+            raise ValueError("retry_budget must be >= 1")
+        if self.retry_window_us <= 0 or self.storm_window_us <= 0:
+            raise ValueError("retry/storm windows must be positive")
+        if self.backoff_factor < 1.0 or self.probation_factor < 1.0:
+            raise ValueError("backoff/probation factors must be >= 1")
+        if self.backoff_base_us < 0 or self.backoff_cap_us < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.storm_threshold < 2:
+            raise ValueError("storm_threshold must be >= 2")
+        if self.probation_base_us <= 0 or self.probation_cap_us <= 0:
+            raise ValueError("probation times must be positive")
         seen: Dict[str, str] = {}
         for group, members in self.merges.items():
             if len(members) < 2:
@@ -90,15 +136,26 @@ FSM = VampConfig(name="VampOS-FSm", scheduler=SCHEDULER_DEPENDENCY_AWARE,
 NETM = VampConfig(name="VampOS-NETm", scheduler=SCHEDULER_DEPENDENCY_AWARE,
                   merges={"NET": ("LWIP", "NETDEV")})
 
+#: DaS with the full recovery-supervisor ladder armed: fresh restarts,
+#: dependency-scoped widening, rejuvenate-all escalation and graceful
+#: degradation (the chaos-soak campaign's treatment arm)
+SUPERVISED = VampConfig(name="VampOS-Supervised",
+                        scheduler=SCHEDULER_DEPENDENCY_AWARE,
+                        escalation_enabled=True,
+                        fresh_restart_enabled=True,
+                        scope_widening_enabled=True,
+                        degraded_mode_enabled=True)
+
 #: the four configurations evaluated in §VII, in paper order
 ALL_CONFIGS = (NOOP, DAS, FSM, NETM)
 
 
 def config_by_name(name: str) -> VampConfig:
-    for config in ALL_CONFIGS:
+    for config in ALL_CONFIGS + (SUPERVISED,):
         if config.name == name or config.name.lower() == name.lower():
             return config
-    short = {"noop": NOOP, "das": DAS, "fsm": FSM, "netm": NETM}
+    short = {"noop": NOOP, "das": DAS, "fsm": FSM, "netm": NETM,
+             "supervised": SUPERVISED}
     key = name.lower().replace("vampos-", "")
     if key in short:
         return short[key]

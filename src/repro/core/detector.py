@@ -10,8 +10,9 @@ external events — LWIP — are exempt (``HANG_EXEMPT``).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..sim.clock import us_from_s
 from ..sim.engine import Simulation
@@ -45,6 +46,9 @@ class FailureDetector:
         self.hang_threshold_us = hang_threshold_us
         self.failures: List[DetectedFailure] = []
         self.sensors: List[FailureSensor] = []
+        #: per-component failure timestamps, time-ordered (an index into
+        #: ``failures`` so the storm window is a bisect, not a scan)
+        self._failure_times: Dict[str, List[float]] = {}
 
     def add_sensor(self, sensor: FailureSensor) -> None:
         """Install a custom failure sensor, consulted by the
@@ -65,6 +69,7 @@ class FailureDetector:
                                   component=component, kind=kind,
                                   detail=detail)
         self.failures.append(failure)
+        self._failure_times.setdefault(component, []).append(failure.t_us)
         self.sim.emit("detector", kind, component=component, detail=detail)
         return failure
 
@@ -96,3 +101,19 @@ class FailureDetector:
 
     def failures_for(self, component: str) -> List[DetectedFailure]:
         return [f for f in self.failures if f.component == component]
+
+    def recent_failures(self, component: str, window_us: float,
+                        now_us: Optional[float] = None) -> int:
+        """Failures of ``component`` inside the trailing window.
+
+        The recovery supervisor's crash-storm detector slides this
+        window over the failure history; per-component timestamps are
+        append-only in time order, so the window boundary is a bisect
+        rather than a history scan (this sits on the recovery hot path).
+        """
+        if now_us is None:
+            now_us = self.sim.clock.now_us
+        times = self._failure_times.get(component)
+        if not times:
+            return 0
+        return len(times) - bisect_left(times, now_us - window_us)

@@ -11,6 +11,10 @@ time interval.
 watches component allocators and rejuvenates when leak/fragmentation
 pressure crosses a threshold — rejuvenation exactly when aging calls
 for it.
+
+Both policies leave components the recovery supervisor has degraded
+(quarantined) alone: those come back through the supervisor's own
+probation, and a policy reboot would cut the quarantine short.
 """
 
 from __future__ import annotations
@@ -53,6 +57,10 @@ class RejuvenationPolicy:
         self.stats = PolicyStats()
         self.records: List[RebootRecord] = []
 
+    def _quarantined(self, name: str) -> bool:
+        supervisor = getattr(self.kernel, "supervisor", None)
+        return supervisor is not None and supervisor.is_degraded(name)
+
     @property
     def next_due_us(self) -> float:
         return self._next_due_us
@@ -67,8 +75,19 @@ class RejuvenationPolicy:
         if not self.due():
             self.stats.skipped += 1
             return None
-        target = self.components[self._cursor % len(self.components)]
-        self._cursor += 1
+        target = None
+        for _ in range(len(self.components)):
+            candidate = self.components[self._cursor % len(self.components)]
+            self._cursor += 1
+            if not self._quarantined(candidate):
+                target = candidate
+                break
+        if target is None:
+            # Everything on the rotation is quarantined; try again
+            # next interval.
+            self.stats.skipped += 1
+            self._next_due_us = self.sim.clock.now_us + self.interval_us
+            return None
         record = self.kernel.rejuvenate(target)
         self.records.append(record)
         self.stats.rejuvenations += 1
@@ -77,11 +96,13 @@ class RejuvenationPolicy:
         return record
 
     def run_full_cycle(self) -> List[RebootRecord]:
-        """Rejuvenate every component once, immediately."""
+        """Rejuvenate every (non-quarantined) component once, now."""
         records = []
         for _ in range(len(self.components)):
             target = self.components[self._cursor % len(self.components)]
             self._cursor += 1
+            if self._quarantined(target):
+                continue
             records.append(self.kernel.rejuvenate(target))
         self.records.extend(records)
         self.stats.rejuvenations += len(records)
@@ -111,6 +132,10 @@ class AgingDrivenPolicy:
         self.stats = PolicyStats()
         self.records: List[RebootRecord] = []
 
+    def _quarantined(self, name: str) -> bool:
+        supervisor = getattr(self.kernel, "supervisor", None)
+        return supervisor is not None and supervisor.is_degraded(name)
+
     def pressure(self, name: str) -> float:
         allocator = self.kernel.component(name).allocator
         leak_share = allocator.leaked_bytes() / allocator.arena_bytes
@@ -123,6 +148,8 @@ class AgingDrivenPolicy:
         self.stats.ticks += 1
         fired: List[RebootRecord] = []
         for name in self.components:
+            if self._quarantined(name):
+                continue
             if self.pressure(name) >= self.threshold:
                 record = self.kernel.rejuvenate(name)
                 fired.append(record)

@@ -16,7 +16,12 @@ with the paper's machinery in place:
   component-level reboot: teardown → checkpoint restore → encapsulated
   log replay → runtime-data re-import → thread reattach — after which
   the in-flight call is retried (re-execution avoids non-deterministic
-  faults, §II-B).  A second failure fail-stops (deterministic bug).
+  faults, §II-B).  What happens when the retry fails *again* is owned
+  by the :class:`~repro.supervisor.RecoverySupervisor`: an escalation
+  ladder (fresh restart, variant swap, dependency-scoped widening,
+  rejuvenate-all), retry budgets with backoff, crash-storm detection
+  and graceful degradation, ending in a fail-stop only when every
+  armed remedy is exhausted.
 """
 
 from __future__ import annotations
@@ -105,6 +110,17 @@ class VampDispatcher:
         if session is not None and caller == session.component:
             return session.next_retval(target, func)
 
+        # Degraded components answer every call with an ENODEV-style
+        # error instead of dispatching (graceful degradation).  The
+        # error is recorded in the caller's return-value log like any
+        # other errno, so a later replay of the caller re-raises it.
+        supervisor = kernel.supervisor
+        if supervisor.degraded and supervisor.is_degraded(target):
+            error_exc = supervisor.answer_degraded_call(target, func)
+            self._record_caller_retval(caller, target, func, None,
+                                       (error_exc.errno, str(error_exc)))
+            raise error_exc
+
         comp = kernel.component(target)
         # Pre-resolved dispatch: one cached dict hit instead of an
         # interface rebuild (raises AttributeError like the old lookup).
@@ -149,12 +165,19 @@ class VampDispatcher:
                 error = (exc.errno, str(exc))
                 raise
             except (Panic, HangDetected) as failure:
-                # The message thread detected the fault; reboot the
-                # component and retry the same input once (§II-B).
+                # The message thread detected the fault; hand it to
+                # the recovery supervisor, which walks the escalation
+                # ladder (reboot-and-retry first, §II-B) and returns
+                # the retried call's result — or raises the degraded
+                # errno / RecoveryFailed when recovery is impossible.
                 if entry is not None:
                     log.clear_nested(entry)
-                result = self._recover_and_retry(
-                    comp, func, args, kwargs, failure)
+                try:
+                    result = kernel.supervisor.handle_failure(
+                        comp, func, args, kwargs, failure)
+                except SyscallError as exc:
+                    error = (exc.errno, str(exc))
+                    raise
         finally:
             if entry is not None:
                 log.pop_active(entry)
@@ -195,46 +218,6 @@ class VampDispatcher:
                                     error=error):
             self.sim.charge("retval_append", self.sim.costs.retval_append)
             self.kernel.meter.note_log_entries(1)
-
-    def _recover_and_retry(self, comp: Component, func: str,
-                           args: Tuple[Any, ...],
-                           kwargs: Dict[str, Any],
-                           failure: ComponentFailure) -> Any:
-        kernel = self.kernel
-        kernel.detector.record(comp.NAME,
-                               "hang" if isinstance(failure, HangDetected)
-                               else "panic", str(failure))
-        kernel.reboot_component(comp.NAME, reason=type(failure).__name__)
-        try:
-            return kernel.component(comp.NAME).call_interface(
-                func, args, kwargs)
-        except ComponentFailure as again:
-            # A repeat failure means the fault outlived the component
-            # reboot.  Escalate through the remaining remedies: a
-            # registered multi-version variant (§VIII), then — when the
-            # microreboot-style escalation is enabled — a reboot of
-            # every rebootable component (the root cause may live in a
-            # *different* component, §II-B's out-of-scope case).
-            # Whatever still fails after that fail-stops gracefully.
-            if comp.NAME in kernel.variants:
-                kernel.swap_in_variant(comp.NAME,
-                                       reason="deterministic bug")
-                try:
-                    return kernel.component(comp.NAME).call_interface(
-                        func, args, kwargs)
-                except ComponentFailure as still:
-                    again = still
-            if kernel.config.escalation_enabled:
-                self.sim.emit("reboot", "escalation",
-                              component=comp.NAME)
-                kernel.rejuvenate_all()
-                try:
-                    return kernel.component(comp.NAME).call_interface(
-                        func, args, kwargs)
-                except ComponentFailure as still:
-                    again = still
-            return kernel.fail_stop(comp.NAME, again)
-
 
 class VampOSKernel(Kernel):
     """A unikernel image run under VampOS."""
@@ -304,6 +287,13 @@ class VampOSKernel(Kernel):
         self.variants: Dict[str, type] = {}
         self._fail_stop_hooks: List[Any] = []
         self.updates: List[RebootRecord] = []
+
+        # --- recovery supervision (escalation, budgets, degradation) ------
+        # Imported here (not at module level) because the supervisor
+        # package reads core.detector; importing it lazily keeps
+        # ``import repro.core.runtime`` acyclic from any entry point.
+        from ..supervisor import RecoverySupervisor
+        self.supervisor = RecoverySupervisor(self)
 
     # --- protection-domain assignment ---------------------------------------------
 
@@ -386,9 +376,15 @@ class VampOSKernel(Kernel):
 
     # --- component-level reboot (§IV) ------------------------------------------------------
 
-    def reboot_component(self, name: str, reason: str = "manual") -> \
-            RebootRecord:
+    def reboot_component(self, name: str, reason: str = "manual",
+                         replay: bool = True) -> RebootRecord:
         """Reboot the component (or its whole merge group) and restore it.
+
+        ``replay=False`` is the supervisor's fresh-restart remedy: the
+        members come back from their post-boot checkpoints *without*
+        the encapsulated log replay, and the (now unreplayed, hence
+        inconsistent) logs are cleared.  Lossy, but it sidesteps a
+        fault that re-triggers during replay.
 
         Returns the :class:`RebootRecord` with the measured downtime.
         """
@@ -410,7 +406,7 @@ class VampOSKernel(Kernel):
         self.sim.charge("reboot_teardown", self.sim.costs.reboot_teardown)
         for member in members:
             self.message_domain.drop_for(member)
-            self._restart_member(member, record)
+            self._restart_member(member, record, replay=replay)
         self.scheduler.reattach(name)
         record.downtime_us = self.sim.clock.now_us - record.start_us
         self.reboots.append(record)
@@ -419,43 +415,60 @@ class VampOSKernel(Kernel):
                       replayed=record.entries_replayed)
         return record
 
-    def _restart_member(self, member: str, record: RebootRecord) -> None:
+    def _restart_member(self, member: str, record: RebootRecord,
+                        replay: bool = True) -> None:
         comp = self.image.component(member)
         comp.state = ComponentState.REBOOTING
+        # A sticky (multi-hit) panic is environmental: the fresh image
+        # does not remove its source, so the remaining hits are re-armed
+        # once the restart (including the replay) has finished.
+        sticky_panic = (comp.injected_panic
+                        if comp.injected_panic_sticky else None)
+        sticky_count = comp.injected_panic_count
         comp.injected_panic = None
         comp.injected_hang = False
         # The fresh memory image has no corruption, whatever the fault
         # did to the old one (bit flips included).
         for region in comp.regions:
             region.corrupted = False
-        if not comp.STATEFUL:
-            # Plain reinitialisation: no log, no snapshot (§VI).
-            self.sim.charge("stateless_reinit",
-                            self.sim.costs.stateless_reinit)
-            comp.allocator.reset()
-            comp.boot()
-            return
-        snap = self.snapshots.get(member)
-        if snap is None:
-            # No checkpoint (ablation config): full re-initialisation,
-            # which may disturb other components — exactly what §V-E
-            # warns about; the ablation benchmark measures the cost.
-            comp.allocator.reset()
-            comp.boot()
-        else:
-            blob = self.snapshots.restore(snap, comp.regions)
-            comp.import_state(blob)
-            comp.state = ComponentState.BOOTED
-            comp._boot_count += 1
-            record.snapshot_bytes += snap.snapshot_bytes
-        # Runtime data first (accept-created sockets occupy their ids
-        # before replayed allocations pick lowest-free slots), then the
-        # encapsulated replay.
-        runtime_blob = self._runtime_data.get(member)
-        if runtime_blob is not None:
-            comp.import_runtime_data(runtime_blob)
-        log = self.logs.get(member)
-        if log is not None and self.config.logging_enabled:
+        try:
+            if not comp.STATEFUL:
+                # Plain reinitialisation: no log, no snapshot (§VI).
+                self.sim.charge("stateless_reinit",
+                                self.sim.costs.stateless_reinit)
+                comp.allocator.reset()
+                comp.boot()
+                return
+            snap = self.snapshots.get(member)
+            if snap is None:
+                # No checkpoint (ablation config): full
+                # re-initialisation, which may disturb other components
+                # — exactly what §V-E warns about; the ablation
+                # benchmark measures the cost.
+                comp.allocator.reset()
+                comp.boot()
+            else:
+                blob = self.snapshots.restore(snap, comp.regions)
+                comp.import_state(blob)
+                comp.state = ComponentState.BOOTED
+                comp._boot_count += 1
+                record.snapshot_bytes += snap.snapshot_bytes
+            # Runtime data first (accept-created sockets occupy their
+            # ids before replayed allocations pick lowest-free slots),
+            # then the encapsulated replay.
+            runtime_blob = self._runtime_data.get(member)
+            if runtime_blob is not None:
+                comp.import_runtime_data(runtime_blob)
+            log = self.logs.get(member)
+            if log is None or not self.config.logging_enabled:
+                return
+            if not replay:
+                # Fresh restart: the member keeps its checkpoint state
+                # only.  The unreplayed log no longer describes the
+                # component's state — clear it so a later reboot does
+                # not replay stale history onto the checkpoint.
+                log.clear()
+                return
             session = ReplaySession(member)
             previous = self._vamp.replay_session
             self._vamp.replay_session = session
@@ -474,6 +487,11 @@ class VampOSKernel(Kernel):
                 self._vamp.replay_session = previous
             record.entries_replayed += stats.entries_replayed
             record.retvals_fed += stats.retvals_fed
+        finally:
+            if sticky_panic is not None:
+                comp.injected_panic = sticky_panic
+                comp.injected_panic_count = sticky_count
+                comp.injected_panic_sticky = True
 
     # --- §VIII extensions ---------------------------------------------------------------------
 
@@ -651,13 +669,20 @@ class VampOSKernel(Kernel):
         state left by an error handler, or a corrupted memory region
         from a hardware fault — and reboots them.  Applications call
         this from their idle loop (ServerApp.poll does).
+
+        The sweep also drives the recovery supervisor's probation:
+        degraded components whose quarantine has elapsed are probed
+        (and restored on success); components still in quarantine are
+        skipped — rebooting them here would defeat the degradation.
         """
         self.sim.charge("heartbeat", self.sim.costs.heartbeat_scan)
-        records: List[RebootRecord] = []
+        records: List[RebootRecord] = list(self.supervisor.tick())
         swept = set()
         for name in self.image.boot_order:
             comp = self.image.component(name)
             if not comp.REBOOTABLE or name in swept:
+                continue
+            if self.supervisor.is_degraded(name):
                 continue
             failed = comp.state is ComponentState.FAILED
             corrupted = any(region.corrupted for region in comp.regions)
@@ -673,11 +698,18 @@ class VampOSKernel(Kernel):
         return records
 
     def rejuvenate_all(self) -> List[RebootRecord]:
-        """Rejuvenate every rebootable component, one by one (§VII-D)."""
+        """Rejuvenate every rebootable component, one by one (§VII-D).
+
+        Degraded (quarantined) components are skipped: they come back
+        through the supervisor's probation, not a blanket sweep.
+        """
         records = []
         for name in self.image.boot_order:
-            if self.image.component(name).REBOOTABLE:
-                records.append(self.rejuvenate(name))
+            if not self.image.component(name).REBOOTABLE:
+                continue
+            if self.supervisor.is_degraded(name):
+                continue
+            records.append(self.rejuvenate(name))
         return records
 
     # --- fault surface ------------------------------------------------------------------------

@@ -13,11 +13,13 @@
 | ABL-SCALE | scheduler cost vs component count              | scalability |
 | ABL-CAMPAIGN | randomized fault-injection campaign         | fault_campaign |
 | ABL-ENDURANCE | long-running aging + rejuvenation policies | endurance |
+| CHAOS-SOAK | recovery-supervisor chaos soak                 | chaos_soak |
 """
 
 from . import (
     ablations,
     app_overhead,
+    chaos_soak,
     endurance,
     env,
     failure_recovery,
@@ -32,6 +34,7 @@ from . import (
 
 __all__ = [
     "ablations",
+    "chaos_soak",
     "endurance",
     "fault_campaign",
     "scalability",

@@ -1,0 +1,274 @@
+"""CHAOS-SOAK — seeded randomized fault campaign for the supervisor.
+
+The recovery supervisor's acceptance test: soak a serving Nginx in a
+randomized stream of the *hard* faults — multi-hit transients that
+survive one reboot, root causes living in another component,
+deterministic bugs, hangs and bit flips — and compare two arms:
+
+* **inline** (``VampOS-DaS``): only the paper's own ladder is armed —
+  replay-retry, then fail-stop.  Every chronic fault is terminal; the
+  operator's full reboot (and its downtime) is the only way back.
+* **supervised** (``VampOS-Supervised``): the full escalation ladder —
+  fresh restarts, dependency-scoped widening, rejuvenate-all and
+  graceful degradation — keeps the kernel answering.  A degraded
+  component serves ENODEV-backed errors instead of killing callers;
+  probation reboots bring it back.
+
+"Serving" counts any well-formed HTTP answer (200 *or* an error page):
+availability here is the kernel staying up, not every byte being
+perfect.  Everything is seeded (``sim.rng`` streams, ``trial_seeds``
+sharding), so reports are byte-identical at any ``--jobs`` count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..faults.injector import FaultInjector
+from ..metrics.report import ExperimentReport
+from ..net.tcp import ConnectionRefused, ConnectionReset
+from ..parallel import parallel_map, trial_seeds
+from ..supervisor import ROW_HEADERS, RecoveryTelemetry
+from ..unikernel.errors import (
+    ApplicationHang,
+    KernelPanic,
+    RecoveryFailed,
+    SyscallError,
+)
+from ..workloads.http_load import HttpLoadGenerator
+from .env import make_nginx, resolve_mode
+
+#: the two soak arms, by report name (both resolve through env)
+INLINE_MODE = "VampOS-DaS"
+SUPERVISED_MODE = "VampOS-Supervised"
+
+#: weighted fault mix — the chronic kinds are what separates the arms
+FAULT_MIX: Tuple[str, ...] = (
+    "panic", "panic", "panic",
+    "multi_panic", "multi_panic",
+    "hang", "hang",
+    "root_cause", "root_cause",
+    "det_bug",
+    "bit_flip",
+)
+
+#: on-path injection targets (VIRTIO is unrebootable; LWIP hangs are
+#: terminal by design, §V-A, so hangs avoid it)
+PANIC_TARGETS = ("VFS", "9PFS", "LWIP", "NETDEV")
+HANG_TARGETS = ("VFS", "9PFS", "NETDEV")
+#: (root, victim) pairs one dependency ring apart, so scope widening
+#: can reach the root
+ROOT_PAIRS = (("VFS", "9PFS"), ("NETDEV", "LWIP"))
+#: deterministic bugs in functions every GET exercises
+DET_BUGS = (("9PFS", "uk_9pfs_lookup"),)
+BIT_TARGETS = ("VFS", "9PFS")
+
+#: virtual time between soak rounds — long enough for probation probes
+#: to come due, short enough to keep storm windows meaningful
+INTER_ROUND_US = 500_000.0
+
+
+@dataclass
+class SoakOutcome:
+    """One arm's campaign totals (picklable across pool workers)."""
+
+    mode: str
+    faults_injected: int = 0
+    requests: int = 0
+    ok: int = 0
+    served_errors: int = 0
+    dead: int = 0
+    terminal: int = 0
+    full_reboot_downtime_us: float = 0.0
+    telemetry: RecoveryTelemetry = field(default_factory=RecoveryTelemetry)
+
+    @property
+    def served(self) -> int:
+        return self.ok + self.served_errors
+
+    @property
+    def availability(self) -> float:
+        return self.served / self.requests if self.requests else 1.0
+
+
+def _inject_one(rng, injector: FaultInjector, armed_roots: List[str]) -> str:
+    kind = rng.choice(FAULT_MIX)
+    if kind == "panic":
+        injector.inject_panic(rng.choice(PANIC_TARGETS))
+    elif kind == "multi_panic":
+        injector.inject_panic(rng.choice(PANIC_TARGETS),
+                              reason="multi-hit transient", count=2)
+    elif kind == "hang":
+        injector.inject_hang(rng.choice(HANG_TARGETS))
+    elif kind == "root_cause":
+        root, victim = rng.choice(ROOT_PAIRS)
+        injector.inject_root_cause(root, victim)
+        armed_roots.append(root)
+    elif kind == "det_bug":
+        component, func = rng.choice(DET_BUGS)
+        injector.inject_deterministic_bug(component, func)
+    else:
+        injector.inject_bit_flip(rng.choice(BIT_TARGETS), "heap",
+                                 offset=0, bit=1)
+    return kind
+
+
+def _harvest_telemetry(app, outcome: SoakOutcome) -> None:
+    """Fold the (current) supervisor's telemetry into the outcome; a
+    full reboot replaces the supervisor, so harvest before each one and
+    once at the end."""
+    supervisor = getattr(app.kernel, "supervisor", None)
+    if supervisor is None:
+        return
+    telemetry = supervisor.telemetry
+    # Close open degraded intervals so shard merges are well-defined.
+    now = app.sim.clock.now_us
+    for name in list(telemetry.degraded_open_since_us):
+        telemetry.note_degraded_exit(name, now)
+    outcome.telemetry = outcome.telemetry.merged_with(telemetry)
+
+
+def soak_cell(mode_name: str, rounds: int, requests_per_round: int,
+              seed: int) -> SoakOutcome:
+    """One shard: a whole soak arm under one seed."""
+    app = make_nginx(resolve_mode(mode_name), seed=seed)
+    rng = app.sim.rng.stream("chaos")
+    injector = FaultInjector(app.kernel)
+    load = HttpLoadGenerator(app, connections=4)
+    outcome = SoakOutcome(mode=mode_name)
+    armed_roots: List[str] = []
+    for _ in range(rounds):
+        _inject_one(rng, injector, armed_roots)
+        outcome.faults_injected += 1
+        for i in range(requests_per_round):
+            outcome.requests += 1
+            try:
+                load.one_request(i % load.connections)
+                outcome.ok += 1
+            except (ConnectionReset, ConnectionRefused):
+                # The kernel answered with an error page, or the
+                # connection died across a recovery — still serving.
+                outcome.served_errors += 1
+                load.close_all()
+            except SyscallError:
+                # A degraded component's ENODEV surfaced to the driver.
+                outcome.served_errors += 1
+                load.close_all()
+            except (RecoveryFailed, KernelPanic, ApplicationHang):
+                # Fail-stop: the remaining requests of this round find
+                # a dead kernel; the operator full-reboots.
+                remaining = requests_per_round - i
+                outcome.requests += remaining - 1
+                outcome.dead += remaining
+                outcome.terminal += 1
+                _harvest_telemetry(app, outcome)
+                outcome.full_reboot_downtime_us += app.kernel.full_reboot()
+                load.close_all()
+                # The full reboot also restarts any root-cause
+                # components, clearing their environmental corruption.
+                for root in armed_roots:
+                    app.kernel.reboot_component(root)
+                armed_roots.clear()
+                break
+        app.sim.clock.advance(INTER_ROUND_US)
+        # An idle poll so the heart-beat sweep (and with it the
+        # supervisor's probation probes) runs between rounds.
+        try:
+            app.poll()
+        except SyscallError:
+            pass
+        except (RecoveryFailed, KernelPanic, ApplicationHang):
+            outcome.terminal += 1
+            _harvest_telemetry(app, outcome)
+            outcome.full_reboot_downtime_us += app.kernel.full_reboot()
+            load.close_all()
+            for root in armed_roots:
+                app.kernel.reboot_component(root)
+            armed_roots.clear()
+    _harvest_telemetry(app, outcome)
+    return outcome
+
+
+def _aggregate(outcomes: List[SoakOutcome]) -> SoakOutcome:
+    """Order-independent fold of per-seed outcomes (sums + telemetry
+    merge; seeds are concatenated in canonical order)."""
+    total = SoakOutcome(mode=outcomes[0].mode)
+    for outcome in outcomes:
+        total.faults_injected += outcome.faults_injected
+        total.requests += outcome.requests
+        total.ok += outcome.ok
+        total.served_errors += outcome.served_errors
+        total.dead += outcome.dead
+        total.terminal += outcome.terminal
+        total.full_reboot_downtime_us += outcome.full_reboot_downtime_us
+        total.telemetry = total.telemetry.merged_with(outcome.telemetry)
+    return total
+
+
+def run(rounds: int = 30, requests_per_round: int = 6,
+        seed: int = 20240624, repeats: int = 1,
+        jobs: int = 1) -> ExperimentReport:
+    """The soak, sharded (arm x repeat-seed), byte-identical per jobs."""
+    suffix = f", {repeats} seeds" if repeats > 1 else ""
+    report = ExperimentReport(
+        experiment_id="CHAOS-SOAK",
+        paper_artifact="recovery supervisor — randomized chaos soak "
+                       f"({rounds} rounds{suffix})")
+    seeds = trial_seeds(seed, repeats, label="chaos")
+    cells = [(mode, rounds, requests_per_round, s)
+             for mode in (INLINE_MODE, SUPERVISED_MODE) for s in seeds]
+    results = parallel_map(soak_cell, cells, jobs)
+    inline = _aggregate(results[:repeats])
+    supervised = _aggregate(results[repeats:])
+
+    def availability_text(outcome: SoakOutcome) -> str:
+        return (f"{outcome.availability * 100:.1f}% "
+                f"({outcome.served}/{outcome.requests})")
+
+    report.headers = ["metric", "inline ladder (DaS)", "supervised"]
+    report.add_row("faults injected", inline.faults_injected,
+                   supervised.faults_injected)
+    report.add_row("terminal fail-stops", inline.terminal,
+                   supervised.terminal)
+    report.add_row("availability (served/requests)",
+                   availability_text(inline),
+                   availability_text(supervised))
+    report.add_row("200 responses", inline.ok, supervised.ok)
+    report.add_row("served errors", inline.served_errors,
+                   supervised.served_errors)
+    report.add_row("requests lost to dead kernel", inline.dead,
+                   supervised.dead)
+    report.add_row("full-reboot downtime",
+                   f"{inline.full_reboot_downtime_us / 1e3:.1f}ms",
+                   f"{supervised.full_reboot_downtime_us / 1e3:.1f}ms")
+    report.add_row("recoveries", len(inline.telemetry.outcomes),
+                   len(supervised.telemetry.outcomes))
+    report.add_row("degrade entries",
+                   sum(inline.telemetry.degrade_entries.values()),
+                   sum(supervised.telemetry.degrade_entries.values()))
+
+    deep_rungs = (supervised.telemetry.rung_total("fresh-restart")
+                  + supervised.telemetry.rung_total("scope-widen")
+                  + supervised.telemetry.rung_total("rejuvenate-all")
+                  + supervised.telemetry.rung_total("degrade"))
+    report.add_claim(
+        "the supervisor never fail-stops the kernel (degrades instead)",
+        supervised.terminal == 0,
+        f"{supervised.terminal} terminal")
+    report.add_claim(
+        "the inline ladder fail-stops on chronic faults",
+        inline.terminal > 0, f"{inline.terminal} terminal")
+    report.add_claim(
+        "supervised availability beats the inline ladder's",
+        supervised.availability > inline.availability,
+        f"{supervised.availability * 100:.1f}% vs "
+        f"{inline.availability * 100:.1f}%")
+    report.add_claim(
+        "deep ladder rungs engaged (restart/widen/sweep/degrade)",
+        deep_rungs > 0, f"{deep_rungs} attempts")
+
+    report.add_subtable("recovery telemetry (supervised arm)",
+                        ROW_HEADERS,
+                        supervised.telemetry.rows(now_us=0.0))
+    return report

@@ -61,6 +61,10 @@ class FaultInjector:
         comp = self.kernel.component(component)
         comp.injected_panic = reason
         comp.injected_panic_count = count
+        # Multi-hit transients outlive a reboot: the fresh memory image
+        # does not remove the (environmental) fault source, so the
+        # recovery path re-arms the remaining hits after its replay.
+        comp.injected_panic_sticky = count > 1
         self._record("panic", component, reason)
 
     def inject_root_cause(self, root: str, victim: str,
@@ -96,6 +100,10 @@ class FaultInjector:
                 target = self.kernel.component(victim)
                 target.injected_panic = None
                 target.injected_panic_count = 1
+                # The root cause is gone for good: stop listening, so
+                # the closure does not keep firing on every later
+                # reboot for the life of the sim.
+                self.sim.trace.unsubscribe(on_event)
             elif victim in unit_members and state["active"]:
                 # rebooting the victim alone cannot help: the root
                 # cause re-corrupts it immediately
@@ -132,7 +140,13 @@ class FaultInjector:
                         offset: int = 0, bit: int = 0) -> None:
         """Flip one bit in a component region (memory fault)."""
         comp = self.kernel.component(component)
-        region = comp.regions.get(f"{component}.{region_suffix}")
+        region_name = f"{component}.{region_suffix}"
+        if region_name not in comp.regions:
+            valid = sorted(r.name.split(".", 1)[1] for r in comp.regions)
+            raise ValueError(
+                f"component {component!r} has no region "
+                f"{region_suffix!r}; valid suffixes: {', '.join(valid)}")
+        region = comp.regions.get(region_name)
         region.flip_bit(offset, bit)
         self._record("bit_flip", component,
                      f"{region_suffix}@{offset}:{bit}")

@@ -70,9 +70,18 @@ class ExperimentReport:
     rows: List[List[Any]] = field(default_factory=list)
     claims: List[Claim] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    # (title, headers, rows) triples — kept as plain lists so reports
+    # stay picklable across the parallel-engine worker boundary.
+    subtables: List[Any] = field(default_factory=list)
 
     def add_row(self, *values: Any) -> None:
         self.rows.append(list(values))
+
+    def add_subtable(self, title: str, headers: Sequence[str],
+                     rows: Sequence[Sequence[Any]]) -> None:
+        """Attach a secondary table (e.g. recovery telemetry)."""
+        self.subtables.append(
+            (title, list(headers), [list(r) for r in rows]))
 
     def add_claim(self, description: str, holds: bool,
                   measured: str = "") -> None:
@@ -89,6 +98,9 @@ class ExperimentReport:
         lines = [f"=== {self.experiment_id}: {self.paper_artifact} ==="]
         if self.headers:
             lines.append(format_table(self.headers, self.rows))
+        for title, headers, rows in self.subtables:
+            lines.append("")
+            lines.append(format_table(headers, rows, title=title))
         if self.claims:
             lines.append("claims:")
             lines.extend(c.render() for c in self.claims)

@@ -94,6 +94,26 @@ class CostModel:
     #: full reboot: per byte of application state lost and re-read
     full_reboot_restore_per_byte: float = 0.05
 
+    # --- recovery supervision (escalation ladder) --------------------------
+    #: supervisor bookkeeping per handled failure (storm window scan,
+    #: budget lookup)
+    supervisor_scan: float = 0.30
+    #: attempting the replay-retry rung (reboot + replay + one retry)
+    rung_replay_retry: float = 0.50
+    #: attempting the fresh-restart rung (checkpoint restore, no replay)
+    rung_fresh_restart: float = 0.80
+    #: attempting the variant-swap rung (§VIII multi-version)
+    rung_variant_swap: float = 1.00
+    #: attempting one dependency-scoped widening ring
+    rung_scope_widen: float = 1.60
+    #: attempting the rejuvenate-all rung (microreboot-style sweep)
+    rung_rejuvenate_all: float = 2.40
+    #: entering degraded mode (installing the error-return stub)
+    rung_degrade: float = 0.60
+    #: answering one interface call from a degraded component with an
+    #: ENODEV-style error instead of dispatching it
+    degraded_call: float = 0.25
+
     # --- devices / IO -------------------------------------------------------
     #: 9P round trip to the host share (per operation)
     ninep_rpc: float = 30.0

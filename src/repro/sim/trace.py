@@ -63,13 +63,25 @@ class Trace:
         if self._max_events is not None and len(self._events) > self._max_events:
             # Drop the oldest half to bound memory in long experiments.
             del self._events[: self._max_events // 2]
-        for subscriber in self._subscribers:
-            subscriber(event)
+        if self._subscribers:
+            # Iterate a snapshot: a subscriber may unsubscribe itself
+            # (or others) while handling the event.
+            for subscriber in tuple(self._subscribers):
+                subscriber(event)
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
         """Call ``callback`` for every future event (even when filtered out
         events are dropped, subscribers only see recorded events)."""
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Stop delivering events to ``callback``; a no-op when it is
+        not (or no longer) subscribed.  Safe to call from within the
+        callback itself."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     # --- queries -----------------------------------------------------------
 

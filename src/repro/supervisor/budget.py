@@ -1,0 +1,69 @@
+"""Retry budgets with exponential backoff, and crash-storm detection.
+
+Both mechanisms work in *virtual* time so they are deterministic under
+the simulation contract: a component that keeps failing first burns its
+per-window retry budget, then every further recovery attempt is
+preceded by a geometrically growing quarantine charged to the clock;
+independently, a sliding window over the failure detector's records
+flags crash storms (flapping) so the supervisor can stop walking the
+ladder and degrade the component instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from ..core.detector import FailureDetector
+
+
+@dataclass
+class RetryBudget:
+    """Per-component recovery budget over a sliding virtual-time window.
+
+    The first ``budget`` recoveries inside ``window_us`` are free; the
+    *n*-th over-budget recovery waits ``base_us * factor**(n-1)``
+    (capped) before the supervisor touches the component again.
+    """
+
+    budget: int
+    window_us: float
+    base_us: float
+    factor: float
+    cap_us: float
+    #: virtual times of recent recovery attempts, pruned to the window
+    #: (attempts arrive in time order, so expiry pops from the left)
+    attempts_us: Deque[float] = field(default_factory=deque)
+
+    def register(self, now_us: float) -> float:
+        """Record an attempt at ``now_us``; return the quarantine delay
+        (0 while inside the budget)."""
+        cutoff = now_us - self.window_us
+        attempts = self.attempts_us
+        while attempts and attempts[0] < cutoff:
+            attempts.popleft()
+        attempts.append(now_us)
+        overrun = len(attempts) - self.budget
+        if overrun <= 0:
+            return 0.0
+        return min(self.cap_us, self.base_us * self.factor ** (overrun - 1))
+
+
+@dataclass
+class CrashStormDetector:
+    """Flags a component as flapping when its failure rate spikes.
+
+    Reads the shared :class:`FailureDetector` history rather than
+    keeping its own: every failure the supervisor handles is already
+    recorded there, so the storm window sees panics, hangs and
+    heartbeat sweeps alike.
+    """
+
+    threshold: int
+    window_us: float
+
+    def tripped(self, detector: FailureDetector, component: str,
+                now_us: float) -> bool:
+        return detector.recent_failures(
+            component, self.window_us, now_us) >= self.threshold

@@ -1,0 +1,247 @@
+"""The escalation ladder: recovery remedies as strategy objects.
+
+Each rung is one remedy the :class:`~repro.supervisor.supervisor.
+RecoverySupervisor` may try for a failed component, ordered from the
+cheapest and least disruptive (the paper's own reboot-replay-retry,
+§V-E) to the most (a microreboot-style sweep of every rebootable
+component, Candea et al. [8]), ending in graceful degradation.  The
+implicit final rung — fail-stop — lives in the supervisor itself.
+
+A rung contributes:
+
+* ``applies(supervisor, name, failure)`` — whether the rung is armed
+  for this component under the kernel's configuration *and* relevant to
+  the failure at hand (the fresh-restart rung, for instance, only makes
+  sense when the previous remedy died inside log replay);
+* ``plans(supervisor, name)`` — one or more concrete attempts.  Most
+  rungs have a single plan; dependency-scoped widening yields one plan
+  per BFS ring so each widening step is charged and counted on its own;
+* ``cost_attr`` — the :class:`~repro.sim.costs.CostModel` field holding
+  the rung's own virtual-time price, charged per attempted plan, so
+  experiments stay ledger-deterministic whatever the ladder does.
+
+The default ladder order (replay-retry → fresh restart → variant swap →
+scope widening → rejuvenate-all → degrade) reproduces the legacy inline
+ladder exactly when only the legacy knobs (``escalation_enabled``,
+registered variants) are armed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, List
+
+from ..unikernel.errors import ComponentFailure, RecoveryFailed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .supervisor import RecoverySupervisor
+
+#: a concrete recovery attempt: executes the remedy (reboots, swaps,
+#: sweeps) and returns nothing; the supervisor retries the failed call
+#: afterwards
+Plan = Callable[["RecoverySupervisor", str, BaseException], None]
+
+
+class LadderRung:
+    """Base strategy object for one escalation-ladder rung."""
+
+    #: stable identifier used in telemetry counters and trace events
+    key: str = "rung"
+    #: CostModel attribute naming this rung's per-attempt price
+    cost_attr: str = "rung_replay_retry"
+    #: a degrading rung quarantines the component instead of retrying
+    degrades: bool = False
+
+    def applies(self, supervisor: "RecoverySupervisor", name: str,
+                failure: BaseException) -> bool:
+        raise NotImplementedError
+
+    def plans(self, supervisor: "RecoverySupervisor",
+              name: str) -> Iterator[Plan]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.key!r}>"
+
+
+class ReplayRetryRung(LadderRung):
+    """The paper's own recovery (§V-E): teardown → checkpoint restore →
+    encapsulated log replay → retry.  Always armed — it *is* VampOS."""
+
+    key = "replay-retry"
+    cost_attr = "rung_replay_retry"
+
+    def applies(self, supervisor, name, failure) -> bool:
+        return True
+
+    def plans(self, supervisor, name):
+        def plan(sup, comp_name, failure):
+            # Keep the legacy reboot reason ("Panic"/"HangDetected") so
+            # RebootRecord consumers see the same labels as before.
+            reason = type(failure).__name__
+            if not isinstance(failure, ComponentFailure):
+                reason = "retry"
+            sup.kernel.reboot_component(comp_name, reason=reason)
+        yield plan
+
+
+class FreshRestartRung(LadderRung):
+    """Restart from the post-boot checkpoint *without* replaying the
+    log.  Only relevant when the previous remedy died inside the replay
+    itself (a :class:`RecoveryFailed`): skipping the replay sidesteps
+    the re-triggering entry at the price of the logged state."""
+
+    key = "fresh-restart"
+    cost_attr = "rung_fresh_restart"
+
+    def applies(self, supervisor, name, failure) -> bool:
+        return (supervisor.kernel.config.fresh_restart_enabled
+                and isinstance(failure, RecoveryFailed))
+
+    def plans(self, supervisor, name):
+        def plan(sup, comp_name, failure):
+            sup.kernel.reboot_component(comp_name, reason="fresh-restart",
+                                        replay=False)
+        yield plan
+
+
+class VariantSwapRung(LadderRung):
+    """Swap in a registered multi-version variant (§VIII)."""
+
+    key = "variant-swap"
+    cost_attr = "rung_variant_swap"
+
+    def applies(self, supervisor, name, failure) -> bool:
+        return name in supervisor.kernel.variants
+
+    def plans(self, supervisor, name):
+        def plan(sup, comp_name, failure):
+            sup.kernel.swap_in_variant(comp_name,
+                                       reason="deterministic bug")
+        yield plan
+
+
+class ScopeWidenRung(LadderRung):
+    """Dependency-scoped widening: reboot BFS rings of the failed
+    component's declared callers/callees, then the component itself.
+
+    This is the recursive-microreboot middle ground between a single
+    component reboot and ``rejuvenate_all``: §II-B's root-cause-in-
+    another-component faults are usually one or two dependency hops
+    away, so a couple of rings recover them without sweeping the whole
+    image.  One plan per ring — each widening step has its own charge
+    and telemetry count."""
+
+    key = "scope-widen"
+    cost_attr = "rung_scope_widen"
+
+    def applies(self, supervisor, name, failure) -> bool:
+        return supervisor.kernel.config.scope_widening_enabled
+
+    def plans(self, supervisor, name):
+        for ring in dependency_rings(supervisor.kernel, name):
+            def plan(sup, comp_name, failure, ring=tuple(ring)):
+                kernel = sup.kernel
+                sup.sim.emit("supervisor", "widen", component=comp_name,
+                             ring=list(ring))
+                rebooted_units = set()
+                for member in ring:
+                    kernel.reboot_component(member, reason="scope-widen")
+                    rebooted_units.add(kernel.scheduler.unit_of(member))
+                # Finish with the failed component itself (its state is
+                # FAILED after the retry), unless a ring member's merge
+                # group already covered it.
+                if kernel.scheduler.unit_of(comp_name) not in rebooted_units:
+                    kernel.reboot_component(comp_name, reason="scope-widen")
+            yield plan
+
+
+class RejuvenateAllRung(LadderRung):
+    """The legacy escalation: reboot every rebootable component."""
+
+    key = "rejuvenate-all"
+    cost_attr = "rung_rejuvenate_all"
+
+    def applies(self, supervisor, name, failure) -> bool:
+        return supervisor.kernel.config.escalation_enabled
+
+    def plans(self, supervisor, name):
+        def plan(sup, comp_name, failure):
+            # The legacy event, kept verbatim for trace consumers.
+            sup.sim.emit("reboot", "escalation", component=comp_name)
+            sup.kernel.rejuvenate_all()
+        yield plan
+
+
+class DegradeRung(LadderRung):
+    """Graceful degradation: quarantine the component.  Its interface
+    calls return an ENODEV-style error instead of panicking callers, so
+    the kernel keeps serving everything that does not need it."""
+
+    key = "degrade"
+    cost_attr = "rung_degrade"
+    degrades = True
+
+    def applies(self, supervisor, name, failure) -> bool:
+        return supervisor.kernel.config.degraded_mode_enabled
+
+    def plans(self, supervisor, name):
+        def plan(sup, comp_name, failure):
+            sup.enter_degraded(comp_name,
+                               reason=f"ladder exhausted: {failure}")
+        yield plan
+
+
+#: the default ladder, in escalation order (fail-stop is implicit)
+DEFAULT_LADDER: List[LadderRung] = [
+    ReplayRetryRung(),
+    FreshRestartRung(),
+    VariantSwapRung(),
+    ScopeWidenRung(),
+    RejuvenateAllRung(),
+    DegradeRung(),
+]
+
+
+def dependency_rings(kernel, name: str) -> List[List[str]]:
+    """BFS rings over the undirected dependency graph around ``name``.
+
+    Ring *d* holds one representative (rebootable, non-degraded)
+    component per scheduling unit first reached at distance *d*.
+    Unrebootable components (VIRTIO) are traversed — they connect the
+    file and network stacks — but never rebooted; degraded components
+    stay quarantined.  Empty rings are dropped.
+    """
+    graph = kernel.image.dependency_graph()
+    undirected = {comp: set() for comp in graph}
+    for src, deps in graph.items():
+        for dep in deps:
+            undirected[src].add(dep)
+            undirected.setdefault(dep, set()).add(src)
+    unit_of = kernel.scheduler.unit_of
+    supervisor = getattr(kernel, "supervisor", None)
+    seen_units = {unit_of(name)}
+    visited = {name}
+    frontier = [name]
+    rings: List[List[str]] = []
+    while frontier:
+        next_frontier: List[str] = []
+        ring: List[str] = []
+        for node in frontier:
+            for neighbour in sorted(undirected.get(node, ())):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                next_frontier.append(neighbour)
+                unit = unit_of(neighbour)
+                if unit in seen_units:
+                    continue
+                seen_units.add(unit)
+                comp = kernel.component(neighbour)
+                degraded = (supervisor is not None
+                            and supervisor.is_degraded(neighbour))
+                if comp.REBOOTABLE and not degraded:
+                    ring.append(neighbour)
+        if ring:
+            rings.append(ring)
+        frontier = next_frontier
+    return rings

@@ -1,0 +1,266 @@
+"""The recovery supervisor: policy around the reboot mechanism.
+
+:class:`RecoverySupervisor` owns everything that happens *after* the
+failure detector hands over a failed in-flight call:
+
+* it walks the pluggable **escalation ladder** (:mod:`.ladder`) rung by
+  rung, retrying the failed call after every remedy, until one rung
+  recovers, the degrade rung quarantines the component, or the ladder
+  is exhausted and the kernel fail-stops gracefully;
+* it enforces **per-component retry budgets with exponential backoff**
+  (:mod:`.budget`) — chronic failers wait out geometrically growing
+  quarantines, charged to virtual time;
+* it trips **crash storms** (flapping components) straight into
+  **degraded mode**: interface calls are answered with an ENODEV-style
+  :class:`SyscallError` instead of dispatching, recorded in caller
+  return-value logs like any other errno so replay stays consistent;
+* it **probes** degraded components from the heart-beat sweep at
+  geometrically backed-off intervals and restores them when a probe
+  reboot succeeds;
+* it accumulates **telemetry** (:mod:`.telemetry`) for the experiment
+  reports.
+
+Everything is deterministic in virtual time: the same seed and workload
+produce the same ladder walk, the same charges and the same telemetry,
+whatever the host or worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..unikernel.errors import (
+    ComponentFailure,
+    HangDetected,
+    RecoveryFailed,
+    SyscallError,
+    UnrebootableComponent,
+)
+from .budget import CrashStormDetector, RetryBudget
+from .ladder import DEFAULT_LADDER, LadderRung
+from .telemetry import RecoveryTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.runtime import RebootRecord, VampOSKernel
+    from ..unikernel.component import Component
+
+#: the errno degraded components answer with
+DEGRADED_ERRNO = "ENODEV"
+
+
+@dataclass
+class DegradedState:
+    """Book-keeping for one quarantined component."""
+
+    entered_us: float
+    probe_at_us: float
+    probe_interval_us: float
+    reason: str
+
+
+class RecoverySupervisor:
+    """Escalation, budgets, storm detection and degradation for one
+    :class:`~repro.core.runtime.VampOSKernel`."""
+
+    def __init__(self, kernel: "VampOSKernel",
+                 ladder: Optional[List[LadderRung]] = None) -> None:
+        self.kernel = kernel
+        self.sim = kernel.sim
+        config = kernel.config
+        #: the escalation ladder, in order; pluggable per kernel
+        self.ladder: List[LadderRung] = (
+            list(ladder) if ladder is not None else list(DEFAULT_LADDER))
+        self.telemetry = RecoveryTelemetry()
+        self.storm = CrashStormDetector(threshold=config.storm_threshold,
+                                        window_us=config.storm_window_us)
+        self._budgets: Dict[str, RetryBudget] = {}
+        #: quarantined components, by name
+        self.degraded: Dict[str, DegradedState] = {}
+        #: lifetime degrade entries per component (drives the
+        #: geometric probation interval)
+        self._degrade_counts: Dict[str, int] = {}
+
+    # --- budgets ----------------------------------------------------------
+
+    def budget_for(self, name: str) -> RetryBudget:
+        budget = self._budgets.get(name)
+        if budget is None:
+            config = self.kernel.config
+            budget = RetryBudget(budget=config.retry_budget,
+                                 window_us=config.retry_window_us,
+                                 base_us=config.backoff_base_us,
+                                 factor=config.backoff_factor,
+                                 cap_us=config.backoff_cap_us)
+            self._budgets[name] = budget
+        return budget
+
+    # --- degraded mode ----------------------------------------------------
+
+    def is_degraded(self, name: str) -> bool:
+        return name in self.degraded
+
+    def degraded_error(self, name: str, func: str) -> SyscallError:
+        return SyscallError(
+            DEGRADED_ERRNO,
+            f"component {name!r} is degraded; {func} unavailable")
+
+    def answer_degraded_call(self, name: str, func: str) -> SyscallError:
+        """Charge and count one intercepted call into a degraded
+        component; returns the error the dispatcher should raise."""
+        self.sim.charge("degraded_call", self.sim.costs.degraded_call)
+        self.telemetry.note_degraded_call(name)
+        return self.degraded_error(name, func)
+
+    def enter_degraded(self, name: str, reason: str) -> None:
+        config = self.kernel.config
+        count = self._degrade_counts.get(name, 0) + 1
+        self._degrade_counts[name] = count
+        interval = min(config.probation_cap_us,
+                       config.probation_base_us
+                       * config.probation_factor ** (count - 1))
+        now = self.sim.clock.now_us
+        self.degraded[name] = DegradedState(
+            entered_us=now, probe_at_us=now + interval,
+            probe_interval_us=interval, reason=reason)
+        self.telemetry.note_degraded_enter(name, now)
+        self.sim.emit("supervisor", "degraded", component=name,
+                      reason=reason, probe_at_us=now + interval)
+
+    def exit_degraded(self, name: str) -> None:
+        if self.degraded.pop(name, None) is None:
+            return
+        self.telemetry.note_degraded_exit(name, self.sim.clock.now_us)
+        self.sim.emit("supervisor", "restored", component=name)
+
+    # --- the failure entry point ------------------------------------------
+
+    def handle_failure(self, comp: "Component", func: str,
+                       args: Tuple[Any, ...], kwargs: Dict[str, Any],
+                       failure: ComponentFailure) -> Any:
+        """Recover ``comp`` after ``func`` failed in-flight.
+
+        Returns the retried call's result on success; raises the
+        degraded :class:`SyscallError` when the component ends up
+        quarantined; raises :class:`RecoveryFailed` (via
+        ``kernel.fail_stop``) when the ladder is exhausted.
+        """
+        kernel = self.kernel
+        sim = self.sim
+        name = comp.NAME
+        kind = "hang" if isinstance(failure, HangDetected) else "panic"
+        kernel.detector.record(name, kind, str(failure))
+        start_us = sim.clock.now_us
+        sim.charge("supervisor_scan", sim.costs.supervisor_scan)
+
+        # Crash storm: a flapping component gets no more ladder walks —
+        # straight into quarantine (when degradation is armed).
+        if self.storm.tripped(kernel.detector, name, sim.clock.now_us):
+            self.telemetry.note_storm(name)
+            sim.emit("supervisor", "crash_storm", component=name,
+                     window_us=self.storm.window_us,
+                     threshold=self.storm.threshold)
+            if kernel.config.degraded_mode_enabled:
+                sim.charge("rung_degrade", sim.costs.rung_degrade)
+                self.telemetry.note_rung(name, "degrade")
+                self.enter_degraded(name, reason="crash storm")
+                raise self.degraded_error(name, func)
+
+        # Retry budget: over-budget recoveries wait out an exponential
+        # quarantine first, charged to the virtual clock.
+        delay = self.budget_for(name).register(sim.clock.now_us)
+        if delay > 0:
+            sim.charge("quarantine_backoff", delay)
+            self.telemetry.note_quarantine(name, delay)
+            sim.emit("supervisor", "quarantine", component=name,
+                     delay_us=delay)
+
+        current: BaseException = failure
+        for rung in self.ladder:
+            if not rung.applies(self, name, current):
+                continue
+            for plan in rung.plans(self, name):
+                sim.charge(rung.cost_attr,
+                           getattr(sim.costs, rung.cost_attr))
+                self.telemetry.note_rung(name, rung.key)
+                sim.emit("supervisor", "rung", component=name,
+                         rung=rung.key)
+                try:
+                    plan(self, name, current)
+                except RecoveryFailed as dead:
+                    # The remedy's own reboot died (replay re-triggered
+                    # the fault).  Un-crash the kernel and let the next
+                    # rung — fresh restart skips exactly this replay —
+                    # have a go; the final fail-stop re-crashes it.
+                    kernel.crashed = False
+                    current = dead
+                    continue
+                if rung.degrades:
+                    raise self.degraded_error(name, func)
+                try:
+                    result = kernel.component(name).call_interface(
+                        func, args, kwargs)
+                except ComponentFailure as again:
+                    current = again
+                    continue
+                self.telemetry.note_recovered(
+                    name, kind, rung.key, start_us, sim.clock.now_us)
+                sim.emit("supervisor", "recovered", component=name,
+                         rung=rung.key,
+                         mttr_us=sim.clock.now_us - start_us)
+                return result
+        self.telemetry.note_fail_stop(name)
+        return kernel.fail_stop(name, current)
+
+    # --- probation (driven by the heart-beat sweep) -----------------------
+
+    def tick(self) -> List["RebootRecord"]:
+        """Probe every degraded component whose probation elapsed.
+
+        Called from ``VampOSKernel.heartbeat``.  A successful probe
+        reboot (replay first, checkpoint-only as fallback) restores the
+        component to service; a failed probe extends the quarantine
+        geometrically.
+        """
+        now = self.sim.clock.now_us
+        due = [name for name, state in self.degraded.items()
+               if now >= state.probe_at_us]
+        records: List["RebootRecord"] = []
+        for name in due:
+            record = self._probe(name)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def _probe(self, name: str) -> Optional["RebootRecord"]:
+        kernel = self.kernel
+        self.sim.emit("supervisor", "probe", component=name)
+        try:
+            record = kernel.reboot_component(name, reason="probation")
+        except RecoveryFailed:
+            kernel.crashed = False
+            try:
+                record = kernel.reboot_component(
+                    name, reason="probation", replay=False)
+            except RecoveryFailed:
+                kernel.crashed = False
+                self._extend_probation(name)
+                return None
+        except UnrebootableComponent:
+            self._extend_probation(name)
+            return None
+        self.exit_degraded(name)
+        return record
+
+    def _extend_probation(self, name: str) -> None:
+        config = self.kernel.config
+        count = self._degrade_counts.get(name, 0) + 1
+        self._degrade_counts[name] = count
+        interval = min(config.probation_cap_us,
+                       config.probation_base_us
+                       * config.probation_factor ** (count - 1))
+        state = self.degraded[name]
+        state.probe_at_us = self.sim.clock.now_us + interval
+        state.probe_interval_us = interval
+        self.sim.emit("supervisor", "probe_failed", component=name,
+                      next_probe_at_us=state.probe_at_us)

@@ -1,0 +1,172 @@
+"""Recovery telemetry: what the supervisor did and what it cost.
+
+Per-component ladder-rung counters, MTTR (mean-time-to-recovery)
+samples, quarantine/backoff totals, crash-storm trips and
+time-in-degraded intervals.  Experiments surface these through
+:mod:`repro.metrics.report` subtables and the CLI; everything here is
+plain data keyed by component name, rendered in sorted order so reports
+stay byte-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..metrics.stats import Summary, summarize
+
+
+@dataclass
+class RecoveryOutcome:
+    """One failure handled to completion by the supervisor."""
+
+    component: str
+    kind: str            # "panic" | "hang"
+    rung: str            # the ladder rung that resolved it
+    start_us: float
+    end_us: float
+
+    @property
+    def mttr_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class RecoveryTelemetry:
+    """Counters and distributions accumulated by one supervisor."""
+
+    #: component -> rung key -> attempts
+    rung_attempts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: completed recoveries, in virtual-time order
+    outcomes: List[RecoveryOutcome] = field(default_factory=list)
+    #: component -> crash-storm trips
+    storms: Dict[str, int] = field(default_factory=dict)
+    #: component -> total backoff quarantine charged (virtual us)
+    quarantine_us: Dict[str, float] = field(default_factory=dict)
+    #: component -> calls answered with a degraded error
+    degraded_calls: Dict[str, int] = field(default_factory=dict)
+    #: component -> times it entered degraded mode
+    degrade_entries: Dict[str, int] = field(default_factory=dict)
+    #: component -> closed time-in-degraded total (virtual us)
+    degraded_closed_us: Dict[str, float] = field(default_factory=dict)
+    #: component -> entry time of the currently open degraded interval
+    degraded_open_since_us: Dict[str, float] = field(default_factory=dict)
+    #: component -> fail-stops the ladder could not prevent
+    fail_stops: Dict[str, int] = field(default_factory=dict)
+
+    # --- recording (called by the supervisor) -----------------------------
+
+    def note_rung(self, component: str, rung: str) -> None:
+        per_comp = self.rung_attempts.setdefault(component, {})
+        per_comp[rung] = per_comp.get(rung, 0) + 1
+
+    def note_recovered(self, component: str, kind: str, rung: str,
+                       start_us: float, end_us: float) -> None:
+        self.outcomes.append(RecoveryOutcome(
+            component=component, kind=kind, rung=rung,
+            start_us=start_us, end_us=end_us))
+
+    def note_storm(self, component: str) -> None:
+        self.storms[component] = self.storms.get(component, 0) + 1
+
+    def note_quarantine(self, component: str, delay_us: float) -> None:
+        self.quarantine_us[component] = \
+            self.quarantine_us.get(component, 0.0) + delay_us
+
+    def note_degraded_call(self, component: str) -> None:
+        self.degraded_calls[component] = \
+            self.degraded_calls.get(component, 0) + 1
+
+    def note_degraded_enter(self, component: str, now_us: float) -> None:
+        self.degrade_entries[component] = \
+            self.degrade_entries.get(component, 0) + 1
+        self.degraded_open_since_us[component] = now_us
+
+    def note_degraded_exit(self, component: str, now_us: float) -> None:
+        entered = self.degraded_open_since_us.pop(component, None)
+        if entered is not None:
+            self.degraded_closed_us[component] = \
+                self.degraded_closed_us.get(component, 0.0) \
+                + (now_us - entered)
+
+    def note_fail_stop(self, component: str) -> None:
+        self.fail_stops[component] = self.fail_stops.get(component, 0) + 1
+
+    # --- queries ----------------------------------------------------------
+
+    def mttr_samples(self, component: Optional[str] = None) -> List[float]:
+        return [o.mttr_us for o in self.outcomes
+                if component is None or o.component == component]
+
+    def mttr_summary(self, component: Optional[str] = None) -> \
+            Optional[Summary]:
+        samples = self.mttr_samples(component)
+        return summarize(samples) if samples else None
+
+    def time_in_degraded_us(self, component: str, now_us: float) -> float:
+        """Closed intervals plus the currently open one (if any)."""
+        total = self.degraded_closed_us.get(component, 0.0)
+        entered = self.degraded_open_since_us.get(component)
+        if entered is not None:
+            total += now_us - entered
+        return total
+
+    def components(self) -> List[str]:
+        """Every component the supervisor ever touched, sorted."""
+        names = set(self.rung_attempts) | set(self.storms) \
+            | set(self.quarantine_us) | set(self.degraded_calls) \
+            | set(self.degrade_entries) | set(self.fail_stops) \
+            | {o.component for o in self.outcomes}
+        return sorted(names)
+
+    def rung_total(self, rung: str) -> int:
+        return sum(per_comp.get(rung, 0)
+                   for per_comp in self.rung_attempts.values())
+
+    def rows(self, now_us: float) -> List[List[Any]]:
+        """Per-component report rows (see :data:`ROW_HEADERS`)."""
+        rows: List[List[Any]] = []
+        for name in self.components():
+            attempts = self.rung_attempts.get(name, {})
+            rungs = " ".join(f"{key}:{count}"
+                             for key, count in sorted(attempts.items())) \
+                or "-"
+            mttr = self.mttr_summary(name)
+            mttr_text = (f"{mttr.mean / 1e3:.2f}ms "
+                         f"(p95 {mttr.p95 / 1e3:.2f})") if mttr else "-"
+            rows.append([
+                name,
+                len([o for o in self.outcomes if o.component == name]),
+                mttr_text,
+                rungs,
+                self.storms.get(name, 0),
+                f"{self.quarantine_us.get(name, 0.0) / 1e3:.1f}ms",
+                self.degraded_calls.get(name, 0),
+                f"{self.time_in_degraded_us(name, now_us) / 1e3:.1f}ms",
+            ])
+        return rows
+
+    def merged_with(self, other: "RecoveryTelemetry") -> \
+            "RecoveryTelemetry":
+        """Order-independent fold of two telemetry sets (for sharded
+        experiments; open degraded intervals must be closed first)."""
+        out = RecoveryTelemetry()
+        for src in (self, other):
+            for comp, per_comp in src.rung_attempts.items():
+                dst = out.rung_attempts.setdefault(comp, {})
+                for key, count in per_comp.items():
+                    dst[key] = dst.get(key, 0) + count
+            out.outcomes.extend(src.outcomes)
+            for attr in ("storms", "quarantine_us", "degraded_calls",
+                         "degrade_entries", "degraded_closed_us",
+                         "fail_stops"):
+                dst_map = getattr(out, attr)
+                for comp, value in getattr(src, attr).items():
+                    dst_map[comp] = dst_map.get(comp, 0) + value
+        return out
+
+
+#: column headers matching :meth:`RecoveryTelemetry.rows`
+ROW_HEADERS = ["component", "recoveries", "MTTR", "rung attempts",
+               "storms", "quarantine", "degraded calls",
+               "time degraded"]

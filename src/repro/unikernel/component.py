@@ -209,6 +209,10 @@ class Component:
         #: how many times the armed panic fires before clearing (a
         #: multi-hit transient: survives one reboot+retry, §II-B edge)
         self.injected_panic_count: int = 1
+        #: a multi-hit panic (count > 1) is environmental, not memory
+        #: corruption: a reboot wipes the image but the fault source
+        #: persists, so the recovery path re-arms it after the replay
+        self.injected_panic_sticky: bool = False
         self.injected_hang: bool = False
         #: functions that panic *every* time (deterministic bugs, §II-B)
         self.deterministic_faults: set = set()
@@ -381,6 +385,7 @@ class Component:
             if self.injected_panic_count <= 0:
                 self.injected_panic = None
                 self.injected_panic_count = 1
+                self.injected_panic_sticky = False
             self.state = ComponentState.FAILED
             raise Panic(self.NAME, f"panic() in {self.NAME}: {reason}")
 

@@ -1,0 +1,67 @@
+"""Injector hygiene: subscriber cleanup and argument validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from tests.conftest import build_kernel
+
+
+@pytest.fixture
+def kernel(sim, share):
+    kernel = build_kernel(sim, share)
+    kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return kernel
+
+
+class TestRootCauseSubscriberCleanup:
+    def test_handler_unsubscribes_once_root_rebooted(self, kernel):
+        trace = kernel.sim.trace
+        before = len(trace._subscribers)
+        FaultInjector(kernel).inject_root_cause("LWIP", "9PFS")
+        assert len(trace._subscribers) == before + 1
+        kernel.reboot_component("LWIP")  # the root cause is gone
+        assert len(trace._subscribers) == before
+
+    def test_handler_stays_while_root_unresolved(self, kernel):
+        trace = kernel.sim.trace
+        before = len(trace._subscribers)
+        FaultInjector(kernel).inject_root_cause("LWIP", "9PFS")
+        kernel.reboot_component("VFS")  # unrelated reboot
+        assert len(trace._subscribers) == before + 1
+
+    def test_victim_stays_armed_until_cleanup(self, kernel):
+        injector = FaultInjector(kernel)
+        injector.inject_root_cause("LWIP", "9PFS")
+        # rebooting the victim alone re-arms it ...
+        kernel.reboot_component("9PFS")
+        assert kernel.component("9PFS").injected_panic is not None
+        # ... rebooting the root disarms for good
+        kernel.reboot_component("LWIP")
+        kernel.reboot_component("9PFS")
+        assert kernel.component("9PFS").injected_panic is None
+
+
+class TestBitFlipValidation:
+    def test_unknown_region_raises_with_valid_suffixes(self, kernel):
+        injector = FaultInjector(kernel)
+        with pytest.raises(ValueError) as excinfo:
+            injector.inject_bit_flip("VFS", "no_such_region")
+        message = str(excinfo.value)
+        assert "no_such_region" in message
+        assert "valid suffixes" in message
+        assert "heap" in message
+
+    def test_unknown_region_leaves_no_record(self, kernel):
+        injector = FaultInjector(kernel)
+        with pytest.raises(ValueError):
+            injector.inject_bit_flip("VFS", "no_such_region")
+        assert injector.injections_for("VFS") == []
+
+    def test_valid_region_still_flips(self, kernel):
+        injector = FaultInjector(kernel)
+        injector.inject_bit_flip("VFS", "heap", offset=0, bit=3)
+        records = injector.injections_for("VFS")
+        assert len(records) == 1
+        assert records[0].kind == "bit_flip"

@@ -60,6 +60,33 @@ class TestTrace:
         assert len(seen) == 1
         assert isinstance(seen[0], TraceEvent)
 
+    def test_unsubscribe_stops_delivery(self):
+        trace = Trace()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1.0, "c", "e")
+        trace.unsubscribe(seen.append)
+        trace.emit(2.0, "c", "e")
+        assert len(seen) == 1
+
+    def test_unsubscribe_unknown_callback_is_a_noop(self):
+        trace = Trace()
+        trace.unsubscribe(lambda event: None)  # never subscribed
+
+    def test_unsubscribe_during_emit_is_safe(self):
+        trace = Trace()
+        seen = []
+
+        def once(event):
+            seen.append(event)
+            trace.unsubscribe(once)
+
+        trace.subscribe(once)
+        trace.subscribe(seen.append)  # must still run after the removal
+        trace.emit(1.0, "c", "e")
+        trace.emit(2.0, "c", "e")
+        assert len(seen) == 3  # once saw 1 event, seen.append saw 2
+
     def test_clear(self):
         trace = Trace()
         trace.emit(1.0, "c", "e")

@@ -1,0 +1,1 @@
+"""Tests for the recovery supervisor (escalation, budgets, degradation)."""

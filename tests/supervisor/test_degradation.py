@@ -1,0 +1,215 @@
+"""Degraded mode, crash storms, probation and retry budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SUPERVISED
+from repro.core.policy import AgingDrivenPolicy, RejuvenationPolicy
+from repro.faults.injector import FaultInjector
+from repro.supervisor import RetryBudget
+from repro.unikernel.errors import SyscallError
+from tests.conftest import build_kernel
+
+
+def _mounted(sim, share, config):
+    kernel = build_kernel(sim, share, config=config)
+    kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return kernel
+
+
+def _degrade_9pfs(kernel):
+    """Drive 9PFS into quarantine via a deterministic bug."""
+    injector = FaultInjector(kernel)
+    injector.inject_deterministic_bug("9PFS", "uk_9pfs_lookup")
+    with pytest.raises(SyscallError):
+        kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+    assert kernel.supervisor.is_degraded("9PFS")
+    return injector
+
+
+class TestCrashStorm:
+    def test_storm_trips_straight_into_degraded(self, sim, share):
+        config = SUPERVISED.with_(storm_threshold=3)
+        kernel = _mounted(sim, share, config)
+        injector = FaultInjector(kernel)
+        # two recovered panics fill the window ...
+        for _ in range(2):
+            injector.inject_panic("9PFS")
+            assert kernel.syscall("VFS", "open", "/data/hello.txt",
+                                  "r") >= 3
+        # ... the third failure is a storm: no ladder walk, quarantine
+        injector.inject_panic("9PFS")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert excinfo.value.errno == "ENODEV"
+        telemetry = kernel.supervisor.telemetry
+        assert telemetry.storms["9PFS"] == 1
+        assert kernel.sim.trace.count("supervisor", "crash_storm") == 1
+        assert kernel.supervisor.is_degraded("9PFS")
+
+    def test_storm_outside_window_does_not_trip(self, sim, share):
+        config = SUPERVISED.with_(storm_threshold=3,
+                                  storm_window_us=1000.0)
+        kernel = _mounted(sim, share, config)
+        injector = FaultInjector(kernel)
+        for _ in range(4):
+            injector.inject_panic("9PFS")
+            assert kernel.syscall("VFS", "open", "/data/hello.txt",
+                                  "r") >= 3
+            kernel.sim.clock.advance(2000.0)
+        assert kernel.supervisor.telemetry.storms == {}
+        assert not kernel.supervisor.is_degraded("9PFS")
+
+
+class TestProbation:
+    def test_heartbeat_probe_restores_a_healed_component(self, sim,
+                                                         share):
+        kernel = _mounted(sim, share, SUPERVISED)
+        injector = _degrade_9pfs(kernel)
+        # the fault is fixed while the component sits in quarantine
+        injector.clear_deterministic_bug("9PFS", "uk_9pfs_lookup")
+        sim.clock.advance(kernel.config.probation_base_us + 1.0)
+        kernel.heartbeat()
+        assert not kernel.supervisor.is_degraded("9PFS")
+        assert sim.trace.count("supervisor", "restored") == 1
+        assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+        telemetry = kernel.supervisor.telemetry
+        assert telemetry.degraded_open_since_us == {}
+        assert telemetry.degraded_closed_us["9PFS"] > 0
+
+    def test_probe_before_probation_elapses_does_nothing(self, sim,
+                                                         share):
+        kernel = _mounted(sim, share, SUPERVISED)
+        _degrade_9pfs(kernel)
+        kernel.heartbeat()
+        assert kernel.supervisor.is_degraded("9PFS")
+        assert sim.trace.count("supervisor", "probe") == 0
+
+    def test_failed_probe_extends_quarantine(self, sim, share,
+                                             monkeypatch):
+        from repro.unikernel.errors import RecoveryFailed
+
+        kernel = _mounted(sim, share, SUPERVISED)
+        _degrade_9pfs(kernel)
+        state = kernel.supervisor.degraded["9PFS"]
+        first_interval = state.probe_interval_us
+
+        def doomed_reboot(name, reason="manual", replay=True):
+            kernel.crashed = True
+            raise RecoveryFailed(name)
+
+        monkeypatch.setattr(kernel, "reboot_component", doomed_reboot)
+        sim.clock.advance(kernel.config.probation_base_us + 1.0)
+        kernel.heartbeat()
+        assert kernel.supervisor.is_degraded("9PFS")
+        assert not kernel.crashed  # the probe un-crashes after failing
+        # geometric extension: the next probe waits longer
+        assert state.probe_interval_us > first_interval
+        assert sim.trace.count("supervisor", "probe_failed") == 1
+
+    def test_probe_falls_back_to_fresh_restart(self, sim, share):
+        """A probe whose replay re-triggers the (still armed) bug falls
+        back to a checkpoint-only restart; the component returns to
+        service and the next panic walks the ladder again."""
+        # fresh restarts off, so the ladder never clears the 9PFS log:
+        # the probe's replay still holds the bug-triggering entry
+        config = SUPERVISED.with_(fresh_restart_enabled=False)
+        kernel = _mounted(sim, share, config)
+        # a successful open first, so the 9PFS log holds a lookup entry
+        # that the probe's replay will re-execute
+        assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+        _degrade_9pfs(kernel)
+        sim.clock.advance(kernel.config.probation_base_us + 1.0)
+        kernel.heartbeat()
+        assert not kernel.supervisor.is_degraded("9PFS")
+        assert any(r.reason == "probation" for r in kernel.reboots)
+        assert not kernel.crashed
+
+    def test_heartbeat_sweep_leaves_degraded_components_alone(
+            self, sim, share):
+        kernel = _mounted(sim, share, SUPERVISED)
+        _degrade_9pfs(kernel)
+        reboots_before = len(kernel.reboots)
+        kernel.heartbeat()  # probation not elapsed; sweep must skip too
+        assert all(r.reason != "heartbeat"
+                   or r.component != "9PFS"
+                   for r in kernel.reboots[reboots_before:])
+        assert kernel.supervisor.is_degraded("9PFS")
+
+
+class TestRetryBudget:
+    def test_unit_backoff_progression(self):
+        budget = RetryBudget(budget=2, window_us=1e9, base_us=100.0,
+                             factor=2.0, cap_us=350.0)
+        assert budget.register(0.0) == 0.0
+        assert budget.register(1.0) == 0.0
+        assert budget.register(2.0) == 100.0   # first overrun
+        assert budget.register(3.0) == 200.0   # doubles
+        assert budget.register(4.0) == 350.0   # capped
+        # attempts outside the window are forgotten
+        budget.window_us = 10.0
+        assert budget.register(1e6) == 0.0
+
+    def test_over_budget_recoveries_charge_backoff(self, sim, share):
+        config = SUPERVISED.with_(retry_budget=1,
+                                  backoff_base_us=1000.0,
+                                  storm_threshold=50)
+        kernel = _mounted(sim, share, config)
+        injector = FaultInjector(kernel)
+        injector.inject_panic("9PFS")
+        assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+        assert "quarantine_backoff" not in sim.ledger.totals
+        injector.inject_panic("9PFS")
+        assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+        assert sim.ledger.totals["quarantine_backoff"] == 1000.0
+        injector.inject_panic("9PFS")
+        assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+        # second overrun doubles: 1000 + 2000
+        assert sim.ledger.totals["quarantine_backoff"] == 3000.0
+        assert kernel.supervisor.telemetry.quarantine_us["9PFS"] == 3000.0
+
+
+class TestPoliciesSkipQuarantined:
+    def test_rejuvenation_policy_rotates_past_degraded(self, sim, share):
+        kernel = _mounted(sim, share, SUPERVISED)
+        policy = RejuvenationPolicy(kernel, interval_us=10.0,
+                                    components=["9PFS", "VFS"])
+        _degrade_9pfs(kernel)
+        sim.clock.advance(20.0)
+        record = policy.tick()
+        assert record is not None and record.component == "VFS"
+
+    def test_rejuvenation_policy_idles_when_all_degraded(self, sim,
+                                                         share):
+        kernel = _mounted(sim, share, SUPERVISED)
+        policy = RejuvenationPolicy(kernel, interval_us=10.0,
+                                    components=["9PFS"])
+        _degrade_9pfs(kernel)
+        sim.clock.advance(20.0)
+        assert policy.tick() is None
+        assert policy.stats.rejuvenations == 0
+
+    def test_full_cycle_skips_degraded(self, sim, share):
+        kernel = _mounted(sim, share, SUPERVISED)
+        policy = RejuvenationPolicy(kernel, interval_us=10.0,
+                                    components=["9PFS", "VFS"])
+        _degrade_9pfs(kernel)
+        records = policy.run_full_cycle()
+        assert [r.component for r in records] == ["VFS"]
+
+    def test_aging_policy_skips_degraded(self, sim, share):
+        kernel = _mounted(sim, share, SUPERVISED)
+        policy = AgingDrivenPolicy(kernel, threshold=0.5,
+                                   components=["9PFS"])
+        policy.pressure = lambda name: 1.0  # over threshold, always
+        _degrade_9pfs(kernel)
+        assert policy.tick() == []
+        assert policy.stats.rejuvenations == 0
+
+    def test_rejuvenate_all_skips_degraded(self, sim, share):
+        kernel = _mounted(sim, share, SUPERVISED)
+        _degrade_9pfs(kernel)
+        records = kernel.rejuvenate_all()
+        assert "9PFS" not in {r.component for r in records}
+        assert kernel.supervisor.is_degraded("9PFS")

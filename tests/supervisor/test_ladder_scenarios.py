@@ -1,0 +1,205 @@
+"""End-to-end escalation-ladder scenarios.
+
+Each scenario drives a fault through the supervisor's full ladder and
+asserts which rung resolved it — and that the virtual-time ledger is
+identical under ``reference_mode()``, so the fast paths never change
+what the supervisor charges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SUPERVISED
+from repro.faults.injector import FaultInjector
+from repro.fastpath import reference_mode
+from repro.net.hostshare import HostShare
+from repro.sim.engine import Simulation
+from repro.supervisor import dependency_rings
+from repro.unikernel.errors import SyscallError
+from tests.conftest import build_kernel
+
+
+def _fresh_kernel(config=SUPERVISED):
+    sim = Simulation(seed=1234)
+    share = HostShare()
+    share.makedirs("/data")
+    share.create("/data/hello.txt", b"hello world")
+    kernel = build_kernel(sim, share, config=config)
+    kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return kernel
+
+
+def _ledger_parity(scenario) -> None:
+    """Run ``scenario`` (fresh kernel each time) with the fast paths on
+    and under ``reference_mode()``; the cost ledgers must match."""
+    kernel = _fresh_kernel()
+    scenario(kernel)
+    fast = dict(kernel.sim.ledger.totals)
+    with reference_mode():
+        kernel = _fresh_kernel()
+        scenario(kernel)
+        reference = dict(kernel.sim.ledger.totals)
+    assert fast == reference
+
+
+@pytest.fixture
+def kernel(sim, share):
+    kernel = build_kernel(sim, share, config=SUPERVISED)
+    kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return kernel
+
+
+class TestMultiHitPanic:
+    """A two-hit transient survives the replay-retry rung's reboot and
+    is resolved one rung later by scope widening."""
+
+    @staticmethod
+    def _scenario(kernel):
+        FaultInjector(kernel).inject_panic("9PFS", count=2)
+        assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+
+    def test_recovers_past_exhausted_replay_retry(self, kernel):
+        self._scenario(kernel)
+        assert not kernel.crashed
+        telemetry = kernel.supervisor.telemetry
+        assert telemetry.rung_attempts["9PFS"]["replay-retry"] == 1
+        assert telemetry.rung_attempts["9PFS"]["scope-widen"] >= 1
+        assert telemetry.outcomes[-1].rung == "scope-widen"
+        assert telemetry.outcomes[-1].kind == "panic"
+
+    def test_charges_both_rungs(self, kernel):
+        self._scenario(kernel)
+        totals = kernel.sim.ledger.totals
+        assert totals["rung_replay_retry"] == \
+            kernel.sim.costs.rung_replay_retry
+        assert totals["rung_scope_widen"] > 0
+
+    def test_ledger_identical_under_reference_mode(self):
+        _ledger_parity(self._scenario)
+
+
+class TestHangRecovery:
+    """A hang pays the detection latency, then the replay-retry rung's
+    restart recovers it."""
+
+    @staticmethod
+    def _scenario(kernel):
+        FaultInjector(kernel).inject_hang("9PFS")
+        assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+
+    def test_detection_latency_charged_then_restarted(self, kernel):
+        self._scenario(kernel)
+        assert not kernel.crashed
+        assert kernel.sim.ledger.totals["hang_detection"] == \
+            kernel.config.hang_threshold_us
+        telemetry = kernel.supervisor.telemetry
+        assert telemetry.outcomes[-1].rung == "replay-retry"
+        assert telemetry.outcomes[-1].kind == "hang"
+        assert any(r.component == "9PFS" and r.reason == "HangDetected"
+                   for r in kernel.reboots)
+
+    def test_mttr_includes_detection_latency(self, kernel):
+        self._scenario(kernel)
+        outcome = kernel.supervisor.telemetry.outcomes[-1]
+        # MTTR is measured from the supervisor hand-over, after the
+        # detector already charged the hang threshold.
+        assert outcome.mttr_us > 0
+
+    def test_ledger_identical_under_reference_mode(self):
+        _ledger_parity(self._scenario)
+
+
+class TestRootCauseWidening:
+    """A root cause two dependency rings away is reached by scope
+    widening — without the rejuvenate-all sweep."""
+
+    @staticmethod
+    def _scenario(kernel):
+        FaultInjector(kernel).inject_root_cause("LWIP", "9PFS")
+        assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+
+    def test_widening_reaches_the_root(self, kernel):
+        self._scenario(kernel)
+        assert not kernel.crashed
+        telemetry = kernel.supervisor.telemetry
+        assert telemetry.outcomes[-1].rung == "scope-widen"
+        # ring 1 ([VFS]) cannot help; ring 2 ([LWIP, NETDEV]) holds the
+        # root — two widening attempts, no escalation sweep
+        assert telemetry.rung_attempts["9PFS"]["scope-widen"] == 2
+        assert kernel.sim.trace.count("reboot", "escalation") == 0
+        rebooted = {r.component for r in kernel.reboots}
+        assert "LWIP" in rebooted
+
+    def test_rings_for_9pfs(self, kernel):
+        assert dependency_rings(kernel, "9PFS") == \
+            [["VFS"], ["LWIP", "NETDEV"]]
+
+    def test_rings_skip_unrebootable(self, kernel):
+        for ring in dependency_rings(kernel, "9PFS"):
+            assert "VIRTIO" not in ring
+
+    def test_ledger_identical_under_reference_mode(self):
+        _ledger_parity(self._scenario)
+
+
+class TestDeterministicBugDegrades:
+    """A deterministic bug exhausts every rung; instead of fail-stopping
+    the kernel, the supervisor quarantines the component."""
+
+    @staticmethod
+    def _scenario(kernel):
+        FaultInjector(kernel).inject_deterministic_bug(
+            "9PFS", "uk_9pfs_lookup")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert excinfo.value.errno == "ENODEV"
+
+    def test_degrades_instead_of_fail_stop(self, kernel):
+        self._scenario(kernel)
+        assert not kernel.crashed
+        assert kernel.supervisor.is_degraded("9PFS")
+        telemetry = kernel.supervisor.telemetry
+        assert telemetry.degrade_entries["9PFS"] == 1
+        assert telemetry.fail_stops == {}
+
+    def test_walked_the_whole_ladder_first(self, kernel):
+        self._scenario(kernel)
+        attempts = kernel.supervisor.telemetry.rung_attempts["9PFS"]
+        assert attempts["replay-retry"] == 1
+        assert attempts["scope-widen"] == 2
+        assert attempts["rejuvenate-all"] == 1
+        assert attempts["degrade"] == 1
+
+    def test_later_calls_answered_with_enodev(self, kernel):
+        self._scenario(kernel)
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert excinfo.value.errno == "ENODEV"
+        assert kernel.supervisor.telemetry.degraded_calls["9PFS"] >= 1
+
+    def test_kernel_keeps_serving_other_components(self, kernel):
+        self._scenario(kernel)
+        assert kernel.syscall("PROCESS", "getpid") == 1
+
+    def test_ledger_identical_under_reference_mode(self):
+        _ledger_parity(self._scenario)
+
+
+class TestLegacyLadderUnchanged:
+    """Under the default (DAS-style) flags the supervisor reproduces the
+    inline ladder: replay-retry, then fail-stop."""
+
+    def test_deterministic_bug_still_fail_stops_without_flags(
+            self, sim, share):
+        from repro.core.config import DAS
+        from repro.unikernel.errors import RecoveryFailed
+
+        kernel = build_kernel(sim, share, config=DAS)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        FaultInjector(kernel).inject_deterministic_bug(
+            "9PFS", "uk_9pfs_lookup")
+        with pytest.raises(RecoveryFailed):
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        assert kernel.crashed
+        assert kernel.supervisor.telemetry.fail_stops["9PFS"] == 1

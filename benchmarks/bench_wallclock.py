@@ -16,7 +16,11 @@ itself runs on the host CPU.  It times three hot paths:
 * **snapshot_restore** — checkpoint churn on a multi-region component
   (one dirty heap page per round, clean text/data): take + restore,
   the paths the copy-on-write snapshot store accelerates by sharing
-  unchanged region images instead of copying them.
+  unchanged region images instead of copying them;
+* **tracing_overhead** — the syscall loop with the flight recorder
+  enabled (spans + metrics + profile attribution on every dispatch),
+  so the real cost of ``--obs`` stays visible next to the baseline
+  ``syscall_loop_vampos`` number it shadows.
 
 Results land in ``BENCH_wallclock.json`` at the repository root so the
 project has a wall-clock perf trajectory across PRs.  ``--check FILE``
@@ -198,6 +202,27 @@ def bench_snapshot_restore(cycles: int) -> Dict[str, Dict[str, float]]:
     return {"snapshot_restore": _phase(done, seconds)}
 
 
+def bench_tracing_overhead(ops: int) -> Dict[str, Dict[str, float]]:
+    """The Fig. 5 loop under ``--obs``: every syscall opens a request
+    span, every dispatch a child span, every charge an attribution.
+    Compare against ``syscall_loop_vampos`` for the enabled-recorder
+    overhead; the *disabled* recorder costs one ``is None`` check per
+    site and is covered by the baseline phase itself."""
+    from repro.obs import state as obs_state
+
+    obs_state.enable()
+    try:
+        app = _make_nginx(DAS)
+        _syscall_loop(app, max(ops // 10, 80))
+        # Keep the span list from growing across the timed region's GC:
+        # the warm pass already sized the collector's structures.
+        obs_state.collector().spans.clear()
+        done, seconds = _timed(lambda: _syscall_loop(app, ops))
+    finally:
+        obs_state.disable()
+    return {"syscall_loop_traced": _phase(done, seconds)}
+
+
 def _phase(ops: int, seconds: float) -> Dict[str, float]:
     return {
         "ops": ops,
@@ -213,6 +238,7 @@ def run_all(quick: bool) -> Dict[str, object]:
     phases.update(bench_recovery(FULL_RECOVERY_REBOOTS // scale))
     phases.update(bench_shrink_endurance(FULL_ENDURANCE_OPS // scale))
     phases.update(bench_snapshot_restore(FULL_SNAPSHOT_CYCLES // scale))
+    phases.update(bench_tracing_overhead(FULL_SYSCALL_OPS // scale))
     return {
         "schema": 1,
         "quick": quick,

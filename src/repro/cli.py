@@ -15,6 +15,13 @@ processes: ``run`` with several ids / ``all`` shards at the experiment
 level, a single ``run`` id shards inside the experiment (per mode, arm
 or sweep point).  The output is byte-identical to ``--jobs 1`` — the
 pool only changes wall-clock time.
+
+``--obs`` turns on the flight recorder (spans + metrics + virtual-time
+profile) and saves a recording — reports stay byte-identical; the obs
+summary goes to stderr.  ``repro trace export`` turns a recording into
+Chrome trace-event / Perfetto JSON, ``repro trace folded`` into
+flamegraph.pl folded stacks, and ``repro top`` renders an ASCII
+dashboard from it.
 """
 
 from __future__ import annotations
@@ -43,6 +50,16 @@ from .parallel import parallel_map, resolve_jobs
 
 def _jobs(args: argparse.Namespace) -> int:
     return resolve_jobs(getattr(args, "jobs", 1))
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--obs", action="store_true",
+                        help="record spans/metrics/profile while "
+                             "running (reports stay byte-identical)")
+    parser.add_argument("--obs-out", default="flight.json",
+                        metavar="PATH",
+                        help="where --obs saves the flight recording "
+                             "(default: flight.json)")
 
 
 def _run_f5(args: argparse.Namespace) -> ExperimentReport:
@@ -162,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="worker processes (default: all host CPUs); "
                           "output is byte-identical to --jobs 1")
+    _add_obs_flags(run)
 
     soak = sub.add_parser(
         "chaos-soak",
@@ -179,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--jobs", type=int, default=None, metavar="N",
                       help="worker processes; output is byte-identical "
                            "to --jobs 1")
+    _add_obs_flags(soak)
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--quick", action="store_true",
@@ -189,6 +208,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes (default: all host "
                                  "CPUs); output is byte-identical to "
                                  "--jobs 1")
+    _add_obs_flags(everything)
+
+    trace = sub.add_parser(
+        "trace",
+        help="convert a flight recording (see --obs) for viewers")
+    trace.add_argument("action", choices=("export", "folded"),
+                       help="export: Chrome trace-event JSON "
+                            "(Perfetto / chrome://tracing); "
+                            "folded: flamegraph.pl / speedscope stacks")
+    trace.add_argument("recording", nargs="?", default="flight.json",
+                       help="recording path (default: flight.json)")
+    trace.add_argument("-o", "--out", default=None, metavar="PATH",
+                       help="output path (default: trace.json / "
+                            "profile.folded)")
+
+    top = sub.add_parser(
+        "top", help="ASCII dashboard over a flight recording")
+    top.add_argument("recording", nargs="?", default="flight.json",
+                     help="recording path (default: flight.json)")
+    top.add_argument("--limit", type=int, default=12,
+                     help="rows per section")
     return parser
 
 
@@ -281,6 +321,81 @@ def _info(out=sys.stdout) -> int:
     return 0
 
 
+def _trace_command(args: argparse.Namespace) -> int:
+    """``repro trace export|folded`` — recording -> viewer formats."""
+    import json
+
+    from .obs import export
+
+    recording = export.load_recording(args.recording)
+    if args.action == "export":
+        out_path = args.out or "trace.json"
+        document = export.to_chrome_trace(recording)
+        problems = export.validate_chrome_trace(document)
+        if problems:
+            for problem in problems:
+                print(f"invalid trace: {problem}", file=sys.stderr)
+            return 1
+        with open(out_path, "w") as fh:
+            json.dump(document, fh, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(document['traceEvents'])} trace events to "
+              f"{out_path} (open in Perfetto / chrome://tracing)",
+              file=sys.stderr)
+        return 0
+    out_path = args.out or "profile.folded"
+    with open(out_path, "w") as fh:
+        fh.write(export.to_folded(recording))
+    print(f"wrote folded stacks to {out_path} "
+          f"(flamegraph.pl {out_path} > flame.svg)", file=sys.stderr)
+    return 0
+
+
+def _top_command(args: argparse.Namespace, out=sys.stdout) -> int:
+    """``repro top`` — ASCII dashboard over a recording."""
+    from .obs import export
+    from .obs.top import render_top
+
+    recording = export.load_recording(args.recording)
+    print(render_top(recording, limit=args.limit), file=out)
+    return 0
+
+
+def _run_with_obs(args: argparse.Namespace, body) -> int:
+    """Run ``body()`` with the flight recorder on when ``--obs`` was
+    given; the recording is saved afterwards and a one-line summary
+    goes to **stderr** (stdout reports stay byte-identical)."""
+    if not getattr(args, "obs", False):
+        return body()
+    from .obs import export, state as obs_state
+
+    obs_state.enable()
+    try:
+        code = body()
+        recording = obs_state.collector().to_recording()
+    finally:
+        obs_state.disable()
+    export.save_recording(recording, args.obs_out)
+    metrics = recording["metrics"]
+    print(f"flight recording: {len(recording['spans'])} spans "
+          f"({recording['spans_dropped']} dropped), "
+          f"{len(metrics['counters'])} counters, "
+          f"{len(metrics['histograms'])} histograms, "
+          f"{len(recording['profile'])} profile stacks -> "
+          f"{args.obs_out}", file=sys.stderr)
+    return code
+
+
+def _chaos_soak_command(args: argparse.Namespace, out=sys.stdout) -> int:
+    rounds = min(args.rounds, 12) if args.quick else args.rounds
+    report = chaos_soak.run(rounds=rounds,
+                            requests_per_round=args.requests,
+                            seed=args.seed, repeats=args.repeats,
+                            jobs=_jobs(args))
+    print(report.render(), file=out)
+    return 0 if report.all_claims_hold else 1
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -289,21 +404,22 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return 0
     if args.command == "info":
         return _info(out)
+    if args.command == "trace":
+        return _trace_command(args)
+    if args.command == "top":
+        return _top_command(args, out=out)
     if args.command == "run":
-        return _execute(args.ids, args, out=out)
+        return _run_with_obs(
+            args, lambda: _execute(args.ids, args, out=out))
     if args.command == "chaos-soak":
-        rounds = min(args.rounds, 12) if args.quick else args.rounds
-        report = chaos_soak.run(rounds=rounds,
-                                requests_per_round=args.requests,
-                                seed=args.seed, repeats=args.repeats,
-                                jobs=_jobs(args))
-        print(report.render(), file=out)
-        return 0 if report.all_claims_hold else 1
+        return _run_with_obs(
+            args, lambda: _chaos_soak_command(args, out=out))
     if args.command == "all":
         if args.quick:
             args.scale = min(args.scale, 120)
             args.trials = min(args.trials, 10)
-        return _execute(list(EXPERIMENTS), args, out=out)
+        return _run_with_obs(
+            args, lambda: _execute(list(EXPERIMENTS), args, out=out))
     return 2
 
 

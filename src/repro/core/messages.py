@@ -41,6 +41,10 @@ class Message:
     func: str
     payload_bytes: int
     is_reply: bool = False
+    #: flight-recorder span active when the message was pushed — the
+    #: causal parent the receiving side nests its dispatch span under
+    #: (None when observability is off or no span is open)
+    span_id: Optional[int] = None
 
 
 def payload_size(args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> int:
@@ -102,6 +106,13 @@ class MessageDomain:
         message = Message(msg_id=next(self._ids), sender=sender,
                           receiver=receiver, func=func,
                           payload_bytes=size, is_reply=is_reply)
+        obs = self.sim.obs
+        if obs is not None:
+            # The causal parent travels with the message: the receiver
+            # opens its dispatch span under this id.
+            message.span_id = obs.current_span_id()
+            obs.inc("msgdom.pushes")
+            obs.observe("msgdom.queue_depth", len(self._in_flight) + 1)
         self._in_flight[message.msg_id] = message
         self.used_bytes += size
         self.pushes += 1
@@ -120,6 +131,10 @@ class MessageDomain:
         self.used_bytes -= message.payload_bytes
         self.pulls += 1
         self.region.used_bytes = self.used_bytes
+        obs = self.sim.obs
+        if obs is not None:
+            obs.inc("msgdom.pulls")
+            obs.set_gauge("msgdom.used_bytes", self.used_bytes)
         return message
 
     def in_flight_count(self) -> int:

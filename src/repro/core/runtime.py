@@ -116,6 +116,8 @@ class VampDispatcher:
         # other errno, so a later replay of the caller re-raises it.
         supervisor = kernel.supervisor
         if supervisor.degraded and supervisor.is_degraded(target):
+            if sim.obs is not None:
+                sim.obs.inc("dispatch.degraded")
             error_exc = supervisor.answer_degraded_call(target, func)
             self._record_caller_retval(caller, target, func, None,
                                        (error_exc.errno, str(error_exc)))
@@ -133,13 +135,30 @@ class VampDispatcher:
                   and kernel.config.logging_enabled)
 
         # --- request path: message passing + scheduling -------------------
+        obs = sim.obs
+        dspan = None
+        dispatch_t0 = 0.0
+        if obs is not None:
+            dispatch_t0 = sim.clock.now_us
+            obs.inc("dispatch.calls")
         if merged:
             sim.charge("function_call", sim.costs.function_call)
+            if obs is not None:
+                dspan = obs.open_span("dispatch", f"{target}.{func}",
+                                      caller=caller, merged=True)
         else:
             message = kernel.message_domain.vo_push_msgs(
                 caller, target, func, args, kwargs)
             kernel.scheduler.dispatch(target, needs_msg_thread=logged)
             kernel.message_domain.vo_pull_msgs(message)
+            if obs is not None:
+                # Parent id travels on the message (stamped at push
+                # time): the dispatch span nests under the span that
+                # was open when the request entered the domain.
+                dspan = obs.open_span("dispatch", f"{target}.{func}",
+                                      parent=message.span_id,
+                                      caller=caller,
+                                      msg_id=message.msg_id)
 
         entry = None
         if logged:
@@ -153,6 +172,10 @@ class VampDispatcher:
             sim.charge("log_append", sim.costs.log_append)
             kernel.meter.note_log_entries(1)
             log.push_active(entry)
+            if obs is not None:
+                obs.inc("calllog.appends")
+                obs.set_gauge(f"calllog.bytes.{target}",
+                              log.space_bytes())
 
         # --- execution with failure handling -------------------------------
         result: Any = None
@@ -205,6 +228,14 @@ class VampDispatcher:
                     target, caller,
                     needs_msg_thread=bool(kernel.logs.get(caller)))
                 kernel.message_domain.vo_pull_msgs(reply)
+            if obs is not None:
+                if error is None:
+                    obs.close_span(dspan)
+                else:
+                    obs.inc("dispatch.errors")
+                    obs.close_span(dspan, errno=error[0])
+                obs.observe("dispatch.latency_us",
+                            sim.clock.now_us - dispatch_t0)
         return result
 
     def _record_caller_retval(self, caller: str, target: str, func: str,
@@ -400,19 +431,34 @@ class VampOSKernel(Kernel):
             start_us=self.sim.clock.now_us,
             stateless=all(not self.image.component(m).STATEFUL
                           for m in members))
-        self.sim.emit("reboot", "component_start", component=name,
-                      unit=unit, members=list(members), reason=reason)
+        if self.sim.trace.wants("reboot"):
+            self.sim.emit("reboot", "component_start", component=name,
+                          unit=unit, members=list(members), reason=reason)
+        obs = self.sim.obs
+        rspan = None
+        if obs is not None:
+            obs.inc("reboot.count")
+            rspan = obs.open_span("reboot", name, unit=unit,
+                                  reason=reason)
         self.scheduler.mark_rebooting(name)
         self.sim.charge("reboot_teardown", self.sim.costs.reboot_teardown)
-        for member in members:
-            self.message_domain.drop_for(member)
-            self._restart_member(member, record, replay=replay)
+        try:
+            for member in members:
+                self.message_domain.drop_for(member)
+                self._restart_member(member, record, replay=replay)
+        finally:
+            if obs is not None:
+                obs.close_span(rspan, downtime_us=self.sim.clock.now_us
+                               - record.start_us)
         self.scheduler.reattach(name)
         record.downtime_us = self.sim.clock.now_us - record.start_us
         self.reboots.append(record)
-        self.sim.emit("reboot", "component_done", component=name,
-                      downtime_us=record.downtime_us,
-                      replayed=record.entries_replayed)
+        if obs is not None:
+            obs.observe("reboot.downtime_us", record.downtime_us)
+        if self.sim.trace.wants("reboot"):
+            self.sim.emit("reboot", "component_done", component=name,
+                          downtime_us=record.downtime_us,
+                          replayed=record.entries_replayed)
         return record
 
     def _restart_member(self, member: str, record: RebootRecord,
@@ -472,6 +518,11 @@ class VampOSKernel(Kernel):
             session = ReplaySession(member)
             previous = self._vamp.replay_session
             self._vamp.replay_session = session
+            obs = self.sim.obs
+            pspan = None
+            if obs is not None:
+                pspan = obs.open_span("replay", member,
+                                      entries=len(log))
             try:
                 stats = self.restorer.replay(comp, log, session)
             except ComponentFailure as again:
@@ -485,8 +536,12 @@ class VampOSKernel(Kernel):
                 raise RecoveryFailed(member, diverged) from diverged
             finally:
                 self._vamp.replay_session = previous
+                if obs is not None:
+                    obs.close_span(pspan)
             record.entries_replayed += stats.entries_replayed
             record.retvals_fed += stats.retvals_fed
+            if obs is not None:
+                obs.observe("replay.entries", stats.entries_replayed)
         finally:
             if sticky_panic is not None:
                 comp.injected_panic = sticky_panic

@@ -41,7 +41,13 @@ def is_immutable(value: Any) -> bool:
 
 @dataclass
 class FastPathFlags:
-    """Global on/off switches; all True outside neutrality tests."""
+    """Global on/off switches.
+
+    The five optimisation flags are True outside neutrality tests;
+    ``charge_tracing`` is the one opt-*in* switch (default False): it
+    makes the flight recorder charge virtual time per span, for
+    monitoring-overhead studies only.
+    """
 
     #: memoize Component.interface() per class and the bound
     #: method + ExportInfo per instance
@@ -59,10 +65,16 @@ class FastPathFlags:
     #: dedupe identical images by content hash, and skip deep-copying
     #: immutable state blobs
     cow_snapshots: bool = True
+    #: flight recorder charges ``costs.trace_emit`` per span open/close
+    #: (virtual time is otherwise never spent on observability)
+    charge_tracing: bool = False
 
     def set_all(self, value: bool) -> None:
         for f in fields(self):
             setattr(self, f.name, value)
+        # set_all toggles the *optimisation* flags; tracing stays an
+        # explicit opt-in so reference_mode keeps identical clocks.
+        self.charge_tracing = False
 
 
 #: the process-wide switch block consulted by the hot paths

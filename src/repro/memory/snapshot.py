@@ -76,18 +76,29 @@ class SnapshotStore:
         content hash, and immutable state blobs skip the deep copy
         (``reference_mode()`` restores the eager-copy semantics).
         """
+        sim = self._sim
+        obs = sim.obs
+        span = None
+        if obs is not None:
+            span = obs.open_span("checkpoint", f"take:{component}")
+        t0 = sim.clock.now_us
         snap = ComponentSnapshot(
             component=component,
             label=label,
             regions=[r.snapshot() for r in regions],
             state_blob=_copy_state_blob(state),
-            taken_at_us=self._sim.clock.now_us,
+            taken_at_us=t0,
         )
-        self._sim.charge(
+        sim.charge(
             "snapshot_take",
-            snap.snapshot_bytes * self._sim.costs.snapshot_take_per_byte)
-        self._sim.emit("checkpoint", "take", component=component,
-                       label=label, bytes=snap.snapshot_bytes)
+            snap.snapshot_bytes * sim.costs.snapshot_take_per_byte)
+        if sim.trace.wants("checkpoint"):
+            sim.emit("checkpoint", "take", component=component,
+                     label=label, bytes=snap.snapshot_bytes)
+        if obs is not None:
+            obs.close_span(span, bytes=snap.snapshot_bytes)
+            obs.inc("snapshot.takes")
+            obs.observe("snapshot.save_us", sim.clock.now_us - t0)
         self._snapshots.setdefault(component, {})[label] = snap
         return snap
 
@@ -111,11 +122,20 @@ class SnapshotStore:
         the full ``snapshot_bytes``, shared storage or not (virtual
         time is sharing-neutral).
         """
-        self._sim.charge("snapshot_restore",
-                         self._sim.costs.snapshot_restore_fixed)
-        self._sim.charge(
+        sim = self._sim
+        obs = sim.obs
+        span = None
+        t0 = 0.0
+        if obs is not None:
+            t0 = sim.clock.now_us
+            span = obs.open_span("checkpoint",
+                                 f"restore:{snap.component}",
+                                 bytes=snap.snapshot_bytes)
+        sim.charge("snapshot_restore",
+                   sim.costs.snapshot_restore_fixed)
+        sim.charge(
             "snapshot_restore",
-            snap.snapshot_bytes * self._sim.costs.snapshot_restore_per_byte)
+            snap.snapshot_bytes * sim.costs.snapshot_restore_per_byte)
         by_name = {r.name: r for r in regions}
         for region_snap in snap.regions:
             region = by_name.get(region_snap.name)
@@ -125,8 +145,13 @@ class SnapshotStore:
                 # memory-image load which only covers checkpointed pages).
                 continue
             region.restore(region_snap)
-        self._sim.emit("checkpoint", "restore", component=snap.component,
-                       label=snap.label, bytes=snap.snapshot_bytes)
+        if sim.trace.wants("checkpoint"):
+            sim.emit("checkpoint", "restore", component=snap.component,
+                     label=snap.label, bytes=snap.snapshot_bytes)
+        if obs is not None:
+            obs.close_span(span)
+            obs.inc("snapshot.restores")
+            obs.observe("snapshot.restore_us", sim.clock.now_us - t0)
         return _copy_state_blob(snap.state_blob)
 
     def drop(self, component: str, label: Optional[str] = None) -> None:

@@ -1,0 +1,44 @@
+"""Observability: the flight recorder.
+
+A unified tracing / metrics / profiling layer over the virtual-time
+simulation, switched on by ``repro ... --obs`` (or the ``REPRO_OBS``
+environment variable).  Three instruments share one collector:
+
+* **causal spans** (:mod:`.spans`, :mod:`.recorder`) — timed intervals
+  around requests, dispatches, reboots, restoration replays and
+  supervisor ladder rungs, parent-linked across components via span ids
+  stamped onto messages; exportable to Chrome trace-event / Perfetto
+  JSON (``repro trace export``);
+* **metrics** (:mod:`.metrics`) — counters, gauges, log2-bucketed
+  virtual-µs histograms, merged across pool shards with the same
+  canonical-order fold that keeps reports byte-identical at any
+  ``--jobs``;
+* **virtual-time profiler** (:mod:`.profiler`) — every cost-model
+  charge attributed to the open span stack, emitted as folded stacks
+  for flamegraph.pl / speedscope.
+
+The layer is purely observational: with ``--obs`` the reports are
+byte-identical to a run without it, and virtual time is only charged
+when ``FLAGS.charge_tracing`` is explicitly set.
+"""
+
+from .metrics import Gauge, Histogram, MetricsRegistry, bucket_index
+from .recorder import FlightRecorder, ObsCollector
+from .spans import Span, roots_of, span_children
+from . import export, profiler, state, top
+
+__all__ = [
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsCollector",
+    "Span",
+    "bucket_index",
+    "export",
+    "profiler",
+    "roots_of",
+    "span_children",
+    "state",
+    "top",
+]

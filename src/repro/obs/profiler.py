@@ -1,0 +1,54 @@
+"""Virtual-time profiler output.
+
+``Simulation.charge`` notifies the flight recorder of every cost-model
+charge; the recorder attributes it to the stack of open spans plus the
+charged mechanism as the leaf frame, accumulating a
+``folded-stack -> [virtual µs, charge count]`` profile.  This module
+turns that ledger into the two standard downstream formats:
+
+* :func:`folded_lines` — Brendan Gregg folded-stack text, one
+  ``frame;frame;... value`` line per stack, directly consumable by
+  ``flamegraph.pl`` and speedscope's "folded" importer.  Values are
+  integer virtual **nanoseconds** (folded readers want integers;
+  nanoseconds keep sub-µs costs like 0.05 µs function calls visible).
+* :func:`profile_table` — rows for ``repro top``: per-stack totals with
+  share-of-total, sorted heaviest first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def folded_lines(profile: Dict[str, Sequence[float]]) -> List[str]:
+    """Render the profile as folded-stack lines (integer virtual ns)."""
+    lines = []
+    for key in sorted(profile):
+        ns = int(round(profile[key][0] * 1000))
+        lines.append(f"{key} {ns}")
+    return lines
+
+
+def profile_table(profile: Dict[str, Sequence[float]],
+                  limit: int = 0) -> List[Tuple[str, float, int, float]]:
+    """``(stack, total_us, charges, share)`` rows, heaviest first.
+
+    Ties break on the stack string so the table is deterministic.
+    """
+    total = sum(v[0] for v in profile.values()) or 1.0
+    rows = [(key, float(value[0]), int(value[1]), float(value[0]) / total)
+            for key, value in profile.items()]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    if limit > 0:
+        rows = rows[:limit]
+    return rows
+
+
+def leaf_totals(profile: Dict[str, Sequence[float]]) -> Dict[str, float]:
+    """Virtual µs per leaf frame (the charged cost-model mechanism),
+    summed over every stack it appears under."""
+    totals: Dict[str, float] = {}
+    for key, value in profile.items():
+        leaf = key.rsplit(";", 1)[-1]
+        totals[leaf] = totals.get(leaf, 0.0) + value[0]
+    return totals

@@ -1,0 +1,214 @@
+"""The flight recorder and its per-process collector.
+
+One :class:`FlightRecorder` attaches to each :class:`Simulation`
+created while observability is enabled (``repro ... --obs``); it is the
+object the instrumented hot paths talk to through a single
+``sim.obs is not None`` guard.  All recorders of one process share an
+:class:`ObsCollector`, which owns the span log, the mergeable metrics
+registry and the virtual-time profile.
+
+Determinism contract (the same one the parallel engine gives reports):
+
+* span ids and track ids are allocated in execution order;
+* a pool worker starts every cell with a **fresh** collector
+  (:func:`repro.obs.state.begin_cell`) and hands the resulting blob
+  back with the cell result;
+* the parent absorbs blobs in canonical cell order, renumbering each
+  blob's locally-allocated ids by the running totals — which is exactly
+  the numbering a serial run would have produced, so the saved
+  recording is byte-identical at any ``--jobs`` count.
+
+The recorder is purely observational: it never touches the RNG and
+never advances the clock — unless the operator opts into
+``FLAGS.charge_tracing``, which prices every span open/close at
+``costs.trace_emit`` virtual microseconds (for studying the paper's
+"monitoring feeds the recovery loop" overhead argument).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..fastpath import FLAGS
+from ..parallel.merge import merge_sums
+from .metrics import MetricsRegistry
+from .spans import Span, renumber
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulation
+
+#: per-recorder span budget; long soaks beyond it keep counting
+#: (``spans_dropped``) but stop storing (deterministic keep-first)
+DEFAULT_MAX_SPANS = 250_000
+
+
+def _max_spans() -> int:
+    try:
+        return int(os.environ.get("REPRO_OBS_MAX_SPANS",
+                                  DEFAULT_MAX_SPANS))
+    except ValueError:
+        return DEFAULT_MAX_SPANS
+
+
+class FlightRecorder:
+    """Per-simulation span stack + metrics/profile front-end."""
+
+    __slots__ = ("sim", "collector", "track", "_stack", "_path",
+                 "_recorded", "_budget")
+
+    def __init__(self, sim: "Simulation", collector: "ObsCollector",
+                 track: int) -> None:
+        self.sim = sim
+        self.collector = collector
+        self.track = track
+        #: open spans, innermost last; (span, path-before-it) pairs
+        self._stack: List[Any] = []
+        #: cached ';'-joined span-name path for profile attribution
+        self._path = ""
+        self._recorded = 0
+        self._budget = _max_spans()
+
+    # --- spans ------------------------------------------------------------
+
+    def current_span_id(self) -> Optional[int]:
+        return self._stack[-1][0].sid if self._stack else None
+
+    def open_span(self, category: str, name: str,
+                  parent: Optional[int] = None,
+                  **args: Any) -> Optional[Span]:
+        """Open a span under ``parent`` (default: the innermost open
+        span).  Returns None once the recorder's span budget is spent —
+        ``close_span(None)`` is a no-op, so call sites stay branchless.
+        """
+        if self._recorded >= self._budget:
+            self.collector.spans_dropped += 1
+            return None
+        if parent is None:
+            parent = self.current_span_id()
+        span = Span(sid=self.collector.alloc_span_id(), parent=parent,
+                    track=self.track, category=category, name=name,
+                    start_us=self.sim.clock.now_us, args=args)
+        self.collector.spans.append(span)
+        self._recorded += 1
+        self._stack.append((span, self._path))
+        self._path = name if not self._path else self._path + ";" + name
+        if FLAGS.charge_tracing:
+            self.sim.charge("trace_emit", self.sim.costs.trace_emit)
+        return span
+
+    def close_span(self, span: Optional[Span], **args: Any) -> None:
+        if span is None:
+            return
+        # Pop back to this span; tolerates frames a raised exception
+        # skipped past (their end time is this close's time).
+        while self._stack:
+            top, path_before = self._stack.pop()
+            self._path = path_before
+            if top.end_us is None:
+                top.end_us = self.sim.clock.now_us
+            if top is span:
+                break
+        if args:
+            span.args.update(args)
+        if FLAGS.charge_tracing:
+            self.sim.charge("trace_emit", self.sim.costs.trace_emit)
+
+    # --- metrics (thin aliases onto the shared registry) -------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.collector.metrics.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.collector.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.collector.metrics.observe(name, value)
+
+    # --- virtual-time profiling -------------------------------------------
+
+    def on_charge(self, category: str, amount_us: float) -> None:
+        """Attribute one cost-model charge to the open span stack.
+
+        The folded key is the span-name path plus the mechanism as the
+        leaf frame — directly consumable by flamegraph.pl/speedscope.
+        """
+        key = (self._path + ";" + category) if self._path else category
+        profile = self.collector.profile
+        slot = profile.get(key)
+        if slot is None:
+            profile[key] = [amount_us, 1]
+        else:
+            slot[0] += amount_us
+            slot[1] += 1
+
+
+class ObsCollector:
+    """Per-process accumulator shared by every recorder."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        #: folded stack -> [total virtual us, charge count]
+        self.profile: Dict[str, List[float]] = {}
+        self.spans: List[Span] = []
+        self.spans_dropped = 0
+        self._next_span = 0
+        self._next_track = 0
+
+    # --- allocation -------------------------------------------------------
+
+    def alloc_span_id(self) -> int:
+        sid = self._next_span
+        self._next_span += 1
+        return sid
+
+    def recorder_for(self, sim: "Simulation") -> FlightRecorder:
+        track = self._next_track
+        self._next_track += 1
+        return FlightRecorder(sim, self, track)
+
+    # --- shard plumbing ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable blob of everything recorded so far (what a pool
+        worker returns alongside its cell result)."""
+        return {
+            "spans": list(self.spans),
+            "metrics": self.metrics,
+            "profile": {k: list(v) for k, v in self.profile.items()},
+            "n_spans": self._next_span,
+            "n_tracks": self._next_track,
+            "spans_dropped": self.spans_dropped,
+        }
+
+    def absorb(self, blob: Dict[str, Any]) -> None:
+        """Fold a worker blob in (canonical cell order!), renumbering
+        its locally-allocated span/track ids into this collector's id
+        space — the numbering a serial run would have used."""
+        self.spans.extend(renumber(blob["spans"], self._next_span,
+                                   self._next_track))
+        self._next_span += blob["n_spans"]
+        self._next_track += blob["n_tracks"]
+        self.metrics.merge_from(blob["metrics"])
+        merged = merge_sums((
+            {k: v[0] for k, v in self.profile.items()},
+            {k: v[0] for k, v in blob["profile"].items()}))
+        counts = merge_sums((
+            {k: v[1] for k, v in self.profile.items()},
+            {k: v[1] for k, v in blob["profile"].items()}))
+        self.profile = {k: [merged[k], counts[k]] for k in merged}
+        self.spans_dropped += blob["spans_dropped"]
+
+    # --- serialisation ----------------------------------------------------
+
+    def to_recording(self) -> Dict[str, Any]:
+        """The canonical JSON-ready recording document."""
+        return {
+            "schema": 1,
+            "kind": "repro-flight-recording",
+            "spans": [s.to_dict() for s in self.spans],
+            "spans_dropped": self.spans_dropped,
+            "metrics": self.metrics.to_dict(),
+            "profile": {k: {"us": v[0], "count": v[1]}
+                        for k, v in sorted(self.profile.items())},
+        }

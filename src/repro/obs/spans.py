@@ -1,0 +1,92 @@
+"""Causal spans: the flight recorder's qualitative half.
+
+A :class:`Span` is one timed interval of virtual time — a top-level
+request, a cross-component dispatch, a reboot, a restoration replay, a
+supervisor ladder rung — with a ``parent`` id linking it into the
+causal tree of the request that triggered it.  Parent ids travel with
+the work: the dispatcher stamps the current span id onto the message it
+pushes into the message domain, and the receiving side opens its
+dispatch span under that id, so a request's full cross-component
+recovery tree (crash → rung → replay → retry → reply) is
+reconstructable even though the pieces were recorded by different
+subsystems.
+
+Spans are plain data.  Ids are allocated by the owning collector in
+execution order, and the per-cell renumbering performed by
+:meth:`repro.obs.recorder.ObsCollector.absorb` keeps them identical
+between a serial run and any ``--jobs N`` sharding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One closed (or still open) interval of virtual time."""
+
+    sid: int
+    parent: Optional[int]
+    track: int
+    category: str
+    name: str
+    start_us: float
+    end_us: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end_us - self.start_us) if self.end_us is not None \
+            else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sid": self.sid,
+            "parent": self.parent,
+            "track": self.track,
+            "cat": self.category,
+            "name": self.name,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(sid=data["sid"], parent=data["parent"],
+                   track=data["track"], category=data["cat"],
+                   name=data["name"], start_us=data["start_us"],
+                   end_us=data["end_us"], args=dict(data["args"]))
+
+
+def renumber(spans: List[Span], span_offset: int,
+             track_offset: int) -> List[Span]:
+    """Shift a shard's locally-numbered spans into the global id space
+    (absorbing a worker blob in canonical cell order)."""
+    out: List[Span] = []
+    for span in spans:
+        out.append(Span(
+            sid=span.sid + span_offset,
+            parent=None if span.parent is None
+            else span.parent + span_offset,
+            track=span.track + track_offset,
+            category=span.category, name=span.name,
+            start_us=span.start_us, end_us=span.end_us,
+            args=span.args))
+    return out
+
+
+def span_children(spans: List[Span]) -> Dict[Optional[int], List[Span]]:
+    """Index spans by parent id (None keys the roots)."""
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent, []).append(span)
+    return children
+
+
+def roots_of(spans: List[Span]) -> List[Span]:
+    """Spans with no parent — one per top-level request (or lifecycle
+    event recorded outside any request)."""
+    return [s for s in spans if s.parent is None]

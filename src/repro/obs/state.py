@@ -1,0 +1,118 @@
+"""Process-global observability switchboard.
+
+The flight recorder must be reachable from deep inside the hot paths
+without threading a handle through every constructor, and it must
+survive the fork into pool workers.  This module owns that one piece of
+process state:
+
+* :func:`enable` / :func:`disable` — flip recording on/off for this
+  process *and its future children* (via the ``REPRO_OBS`` environment
+  variable, so spawn-based pools see it too);
+* :func:`maybe_attach` — called by ``Simulation.__init__``; hands back
+  a :class:`FlightRecorder` when recording, else ``None`` (the hot
+  paths then guard on ``sim.obs is not None`` only);
+* :func:`begin_cell` / :func:`harvest_cell` / :func:`absorb` — the pool
+  plumbing: a worker resets its collector before each cell (also
+  discarding any fork-inherited parent state), ships the blob back with
+  the result, and the parent folds blobs in canonical cell order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from .recorder import ObsCollector
+
+ENV_FLAG = "REPRO_OBS"
+
+_ENABLED = False
+_COLLECTOR: Optional[ObsCollector] = None
+
+
+def obs_enabled() -> bool:
+    """True when this process should record (flag or inherited env)."""
+    return _ENABLED or os.environ.get(ENV_FLAG) == "1"
+
+
+def enable() -> None:
+    """Turn recording on, starting from an empty collector."""
+    global _ENABLED, _COLLECTOR
+    _ENABLED = True
+    _COLLECTOR = ObsCollector()
+    os.environ[ENV_FLAG] = "1"
+
+
+def disable() -> None:
+    """Turn recording off and drop everything recorded."""
+    global _ENABLED, _COLLECTOR
+    _ENABLED = False
+    _COLLECTOR = None
+    os.environ.pop(ENV_FLAG, None)
+
+
+def collector() -> ObsCollector:
+    """The live collector (created lazily in env-enabled children)."""
+    global _COLLECTOR
+    if _COLLECTOR is None:
+        _COLLECTOR = ObsCollector()
+    return _COLLECTOR
+
+
+def maybe_attach(sim: Any):
+    """A recorder for ``sim``, or None when observability is off."""
+    if not obs_enabled():
+        return None
+    return collector().recorder_for(sim)
+
+
+# --- pool plumbing ---------------------------------------------------------
+#
+# EVERY parallel_map level — pooled or serial, however deeply nested —
+# brackets each cell with begin_cell/harvest_cell and folds the blobs
+# into the enclosing collector in canonical cell order.  Bracketing the
+# serial path too is what makes recordings *byte*-identical: float
+# accumulation groups per-cell-then-fold either way, so the parallel
+# fold replays the exact serial additions.  The serial loop stacks via
+# suspend_collector/restore_collector, which makes nesting safe (a
+# nested map folds into its enclosing cell's collector, exactly like a
+# nested map running inside a pool worker does).
+
+
+def begin_cell() -> None:
+    """Start a cell against a fresh collector, so the blob harvested
+    afterwards holds exactly that cell's data (and none of the parent's
+    fork-inherited state)."""
+    global _COLLECTOR
+    _COLLECTOR = ObsCollector()
+
+
+def harvest_cell() -> Dict[str, Any]:
+    """Snapshot the cell's blob and reset for the next cell."""
+    global _COLLECTOR
+    blob = collector().snapshot()
+    _COLLECTOR = ObsCollector()
+    return blob
+
+
+def suspend_collector() -> ObsCollector:
+    """Detach the live collector so the serial cell loop can bracket
+    cells without mixing their data into it; pair with
+    :func:`restore_collector`.  Nesting stacks: each serial map level
+    saves its enclosing collector in a local."""
+    global _COLLECTOR
+    saved = collector()
+    _COLLECTOR = ObsCollector()
+    return saved
+
+
+def restore_collector(saved: ObsCollector) -> None:
+    """Reinstall a collector detached by :func:`suspend_collector`."""
+    global _COLLECTOR
+    _COLLECTOR = saved
+
+
+def absorb(blob: Dict[str, Any]) -> None:
+    """Fold a cell blob into the live collector (call in canonical
+    cell order — ids are renumbered by running totals)."""
+    collector().absorb(blob)

@@ -1,0 +1,90 @@
+"""``repro top`` — an ASCII dashboard over a saved flight recording.
+
+Renders, from a recording produced by ``repro run --obs``:
+
+* the hottest virtual-time stacks (the profiler ledger) as a bar chart
+  plus a per-mechanism leaf summary;
+* the busiest counters;
+* every histogram as a one-line summary (count / mean / p50 / p99 /
+  max in virtual µs);
+* span traffic per category.
+
+Everything is derived from the recording document alone, so ``top`` is
+usable on recordings shipped from another machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..metrics.ascii import bar_chart
+from .metrics import MetricsRegistry
+from .profiler import leaf_totals, profile_table
+
+
+def _shorten(stack: str, limit: int = 46) -> str:
+    if len(stack) <= limit:
+        return stack
+    return "…" + stack[-(limit - 1):]
+
+
+def render_top(recording: Dict[str, Any], limit: int = 12,
+               width: int = 40) -> str:
+    """The full dashboard as one printable string."""
+    sections: List[str] = []
+    profile = {key: (value["us"], value["count"])
+               for key, value in recording["profile"].items()}
+    rows = profile_table(profile, limit=limit)
+    if rows:
+        chart = bar_chart(
+            [_shorten(stack) for stack, _, _, _ in rows],
+            [us for _, us, _, _ in rows],
+            title=f"hot stacks (virtual µs, top {len(rows)})",
+            width=width, unit="us")
+        sections.append(chart)
+        leaves = sorted(leaf_totals(profile).items(),
+                        key=lambda kv: (-kv[1], kv[0]))[:limit]
+        sections.append(bar_chart(
+            [leaf for leaf, _ in leaves],
+            [us for _, us in leaves],
+            title="by mechanism (virtual µs)", width=width, unit="us"))
+    metrics = MetricsRegistry.from_dict(recording["metrics"])
+    if metrics.counters:
+        counters = sorted(metrics.counters.items(),
+                          key=lambda kv: (-kv[1], kv[0]))[:limit]
+        sections.append(bar_chart(
+            [name for name, _ in counters],
+            [value for _, value in counters],
+            title="counters", width=width))
+    if metrics.histograms:
+        lines = ["histograms (virtual µs)"]
+        name_width = max(len(name) for name in metrics.histograms)
+        for name in sorted(metrics.histograms):
+            hist = metrics.histograms[name]
+            lines.append(
+                f"{name.ljust(name_width)}  n={hist.count:<8d}"
+                f" mean={hist.mean:>10.2f} p50={hist.quantile(0.5):>10.1f}"
+                f" p99={hist.quantile(0.99):>10.1f} max={hist.max:>10.1f}")
+        sections.append("\n".join(lines))
+    if metrics.gauges:
+        lines = ["gauges"]
+        name_width = max(len(name) for name in metrics.gauges)
+        for name in sorted(metrics.gauges):
+            gauge = metrics.gauges[name]
+            lines.append(f"{name.ljust(name_width)}  last={gauge.value:g}"
+                         f" peak={gauge.peak:g} sets={gauge.sets}")
+        sections.append("\n".join(lines))
+    by_cat: Dict[str, int] = {}
+    for span in recording["spans"]:
+        by_cat[span["cat"]] = by_cat.get(span["cat"], 0) + 1
+    if by_cat:
+        cats = sorted(by_cat.items(), key=lambda kv: (-kv[1], kv[0]))
+        sections.append(bar_chart(
+            [cat for cat, _ in cats], [n for _, n in cats],
+            title=f"spans by category"
+                  f" ({len(recording['spans'])} total,"
+                  f" {recording.get('spans_dropped', 0)} dropped)",
+            width=width))
+    if not sections:
+        return "recording is empty (ran with --obs?)"
+    return "\n\n".join(sections)

@@ -51,7 +51,38 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 def _call_indexed(packed: Tuple[int, Callable[..., Any], Tuple[Any, ...]]
                   ) -> Tuple[int, Any]:
     index, fn, args = packed
+    if os.environ.get("REPRO_OBS") == "1":
+        # Flight recorder on: bracket the cell with a fresh collector
+        # (discarding fork-inherited parent state) and ship the cell's
+        # observability blob home alongside its result.
+        from ..obs import state as obs_state
+        obs_state.begin_cell()
+        result = fn(*args)
+        return index, (result, obs_state.harvest_cell())
     return index, fn(*args)
+
+
+def _serial_map_observed(fn: Callable[..., Any],
+                         cells: List[Tuple[Any, ...]]) -> List[Any]:
+    """The serial loop under the flight recorder: bracket every cell
+    exactly like a pool worker would, then fold the blobs in canonical
+    order.  Routing the serial path through the same per-cell-then-fold
+    accumulation makes float totals group identically, so recordings
+    are *byte*-identical at any ``--jobs``."""
+    from ..obs import state as obs_state
+    results: List[Any] = []
+    blobs: List[Any] = []
+    saved = obs_state.suspend_collector()
+    try:
+        for args in cells:
+            obs_state.begin_cell()
+            results.append(fn(*args))
+            blobs.append(obs_state.harvest_cell())
+    finally:
+        obs_state.restore_collector(saved)
+    for blob in blobs:
+        obs_state.absorb(blob)
+    return results
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -72,10 +103,24 @@ def parallel_map(fn: Callable[..., Any],
     cells = list(cells)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cells) <= 1 or _IN_WORKER:
+        if os.environ.get("REPRO_OBS") == "1":
+            return _serial_map_observed(fn, cells)
         return [fn(*args) for args in cells]
     tagged = [(index, fn, tuple(args)) for index, args in enumerate(cells)]
     ctx = _pool_context()
     with ctx.Pool(processes=min(jobs, len(cells)),
                   initializer=_worker_init) as pool:
-        return merge_indexed(pool.imap_unordered(_call_indexed, tagged),
-                             len(cells))
+        merged = merge_indexed(pool.imap_unordered(_call_indexed, tagged),
+                               len(cells))
+    if os.environ.get("REPRO_OBS") == "1":
+        # Absorb worker blobs in canonical cell order: span/track ids
+        # are renumbered by running totals, reproducing exactly the id
+        # sequence the serial loop (which records straight into the
+        # live collector) would have allocated.
+        from ..obs import state as obs_state
+        results = []
+        for result, blob in merged:
+            obs_state.absorb(blob)
+            results.append(result)
+        return results
+    return merged

@@ -114,6 +114,13 @@ class CostModel:
     #: ENODEV-style error instead of dispatching it
     degraded_call: float = 0.25
 
+    # --- observability ------------------------------------------------------
+    #: opening or closing one flight-recorder span, charged ONLY when
+    #: ``FLAGS.charge_tracing`` is set (the recorder is free by default;
+    #: this prices the paper's "monitoring inside the recovery loop"
+    #: variant for overhead studies)
+    trace_emit: float = 0.02
+
     # --- devices / IO -------------------------------------------------------
     #: 9P round trip to the host share (per operation)
     ninep_rpc: float = 30.0

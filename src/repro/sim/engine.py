@@ -18,6 +18,7 @@ from .clock import VirtualClock
 from .costs import CostLedger, CostModel, DEFAULT_COSTS
 from .rng import DeterministicRNG
 from .trace import Trace
+from ..obs import state as obs_state
 
 
 @dataclass(order=True)
@@ -62,6 +63,9 @@ class Simulation:
         self.rng = DeterministicRNG(seed)
         self.trace = trace if trace is not None else Trace()
         self.ledger = CostLedger()
+        #: flight recorder, or None when observability is off — hot
+        #: paths guard on ``sim.obs is not None`` and nothing else
+        self.obs = obs_state.maybe_attach(self)
         self._queue: List[Tuple[Tuple[float, int], _ScheduledEvent]] = []
         self._seq = itertools.count()
 
@@ -72,9 +76,13 @@ class Simulation:
         if amount_us <= 0:
             if amount_us == 0:
                 self.ledger.charge(category, 0.0)
+                if self.obs is not None:
+                    self.obs.on_charge(category, 0.0)
             return
         self.clock.advance(amount_us)
         self.ledger.charge(category, amount_us)
+        if self.obs is not None:
+            self.obs.on_charge(category, amount_us)
 
     def emit(self, category: str, name: str, **detail: Any) -> None:
         """Emit a trace event stamped with the current virtual time."""

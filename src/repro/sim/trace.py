@@ -9,8 +9,9 @@ derives time series from it (Fig. 8's latency timeline).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -47,9 +48,22 @@ class Trace:
                  max_events: Optional[int] = None) -> None:
         self.enabled = enabled
         self._categories = set(categories) if categories else None
-        self._events: List[TraceEvent] = []
+        # A bounded trace is a ring buffer: deque(maxlen) evicts the
+        # oldest event in O(1) per append, where the old list-slice
+        # eviction cost O(max_events) every half-window.
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
         self._max_events = max_events
+        #: events evicted by the ring buffer (recorded-then-dropped;
+        #: filtered/disabled emits are not counted)
+        self.dropped = 0
         self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def wants(self, category: str) -> bool:
+        """Whether an event of ``category`` would be recorded — lets hot
+        call sites skip building the detail dict entirely."""
+        if not self.enabled:
+            return False
+        return self._categories is None or category in self._categories
 
     def emit(self, t_us: float, category: str, name: str,
              **detail: Any) -> None:
@@ -59,10 +73,10 @@ class Trace:
             return
         event = TraceEvent(t_us=t_us, category=category, name=name,
                            detail=detail)
-        self._events.append(event)
-        if self._max_events is not None and len(self._events) > self._max_events:
-            # Drop the oldest half to bound memory in long experiments.
-            del self._events[: self._max_events // 2]
+        events = self._events
+        if events.maxlen is not None and len(events) == events.maxlen:
+            self.dropped += 1
+        events.append(event)
         if self._subscribers:
             # Iterate a snapshot: a subscriber may unsubscribe itself
             # (or others) while handling the event.

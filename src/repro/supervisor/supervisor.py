@@ -151,6 +151,28 @@ class RecoverySupervisor:
         kind = "hang" if isinstance(failure, HangDetected) else "panic"
         kernel.detector.record(name, kind, str(failure))
         start_us = sim.clock.now_us
+        obs = sim.obs
+        fspan = None
+        if obs is not None:
+            obs.inc("supervisor.failures")
+            fspan = obs.open_span("recovery", name, func=func, kind=kind)
+        try:
+            return self._walk_ladder(comp, func, args, kwargs, failure,
+                                     name, kind, start_us)
+        finally:
+            if obs is not None:
+                obs.close_span(fspan)
+                obs.observe("supervisor.mttr_us",
+                            sim.clock.now_us - start_us)
+
+    def _walk_ladder(self, comp: "Component", func: str,
+                     args: Tuple[Any, ...], kwargs: Dict[str, Any],
+                     failure: ComponentFailure, name: str, kind: str,
+                     start_us: float) -> Any:
+        """The ladder walk proper (wrapped in a recovery span above)."""
+        kernel = self.kernel
+        sim = self.sim
+        obs = sim.obs
         sim.charge("supervisor_scan", sim.costs.supervisor_scan)
 
         # Crash storm: a flapping component gets no more ladder walks —
@@ -163,6 +185,8 @@ class RecoverySupervisor:
             if kernel.config.degraded_mode_enabled:
                 sim.charge("rung_degrade", sim.costs.rung_degrade)
                 self.telemetry.note_rung(name, "degrade")
+                if obs is not None:
+                    obs.inc("supervisor.rung.degrade")
                 self.enter_degraded(name, reason="crash storm")
                 raise self.degraded_error(name, func)
 
@@ -183,6 +207,11 @@ class RecoverySupervisor:
                 sim.charge(rung.cost_attr,
                            getattr(sim.costs, rung.cost_attr))
                 self.telemetry.note_rung(name, rung.key)
+                rung_span = None
+                if obs is not None:
+                    obs.inc(f"supervisor.rung.{rung.key}")
+                    rung_span = obs.open_span("rung", rung.key,
+                                              component=name)
                 sim.emit("supervisor", "rung", component=name,
                          rung=rung.key)
                 try:
@@ -194,22 +223,33 @@ class RecoverySupervisor:
                     # have a go; the final fail-stop re-crashes it.
                     kernel.crashed = False
                     current = dead
+                    if obs is not None:
+                        obs.close_span(rung_span, outcome="remedy_died")
                     continue
                 if rung.degrades:
+                    if obs is not None:
+                        obs.close_span(rung_span, outcome="degraded")
                     raise self.degraded_error(name, func)
                 try:
                     result = kernel.component(name).call_interface(
                         func, args, kwargs)
                 except ComponentFailure as again:
                     current = again
+                    if obs is not None:
+                        obs.close_span(rung_span, outcome="retry_failed")
                     continue
                 self.telemetry.note_recovered(
                     name, kind, rung.key, start_us, sim.clock.now_us)
+                if obs is not None:
+                    obs.inc("supervisor.recovered")
+                    obs.close_span(rung_span, outcome="recovered")
                 sim.emit("supervisor", "recovered", component=name,
                          rung=rung.key,
                          mttr_us=sim.clock.now_us - start_us)
                 return result
         self.telemetry.note_fail_stop(name)
+        if obs is not None:
+            obs.inc("supervisor.fail_stops")
         return kernel.fail_stop(name, current)
 
     # --- probation (driven by the heart-beat sweep) -----------------------

@@ -150,9 +150,23 @@ class Kernel:
         nested = self.meter.in_syscall
         if not nested:
             self.meter.begin(func)
+        obs = self.sim.obs
+        span = None
+        if obs is not None and not nested:
+            # One root span per top-level request; everything the call
+            # triggers (dispatches, reboots, replays, ladder rungs)
+            # nests under it in the recovery tree.
+            span = obs.open_span("request", func, target=target)
+            obs.inc("request.count")
         try:
             return self._dispatcher().invoke(APP, target, func, args, kwargs)
         finally:
+            if obs is not None and not nested:
+                start_us = span.start_us if span is not None \
+                    else self.sim.clock.now_us
+                obs.close_span(span)
+                obs.observe("request.latency_us",
+                            self.sim.clock.now_us - start_us)
             if not nested:
                 self.meter.end()
 

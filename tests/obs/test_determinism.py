@@ -1,0 +1,124 @@
+"""Flight recordings are byte-identical at any ``--jobs`` — and turning
+them on never changes an experiment report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import chaos_soak, syscall_overhead
+from repro.obs import state
+from repro.obs.spans import roots_of, span_children
+from tests.parallel.test_determinism import assert_reports_identical
+
+
+def _recording_under(jobs, runner):
+    state.enable()
+    try:
+        report = runner(jobs)
+        recording = state.collector().to_recording()
+    finally:
+        state.disable()
+    return report, json.dumps(recording, sort_keys=True)
+
+
+@pytest.mark.slow
+class TestRecordingDeterminism:
+    def test_exp_f5_recording_is_byte_identical_across_jobs(self):
+        runner = lambda jobs: syscall_overhead.run(trials=3, jobs=jobs)
+        serial_report, serial_rec = _recording_under(1, runner)
+        parallel_report, parallel_rec = _recording_under(4, runner)
+        assert_reports_identical(serial_report, parallel_report)
+        assert serial_rec == parallel_rec
+
+    def test_chaos_soak_recording_is_byte_identical_across_jobs(self):
+        runner = lambda jobs: chaos_soak.run(rounds=6, jobs=jobs)
+        serial_report, serial_rec = _recording_under(1, runner)
+        parallel_report, parallel_rec = _recording_under(4, runner)
+        assert_reports_identical(serial_report, parallel_report)
+        assert serial_rec == parallel_rec
+
+    def test_obs_on_changes_no_report(self):
+        plain = syscall_overhead.run(trials=3, jobs=1)
+        state.enable()
+        try:
+            observed = syscall_overhead.run(trials=3, jobs=1)
+        finally:
+            state.disable()
+        assert_reports_identical(plain, observed)
+
+    def test_obs_never_touches_virtual_time_or_ledgers(self):
+        """Same experiment, obs on vs off: reports already compared
+        equal above; here the recording itself must show real charges
+        were attributed (the profile is non-empty) while the report's
+        virtual-time columns came out identical."""
+        state.enable()
+        try:
+            chaos_soak.run(rounds=3, jobs=1)
+            recording = state.collector().to_recording()
+        finally:
+            state.disable()
+        assert recording["profile"]
+        assert recording["metrics"]["counters"]["reboot.count"] > 0
+
+
+@pytest.mark.slow
+class TestRecoveryTree:
+    def test_each_request_forms_a_single_rooted_tree(self):
+        state.enable()
+        try:
+            chaos_soak.run(rounds=4, jobs=1)
+            spans = list(state.collector().spans)
+        finally:
+            state.disable()
+        by_id = {s.sid: s for s in spans}
+        # Every parent link resolves, and no cycles: walking up from
+        # any span terminates at a parentless root.
+        for span in spans:
+            seen = set()
+            cursor = span
+            while cursor.parent is not None:
+                assert cursor.parent in by_id
+                assert cursor.sid not in seen
+                seen.add(cursor.sid)
+                cursor = by_id[cursor.parent]
+        # Request spans open only at non-nested syscalls, so they are
+        # always roots; replay/rung spans are always nested beneath a
+        # recovery or reboot, never floating on their own.
+        children = span_children(spans)
+        assert children  # the soak produced nesting at all
+        for span in spans:
+            if span.category == "request":
+                assert span.parent is None
+            if span.category in ("replay", "rung"):
+                assert span.parent is not None
+
+    def test_crash_to_completion_chain_is_recorded(self):
+        """The acceptance path: a request whose dispatch crashed must
+        show recovery → rung → reboot → replay nested beneath it."""
+        state.enable()
+        try:
+            chaos_soak.run(rounds=6, jobs=1)
+            spans = list(state.collector().spans)
+        finally:
+            state.disable()
+        by_id = {s.sid: s for s in spans}
+
+        def ancestors(span):
+            cursor = span
+            while cursor.parent is not None:
+                cursor = by_id[cursor.parent]
+                yield cursor
+
+        replay_spans = [s for s in spans if s.category == "replay"]
+        assert replay_spans, "soak produced no replays"
+        chained = 0
+        for replay in replay_spans:
+            cats = [a.category for a in ancestors(replay)]
+            if "reboot" in cats and "rung" in cats \
+                    and "recovery" in cats and "dispatch" in cats \
+                    and cats[-1] == "request":
+                chained += 1
+        assert chained > 0, \
+            "no replay span sits under rung/recovery/dispatch/request"

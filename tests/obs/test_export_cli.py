@@ -1,0 +1,144 @@
+"""Recording export formats and the trace/top CLI surface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import export, state
+from repro.obs.profiler import folded_lines, profile_table
+from repro.obs.top import render_top
+
+
+def _soak_recording():
+    from repro.experiments import chaos_soak
+    state.enable()
+    try:
+        chaos_soak.run(rounds=4, jobs=1)
+        return state.collector().to_recording()
+    finally:
+        state.disable()
+
+
+@pytest.fixture(scope="module")
+def recording():
+    return _soak_recording()
+
+
+@pytest.mark.slow
+class TestChromeTrace:
+    def test_export_validates_and_covers_the_recording(self, recording):
+        document = export.to_chrome_trace(recording)
+        assert export.validate_chrome_trace(document) == []
+        complete = [e for e in document["traceEvents"]
+                    if e["ph"] == "X"]
+        assert len(complete) == len(recording["spans"])
+        cats = {e["cat"] for e in complete}
+        assert {"request", "dispatch", "reboot", "replay"} <= cats
+
+    def test_events_carry_resolvable_parents(self, recording):
+        document = export.to_chrome_trace(recording)
+        complete = [e for e in document["traceEvents"]
+                    if e["ph"] == "X"]
+        ids = {e["args"]["span_id"] for e in complete}
+        for event in complete:
+            parent = event["args"].get("parent")
+            if parent is not None:
+                assert parent in ids
+
+    def test_validator_flags_broken_documents(self):
+        assert export.validate_chrome_trace({}) != []
+        assert export.validate_chrome_trace({"traceEvents": []}) != []
+        bad_parent = {"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 0, "tid": 0,
+             "ts": 0, "dur": 1, "cat": "request",
+             "args": {"span_id": 0, "parent": 99}},
+        ]}
+        problems = export.validate_chrome_trace(bad_parent)
+        assert any("parent" in p for p in problems)
+        negative = {"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 0, "tid": 0,
+             "ts": 5, "dur": -1, "cat": "request",
+             "args": {"span_id": 0}},
+        ]}
+        assert export.validate_chrome_trace(negative) != []
+
+    def test_save_and_load_roundtrip(self, recording, tmp_path):
+        path = tmp_path / "flight.json"
+        export.save_recording(recording, path)
+        assert export.load_recording(path) == recording
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError):
+            export.load_recording(path)
+
+
+def _profile_of(recording):
+    return {key: (value["us"], value["count"])
+            for key, value in recording["profile"].items()}
+
+
+@pytest.mark.slow
+class TestFoldedOutput:
+    def test_folded_lines_are_flamegraph_shaped(self, recording):
+        lines = folded_lines(_profile_of(recording))
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack
+            assert int(count) >= 0
+        assert lines == sorted(lines)
+        assert export.to_folded(recording) \
+            == "\n".join(lines) + "\n"
+
+    def test_profile_table_is_heaviest_first(self, recording):
+        profile = _profile_of(recording)
+        rows = profile_table(profile, limit=5)
+        totals = [row[1] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+        assert abs(sum(row[3] for row in
+                       profile_table(profile, limit=10 ** 6))
+                   - 1.0) < 1e-9
+
+    def test_render_top_mentions_the_hot_mechanisms(self, recording):
+        text = render_top(recording)
+        assert "reboot.count" in text
+        assert "dispatch" in text
+
+
+@pytest.mark.slow
+class TestCliSurface:
+    def test_obs_flag_leaves_stdout_byte_identical(self, tmp_path):
+        plain, observed = io.StringIO(), io.StringIO()
+        flight = tmp_path / "flight.json"
+        base = ["run", "EXP-F5", "--trials", "3", "--jobs", "1"]
+        assert main(base, out=plain) == 0
+        assert main(base + ["--obs", "--obs-out", str(flight)],
+                    out=observed) == 0
+        assert observed.getvalue() == plain.getvalue()
+        assert flight.exists()
+
+    def test_trace_and_top_consume_the_recording(self, tmp_path,
+                                                 capsys):
+        flight = tmp_path / "flight.json"
+        trace = tmp_path / "trace.json"
+        folded = tmp_path / "profile.folded"
+        sink = io.StringIO()
+        assert main(["chaos-soak", "--rounds", "4", "--jobs", "1",
+                     "--obs", "--obs-out", str(flight)],
+                    out=sink) == 0
+        assert main(["trace", "export", str(flight),
+                     "-o", str(trace)]) == 0
+        document = json.loads(trace.read_text())
+        assert export.validate_chrome_trace(document) == []
+        assert main(["trace", "folded", str(flight),
+                     "-o", str(folded)]) == 0
+        assert folded.read_text().strip()
+        top_out = io.StringIO()
+        assert main(["top", str(flight)], out=top_out) == 0
+        assert "hot stacks" in top_out.getvalue()

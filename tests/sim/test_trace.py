@@ -94,6 +94,38 @@ class TestTrace:
         assert len(trace) == 0
 
 
+class TestRingBuffer:
+    def test_eviction_keeps_exactly_max_events_newest(self):
+        trace = Trace(max_events=10)
+        for i in range(25):
+            trace.emit(float(i), "c", "e", i=i)
+        assert len(trace) == 10
+        assert [e.detail["i"] for e in trace.events] == list(range(15, 25))
+
+    def test_dropped_counts_only_evictions(self):
+        trace = Trace(max_events=3, categories=["keep"])
+        trace.emit(0.0, "drop", "filtered")  # filtered, not a drop
+        for i in range(5):
+            trace.emit(float(i), "keep", "e")
+        assert trace.dropped == 2
+        assert len(trace) == 3
+
+    def test_unbounded_trace_never_drops(self):
+        trace = Trace()
+        for i in range(100):
+            trace.emit(float(i), "c", "e")
+        assert trace.dropped == 0
+        assert len(trace) == 100
+
+    def test_wants_matches_what_emit_would_record(self):
+        allow = Trace(categories=["keep"])
+        assert allow.wants("keep")
+        assert not allow.wants("drop")
+        assert Trace().wants("anything")
+        assert not Trace(enabled=False).wants("anything")
+        assert not NULL_TRACE.wants("anything")
+
+
 class TestTraceEvent:
     def test_matches_by_detail(self):
         event = TraceEvent(1.0, "net", "rst", {"conn": 5})

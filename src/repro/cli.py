@@ -199,6 +199,34 @@ def build_parser() -> argparse.ArgumentParser:
                            "to --jobs 1")
     _add_obs_flags(soak)
 
+    crucible = sub.add_parser(
+        "crucible",
+        help="deterministic fault-space exploration with invariant "
+             "oracles (sites x faults x configs)")
+    crucible.add_argument("--budget", type=int, default=120,
+                          help="frontier scenarios to explore "
+                               "(default: one full axis sweep)")
+    crucible.add_argument("--seed", type=int, default=20240806,
+                          help="root seed; the frontier is a pure "
+                               "function of (seed, index)")
+    crucible.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes; the report is "
+                               "byte-identical to --jobs 1")
+    crucible.add_argument("--state", default=None, metavar="PATH",
+                          help="persist the frontier cursor here "
+                               "(enables --resume)")
+    crucible.add_argument("--resume", action="store_true",
+                          help="continue from the --state cursor "
+                               "instead of index 0")
+    crucible.add_argument("--canary", action="store_true",
+                          help="self-test: plant a known transparency "
+                               "bug and require find + shrink")
+    crucible.add_argument("--corpus-out", default=None, metavar="DIR",
+                          help="write minimized violations as corpus "
+                               "files into DIR")
+    crucible.add_argument("--shrink-limit", type=int, default=160,
+                          help="max scenario re-runs per shrink")
+
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--quick", action="store_true",
                             help="reduced scales (CI-friendly)")
@@ -408,6 +436,13 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return _trace_command(args)
     if args.command == "top":
         return _top_command(args, out=out)
+    if args.command == "crucible":
+        from .crucible import explore
+        return explore(budget=args.budget, jobs=_jobs(args),
+                       seed=args.seed, canary=args.canary,
+                       state_path=args.state, resume=args.resume,
+                       corpus_out=args.corpus_out,
+                       shrink_limit=args.shrink_limit, out=out)
     if args.command == "run":
         return _run_with_obs(
             args, lambda: _execute(args.ids, args, out=out))

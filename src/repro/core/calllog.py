@@ -321,7 +321,19 @@ class ComponentCallLog:
         return entry
 
     def clear(self) -> None:
+        """Drop the logged history (fresh restart / live update).
+
+        Entries still on the active stack survive: they describe calls
+        that are mid-dispatch, whose paired push/pop bookkeeping the
+        dispatcher still owns and whose retry executes against the new
+        baseline — so they re-seed the emptied log instead of vanishing
+        from the recovery history.
+        """
+        survivors = list(self._active)
+        keep = {id(entry) for entry in survivors}
         for entry in self._entries:
+            if id(entry) in keep:
+                continue
             if entry.alive:
                 object.__setattr__(entry, "alive", False)
             entry.__dict__.pop("_log", None)
@@ -333,7 +345,8 @@ class ComponentCallLog:
         self._live_count = 0
         self._record_count = 0
         self._space_bytes = 0
-        self._active.clear()
+        for entry in survivors:
+            self._register(entry)
 
     # --- index + accounting internals -----------------------------------------------
 

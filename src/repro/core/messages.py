@@ -97,6 +97,10 @@ class MessageDomain:
         simulation every message is pulled promptly, so hitting this
         means a leak).
         """
+        probes = self.sim.probes
+        if probes is not None:
+            probes.fire("msg_push", sender=sender, receiver=receiver,
+                        func=func, is_reply=is_reply)
         size = MESSAGE_HEADER_BYTES + payload_size(args, kwargs or {})
         if size > self.free_bytes:
             raise MessageDomainFull(
@@ -126,6 +130,11 @@ class MessageDomain:
         """Pull a message out; its buffer is released immediately."""
         if message.msg_id not in self._in_flight:
             raise KeyError(f"message {message.msg_id} not in flight")
+        probes = self.sim.probes
+        if probes is not None:
+            probes.fire("msg_pull", sender=message.sender,
+                        receiver=message.receiver, func=message.func,
+                        is_reply=message.is_reply)
         self.sim.charge("msg_pull", self.sim.costs.msg_pull)
         del self._in_flight[message.msg_id]
         self.used_bytes -= message.payload_bytes

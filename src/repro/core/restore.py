@@ -101,7 +101,12 @@ class EncapsulatedRestorer:
         """
         stats = ReplayStats()
         interface = comp.interface()
+        probes = self.sim.probes
         for entry in log.entries:
+            if probes is not None:
+                probes.fire("replay_step", component=comp.NAME,
+                            func=entry.func,
+                            synthetic=entry.is_synthetic)
             if entry.is_synthetic:
                 self.sim.charge("replay_call", self.sim.costs.replay_call)
                 key, patch = entry.synthetic_patch

@@ -1,0 +1,57 @@
+"""The crucible: deterministic fault-space exploration.
+
+``repro.crucible`` turns the runtime's recovery machinery into a
+*searchable* space: every injection site (message push/pull boundary,
+checkpoint take/restore, one replayed log entry, one escalation-ladder
+rung) crossed with every fault of the paper's model (panic, multi-hit
+panic, hang, deterministic bug, bit flip) and every evaluated
+configuration, driven by seeded, regenerable scenarios and checked
+against pluggable invariant oracles.
+
+The pieces:
+
+* :mod:`.scenario` — the serializable scenario model (config + seed +
+  an event schedule); a scenario's identity is the hash of its
+  canonical JSON, so any worker regenerating it agrees on the id;
+* :mod:`.generate` — the frontier: index → scenario, a pure function of
+  ``(root_seed, index)``;
+* :mod:`.runner` — executes one scenario four ways (main, fault-free
+  reference, fast-path-disabled twin, shrink-disabled twin) and
+  captures everything the oracles need;
+* :mod:`.oracles` — the invariants (ledger parity, reboot
+  transparency, shrink soundness, restore equivalence, ladder
+  monotonicity, quarantine consistency);
+* :mod:`.shrinker` — delta-debugging over the event schedule, reducing
+  a violating scenario to a minimal one;
+* :mod:`.corpus` — minimized scenarios as regression files under
+  ``tests/corpus/`` that the tier-1 suite replays forever;
+* :mod:`.explorer` — the ``repro crucible`` entry point: fan the
+  frontier over the parallel engine, evaluate, shrink, report —
+  byte-identical at any ``--jobs``.
+"""
+
+from .corpus import corpus_entry, load_corpus, replay_entry, write_corpus_file
+from .explorer import explore, explore_cell
+from .generate import canary_scenario, scenario_for_index
+from .oracles import ORACLES, evaluate_oracles
+from .runner import run_bundle, run_scenario
+from .scenario import Scenario, scenario_id
+from .shrinker import shrink_events
+
+__all__ = [
+    "ORACLES",
+    "Scenario",
+    "canary_scenario",
+    "corpus_entry",
+    "evaluate_oracles",
+    "explore",
+    "explore_cell",
+    "load_corpus",
+    "replay_entry",
+    "run_bundle",
+    "run_scenario",
+    "scenario_for_index",
+    "scenario_id",
+    "shrink_events",
+    "write_corpus_file",
+]

@@ -1,0 +1,118 @@
+"""The regression corpus: minimized scenarios as forever-tests.
+
+Every violation the explorer shrinks is written as one JSON file under
+``tests/corpus/`` holding the minimized scenario, the expected oracle
+verdict, and a flight-recorder trace of the minimized run.  The tier-1
+suite replays each file with :func:`replay_entry` and asserts the
+verdict is stable — a found bug can never silently come back, and a
+fixed bug flips the expectation in one reviewable file.
+
+File format (``format: 1``)::
+
+    {
+      "format": 1,
+      "id": "<scenario content hash>",
+      "scenario": {"config", "seed", "events", "canary", "note"},
+      "expected": {"violated": [...], "terminal": ..., "degraded": [...]},
+      "meta": {... free-form provenance ...},
+      "obs_trace": {"spans_total", "spans", "counters"} | null
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from ..obs import state as obs_state
+from .oracles import evaluate_oracles
+from .runner import run_bundle, run_scenario
+from .scenario import Scenario, scenario_id
+
+#: spans kept in an attached trace (minimized runs are small; the cap
+#: only guards against a pathological recording bloating the corpus)
+_TRACE_SPAN_CAP = 400
+
+
+def capture_trace(scenario: Scenario) -> Optional[Dict[str, Any]]:
+    """A trimmed flight recording of the scenario's main run.
+
+    Skipped (returns None) when the process is already recording —
+    enabling would clobber the live collector.
+    """
+    if obs_state.obs_enabled():
+        return None
+    obs_state.enable()
+    try:
+        run_scenario(scenario, restore_probes=False)
+        recording = obs_state.collector().to_recording()
+    finally:
+        obs_state.disable()
+    spans = recording.get("spans", [])
+    return {
+        "spans_total": len(spans),
+        "spans": spans[:_TRACE_SPAN_CAP],
+        "counters": recording.get("metrics", {}).get("counters", {}),
+    }
+
+
+def corpus_entry(scenario: Scenario, violated: List[str],
+                 problems: Dict[str, List[str]],
+                 meta: Optional[Dict[str, Any]] = None,
+                 with_trace: bool = True) -> Dict[str, Any]:
+    """Build the corpus record for a (minimized) scenario."""
+    outcome = run_scenario(scenario, restore_probes=False)
+    return {
+        "format": 1,
+        "id": scenario_id(scenario),
+        "scenario": scenario.to_json(),
+        "expected": {
+            "violated": sorted(violated),
+            "problems": {name: list(texts)
+                         for name, texts in sorted(problems.items())
+                         if texts},
+            "terminal": outcome.terminal,
+            "degraded": outcome.degraded_final,
+        },
+        "meta": dict(meta or {}),
+        "obs_trace": capture_trace(scenario) if with_trace else None,
+    }
+
+
+def write_corpus_file(directory: str, entry: Dict[str, Any]) -> str:
+    """Write ``entry`` as ``scenario-<id>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"scenario-{entry['id']}.json")
+    with open(path, "w") as fh:
+        json.dump(entry, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> List[Dict[str, Any]]:
+    """Every corpus entry under ``directory``, in filename order."""
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name)) as fh:
+            blob = json.load(fh)
+        blob["_file"] = name
+        entries.append(blob)
+    return entries
+
+
+def replay_entry(entry: Dict[str, Any]) -> Dict[str, List[str]]:
+    """Re-run a corpus scenario through the full oracle panel."""
+    scenario = Scenario.from_json(entry["scenario"])
+    return evaluate_oracles(scenario, run_bundle(scenario))
+
+
+def verdict_matches(entry: Dict[str, Any],
+                    verdicts: Dict[str, List[str]]) -> bool:
+    """Whether a replay's violated-oracle set equals the recorded one."""
+    violated = sorted(name for name, texts in verdicts.items() if texts)
+    return violated == sorted(entry["expected"]["violated"])

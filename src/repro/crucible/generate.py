@@ -1,0 +1,152 @@
+"""The frontier: index → scenario, pure and seed-stable.
+
+The fault space is a cartesian product — configuration × fault kind ×
+injection site — swept in rounds: index ``i`` selects the axes by
+residue and the sweep round (``variant``) by quotient, so any budget
+prefix covers every axis combination before repeating with fresh
+seeds.  A scenario's seed is derived with
+:func:`repro.parallel.seeding.shard_seed` from the root seed and its
+axis labels only — not from the index arithmetic — so re-slicing the
+frontier (resume, different budgets) never changes what any cell runs.
+
+The generator decorates the axis point with a workload: an open and a
+write first (so logs and state exist to lose), the fault with whatever
+support events make its site reachable (a reboot to drive checkpoint /
+replay sites, a victim panic to drive the ladder site, a heartbeat to
+sense a bit flip), and a tail of ops that would observe any damage.
+Randomness comes only from :class:`~repro.sim.rng.DeterministicRNG`
+streams — never the ``random`` module, never the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..parallel.seeding import shard_seed
+from ..sim.rng import DeterministicRNG
+from .scenario import DET_BUG_FUNCS, FAULT_KINDS, PATHS, Scenario, TARGETS
+
+#: the configuration axis (names resolved by ``config_by_name``)
+CONFIGS = ("VampOS-DaS", "VampOS-Noop", "VampOS-FSm",
+           "VampOS-Supervised")
+
+#: the injection-site axis: ``direct`` injects between top-level ops,
+#: the rest arm the fault on a probed runtime boundary
+SITES_AXIS = ("direct", "msg_push", "msg_pull", "checkpoint",
+              "replay_step", "ladder_rung")
+
+#: axis product size: one full sweep of the fault space
+SWEEP = len(CONFIGS) * len(FAULT_KINDS) * len(SITES_AXIS)
+
+#: how far into the future a site arming may aim, per site (hits);
+#: small enough that most armings actually fire during the scenario
+_HIT_RANGE = {"msg_push": 6, "msg_pull": 6, "checkpoint": 2,
+              "replay_step": 3, "ladder_rung": 1}
+
+
+def axes_for_index(index: int) -> tuple:
+    """``index`` → (config, fault, site, variant)."""
+    if index < 0:
+        raise ValueError("frontier indices are non-negative")
+    residue, variant = index % SWEEP, index // SWEEP
+    config = CONFIGS[residue % len(CONFIGS)]
+    residue //= len(CONFIGS)
+    fault = FAULT_KINDS[residue % len(FAULT_KINDS)]
+    residue //= len(FAULT_KINDS)
+    site = SITES_AXIS[residue]
+    return config, fault, site, variant
+
+
+def _fault_event(rng, prefix: str, fault: str, site: str,
+                 target: str) -> List[Any]:
+    if fault == "det_bug":
+        tail: List[Any] = [fault, target, DET_BUG_FUNCS[target]]
+    else:
+        tail = [fault, target]
+    if site == "direct":
+        return ["inject"] + tail
+    hit = rng.randint(0, _HIT_RANGE[site])
+    return ["site", site, hit] + tail
+
+
+def _ops(rng, count: int) -> List[List[Any]]:
+    events = []
+    for _ in range(count):
+        kind = rng.choice(("write", "read", "seek", "stat", "open",
+                           "close"))
+        if kind == "open" or kind == "stat":
+            events.append(["op", kind, rng.randint(0, len(PATHS) - 1)])
+        elif kind == "write":
+            text = "".join(rng.choice("abc")
+                           for _ in range(rng.randint(1, 5)))
+            events.append(["op", "write", rng.randint(0, 3), text])
+        elif kind == "read":
+            events.append(["op", "read", rng.randint(0, 3),
+                           rng.randint(1, 12)])
+        elif kind == "seek":
+            events.append(["op", "seek", rng.randint(0, 3),
+                           rng.randint(0, 8)])
+        else:
+            events.append(["op", "close", rng.randint(0, 3)])
+    return events
+
+
+def scenario_for_index(root_seed: int, index: int) -> Scenario:
+    """The frontier cell at ``index`` under ``root_seed``."""
+    config, fault, site, variant = axes_for_index(index)
+    seed = shard_seed(root_seed, "crucible", config, fault, site,
+                      variant)
+    rng = DeterministicRNG(seed).stream("events")
+    target = rng.choice(TARGETS)
+
+    # state first: something to log, checkpoint and lose
+    events: List[List[Any]] = [
+        ["op", "open", rng.randint(0, len(PATHS) - 1)],
+        ["op", "write", 0, "".join(rng.choice("abc")
+                                   for _ in range(rng.randint(2, 6)))],
+    ]
+    events.extend(_ops(rng, rng.randint(0, 2)))
+
+    events.append(_fault_event(rng, "fault", fault, site, target))
+    if site in ("checkpoint", "replay_step"):
+        # the armed site only fires inside a reboot; schedule one
+        events.append(["reboot", rng.choice(TARGETS)])
+    elif site == "ladder_rung":
+        # the ladder only walks on a failure: panic a victim the next
+        # VFS op will reach, so the armed rung probe actually fires
+        events.append(["inject", "panic", "VFS"])
+    if fault == "bit_flip":
+        # corruption is sensed (and healed) by the heart-beat sweep
+        events.append(["heartbeat"])
+
+    events.extend(_ops(rng, rng.randint(1, 3)))
+    if rng.randint(0, 3) == 0:
+        # cross the supervisor's backoff / probation windows
+        events.append(["advance", float(rng.choice((2, 6, 15))) * 1e6])
+        events.append(["heartbeat"])
+    events.extend(_ops(rng, rng.randint(0, 2)))
+
+    return Scenario(config=config, seed=seed, events=events,
+                    note=f"frontier[{index}] {fault}@{site}")
+
+
+def canary_scenario(root_seed: int) -> Scenario:
+    """The planted transparency bug (see ``runner._install_canary``).
+
+    A deliberately small scenario — open, write, reboot, read — whose
+    reboot silently drops the last logged write from the rebooted
+    component's call log.  The replay then reconstructs a state that
+    never saw the request, which the transparency and restore oracles
+    must catch; shrinking must reduce it to a handful of events.
+    """
+    seed = shard_seed(root_seed, "crucible", "canary")
+    events = [
+        ["op", "open", 2],
+        ["op", "write", 0, "abcabc"],
+        ["op", "write", 0, "cba"],
+        ["reboot", "VFS"],
+        ["op", "read", 0, 9],
+        ["op", "stat", 2],
+    ]
+    return Scenario(config="VampOS-DaS", seed=seed, events=events,
+                    canary=True, note="canary: dropped log entry")

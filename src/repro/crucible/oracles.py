@@ -1,0 +1,206 @@
+"""Invariant oracles: what must hold for *every* explored scenario.
+
+Each oracle is a pure function ``(scenario, bundle) -> [problem, ...]``
+over the four captured runs (see :mod:`.runner`); an empty list is a
+pass.  The registry :data:`ORACLES` is the pluggable surface — tests
+register extra oracles by inserting into a copy.
+
+The oracles respect the **lossy cut**: once a run legitimately lost
+state (a fresh restart dropped the log, a component was quarantined,
+the kernel fail-stopped), the application is *allowed* to observe
+divergence from that event onward — the invariants bind strictly
+before the cut, and bind the final state only for cut-free runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..core.config import config_by_name
+from ..supervisor.ladder import DEFAULT_LADDER
+from .runner import RunOutcome
+from .scenario import Scenario
+
+Bundle = Dict[str, RunOutcome]
+Oracle = Callable[[Scenario, Bundle], List[str]]
+
+#: ladder position by rung key, for the monotonicity oracle
+_RUNG_INDEX = {rung.key: position
+               for position, rung in enumerate(DEFAULT_LADDER)}
+
+
+def _cut(outcome: RunOutcome) -> float:
+    return float("inf") if outcome.lossy_cut is None \
+        else float(outcome.lossy_cut)
+
+
+def ledger_parity(scenario: Scenario, bundle: Bundle) -> List[str]:
+    """Fast paths must be invisible: the run with every optimisation
+    disabled (``reference_mode``) charges the identical ledger, lands
+    on the identical virtual clock and returns the identical results."""
+    main, twin = bundle["main"], bundle["refmode"]
+    problems = []
+    if main.results != twin.results:
+        problems.append("op results differ under reference_mode")
+    if main.ledger_totals != twin.ledger_totals:
+        diff = sorted(
+            k for k in set(main.ledger_totals) | set(twin.ledger_totals)
+            if main.ledger_totals.get(k) != twin.ledger_totals.get(k))
+        problems.append(
+            f"ledger diverges under reference_mode: {', '.join(diff)}")
+    if main.clock_us != twin.clock_us:
+        problems.append(
+            f"clock diverges under reference_mode: "
+            f"{main.clock_us} != {twin.clock_us}")
+    return problems
+
+
+def transparency(scenario: Scenario, bundle: Bundle) -> List[str]:
+    """No request lost, none duplicated: up to the lossy cut the
+    faulted run returns exactly the fault-free reference's results, and
+    a cut-free run also ends in exactly the reference's state."""
+    main, reference = bundle["main"], bundle["reference"]
+    cut = _cut(main)
+    got = main.op_results(before=cut)
+    want = reference.op_results(before=cut)
+    problems = []
+    if got != want:
+        problems.append(
+            f"op results diverge from the fault-free reference before "
+            f"the lossy cut (cut={main.lossy_cut})")
+    if (main.lossy_cut is None and main.terminal is None
+            and main.final_state != reference.final_state):
+        problems.append(
+            "final observable state diverges from the fault-free "
+            "reference in a lossless run")
+    return problems
+
+
+def shrink_soundness(scenario: Scenario, bundle: Bundle) -> List[str]:
+    """Replaying a shrunk log must equal replaying the full log: the
+    shrink-disabled twin observes the same results (and, when neither
+    run lost state, the same final state)."""
+    main, twin = bundle["main"], bundle["noshrink"]
+    cut = min(_cut(main), _cut(twin))
+    problems = []
+    if main.op_results(before=cut) != twin.op_results(before=cut):
+        problems.append(
+            "op results diverge with shrinking disabled")
+    if (main.lossy_cut is None and twin.lossy_cut is None
+            and main.terminal is None and twin.terminal is None
+            and main.final_state != twin.final_state):
+        problems.append(
+            "final observable state diverges with shrinking disabled")
+    return problems
+
+
+def restore_equivalence(scenario: Scenario, bundle: Bundle) -> List[str]:
+    """Rebooting a healthy component after the scenario must be a
+    no-op for the observable state (checked by the runner's probes)."""
+    return list(bundle["main"].restore_problems)
+
+
+def ladder_monotonicity(scenario: Scenario, bundle: Bundle) -> List[str]:
+    """Within one recovery episode the supervisor never de-escalates:
+    attempted rungs appear in non-decreasing ladder order until the
+    episode ends (recovered, degraded, or fail-stop)."""
+    problems = []
+    last_rung: Dict[str, int] = {}
+    for index, category, name, detail in bundle["main"].trace_log:
+        component = detail.get("component")
+        if category == "supervisor" and name == "rung":
+            position = _RUNG_INDEX.get(detail.get("rung"))
+            if position is None:
+                continue
+            previous = last_rung.get(component)
+            if previous is not None and position < previous:
+                problems.append(
+                    f"{component}: ladder de-escalated "
+                    f"{detail.get('rung')!r} after rung index "
+                    f"{previous} (event {index})")
+            last_rung[component] = position
+        elif category == "supervisor" and name in ("recovered",
+                                                   "degraded"):
+            last_rung.pop(component, None)
+        elif category == "reboot" and name == "fail_stop":
+            last_rung.pop(component, None)
+    return problems
+
+
+def quarantine_consistency(scenario: Scenario,
+                           bundle: Bundle) -> List[str]:
+    """Degraded mode is reachable only when armed, bookkeeping matches
+    the trace, ENODEV answers never precede a quarantine, and a crash
+    storm under an armed degrade rung actually degrades."""
+    main = bundle["main"]
+    config = config_by_name(scenario.config)
+    problems = []
+
+    entered: List[str] = []
+    degraded = set()
+    first_degrade: Dict[str, float] = {}
+    storms: List[List[Any]] = []
+    for index, category, name, detail in main.trace_log:
+        if category != "supervisor":
+            continue
+        component = detail.get("component")
+        if name == "degraded":
+            if not config.degraded_mode_enabled:
+                problems.append(
+                    f"{component}: degraded although degraded mode is "
+                    f"disabled in {scenario.config}")
+            entered.append(component)
+            degraded.add(component)
+            first_degrade.setdefault(component, index)
+        elif name == "restored":
+            degraded.discard(component)
+        elif name == "crash_storm":
+            storms.append([index, component])
+
+    if sorted(degraded) != main.degraded_final:
+        problems.append(
+            f"final degraded set {main.degraded_final} does not match "
+            f"the trace ({sorted(degraded)})")
+
+    if first_degrade:
+        earliest = min(first_degrade.values())
+    else:
+        earliest = None
+    for row in main.results:
+        if row[1] == "errno" and row[-1] == "ENODEV":
+            if earliest is None or row[0] < earliest:
+                problems.append(
+                    f"ENODEV answered at event {row[0]} with no prior "
+                    f"quarantine")
+                break
+
+    if config.degraded_mode_enabled:
+        for index, component in storms:
+            entered_after = any(
+                idx >= index for comp, idx in first_degrade.items()
+                if comp == component)
+            if not entered_after and component not in first_degrade:
+                problems.append(
+                    f"{component}: crash storm at event {index} did "
+                    f"not reach degraded mode although armed")
+    return problems
+
+
+#: the pluggable oracle registry, in report order
+ORACLES: Dict[str, Oracle] = {
+    "ledger_parity": ledger_parity,
+    "transparency": transparency,
+    "shrink_soundness": shrink_soundness,
+    "restore_equivalence": restore_equivalence,
+    "ladder_monotonicity": ladder_monotonicity,
+    "quarantine_consistency": quarantine_consistency,
+}
+
+
+def evaluate_oracles(scenario: Scenario, bundle: Bundle,
+                     oracles: Dict[str, Oracle] = None
+                     ) -> Dict[str, List[str]]:
+    """Run every oracle; returns ``{name: [problems]}`` (all names)."""
+    registry = ORACLES if oracles is None else oracles
+    return {name: oracle(scenario, bundle)
+            for name, oracle in registry.items()}

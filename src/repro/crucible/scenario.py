@@ -1,0 +1,90 @@
+"""The scenario model: a serializable fault-space point.
+
+A scenario is a configuration name, a seed, and an *event schedule* —
+a flat list of JSON-safe events the runner executes in order.  The
+schedule is the unit the delta-debugger shrinks over, so every event
+must stay individually removable: the runner tolerates dangling
+references (an op with no open fd, a site arming that never fires, a
+reboot of an already-clean component) by doing nothing.
+
+Event forms (lists, so canonical JSON round-trips exactly)::
+
+    ["op", "open", path_idx]          VFS open of PATHS[path_idx]
+    ["op", "write", fd_idx, text]     write text at fds[fd_idx % len]
+    ["op", "read", fd_idx, count]
+    ["op", "seek", fd_idx, pos]
+    ["op", "close", fd_idx]
+    ["op", "stat", path_idx]
+    ["inject", kind, target]          direct fault injection between ops
+    ["inject", "det_bug", target, func]
+    ["site", site, hit, kind, target] arm the fault on the ``hit``-th
+    ["site", site, hit, "det_bug", target, func]   subsequent site hit
+    ["reboot", target]                manual component reboot
+    ["heartbeat"]                     message-thread heart-beat sweep
+    ["advance", us]                   advance virtual time
+
+Fault kinds: ``panic`` (one-shot), ``multi_panic`` (two-hit sticky),
+``hang``, ``det_bug`` (named function panics on every run, replay
+included), ``bit_flip`` (heap corruption, sensed by the heartbeat).
+
+Identity is content: :func:`scenario_id` hashes the canonical JSON, so
+any process regenerating the same scenario computes the same id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List
+
+#: the VFS paths scenario ops index into; [0..1] live on the 9PFS
+#: host share, [2..3] on the RAMFS mount
+PATHS = ("/data/a.txt", "/data/b.txt", "/tmp/x", "/tmp/y")
+
+#: components scenario faults and reboots may target
+TARGETS = ("VFS", "9PFS", "RAMFS")
+
+#: the fault kinds of the model, in documentation order
+FAULT_KINDS = ("panic", "multi_panic", "hang", "det_bug", "bit_flip")
+
+#: per-component function for deterministic-bug injection
+DET_BUG_FUNCS = {"VFS": "write", "9PFS": "uk_9pfs_write",
+                 "RAMFS": "ramfs_write"}
+
+
+@dataclass
+class Scenario:
+    """One point of the fault space, fully regenerable from content."""
+
+    config: str
+    seed: int
+    events: List[List[Any]] = field(default_factory=list)
+    canary: bool = False
+    note: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"config": self.config, "seed": self.seed,
+                "events": self.events, "canary": self.canary,
+                "note": self.note}
+
+    @classmethod
+    def from_json(cls, blob: Dict[str, Any]) -> "Scenario":
+        return cls(config=blob["config"], seed=int(blob["seed"]),
+                   events=[list(e) for e in blob["events"]],
+                   canary=bool(blob.get("canary", False)),
+                   note=blob.get("note", ""))
+
+    def with_events(self, events: List[List[Any]]) -> "Scenario":
+        return replace(self, events=[list(e) for e in events])
+
+
+def canonical_json(scenario: Scenario) -> str:
+    """The canonical serialization identity is computed over."""
+    return json.dumps(scenario.to_json(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def scenario_id(scenario: Scenario) -> str:
+    return hashlib.sha256(
+        canonical_json(scenario).encode("utf-8")).hexdigest()[:16]

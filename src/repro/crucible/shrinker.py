@@ -1,0 +1,94 @@
+"""Delta debugging over the event schedule.
+
+A violating scenario from the frontier carries a dozen-odd events of
+which usually only a few matter.  :func:`shrink_events` reduces the
+schedule with the classic ddmin loop — drop complement chunks at
+doubling granularity, then greedy single-event removal — re-running
+the scenario bundle after every candidate deletion and keeping the
+deletion only if the *original* violation still reproduces.
+
+The scenario model guarantees any event subset is executable (ops
+with no fd are skipped, armings that never fire stay pending, reboots
+are always legal), so the only cost is re-evaluation; ``limit`` caps
+the number of predicate runs and the loop degrades gracefully to the
+best reduction found so far.  Everything is deterministic: same
+scenario, same limit → same minimized schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from .oracles import evaluate_oracles
+from .runner import run_bundle
+from .scenario import Scenario
+
+Events = List[List[Any]]
+
+
+def violation_predicate(scenario: Scenario,
+                        target_oracles: List[str]
+                        ) -> Callable[[Events], bool]:
+    """True iff the scenario, re-run with the candidate events, still
+    violates at least one of the originally-violated oracles."""
+    def predicate(events: Events) -> bool:
+        candidate = scenario.with_events(events)
+        verdicts = evaluate_oracles(candidate, run_bundle(candidate))
+        return any(verdicts.get(name) for name in target_oracles)
+    return predicate
+
+
+def shrink_events(events: Events,
+                  predicate: Callable[[Events], bool],
+                  limit: int = 160) -> Tuple[Events, int]:
+    """ddmin: the smallest event subset still satisfying ``predicate``.
+
+    Returns ``(minimized_events, predicate_evaluations)``.  The input
+    is assumed to satisfy the predicate (the caller found a violation);
+    if re-running disagrees (a flaky oracle would be its own bug), the
+    input comes back unchanged.
+    """
+    current = [list(e) for e in events]
+    evaluations = 0
+
+    def check(candidate: Events) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        return predicate(candidate)
+
+    if not current or limit <= 0:
+        return current, evaluations
+
+    # --- ddmin proper: remove complement chunks ------------------------
+    granularity = 2
+    while len(current) >= 2 and evaluations < limit:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and evaluations < limit:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and check(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # re-scan from the front at the same granularity
+                start = 0
+                chunk = max(1, len(current) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(current))
+
+    # --- greedy singles: one last pass dropping individual events ------
+    index = 0
+    while index < len(current) and evaluations < limit:
+        if len(current) == 1:
+            break
+        candidate = current[:index] + current[index + 1:]
+        if check(candidate):
+            current = candidate
+        else:
+            index += 1
+    return current, evaluations

@@ -77,6 +77,9 @@ class SnapshotStore:
         (``reference_mode()`` restores the eager-copy semantics).
         """
         sim = self._sim
+        if sim.probes is not None:
+            sim.probes.fire("checkpoint", component=component, op="take",
+                            label=label)
         obs = sim.obs
         span = None
         if obs is not None:
@@ -123,6 +126,9 @@ class SnapshotStore:
         time is sharing-neutral).
         """
         sim = self._sim
+        if sim.probes is not None:
+            sim.probes.fire("checkpoint", component=snap.component,
+                            op="restore", label=snap.label)
         obs = sim.obs
         span = None
         t0 = 0.0

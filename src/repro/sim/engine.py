@@ -66,6 +66,9 @@ class Simulation:
         #: flight recorder, or None when observability is off — hot
         #: paths guard on ``sim.obs is not None`` and nothing else
         self.obs = obs_state.maybe_attach(self)
+        #: injection-site probes (see :mod:`repro.sim.probes`), or None;
+        #: attached by the crucible explorer, never in production runs
+        self.probes = None
         self._queue: List[Tuple[Tuple[float, int], _ScheduledEvent]] = []
         self._seq = itertools.count()
 

@@ -1,0 +1,76 @@
+"""Injection-site probes: deterministic hooks at recovery boundaries.
+
+The crucible explorer (``repro.crucible``) needs to plant faults *at*
+the runtime's interesting boundaries — a message crossing the domain,
+a checkpoint being taken or restored, one replayed log entry, one
+escalation-ladder rung — not merely between top-level syscalls.  The
+hot paths cannot afford a subscriber list or an event object per hit,
+so the hook is the cheapest thing that works:
+
+* ``Simulation.probes`` is ``None`` by default; every instrumented site
+  guards with ``if sim.probes is not None`` (one attribute test).
+* When a :class:`SiteProbes` is attached, each site hit increments a
+  per-site counter and fires any callback armed for exactly that hit.
+
+Arming is *relative* ("the 3rd ``msg_push`` from now"), which is what a
+generated scenario schedule can express without knowing absolute
+counts.  Everything is plain counting — no randomness, no wall clock —
+so a replay of the same schedule hits the same sites at the same
+counts, whatever the host or worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+#: the instrumented sites, in documentation order
+SITES: Tuple[str, ...] = (
+    "msg_push",      # MessageDomain.vo_push_msgs (request or reply)
+    "msg_pull",      # MessageDomain.vo_pull_msgs
+    "checkpoint",    # SnapshotStore.take / .restore
+    "replay_step",   # EncapsulatedRestorer.replay, per log entry
+    "ladder_rung",   # RecoverySupervisor, per attempted rung plan
+)
+
+#: callback(site, hit_index, detail) — performs the armed action
+ProbeCallback = Callable[[str, int, Dict[str, Any]], None]
+
+
+class SiteProbes:
+    """Per-site hit counters plus callbacks armed for specific hits."""
+
+    def __init__(self) -> None:
+        #: lifetime hits per site (coverage accounting)
+        self.counts: Dict[str, int] = {}
+        #: site -> absolute hit index -> callbacks
+        self._armed: Dict[str, Dict[int, List[ProbeCallback]]] = {}
+
+    def arm(self, site: str, hits_from_now: int,
+            callback: ProbeCallback) -> None:
+        """Fire ``callback`` on the ``hits_from_now``-th *subsequent*
+        hit of ``site`` (0 = the very next one)."""
+        if site not in SITES:
+            raise ValueError(f"unknown injection site {site!r}; "
+                             f"valid sites: {', '.join(SITES)}")
+        if hits_from_now < 0:
+            raise ValueError("hits_from_now must be >= 0")
+        target = self.counts.get(site, 0) + hits_from_now
+        self._armed.setdefault(site, {}).setdefault(target, []) \
+            .append(callback)
+
+    def fire(self, site: str, **detail: Any) -> None:
+        """One site hit: count it and run callbacks armed for it."""
+        index = self.counts.get(site, 0)
+        self.counts[site] = index + 1
+        armed = self._armed.get(site)
+        if not armed:
+            return
+        callbacks = armed.pop(index, None)
+        if callbacks:
+            for callback in callbacks:
+                callback(site, index, detail)
+
+    def pending(self) -> int:
+        """Armed callbacks that have not fired (yet)."""
+        return sum(len(cbs) for hits in self._armed.values()
+                   for cbs in hits.values())

@@ -204,6 +204,9 @@ class RecoverySupervisor:
             if not rung.applies(self, name, current):
                 continue
             for plan in rung.plans(self, name):
+                if sim.probes is not None:
+                    sim.probes.fire("ladder_rung", component=name,
+                                    rung=rung.key)
                 sim.charge(rung.cost_attr,
                            getattr(sim.costs, rung.cost_attr))
                 self.telemetry.note_rung(name, rung.key)

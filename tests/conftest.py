@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 import repro.components  # noqa: F401  (register Table I components)
 from repro.core.config import DAS
@@ -12,6 +15,15 @@ from repro.sim.engine import Simulation
 from repro.unikernel.image import ImageBuilder, ImageSpec
 from repro.unikernel.kernel import UnikraftKernel
 from repro.core.runtime import VampOSKernel
+
+# Hypothesis profiles: "ci" is the default — deadline disabled because
+# the simulated kernels legitimately take tens of milliseconds per
+# example on slow runners; "dev" trades coverage for a fast local
+# feedback loop.  Tests keep their tuned ``max_examples`` where the
+# example cost warrants it; the profile supplies everything else.
+settings.register_profile("ci", deadline=None)
+settings.register_profile("dev", deadline=None, max_examples=10)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 #: a component set with both the file and network stacks (Nginx-like)
 FULL_COMPONENTS = ["VFS", "9PFS", "LWIP", "NETDEV", "PROCESS", "SYSINFO",

@@ -1,0 +1,56 @@
+"""The regression corpus is replayed forever.
+
+Every minimized scenario under ``tests/corpus/`` re-runs through the
+full oracle panel, and its violated-oracle set must match what was
+recorded when the file was written: a bug the crucible once found can
+never silently come back, and a clean pin can never silently start
+violating.  Fixing a pinned bug legitimately flips a file's
+expectation — that is a one-file, reviewable change.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.crucible import load_corpus, replay_entry
+from repro.crucible.corpus import verdict_matches
+from repro.crucible.explorer import CANARY_MAX_EVENTS
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "corpus")
+
+_ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    assert len(_ENTRIES) >= 3
+    assert any(entry["scenario"]["canary"] for entry in _ENTRIES)
+    assert any(not entry["scenario"]["canary"] for entry in _ENTRIES)
+
+
+def test_corpus_files_are_wellformed():
+    for entry in _ENTRIES:
+        assert entry["format"] == 1, entry["_file"]
+        assert entry["_file"] == f"scenario-{entry['id']}.json"
+        assert sorted(entry["expected"]["violated"]) \
+            == entry["expected"]["violated"]
+        trace = entry["obs_trace"]
+        if trace is not None:
+            assert trace["spans_total"] >= len(trace["spans"])
+
+
+def test_canary_entry_is_minimized():
+    canary = next(e for e in _ENTRIES if e["scenario"]["canary"])
+    assert "transparency" in canary["expected"]["violated"]
+    assert len(canary["scenario"]["events"]) <= CANARY_MAX_EVENTS
+
+
+@pytest.mark.parametrize("entry", _ENTRIES,
+                         ids=[e["_file"] for e in _ENTRIES])
+def test_corpus_verdicts_are_stable(entry):
+    verdicts = replay_entry(entry)
+    assert verdict_matches(entry, verdicts), {
+        "expected": entry["expected"]["violated"],
+        "replayed": sorted(n for n, t in verdicts.items() if t),
+    }

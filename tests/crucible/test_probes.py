@@ -1,0 +1,61 @@
+"""Unit tests for the injection-site probe points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulation
+from repro.sim.probes import SITES, SiteProbes
+
+
+def test_sites_are_the_documented_five():
+    assert SITES == ("msg_push", "msg_pull", "checkpoint",
+                     "replay_step", "ladder_rung")
+
+
+def test_fire_counts_and_runs_armed_callback_once():
+    probes = SiteProbes()
+    hits = []
+    probes.arm("msg_push", 1,
+               lambda site, index, detail: hits.append((index, detail)))
+    probes.fire("msg_push", sender="A")
+    assert hits == []
+    probes.fire("msg_push", sender="B")
+    assert hits == [(1, {"sender": "B"})]
+    probes.fire("msg_push", sender="C")
+    assert hits == [(1, {"sender": "B"})]  # one-shot
+    assert probes.counts["msg_push"] == 3
+    assert probes.pending() == 0
+
+
+def test_arming_is_relative_to_current_count():
+    probes = SiteProbes()
+    probes.fire("checkpoint", component="VFS")
+    fired = []
+    # 0 = the very next hit, regardless of hits already counted
+    probes.arm("checkpoint", 0, lambda *args: fired.append(args))
+    assert probes.pending() == 1
+    probes.fire("checkpoint", component="VFS")
+    assert len(fired) == 1
+    assert probes.pending() == 0
+
+
+def test_multiple_callbacks_on_same_hit():
+    probes = SiteProbes()
+    order = []
+    probes.arm("replay_step", 0, lambda *a: order.append("first"))
+    probes.arm("replay_step", 0, lambda *a: order.append("second"))
+    probes.fire("replay_step")
+    assert order == ["first", "second"]
+
+
+def test_arm_validates_site_and_hits():
+    probes = SiteProbes()
+    with pytest.raises(ValueError):
+        probes.arm("not-a-site", 1, lambda *a: a)
+    with pytest.raises(ValueError):
+        probes.arm("msg_push", -1, lambda *a: a)
+
+
+def test_simulation_has_no_probes_by_default():
+    assert Simulation(seed=1).probes is None

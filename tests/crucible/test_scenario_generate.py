@@ -1,0 +1,54 @@
+"""Scenario encoding and frontier generation are deterministic."""
+
+from __future__ import annotations
+
+from repro.crucible import scenario_for_index, scenario_id
+from repro.crucible.generate import (
+    CONFIGS,
+    SITES_AXIS,
+    SWEEP,
+    axes_for_index,
+    canary_scenario,
+)
+from repro.crucible.scenario import FAULT_KINDS, Scenario
+
+
+def test_sweep_covers_the_full_cross_product():
+    seen = {axes_for_index(i)[:3] for i in range(SWEEP)}
+    assert len(seen) == len(CONFIGS) * len(FAULT_KINDS) * len(SITES_AXIS)
+
+
+def test_indices_beyond_one_sweep_revisit_axes_with_new_variants():
+    config, fault, site, variant = axes_for_index(7)
+    config2, fault2, site2, variant2 = axes_for_index(7 + SWEEP)
+    assert (config, fault, site) == (config2, fault2, site2)
+    assert variant != variant2
+
+
+def test_generation_is_a_pure_function_of_seed_and_index():
+    a = scenario_for_index(777, 13)
+    b = scenario_for_index(777, 13)
+    assert a.to_json() == b.to_json()
+    assert scenario_id(a) == scenario_id(b)
+    assert scenario_id(a) != scenario_id(scenario_for_index(778, 13))
+    assert scenario_id(a) != scenario_id(scenario_for_index(777, 14))
+
+
+def test_scenario_round_trips_through_json():
+    scenario = scenario_for_index(42, 3)
+    again = Scenario.from_json(scenario.to_json())
+    assert again.to_json() == scenario.to_json()
+    assert scenario_id(again) == scenario_id(scenario)
+
+
+def test_scenario_id_is_a_content_hash():
+    scenario = scenario_for_index(42, 3)
+    trimmed = scenario.with_events(scenario.events[:-1])
+    assert scenario_id(trimmed) != scenario_id(scenario)
+
+
+def test_canary_scenario_is_flagged_and_small():
+    canary = canary_scenario(20240806)
+    assert canary.canary
+    assert len(canary.events) <= 8
+    assert canary.to_json() == canary_scenario(20240806).to_json()

@@ -74,7 +74,7 @@ def build_file_kernel():
     return kernel, share
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(script=st.lists(FILE_OP, max_size=30))
 def test_file_stack_matches_posix_model(script):
     kernel, share = build_file_kernel()
@@ -107,7 +107,7 @@ def test_file_stack_matches_posix_model(script):
     assert kernel.syscall("VFS", "fstat", fd)["size"] == len(model.data)
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 @given(script=st.lists(FILE_OP, max_size=25))
 def test_ramfs_matches_posix_model(script):
     """The same oracle over the RAMFS backend."""
@@ -155,7 +155,7 @@ TCP_OP = st.one_of(
 )
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(script=st.lists(TCP_OP, max_size=40))
 def test_tcp_stream_matches_fifo_model(script):
     """The TCP connection behaves as two lossless FIFO byte queues."""

@@ -116,7 +116,7 @@ REBOOTABLE = ["VFS", "9PFS", "RAMFS", "PROCESS"]
 from repro.core.config import NOOP
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 @given(script=st.lists(OP, min_size=1, max_size=25),
        reboot_points=st.lists(
            st.tuples(st.integers(0, 24), st.integers(0, 3)),
@@ -139,7 +139,7 @@ def test_component_reboots_are_transparent(script, reboot_points):
     assert rebooted.final_state() == reference.final_state()
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 @given(script=st.lists(OP, min_size=3, max_size=20),
        reboot_at=st.integers(0, 19))
 def test_merged_group_reboots_are_transparent(script, reboot_at):
@@ -155,7 +155,7 @@ def test_merged_group_reboots_are_transparent(script, reboot_at):
     assert rebooted.final_state() == reference.final_state()
 
 
-@settings(max_examples=8, deadline=None)
+@settings(max_examples=8)
 @given(script=st.lists(OP, min_size=2, max_size=15),
        reboot_at=st.integers(0, 14))
 def test_reboots_transparent_under_round_robin_too(script, reboot_at):
@@ -173,7 +173,7 @@ def test_reboots_transparent_under_round_robin_too(script, reboot_at):
     assert rebooted.final_state() == reference.final_state()
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 @given(script=st.lists(OP, min_size=2, max_size=15),
        panic_at=st.integers(0, 14),
        victim=st.integers(0, 2))

@@ -45,7 +45,7 @@ class TestStats:
         assert ratio(0.0, 0.0) == 1.0
         assert math.isinf(ratio(1.0, 0.0))
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
                               allow_nan=False), min_size=1, max_size=50))
     def test_summary_invariants(self, values):

@@ -1,0 +1,111 @@
+"""Property tests for the supervisor's rate-limiting bookkeeping.
+
+Two data structures sit on the recovery hot path and were hand-tuned
+for it: :class:`RetryBudget` prunes its attempt deque incrementally
+(attempts arrive in time order, so expiry pops from the left) and the
+crash-storm detector finds the window boundary with a bisect over the
+append-only per-component timestamp list.  Both are checked here
+against naive reference models over arbitrary monotone schedules —
+including ties exactly at the window boundary and fully simultaneous
+timestamps, where off-by-one pruning or ``bisect_right`` vs
+``bisect_left`` slips would hide.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulation
+from repro.core.detector import FailureDetector
+from repro.supervisor.budget import CrashStormDetector, RetryBudget
+
+#: non-decreasing virtual timestamps with deliberate plateaus (a zero
+#: delta makes two attempts simultaneous) and deltas that land other
+#: attempts exactly one window apart
+_DELTAS = st.lists(
+    st.one_of(st.just(0.0), st.just(1_000.0), st.just(50_000.0),
+              st.floats(min_value=0.0, max_value=120_000.0,
+                        allow_nan=False, allow_infinity=False)),
+    min_size=1, max_size=60)
+
+
+def _schedule(deltas):
+    return list(itertools.accumulate(deltas))
+
+
+class _ModelBudget:
+    """The obvious O(n) re-filter-every-time reference."""
+
+    def __init__(self, budget: RetryBudget) -> None:
+        self._b = budget
+        self.attempts: list[float] = []
+
+    def register(self, now_us: float) -> float:
+        # Window semantics under test: an attempt exactly ``window_us``
+        # old is still inside the window (pruning drops `< cutoff`).
+        self.attempts = [t for t in self.attempts
+                         if t >= now_us - self._b.window_us]
+        self.attempts.append(now_us)
+        overrun = len(self.attempts) - self._b.budget
+        if overrun <= 0:
+            return 0.0
+        return min(self._b.cap_us,
+                   self._b.base_us * self._b.factor ** (overrun - 1))
+
+
+@given(deltas=_DELTAS,
+       budget=st.integers(min_value=1, max_value=5),
+       window_us=st.sampled_from([1_000.0, 50_000.0, 100_000.0]))
+@settings(max_examples=120)
+def test_retry_budget_matches_naive_model(deltas, budget, window_us):
+    real = RetryBudget(budget=budget, window_us=window_us,
+                       base_us=10_000.0, factor=2.0, cap_us=200_000.0)
+    model = _ModelBudget(real)
+    for now_us in _schedule(deltas):
+        assert real.register(now_us) == model.register(now_us)
+        assert list(real.attempts_us) == model.attempts
+
+
+@given(deltas=_DELTAS, window_us=st.sampled_from([1_000.0, 50_000.0]))
+@settings(max_examples=120)
+def test_retry_budget_boundary_attempt_survives(deltas, window_us):
+    """An attempt exactly one window old still counts against the
+    budget — the deque prunes strictly-older timestamps only."""
+    real = RetryBudget(budget=1, window_us=window_us, base_us=1.0,
+                       factor=2.0, cap_us=8.0)
+    real.register(0.0)
+    # the boundary case itself, then the arbitrary schedule after it
+    assert real.register(window_us) > 0.0
+    for now_us in (window_us + t for t in _schedule(deltas)):
+        real.register(now_us)
+        assert all(t >= now_us - window_us for t in real.attempts_us)
+
+
+@given(deltas=_DELTAS,
+       threshold=st.integers(min_value=1, max_value=6),
+       window_us=st.sampled_from([1_000.0, 50_000.0, 100_000.0]))
+@settings(max_examples=120)
+def test_crash_storm_bisect_matches_naive_count(deltas, threshold,
+                                                window_us):
+    """The bisect-based window count agrees with a linear scan, with
+    runs of identical timestamps (simultaneous failures) and probes at
+    arbitrary later instants."""
+    sim = Simulation(seed=99)
+    detector = FailureDetector(sim)
+    storm = CrashStormDetector(threshold=threshold, window_us=window_us)
+    times = _schedule(deltas)
+    for i, t_us in enumerate(times):
+        sim.clock.advance_to(t_us)
+        detector.record("VFS", "panic")
+        detector.record("9PFS", "hang")  # other components never leak in
+        now_us = sim.clock.now_us
+        naive = sum(1 for s in times[:i + 1] if s >= now_us - window_us)
+        assert detector.recent_failures("VFS", window_us, now_us) == naive
+        assert storm.tripped(detector, "VFS", now_us) == (naive >= threshold)
+    # probe after the storm: the window slides off the history tail
+    for probe_us in (times[-1] + window_us * k for k in (0.5, 1.0, 1.5, 3.0)):
+        naive = sum(1 for s in times if s >= probe_us - window_us)
+        assert detector.recent_failures("VFS", window_us, probe_us) == naive

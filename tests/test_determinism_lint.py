@@ -1,0 +1,68 @@
+"""Source lint: the simulation must stay deterministic by construction.
+
+Every run is a pure function of its seed — that is what makes the
+crucible's frontier resumable and its reports byte-identical across
+``--jobs``.  The property only holds if no module smuggles in ambient
+entropy, so this test walks ``src/repro`` and rejects the two ways it
+leaks in: the global ``random`` module (all randomness goes through
+:class:`repro.sim.rng.DeterministicRNG` streams) and wall-clock reads
+(time comes from :class:`repro.sim.clock.VirtualClock`).  ``sim/rng.py``
+is the one sanctioned wrapper and is exempt.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import repro
+
+_SRC_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+#: file allowed to touch entropy sources (the seeded-stream wrapper)
+_EXEMPT = {os.path.join("sim", "rng.py")}
+
+_BANNED = [
+    (re.compile(r"^\s*import random\b"), "import random"),
+    (re.compile(r"^\s*from random\b"), "from random import"),
+    (re.compile(r"\btime\.time\("), "time.time()"),
+    (re.compile(r"\btime\.monotonic\("), "time.monotonic()"),
+    (re.compile(r"\bperf_counter\("), "perf_counter()"),
+    (re.compile(r"\bdatetime\.now\("), "datetime.now()"),
+    (re.compile(r"\bdatetime\.today\("), "datetime.today()"),
+    (re.compile(r"\bdatetime\.utcnow\("), "datetime.utcnow()"),
+    (re.compile(r"\buuid4\("), "uuid4()"),
+    (re.compile(r"\bos\.urandom\("), "os.urandom()"),
+]
+
+
+def _python_sources():
+    for dirpath, _dirnames, filenames in os.walk(_SRC_ROOT):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            yield os.path.relpath(path, _SRC_ROOT), path
+
+
+def test_no_ambient_entropy_in_src():
+    offenses = []
+    for rel, path in _python_sources():
+        if rel in _EXEMPT:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                code = line.split("#", 1)[0]
+                for pattern, label in _BANNED:
+                    if pattern.search(code):
+                        offenses.append(f"{rel}:{lineno}: {label}")
+    assert not offenses, (
+        "non-deterministic construct(s) in src/repro — route randomness "
+        "through sim.rng and time through sim.clock:\n  "
+        + "\n  ".join(offenses))
+
+
+def test_exempt_file_still_exists():
+    """If the sanctioned wrapper moves, the allow-list must move too."""
+    for rel in _EXEMPT:
+        assert os.path.exists(os.path.join(_SRC_ROOT, rel)), rel

@@ -60,6 +60,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="PATH",
                         help="where --obs saves the flight recording "
                              "(default: flight.json)")
+    parser.add_argument("--obs-sample", type=int, default=None,
+                        metavar="N",
+                        help="store only 1-in-N dispatch spans "
+                             "(deterministic keep-first; metrics and "
+                             "profile still see every call)")
 
 
 def _run_f5(args: argparse.Namespace) -> ExperimentReport:
@@ -397,7 +402,7 @@ def _run_with_obs(args: argparse.Namespace, body) -> int:
         return body()
     from .obs import export, state as obs_state
 
-    obs_state.enable()
+    obs_state.enable(sample_dispatch=getattr(args, "obs_sample", None))
     try:
         code = body()
         recording = obs_state.collector().to_recording()

@@ -36,61 +36,99 @@ from __future__ import annotations
 
 import copy
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..fastpath import FLAGS
+from ..fastpath import (
+    FLAGS,
+    HANDLE_CACHE_LIMIT,
+    HANDLES,
+    type_fingerprint,
+)
 from ..fastpath import IMMUTABLE_SCALARS as _IMMUTABLE_SCALARS  # noqa: F401
 from ..fastpath import is_immutable as _is_immutable
 
+#: content-keyed caches shared with the snapshot/message fast paths
+_LOG_BYTES = HANDLES.log_bytes
+_BLOBS = HANDLES.blobs
 
-@dataclass
+
 class ReturnValueRecord:
     """One outbound call's outcome, recorded for replay interception."""
 
-    target: str
-    func: str
-    result: Any = None
-    #: (errno, message) when the call raised a SyscallError; replay
-    #: re-raises it so the component takes the same path again
-    error: Optional[Tuple[str, str]] = None
+    __slots__ = ("target", "func", "result", "error")
+
+    def __init__(self, target: str, func: str, result: Any = None,
+                 error: Optional[Tuple[str, str]] = None) -> None:
+        self.target = target
+        self.func = func
+        self.result = result
+        #: (errno, message) when the call raised a SyscallError; replay
+        #: re-raises it so the component takes the same path again
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReturnValueRecord(target={self.target!r}, "
+                f"func={self.func!r}, result={self.result!r}, "
+                f"error={self.error!r})")
 
 
-@dataclass
 class CallLogEntry:
-    """One logged inbound call."""
+    """One logged inbound call.
 
-    seq: int
-    func: str
-    args: Tuple[Any, ...]
-    kwargs: Dict[str, Any]
-    #: session key (fd / fid / socket id) for session-aware shrinking
-    key: Any = None
-    result: Any = None
-    #: whether this entry opens a session for its key (open/socket)
-    session_opener: bool = False
-    #: whether this entry is a canceling function (close)
-    canceling: bool = False
-    #: durable entries hold data the component itself stores (§V-F
-    #: caveat); canceling prunes skip them
-    durable: bool = False
-    #: return values of the component's outbound calls during this call
-    nested: List[ReturnValueRecord] = field(default_factory=list)
-    #: forced-shrink synthetic entry: apply this state patch instead of
-    #: replaying pruned per-key operations
-    synthetic_patch: Optional[Tuple[Any, Any]] = None
-    #: False while the call is still executing; replay skips in-flight
-    #: entries (their nested retvals are partial)
-    completed: bool = False
-    #: tombstone flag: False once the entry has been pruned
-    alive: bool = True
+    Slotted (hot-path class: one is built per logged syscall).  The
+    ``_log`` slot is the owning :class:`ComponentCallLog` back-pointer;
+    it is initialised first so ``__setattr__`` can always read it.
+    """
+
+    __slots__ = ("seq", "func", "args", "kwargs", "key", "result",
+                 "session_opener", "canceling", "durable", "nested",
+                 "synthetic_patch", "completed", "alive", "_log",
+                 "_space")
+
+    def __init__(self, seq: int, func: str, args: Tuple[Any, ...],
+                 kwargs: Dict[str, Any], key: Any = None,
+                 result: Any = None, session_opener: bool = False,
+                 canceling: bool = False, durable: bool = False,
+                 nested: Optional[List[ReturnValueRecord]] = None,
+                 synthetic_patch: Optional[Tuple[Any, Any]] = None,
+                 completed: bool = False, alive: bool = True) -> None:
+        oset = object.__setattr__
+        oset(self, "_log", None)
+        oset(self, "seq", seq)
+        oset(self, "func", func)
+        oset(self, "args", args)
+        oset(self, "kwargs", kwargs)
+        #: session key (fd / fid / socket id) for session-aware shrinking
+        oset(self, "key", key)
+        oset(self, "result", result)
+        #: whether this entry opens a session for its key (open/socket)
+        oset(self, "session_opener", session_opener)
+        #: whether this entry is a canceling function (close)
+        oset(self, "canceling", canceling)
+        #: durable entries hold data the component itself stores (§V-F
+        #: caveat); canceling prunes skip them
+        oset(self, "durable", durable)
+        #: return values of the component's outbound calls during this
+        #: call
+        oset(self, "nested", nested if nested is not None else [])
+        #: forced-shrink synthetic entry: apply this state patch instead
+        #: of replaying pruned per-key operations
+        oset(self, "synthetic_patch", synthetic_patch)
+        #: False while the call is still executing; replay skips
+        #: in-flight entries (their nested retvals are partial)
+        oset(self, "completed", completed)
+        #: tombstone flag: False once the entry has been pruned
+        oset(self, "alive", alive)
+        #: cached space_bytes() while registered in a log (maintained by
+        #: the owning log so _unregister never re-walks the payloads)
+        oset(self, "_space", 0)
 
     def __setattr__(self, name: str, value: Any) -> None:
         # ``key`` and ``result`` are assigned by the dispatcher *after*
         # the entry is in the log (key_from_result, completion); route
         # those through the owning log so the per-key index and the
         # incremental space accounting stay exact.
-        log = self.__dict__.get("_log")
+        log = self._log
         if log is not None:
             if name == "key":
                 log._rekey(self, value)
@@ -99,6 +137,19 @@ class CallLogEntry:
                 log._reresult(self, value)
                 return
         object.__setattr__(self, name, value)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Copies/pickles detach from the owning log: the copy is not in
+        # any log's index, so routing its late assignments through one
+        # would corrupt accounting.
+        return {name: getattr(self, name) for name in self.__slots__
+                if name != "_log"}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        oset = object.__setattr__
+        oset(self, "_log", None)
+        for name, value in state.items():
+            oset(self, name, value)
 
     @property
     def is_synthetic(self) -> bool:
@@ -158,13 +209,25 @@ class ComponentCallLog:
             seq=next(self._seq),
             func=func,
             args=_copy_payload(args),
-            kwargs=_copy_kwargs(kwargs),
+            kwargs=_copy_kwargs(kwargs) if kwargs else {},
             key=key,
             session_opener=session_opener,
             canceling=canceling,
             durable=durable,
         )
-        self._register(entry)
+        # Inlined _register, specialised for a fresh entry: alive is
+        # already True, nested is empty and result is None, so the
+        # space walk collapses to 64 (header) + 8 (None result) + the
+        # args price and the record count to exactly 1.
+        self._entries.append(entry)
+        object.__setattr__(entry, "_log", self)
+        if key is not None:
+            self._index_add(key, entry)
+        self._live_count += 1
+        self._record_count += 1
+        space = 72 + _payload_bytes(entry.args)
+        object.__setattr__(entry, "_space", space)
+        self._space_bytes += space
         self.total_appended += 1
         return entry
 
@@ -208,15 +271,30 @@ class ComponentCallLog:
         Returns True when a record was stored (i.e. a logged call of
         this component is currently executing).
         """
-        entry = self.active_entry
-        if entry is None:
+        active = self._active
+        if not active:
             return False
-        entry.nested.append(ReturnValueRecord(
-            target=target, func=func,
-            result=_copy_payload(result), error=error))
+        entry = active[-1]
+        # Scalar/bytes results (the vast majority) copy by identity and
+        # price trivially under every flag combination: deepcopy returns
+        # the same object for atomic immutables, so the fast path is
+        # exactly equivalent to _copy_payload + _payload_bytes.
+        cls = result.__class__
+        if result is None or cls is int or cls is float:
+            copied = result
+            size = 8
+        elif cls is bytes:
+            copied = result
+            size = len(result)
+        else:
+            copied = _copy_payload(result)
+            size = -1
+        entry.nested.append(ReturnValueRecord(target, func, copied, error))
         if entry.alive:
             self._record_count += 1
-            self._space_bytes += 64 + _payload_bytes(result)
+            delta = 64 + (_payload_bytes(result) if size < 0 else size)
+            self._space_bytes += delta
+            object.__setattr__(entry, "_space", entry._space + delta)
         self.total_retvals += 1
         return True
 
@@ -225,8 +303,11 @@ class ComponentCallLog:
         repopulates them)."""
         if entry.alive and entry.nested:
             self._record_count -= len(entry.nested)
+            delta = 0
             for record in entry.nested:
-                self._space_bytes -= 64 + _payload_bytes(record.result)
+                delta += 64 + _payload_bytes(record.result)
+            self._space_bytes -= delta
+            object.__setattr__(entry, "_space", entry._space - delta)
         entry.nested.clear()
 
     # --- queries -------------------------------------------------------------------
@@ -293,7 +374,7 @@ class ComponentCallLog:
     def remove_entries(self, doomed: List[CallLogEntry]) -> int:
         removed = 0
         for entry in doomed:
-            if entry.alive and entry.__dict__.get("_log") is self:
+            if entry.alive and entry._log is self:
                 self._unregister(entry)
                 removed += 1
         self.total_pruned += removed
@@ -336,7 +417,7 @@ class ComponentCallLog:
                 continue
             if entry.alive:
                 object.__setattr__(entry, "alive", False)
-            entry.__dict__.pop("_log", None)
+            object.__setattr__(entry, "_log", None)
         self._entries.clear()
         self._dead = 0
         self._by_key.clear()
@@ -357,12 +438,14 @@ class ComponentCallLog:
             self._entries.append(entry)
         else:
             self._entries.insert(index, entry)
-        entry.__dict__["_log"] = self
+        object.__setattr__(entry, "_log", self)
         if entry.key is not None:
             self._index_add(entry.key, entry)
         self._live_count += 1
         self._record_count += entry.entry_count()
-        self._space_bytes += entry.space_bytes()
+        space = entry.space_bytes()
+        object.__setattr__(entry, "_space", space)
+        self._space_bytes += space
 
     def _unregister(self, entry: CallLogEntry) -> None:
         object.__setattr__(entry, "alive", False)
@@ -371,7 +454,9 @@ class ComponentCallLog:
             self._index_drop(entry.key)
         self._live_count -= 1
         self._record_count -= entry.entry_count()
-        self._space_bytes -= entry.space_bytes()
+        # entry._space tracks every registered-lifetime mutation
+        # (result assignment, nested retvals), so no payload re-walk
+        self._space_bytes -= entry._space
 
     def _index_add(self, key: Any, entry: CallLogEntry) -> None:
         self._by_key.setdefault(key, []).append(entry)
@@ -393,7 +478,7 @@ class ComponentCallLog:
     def _rekey(self, entry: CallLogEntry, new_key: Any) -> None:
         """Re-index an entry whose ``key`` is assigned after append
         (the dispatcher's key_from_result path)."""
-        old_key = entry.__dict__.get("key")
+        old_key = entry.key
         if new_key == old_key:
             return
         object.__setattr__(entry, "key", new_key)
@@ -406,10 +491,13 @@ class ComponentCallLog:
 
     def _reresult(self, entry: CallLogEntry, result: Any) -> None:
         """Track the space delta when ``result`` is assigned late."""
-        old = entry.__dict__.get("result")
+        old = entry.result
         object.__setattr__(entry, "result", result)
         if entry.alive:
-            self._space_bytes += _payload_bytes(result) - _payload_bytes(old)
+            delta = _payload_bytes(result) - _payload_bytes(old)
+            if delta:
+                self._space_bytes += delta
+                object.__setattr__(entry, "_space", entry._space + delta)
 
 
 # --- payload helpers -------------------------------------------------------------
@@ -423,9 +511,30 @@ def _copy_payload(value: Any) -> Any:
     """The copy fast path: immutable payloads (None/bool/int/float/str/
     bytes and tuples thereof — the vast majority of logged syscall
     arguments) need no defensive copy; everything else deep-copies
-    exactly as before."""
-    if FLAGS.copy_fast_path and _is_immutable(value):
-        return value
+    exactly as before.
+
+    With ``FLAGS.interned_payloads``, repeated immutable argument
+    tuples additionally share one canonical logged blob.  The blob key
+    carries a recursive type fingerprint: ``(1,) == (True,)`` but they
+    are distinguishable payloads, so equality alone must not let one
+    stand in for the other.
+    """
+    if FLAGS.copy_fast_path:
+        if _is_immutable(value):
+            if FLAGS.interned_payloads and type(value) is tuple and value:
+                key = (value, type_fingerprint(value))
+                canonical = _BLOBS.get(key)
+                if canonical is not None:
+                    return canonical
+                if len(_BLOBS) >= HANDLE_CACHE_LIMIT:
+                    _BLOBS.clear()
+                _BLOBS[key] = value
+            return value
+        if type(value) is dict \
+                and all(_is_immutable(v) for v in value.values()):
+            # a flat dict of immutables needs only a fresh top-level
+            # dict — mutation-safety matches the deep copy
+            return dict(value)
     return copy.deepcopy(value)
 
 
@@ -439,14 +548,65 @@ def _copy_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _payload_bytes(value: Any) -> int:
+    """Log-space price of one payload.
+
+    str and immutable-tuple prices are answered from a content-keyed
+    cache when ``FLAGS.interned_payloads`` is on: the price depends
+    only on content, and within the immutable family equal values
+    always price identically (str only equals str; the scalar types
+    whose equality crosses type boundaries all price at 8 and never
+    reach the cache).
+
+    Dispatches on the exact class first (every real payload is a
+    built-in); subclasses take the original ``isinstance`` chain in
+    :func:`_payload_bytes_slow` with identical pricing.
+    """
+    cls = value.__class__
+    if cls is bytes:
+        return len(value)
+    if cls is str:
+        # encoded byte length, not character count (a str payload costs
+        # what its UTF-8 serialisation occupies)
+        if not FLAGS.interned_payloads:
+            return len(value.encode("utf-8"))
+        size = _LOG_BYTES.get(value)
+        if size is None:
+            size = len(value.encode("utf-8"))
+            if len(_LOG_BYTES) >= HANDLE_CACHE_LIMIT:
+                _LOG_BYTES.clear()
+            _LOG_BYTES[value] = size
+        return size
+    if cls is tuple:
+        if FLAGS.interned_payloads and value:
+            try:
+                size = _LOG_BYTES.get(value)
+            except TypeError:  # unhashable element: compute directly
+                return sum(map(_payload_bytes, value))
+            if size is None:
+                size = sum(map(_payload_bytes, value))
+                if _is_immutable(value):
+                    if len(_LOG_BYTES) >= HANDLE_CACHE_LIMIT:
+                        _LOG_BYTES.clear()
+                    _LOG_BYTES[value] = size
+            return size
+        return sum(map(_payload_bytes, value))
+    if cls is list:
+        return sum(map(_payload_bytes, value))
+    if cls is dict:
+        return sum(map(_payload_bytes, value.values()))
+    if value is None or cls is int or cls is float or cls is bool:
+        return 8
+    return _payload_bytes_slow(value)
+
+
+def _payload_bytes_slow(value: Any) -> int:
+    """Subclass / oddball pricing — the original ``isinstance`` chain."""
     if isinstance(value, (bytes, bytearray)):
         return len(value)
     if isinstance(value, str):
-        # encoded byte length, not character count (a str payload costs
-        # what its UTF-8 serialisation occupies)
         return len(value.encode("utf-8"))
     if isinstance(value, (tuple, list)):
-        return sum(_payload_bytes(v) for v in value)
+        return sum(map(_payload_bytes, value))
     if isinstance(value, dict):
-        return sum(_payload_bytes(v) for v in value.values())
+        return sum(map(_payload_bytes, value.values()))
     return 8

@@ -12,52 +12,103 @@ buffers when they are used by the target component and are not needed
 for the restoration": a pull releases its message's buffer immediately
 (the durable copy, when the call is logged, lives in the call log, not
 the message buffer).
+
+The batched fast path (``FLAGS.batched_crossings``) adds
+``begin_crossing()`` / ``end_crossing()``: the synchronous dispatcher
+knows its pull follows its push immediately, so one crossing reserves
+and releases arena space without constructing a :class:`Message` or
+touching the in-flight dict — while issuing the exact same
+``msg_push`` / ``msg_pull`` charges, stats and obs metrics as the
+reference pair.  The region's ``used_bytes`` mirror is net-zero across
+a crossing and is skipped; every external observation point (between
+syscalls, drop_for, crucible probes) sees identical state.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from ..fastpath import FLAGS, HANDLE_CACHE_LIMIT, HANDLES, is_immutable
 from ..memory.region import Region
 from ..sim.engine import Simulation
 
 #: fixed per-message header charged on top of the payload
 MESSAGE_HEADER_BYTES = 48
 
+#: content-keyed wire-size cache (see fastpath.PayloadHandles)
+_WIRE_SIZES = HANDLES.wire_sizes
+
 
 class MessageDomainFull(Exception):
     """The message buffer arena is exhausted (undrained messages)."""
 
 
-@dataclass
 class Message:
     """One in-flight request or reply."""
 
-    msg_id: int
-    sender: str
-    receiver: str
-    func: str
-    payload_bytes: int
-    is_reply: bool = False
-    #: flight-recorder span active when the message was pushed — the
-    #: causal parent the receiving side nests its dispatch span under
-    #: (None when observability is off or no span is open)
-    span_id: Optional[int] = None
+    __slots__ = ("msg_id", "sender", "receiver", "func", "payload_bytes",
+                 "is_reply", "span_id")
+
+    def __init__(self, msg_id: int, sender: str, receiver: str, func: str,
+                 payload_bytes: int, is_reply: bool = False,
+                 span_id: Optional[int] = None) -> None:
+        self.msg_id = msg_id
+        self.sender = sender
+        self.receiver = receiver
+        self.func = func
+        self.payload_bytes = payload_bytes
+        self.is_reply = is_reply
+        #: flight-recorder span active when the message was pushed — the
+        #: causal parent the receiving side nests its dispatch span
+        #: under (None when observability is off or no span is open)
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(msg_id={self.msg_id}, sender={self.sender!r}, "
+                f"receiver={self.receiver!r}, func={self.func!r}, "
+                f"payload_bytes={self.payload_bytes}, "
+                f"is_reply={self.is_reply}, span_id={self.span_id})")
+
+
+def _value_size(value: Any) -> int:
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (list, tuple)):
+        return sum(len(v) if isinstance(v, (bytes, str)) else 8
+                   for v in value)
+    return 8
 
 
 def payload_size(args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> int:
-    """Approximate wire size of a call's arguments (deterministic)."""
-    total = 0
-    for value in list(args) + list(kwargs.values()):
-        if isinstance(value, (bytes, bytearray, str)):
-            total += len(value)
-        elif isinstance(value, (list, tuple)):
-            total += sum(len(v) if isinstance(v, (bytes, str)) else 8
-                         for v in value)
+    """Approximate wire size of a call's arguments (deterministic).
+
+    Single pass over ``args`` then ``kwargs.values()`` (no concatenated
+    list).  With ``FLAGS.interned_payloads`` the all-positional case is
+    answered from a content-keyed cache: within the immutable family,
+    equal argument tuples always price identically, so the key is the
+    tuple itself.
+    """
+    if not kwargs and FLAGS.interned_payloads:
+        try:
+            size = _WIRE_SIZES.get(args)
+        except TypeError:  # unhashable argument somewhere inside
+            size = None
         else:
-            total += 8
+            if size is None:
+                size = 0
+                for value in args:
+                    size += _value_size(value)
+                if is_immutable(args):
+                    if len(_WIRE_SIZES) >= HANDLE_CACHE_LIMIT:
+                        _WIRE_SIZES.clear()
+                    _WIRE_SIZES[args] = size
+            return size
+    total = 0
+    for value in args:
+        total += _value_size(value)
+    for value in kwargs.values():
+        total += _value_size(value)
     return total
 
 
@@ -146,16 +197,74 @@ class MessageDomain:
             obs.set_gauge("msgdom.used_bytes", self.used_bytes)
         return message
 
+    # --- the batched crossing (FLAGS.batched_crossings) -------------------
+
+    def begin_crossing(self, args: Tuple[Any, ...],
+                       kwargs: Dict[str, Any]) -> Tuple[int, int]:
+        """The push half of a synchronous crossing, sans Message object.
+
+        Charge-for-charge identical to :meth:`vo_push_msgs`: same size
+        computation, same :class:`MessageDomainFull` check, same
+        ``msg_push`` charge, same stats/obs updates.  Returns
+        ``(size, msg_id)`` for the paired :meth:`end_crossing`.  The
+        dispatcher only takes this path when no crucible probes are
+        attached (probes may reboot components mid-crossing and must
+        see the reference in-flight bookkeeping).
+        """
+        size = MESSAGE_HEADER_BYTES + payload_size(args, kwargs)
+        if size > self.region.size_bytes - self.used_bytes:
+            raise MessageDomainFull(
+                f"message of {size}B does not fit "
+                f"({self.used_bytes}/{self.capacity_bytes}B used)")
+        sim = self.sim
+        sim.charge("msg_push", sim.costs.msg_push)
+        msg_id = next(self._ids)
+        used = self.used_bytes + size
+        obs = sim.obs
+        if obs is not None:
+            obs.inc("msgdom.pushes")
+            obs.observe("msgdom.queue_depth", len(self._in_flight) + 1)
+        self.used_bytes = used
+        self.pushes += 1
+        if used > self.peak_bytes:
+            self.peak_bytes = used
+        depth = len(self._in_flight) + 1
+        if depth > self.peak_in_flight:
+            self.peak_in_flight = depth
+        return size, msg_id
+
+    def end_crossing(self, size: int) -> None:
+        """The pull half of a batched crossing (see begin_crossing)."""
+        sim = self.sim
+        sim.charge("msg_pull", sim.costs.msg_pull)
+        self.used_bytes -= size
+        self.pulls += 1
+        obs = sim.obs
+        if obs is not None:
+            obs.inc("msgdom.pulls")
+            obs.set_gauge("msgdom.used_bytes", self.used_bytes)
+
     def in_flight_count(self) -> int:
         return len(self._in_flight)
 
     def drop_for(self, component: str) -> int:
         """Release any buffers addressed to a component being torn down
-        (part of the reboot path's cleanup)."""
+        (part of the reboot path's cleanup).
+
+        Keeps the obs dashboard in sync: the ``msgdom.used_bytes``
+        gauge tracks the release (push/pull already maintain it, so a
+        reboot-time drop must too or dashboards show ghost bytes) and
+        drops are counted separately.  Peak statistics are lifetime
+        high-water marks and are deliberately not rewound.
+        """
         doomed = [m for m in self._in_flight.values()
                   if m.receiver == component]
         for message in doomed:
             del self._in_flight[message.msg_id]
             self.used_bytes -= message.payload_bytes
         self.region.used_bytes = self.used_bytes
+        obs = self.sim.obs
+        if obs is not None and doomed:
+            obs.inc("msgdom.drops", len(doomed))
+            obs.set_gauge("msgdom.used_bytes", self.used_bytes)
         return len(doomed)

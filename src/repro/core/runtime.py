@@ -58,8 +58,12 @@ from .config import (
     VampConfig,
 )
 from .detector import FailureDetector
-from ..fastpath import FLAGS
-from .messages import MessageDomain
+from ..fastpath import FLAGS, HANDLES
+from .messages import MESSAGE_HEADER_BYTES, MessageDomain, payload_size
+
+#: interned wire sizes, shared with messages.payload_size (empty — and
+#: therefore a guaranteed miss — while interned_payloads is off)
+_WIRE_SIZES = HANDLES.wire_sizes
 from .restore import EncapsulatedRestorer, ReplayMismatch, ReplaySession
 from .scheduler import (
     APP_THREAD,
@@ -67,8 +71,12 @@ from .scheduler import (
     BaseScheduler,
     DependencyAwareScheduler,
     RoundRobinScheduler,
+    ThreadState,
     build_units,
 )
+
+_RUNNING = ThreadState.RUNNING
+_IDLE = ThreadState.IDLE
 from .shrink import LogShrinker
 
 
@@ -88,14 +96,238 @@ class RebootRecord:
     stateless: bool = False
 
 
+class _CrossingPlan:
+    """One non-merged crossing, compiled to a charge tape.
+
+    Under dependency-aware scheduling the exact charge sequence of a
+    crossing (request push → [MSG thread] → target switch → pull, and
+    the mirror-image reply) depends only on the static pieces: the
+    caller/target units, the candidate table, whether the call is
+    logged and whether the caller keeps a return-value log.  The
+    dispatcher compiles that sequence once per (caller, target, logged)
+    and replays it as straight-line dict arithmetic — every individual
+    ``(category, amount)`` charge is still applied separately and in
+    reference order, so the virtual clock and the per-category ledger
+    stay bit-identical to the uncompiled path.
+
+    ``req_run`` / ``rep_run`` are the tapes code-generated into one
+    straight-line function each (amounts and unit names baked in as
+    constants, the clock accumulated in a local and stored once — the
+    same left-to-right float additions, so the result is bit-identical).
+    The ``*_tape`` / delta slots keep the symbolic form the neutrality
+    tests inspect.
+    """
+
+    __slots__ = ("caller_unit", "target_unit", "thread",
+                 "req_tape", "req_switches", "req_deps", "req_wasted",
+                 "req_fallbacks", "req_run",
+                 "rep_tape", "rep_switches", "rep_deps", "rep_wasted",
+                 "rep_fallbacks", "rep_run")
+
+
+def _compile_crossing(tape, deltas, msg_dispatch, caller_unit,
+                      target_unit, reply):
+    """Code-generate one crossing side into a straight-line function.
+
+    The generated body replays the tape's charges one at a time in
+    reference order (each amount a baked-in constant; ``repr`` of a
+    float round-trips exactly), accumulating the clock in a local and
+    storing it once — the identical sequence of left-to-right float
+    additions, so clock and ledger stay bit-identical to the loop it
+    replaces.  The domain/scheduler bookkeeping that the fast lane
+    performed inline follows, with the per-plan stat deltas folded into
+    constants.
+    """
+    switches, deps, wasted, fallbacks = deltas
+    src = ["def run(sim, md, sched, thread, size):",
+           "    clock = sim.clock",
+           "    ledger = sim.ledger",
+           "    totals = ledger.totals",
+           "    counts = ledger.counts",
+           "    n = clock._now_us"]
+    for cat, amt in tape:
+        c, a = repr(cat), repr(amt)
+        src += [f"    n += {a}",
+                f"    try:",
+                f"        totals[{c}] += {a}",
+                f"    except KeyError:",
+                f"        totals[{c}] = 0.0 + {a}",
+                f"        counts[{c}] = 1",
+                f"    else:",
+                f"        counts[{c}] += 1"]
+    src += ["    clock._now_us = n",
+            "    mid = next(md._ids)",
+            "    md.pushes += 1",
+            "    md.pulls += 1",
+            "    used = md.used_bytes + size",
+            "    if used > md.peak_bytes:",
+            "        md.peak_bytes = used",
+            "    depth = len(md._in_flight) + 1",
+            "    if depth > md.peak_in_flight:",
+            "        md.peak_in_flight = depth",
+            "    stats = sched.stats",
+            f"    stats.dispatches += {switches}",
+            f"    stats.dependency_lookups += {deps}"]
+    if wasted:
+        src.append(f"    stats.wasted_polls += {wasted}")
+    if fallbacks:
+        src.append(f"    sched.fallback_dispatches += {fallbacks}")
+    if msg_dispatch:
+        src.append("    stats.msg_thread_dispatches += 1")
+    if reply:
+        src += ["    chain = sched._active_chain",
+                f"    if chain and chain[-1] == {target_unit!r}:",
+                "        chain.pop()",
+                f"    if {target_unit!r} not in chain:",
+                "        thread.state = _IDLE",
+                f"    sched.current = {caller_unit!r}"]
+    else:
+        src += [f"    sched._active_chain.append({target_unit!r})",
+                "    thread.state = _RUNNING",
+                "    thread.dispatches += 1",
+                f"    sched.current = {target_unit!r}"]
+    # The message id feeds the dispatch span's ``msg_id`` when a flight
+    # recorder is attached; plain callers ignore the return value.
+    src.append("    return mid")
+    namespace = {"_RUNNING": _RUNNING, "_IDLE": _IDLE}
+    exec("\n".join(src), namespace)  # noqa: S102 - static template
+    return namespace["run"]
+
+
+def _replay_obs_crossing(obs, md, tape):
+    """Replay the observability side of one compiled crossing.
+
+    Mirrors exactly what ``begin_crossing``/``end_crossing`` and the
+    per-charge :meth:`Simulation.charge` hook would have reported (see
+    :meth:`FlightRecorder.on_crossing`).  The metrics registry and the
+    virtual-time profile are disjoint accumulators, so grouping the
+    attributions after the tape ran leaves the collector state
+    identical to the interleaved reference sequence.
+    """
+    obs.on_crossing(tape, len(md._in_flight) + 1, md.used_bytes)
+
+
 class VampDispatcher:
-    """Message-passing dispatch with logging, scheduling and recovery."""
+    """Message-passing dispatch with logging, scheduling and recovery.
+
+    The dispatch fast lane: ``invoke`` runs per crossing, so the
+    ``kernel.*`` subsystem handles it needs are bound once (lazily, on
+    the first call — the kernel finishes wiring its subsystems after
+    constructing the dispatcher) instead of chased through attribute
+    chains per call.  The kernel rebuilds the whole dispatcher whenever
+    it re-initialises (``full_reboot`` re-runs ``__init__``), so the
+    bound handles can never go stale.
+    """
+
+    __slots__ = ("kernel", "sim", "replay_session", "_bound",
+                 "_components", "_message_domain", "_scheduler", "_logs",
+                 "_shrinkers", "_supervisor", "_detector", "_meter",
+                 "_logging_enabled", "_member_map", "_plans")
 
     def __init__(self, kernel: "VampOSKernel") -> None:
         self.kernel = kernel
         self.sim = kernel.sim
         #: active replay session during an encapsulated restoration
         self.replay_session: Optional[ReplaySession] = None
+        self._bound = False
+
+    def _bind(self) -> None:
+        kernel = self.kernel
+        self._components = kernel.image.components
+        self._message_domain = kernel.message_domain
+        self._scheduler = kernel.scheduler
+        self._logs = kernel.logs
+        self._shrinkers = kernel.shrinkers
+        self._supervisor = kernel.supervisor
+        self._detector = kernel.detector
+        self._meter = kernel.meter
+        self._logging_enabled = kernel.config.logging_enabled
+        self._member_map = kernel.scheduler.member_map
+        #: (caller, target, logged) -> _CrossingPlan, or False when the
+        #: crossing cannot be compiled (round-robin, merged units)
+        self._plans: Dict[Tuple[str, str, bool], Any] = {}
+        self._bound = True
+
+    def _build_plan(self, caller: str, target: str,
+                    logged: bool) -> Any:
+        """Compile the crossing's charge tape (see :class:`_CrossingPlan`).
+
+        Caches and returns False when the crossing cannot be compiled:
+        anything but a plain :class:`DependencyAwareScheduler` (a
+        subclass may override the switch protocol), merged units, or a
+        pathological cost model with negative amounts (those take
+        ``Simulation.charge``'s ignore branch, which a tape replay
+        cannot reproduce).
+        """
+        sched = self._scheduler
+        key = (caller, target, logged)
+        costs = self.sim.costs
+        caller_unit = sched.unit_of(caller)
+        target_unit = sched.unit_of(target)
+        thread = sched.threads.get(target_unit)
+        if (type(sched) is not DependencyAwareScheduler
+                or caller_unit == target_unit or thread is None):
+            self._plans[key] = False
+            return False
+        candidates = sched._candidates
+
+        def extend_switch(tape: list, deltas: list,
+                          frm: str, to: str) -> str:
+            # Mirrors DependencyAwareScheduler._switch_to(poll=True);
+            # deltas = [switches, lookups, wasted, fallbacks].
+            tape.append(("dependency_lookup", costs.dependency_lookup))
+            deltas[1] += 1
+            cands = candidates.get(frm)
+            if cands is None or to not in cands:
+                scan = len(cands) if cands else 0
+                if scan:
+                    tape.append(("wasted_poll", scan * costs.wasted_poll))
+                    deltas[2] += scan
+                deltas[3] += 1
+            tape.append(("thread_switch", costs.thread_switch))
+            tape.append(("pkru_write", costs.pkru_write))
+            deltas[0] += 1
+            return to
+
+        req_tape: list = [("msg_push", costs.msg_push)]
+        req_deltas = [0, 0, 0, 0]
+        cur = caller_unit
+        if logged:
+            cur = extend_switch(req_tape, req_deltas, cur, MSG_THREAD)
+        extend_switch(req_tape, req_deltas, cur, target_unit)
+        req_tape.append(("msg_pull", costs.msg_pull))
+
+        needs_msg = self._logs.get(caller) is not None
+        rep_tape: list = [("msg_push", costs.msg_push)]
+        rep_deltas = [0, 0, 0, 0]
+        cur = target_unit
+        if needs_msg:
+            cur = extend_switch(rep_tape, rep_deltas, cur, MSG_THREAD)
+        extend_switch(rep_tape, rep_deltas, cur, caller_unit)
+        rep_tape.append(("msg_pull", costs.msg_pull))
+
+        if any(amt < 0 for _, amt in req_tape) \
+                or any(amt < 0 for _, amt in rep_tape):
+            self._plans[key] = False
+            return False
+        plan = _CrossingPlan()
+        plan.caller_unit = caller_unit
+        plan.target_unit = target_unit
+        plan.thread = thread
+        plan.req_tape = tuple(req_tape)
+        (plan.req_switches, plan.req_deps,
+         plan.req_wasted, plan.req_fallbacks) = req_deltas
+        plan.rep_tape = tuple(rep_tape)
+        (plan.rep_switches, plan.rep_deps,
+         plan.rep_wasted, plan.rep_fallbacks) = rep_deltas
+        plan.req_run = _compile_crossing(req_tape, req_deltas, logged,
+                                         caller_unit, target_unit,
+                                         reply=False)
+        plan.rep_run = _compile_crossing(rep_tape, rep_deltas, needs_msg,
+                                         caller_unit, target_unit,
+                                         reply=True)
+        self._plans[key] = plan
+        return plan
 
     # --- the main entry point ----------------------------------------------------
 
@@ -103,6 +335,8 @@ class VampDispatcher:
                args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
         kernel = self.kernel
         sim = self.sim
+        if not self._bound:
+            self._bind()
 
         # Encapsulated restoration: the restoring component's outbound
         # calls are answered from the return-value log (Fig. 3).
@@ -114,7 +348,7 @@ class VampDispatcher:
         # error instead of dispatching (graceful degradation).  The
         # error is recorded in the caller's return-value log like any
         # other errno, so a later replay of the caller re-raises it.
-        supervisor = kernel.supervisor
+        supervisor = self._supervisor
         if supervisor.degraded and supervisor.is_degraded(target):
             if sim.obs is not None:
                 sim.obs.inc("dispatch.degraded")
@@ -123,21 +357,38 @@ class VampDispatcher:
                                        (error_exc.errno, str(error_exc)))
             raise error_exc
 
-        comp = kernel.component(target)
+        comp = self._components.get(target)
+        if comp is None:
+            comp = kernel.component(target)  # raises the decorated error
         # Pre-resolved dispatch: one cached dict hit instead of an
         # interface rebuild (raises AttributeError like the old lookup).
-        info = comp.resolve_export(func)[1]
+        hit = comp._export_cache.get(func)
+        if hit is None:
+            hit = comp.resolve_export(func)
+        method, info = hit
 
-        kernel.meter.note_transition(2)
-        merged = kernel.scheduler.same_unit(caller, target)
-        log = kernel.logs.get(target)
+        rec = self._meter._active  # inlined meter.note_transition(2)
+        if rec is not None:
+            rec.transitions += 2
+        sched = self._scheduler
+        mm = self._member_map  # inlined scheduler.same_unit
+        merged = mm.get(caller, caller) == mm.get(target, target)
+        log = self._logs.get(target)
         logged = (log is not None and info.logged
-                  and kernel.config.logging_enabled)
+                  and self._logging_enabled)
 
         # --- request path: message passing + scheduling -------------------
         obs = sim.obs
         dspan = None
         dispatch_t0 = 0.0
+        md = self._message_domain
+        # The batched crossing bails out whenever crucible probes are
+        # attached: probes fire at the push/pull sites and may reboot
+        # components mid-crossing, which needs the reference in-flight
+        # bookkeeping.
+        batched = FLAGS.batched_crossings and sim.probes is None
+        plan = None
+        fastlane = False
         if obs is not None:
             dispatch_t0 = sim.clock.now_us
             obs.inc("dispatch.calls")
@@ -146,11 +397,54 @@ class VampDispatcher:
             if obs is not None:
                 dspan = obs.open_span("dispatch", f"{target}.{func}",
                                       caller=caller, merged=True)
+        elif batched:
+            plan = self._plans.get((caller, target, logged))
+            if plan is None:
+                plan = self._build_plan(caller, target, logged)
+            if (plan is not False
+                    and sched.current == plan.caller_unit
+                    and plan.target_unit not in sched._active_chain
+                    and not sim.clock._watchers):
+                fastlane = True
+            if fastlane:
+                # --- the compiled request tape (see _CrossingPlan) ----
+                psize = None
+                if not kwargs:
+                    try:
+                        psize = _WIRE_SIZES.get(args)
+                    except TypeError:  # unhashable payload
+                        psize = None
+                if psize is None:
+                    psize = payload_size(args, kwargs)
+                size = MESSAGE_HEADER_BYTES + psize
+                if size > md.region.size_bytes - md.used_bytes:
+                    md.begin_crossing(args, kwargs)  # raises (domain full)
+                mid = plan.req_run(sim, md, sched, plan.thread, size)
+                if obs is not None:
+                    # The recorder sees the same crossing the reference
+                    # path reports: attributions, counters, then the
+                    # dispatch span under the span open at entry.
+                    _replay_obs_crossing(obs, md, plan.req_tape)
+                    dspan = obs.open_span("dispatch", f"{target}.{func}",
+                                          parent=obs.current_span_id(),
+                                          caller=caller, msg_id=mid)
+            else:
+                # Same charges in the same order as the reference triple
+                # (push → dispatch → pull), minus the Message object and
+                # the in-flight dict churn.
+                parent = obs.current_span_id() if obs is not None else None
+                req_size, req_id = md.begin_crossing(args, kwargs)
+                sched.dispatch(target, needs_msg_thread=logged)
+                md.end_crossing(req_size)
+                if obs is not None:
+                    dspan = obs.open_span("dispatch", f"{target}.{func}",
+                                          parent=parent, caller=caller,
+                                          msg_id=req_id)
         else:
-            message = kernel.message_domain.vo_push_msgs(
+            message = md.vo_push_msgs(
                 caller, target, func, args, kwargs)
-            kernel.scheduler.dispatch(target, needs_msg_thread=logged)
-            kernel.message_domain.vo_pull_msgs(message)
+            sched.dispatch(target, needs_msg_thread=logged)
+            md.vo_pull_msgs(message)
             if obs is not None:
                 # Parent id travels on the message (stamped at push
                 # time): the dispatch span nests under the span that
@@ -169,9 +463,25 @@ class VampDispatcher:
                                session_opener=info.session_opener,
                                canceling=info.canceling,
                                durable=info.durable)
-            sim.charge("log_append", sim.costs.log_append)
-            kernel.meter.note_log_entries(1)
-            log.push_active(entry)
+            # Inlined sim.charge("log_append", ...) on the untraced hot
+            # path (no obs hook, no watcher notify needed).
+            amt = sim.costs.log_append
+            if obs is None and amt > 0.0 and not sim.clock._watchers:
+                sim.clock._now_us += amt
+                ledger = sim.ledger
+                try:
+                    ledger.totals["log_append"] += amt
+                except KeyError:
+                    ledger.totals["log_append"] = 0.0 + amt
+                    ledger.counts["log_append"] = 1
+                else:
+                    ledger.counts["log_append"] += 1
+            else:
+                sim.charge("log_append", amt)
+            rec = self._meter._active  # inlined note_log_entries(1)
+            if rec is not None:
+                rec.log_entries += 1
+            log._active.append(entry)  # inlined log.push_active
             if obs is not None:
                 obs.inc("calllog.appends")
                 obs.set_gauge(f"calllog.bytes.{target}",
@@ -182,8 +492,30 @@ class VampDispatcher:
         error: Optional[Tuple[str, str]] = None
         try:
             try:
-                kernel.detector.check_hang(comp)
-                result = comp.call_interface(func, args, kwargs)
+                # Inlined call_interface (same order: hang check, fault
+                # check, body charge, bound-method call) — the guards
+                # skip the calls entirely when no fault is injected,
+                # which is every call outside the fault experiments.
+                if comp.injected_hang:
+                    self._detector.check_hang(comp)
+                if comp.injected_panic is not None \
+                        or comp.deterministic_faults:
+                    comp.check_injected_faults(func)
+                amt = sim.costs.function_body + info.body_cost
+                if obs is None and amt > 0.0 and not sim.clock._watchers:
+                    # inlined sim.charge("function_body", amt)
+                    sim.clock._now_us += amt
+                    ledger = sim.ledger
+                    try:
+                        ledger.totals["function_body"] += amt
+                    except KeyError:
+                        ledger.totals["function_body"] = 0.0 + amt
+                        ledger.counts["function_body"] = 1
+                    else:
+                        ledger.counts["function_body"] += 1
+                else:
+                    sim.charge("function_body", amt)
+                result = method(*args, **kwargs)
             except SyscallError as exc:
                 error = (exc.errno, str(exc))
                 raise
@@ -196,7 +528,7 @@ class VampDispatcher:
                 if entry is not None:
                     log.clear_nested(entry)
                 try:
-                    result = kernel.supervisor.handle_failure(
+                    result = supervisor.handle_failure(
                         comp, func, args, kwargs, failure)
                 except SyscallError as exc:
                     error = (exc.errno, str(exc))
@@ -205,8 +537,11 @@ class VampDispatcher:
             if entry is not None:
                 log.pop_active(entry)
                 if error is None:
-                    entry.result = result
-                    entry.completed = True
+                    # Direct calls bypass CallLogEntry.__setattr__'s
+                    # name-based routing (identical effect: ``result``
+                    # routes to _reresult, ``completed`` is unrouted).
+                    log._reresult(entry, result)
+                    object.__setattr__(entry, "completed", True)
                     if info.key_from_result and _is_scalar_key(result):
                         entry.key = result
                     if info.key_from_result and result is None:
@@ -214,20 +549,64 @@ class VampDispatcher:
                         # empty backlog): nothing to restore, drop it.
                         log.remove_entries([entry])
                     else:
-                        kernel.shrinkers[target].on_entry_complete(entry)
+                        self._shrinkers[target].on_entry_complete(entry)
                 else:
                     # A failed call does not change component state;
                     # keep the log free of it.
                     log.remove_entries([entry])
-            self._record_caller_retval(caller, target, func, result, error)
+            # Inlined _record_caller_retval: the commonest caller (the
+            # application) keeps no return-value log.
+            caller_log = self._logs.get(caller)
+            if caller_log is not None and caller_log.record_retval(
+                    target, func, result=result, error=error):
+                amt = sim.costs.retval_append
+                if obs is None and amt > 0.0 \
+                        and not sim.clock._watchers:
+                    # inlined sim.charge("retval_append", amt)
+                    sim.clock._now_us += amt
+                    ledger = sim.ledger
+                    try:
+                        ledger.totals["retval_append"] += amt
+                    except KeyError:
+                        ledger.totals["retval_append"] = 0.0 + amt
+                        ledger.counts["retval_append"] = 1
+                    else:
+                        ledger.counts["retval_append"] += 1
+                else:
+                    sim.charge("retval_append", amt)
+                rec = self._meter._active  # inlined note_log_entries
+                if rec is not None:
+                    rec.log_entries += 1
             # --- reply path ------------------------------------------------
             if not merged:
-                reply = kernel.message_domain.vo_push_msgs(
-                    target, caller, func, (result,), is_reply=True)
-                kernel.scheduler.complete(
-                    target, caller,
-                    needs_msg_thread=bool(kernel.logs.get(caller)))
-                kernel.message_domain.vo_pull_msgs(reply)
+                needs_msg = self._logs.get(caller) is not None
+                if (fastlane and sched.current == plan.target_unit
+                        and not sim.clock._watchers):
+                    # --- the compiled reply tape ----------------------
+                    reply_args = (result,)
+                    try:
+                        psize = _WIRE_SIZES.get(reply_args)
+                    except TypeError:  # unhashable payload
+                        psize = None
+                    if psize is None:
+                        psize = payload_size(reply_args, {})
+                    size = MESSAGE_HEADER_BYTES + psize
+                    if size > md.region.size_bytes - md.used_bytes:
+                        md.begin_crossing(reply_args, {})  # raises
+                    plan.rep_run(sim, md, sched, plan.thread, size)
+                    if obs is not None:
+                        _replay_obs_crossing(obs, md, plan.rep_tape)
+                elif batched and sim.probes is None:
+                    rep_size, _ = md.begin_crossing((result,), {})
+                    sched.complete(target, caller,
+                                   needs_msg_thread=needs_msg)
+                    md.end_crossing(rep_size)
+                else:
+                    reply = md.vo_push_msgs(
+                        target, caller, func, (result,), is_reply=True)
+                    sched.complete(target, caller,
+                                   needs_msg_thread=needs_msg)
+                    md.vo_pull_msgs(reply)
             if obs is not None:
                 if error is None:
                     obs.close_span(dspan)
@@ -242,13 +621,17 @@ class VampDispatcher:
                               result: Any,
                               error: Optional[Tuple[str, str]]) -> None:
         """Store the outcome in the caller's return-value log (§V-B)."""
-        caller_log = self.kernel.logs.get(caller)
+        if not self._bound:
+            self._bind()
+        caller_log = self._logs.get(caller)
         if caller_log is None:
             return
         if caller_log.record_retval(target, func, result=result,
                                     error=error):
             self.sim.charge("retval_append", self.sim.costs.retval_append)
-            self.kernel.meter.note_log_entries(1)
+            rec = self._meter._active  # inlined note_log_entries(1)
+            if rec is not None:
+                rec.log_entries += 1
 
 class VampOSKernel(Kernel):
     """A unikernel image run under VampOS."""
@@ -394,7 +777,9 @@ class VampOSKernel(Kernel):
         re-exported when a mutator actually ran since the last save;
         everything else is re-exported unconditionally, as before.
         """
-        for name in list(self._runtime_data):
+        # Iterated directly: the loop only updates existing keys, so the
+        # dict never changes size mid-iteration.
+        for name in self._runtime_data:
             comp = self.image.component(name)
             if comp.state is not ComponentState.BOOTED:
                 continue

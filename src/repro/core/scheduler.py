@@ -140,8 +140,10 @@ class BaseScheduler:
         raise NotImplementedError
 
     def _charge_switch(self) -> None:
-        self.sim.charge("thread_switch", self.sim.costs.thread_switch)
-        self.sim.charge("pkru_write", self.sim.costs.pkru_write)
+        sim = self.sim
+        costs = sim.costs
+        sim.charge("thread_switch", costs.thread_switch)
+        sim.charge("pkru_write", costs.pkru_write)
         self.stats.dispatches += 1
 
     # --- reboot integration -----------------------------------------------------------
@@ -227,18 +229,20 @@ class DependencyAwareScheduler(BaseScheduler):
     def _switch_to(self, unit: str, poll: bool) -> None:
         if unit == self.current:
             return
-        self.sim.charge("dependency_lookup",
-                        self.sim.costs.dependency_lookup)
+        sim = self.sim
+        costs = sim.costs
+        sim.charge("dependency_lookup", costs.dependency_lookup)
         self.stats.dependency_lookups += 1
-        if poll and unit not in self._candidates.get(self.current, set()):
-            # Not predicted by the correlation table: fall back to a
-            # short scan over the candidate set.
-            scan = len(self._candidates.get(self.current, set()))
-            if scan:
-                self.sim.charge("wasted_poll",
-                                scan * self.sim.costs.wasted_poll)
-                self.stats.wasted_polls += scan
-            self.fallback_dispatches += 1
+        if poll:
+            cands = self._candidates.get(self.current)
+            if cands is None or unit not in cands:
+                # Not predicted by the correlation table: fall back to
+                # a short scan over the candidate set.
+                scan = len(cands) if cands else 0
+                if scan:
+                    sim.charge("wasted_poll", scan * costs.wasted_poll)
+                    self.stats.wasted_polls += scan
+                self.fallback_dispatches += 1
         self._charge_switch()
         self.current = unit
 

@@ -1,6 +1,6 @@
 """Fast-path switches for the hot-path optimisations.
 
-The runtime carries five wall-clock optimisations that, by design,
+The runtime carries seven wall-clock optimisations that, by design,
 change **no** virtual-time (`sim.charge`) semantics:
 
 * memoized component interfaces + pre-resolved dispatch targets,
@@ -8,7 +8,13 @@ change **no** virtual-time (`sim.charge`) semantics:
 * a deep-copy bypass for immutable logged payloads,
 * dirty-tracked runtime-data saving,
 * the copy-on-write snapshot store (shared region images, content-hash
-  interning, deep-copy bypass for immutable state blobs).
+  interning, deep-copy bypass for immutable state blobs),
+* batched domain crossings: the request push/pull + reply push/pull of
+  one synchronous call collapse into a single arena reservation and a
+  single scheduler handshake, with the identical ``msg_push`` /
+  ``msg_pull`` / switch charges issued in the identical order,
+* interned payload handles: content-keyed caches let repeated immutable
+  payloads share one size computation and one logged blob.
 
 Each can be switched off to fall back to the original scan-everything /
 copy-everything reference implementation.  The switches exist for one
@@ -22,28 +28,104 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, fields
-from typing import Any, Iterator
+from typing import Any, Dict, Iterator, Tuple
 
 #: types safe to share by reference: no mutation can ever reach them
 IMMUTABLE_SCALARS = (type(None), bool, int, float, str, bytes, frozenset)
+
+#: exact-class verdicts for the common case (subclasses still resolve
+#: through ``isinstance`` below and land in the per-class cache)
+_ATOMIC_IMMUTABLES = frozenset(IMMUTABLE_SCALARS)
+
+#: class -> immutability verdict.  A class fully determines the verdict
+#: for every non-tuple value: the scalar check is type-based, and the
+#: ``__immutable_payload__`` marker is a class-level declaration that
+#: instances are transitively immutable (e.g. a frozen dataclass of
+#: scalars).  Tuples never enter the cache — their verdict depends on
+#: their contents.
+_CLASS_VERDICTS: Dict[type, bool] = {}
 
 
 def is_immutable(value: Any) -> bool:
     """Whether ``value`` is transitively immutable (and so never needs a
     defensive deep copy).  Shared by the call log's payload fast path
     and the snapshot store's state-blob fast path."""
-    if isinstance(value, IMMUTABLE_SCALARS):
+    cls = value.__class__
+    if cls in _ATOMIC_IMMUTABLES:
         return True
-    if type(value) is tuple:
-        return all(is_immutable(item) for item in value)
-    return False
+    if cls is tuple:
+        for item in value:
+            if not is_immutable(item):
+                return False
+        return True
+    verdict = _CLASS_VERDICTS.get(cls)
+    if verdict is None:
+        verdict = bool(getattr(cls, "__immutable_payload__", False)) \
+            or isinstance(value, IMMUTABLE_SCALARS)
+        _CLASS_VERDICTS[cls] = verdict
+    return verdict
+
+
+# --- interned payload handles ---------------------------------------------
+#
+# Content-keyed caches over values that passed :func:`is_immutable`.
+# Facts derived purely from content (wire size, log bytes) may be cached
+# under the value itself: within the immutable family, ``==``-equal
+# values always price identically (bool/int/float cross-type equality
+# all land on the 8-byte scalar bucket; str only equals str; bytes only
+# equals bytes).  *Blobs* — canonical shared objects substituted for
+# equal payloads — additionally key on a recursive type fingerprint,
+# because ``(1,) == (True,)`` must not alias distinguishable payloads.
+# The caches are pure content -> fact maps, so clearing them at the
+# bound never changes behaviour, only hit rate.
+
+#: entry bound per handle cache; cleared wholesale when exceeded
+HANDLE_CACHE_LIMIT = 8192
+
+
+def type_fingerprint(value: Any) -> Any:
+    """A hashable tag making equal-but-distinguishable immutables
+    (``1`` vs ``True``, ``(1,)`` vs ``(True,)``) hash apart when used
+    alongside the value in a cache key."""
+    cls = value.__class__
+    if cls is not tuple:
+        return cls
+    tags = []
+    for item in value:
+        icls = item.__class__
+        tags.append(type_fingerprint(item) if icls is tuple else icls)
+    return (tuple, tuple(tags))
+
+
+class PayloadHandles:
+    """The shared handle caches (see module docstring in context)."""
+
+    __slots__ = ("wire_sizes", "log_bytes", "blobs")
+
+    def __init__(self) -> None:
+        #: args tuple -> message-domain wire size (str priced by chars)
+        self.wire_sizes: Dict[Tuple[Any, ...], int] = {}
+        #: str/tuple payload -> call-log byte price (str priced by UTF-8)
+        self.log_bytes: Dict[Any, int] = {}
+        #: (payload, type fingerprint) -> canonical logged blob
+        self.blobs: Dict[Any, Any] = {}
+
+    def clear(self) -> None:
+        # in place: hot paths hold direct references to these dicts
+        self.wire_sizes.clear()
+        self.log_bytes.clear()
+        self.blobs.clear()
+
+
+#: the process-wide handle caches consulted by the hot paths
+HANDLES = PayloadHandles()
 
 
 @dataclass
 class FastPathFlags:
     """Global on/off switches.
 
-    The five optimisation flags are True outside neutrality tests;
+    The seven optimisation flags are True outside neutrality tests;
     ``charge_tracing`` is the one opt-*in* switch (default False): it
     makes the flight recorder charge virtual time per span, for
     monitoring-overhead studies only.
@@ -65,6 +147,14 @@ class FastPathFlags:
     #: dedupe identical images by content hash, and skip deep-copying
     #: immutable state blobs
     cow_snapshots: bool = True
+    #: coalesce the request push/pull + reply push/pull of a synchronous
+    #: crossing into one arena reservation and one scheduler handshake
+    #: (identical charges, no Message object / dict churn); falls back
+    #: to the reference path whenever crucible probes are attached
+    batched_crossings: bool = True
+    #: content-keyed handle caches: repeated immutable payloads share
+    #: one size computation and one logged blob (see PayloadHandles)
+    interned_payloads: bool = True
     #: flight recorder charges ``costs.trace_emit`` per span open/close
     #: (virtual time is otherwise never spent on observability)
     charge_tracing: bool = False

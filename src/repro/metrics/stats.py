@@ -40,9 +40,14 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     high = int(math.ceil(rank))
     if low == high:
         return float(sorted_values[low])
+    lo = float(sorted_values[low])
+    hi = float(sorted_values[high])
+    if lo == hi:
+        # Interpolating between equal values must return them exactly:
+        # lo*(1-frac) + hi*frac underflows to 0.0 for denormals.
+        return lo
     frac = rank - low
-    return float(sorted_values[low]) * (1 - frac) \
-        + float(sorted_values[high]) * frac
+    return lo * (1 - frac) + hi * frac
 
 
 def summarize(values: Iterable[float]) -> Summary:

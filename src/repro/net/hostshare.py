@@ -53,14 +53,22 @@ def normalize(path: str) -> str:
     return norm
 
 
-@dataclass
+@dataclass(frozen=True)
 class ShareStat:
-    """stat() result for a share entry."""
+    """stat() result for a share entry.
+
+    Frozen, and declared an immutable payload: one is logged per
+    ``open()`` as a return-value record, and the marker lets the call
+    log store it by reference instead of deep-copying (every field is
+    an immutable scalar, and consumers only read it).
+    """
 
     path: str
     is_dir: bool
     size: int
     version: int
+
+    __immutable_payload__ = True
 
 
 @dataclass

@@ -31,8 +31,7 @@ import os
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from ..fastpath import FLAGS
-from ..parallel.merge import merge_sums
-from .metrics import MetricsRegistry
+from .metrics import Gauge, Histogram, MetricsRegistry
 from .spans import Span, renumber
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -41,6 +40,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: per-recorder span budget; long soaks beyond it keep counting
 #: (``spans_dropped``) but stop storing (deterministic keep-first)
 DEFAULT_MAX_SPANS = 250_000
+
+#: 1-in-N sampling of ``dispatch`` spans (the highest-volume category:
+#: one per cross-component call).  Deterministic by collector counter —
+#: the first of every N dispatches records — so a run stores exactly
+#: ``ceil(calls / N)`` dispatch spans at any ``--jobs`` count.  Metrics
+#: keep seeing every call exactly; the profile keeps attributing every
+#: charge (same counts, same total time), but charges under a
+#: sampled-out span fold into its parent's path — the dispatch frame
+#: only appears for the sampled representatives.
+ENV_SAMPLE_DISPATCH = "REPRO_OBS_SAMPLE_DISPATCH"
 
 
 def _max_spans() -> int:
@@ -51,11 +60,19 @@ def _max_spans() -> int:
         return DEFAULT_MAX_SPANS
 
 
+def _sample_dispatch() -> int:
+    try:
+        rate = int(os.environ.get(ENV_SAMPLE_DISPATCH, "1"))
+    except ValueError:
+        return 1
+    return rate if rate > 1 else 1
+
+
 class FlightRecorder:
     """Per-simulation span stack + metrics/profile front-end."""
 
     __slots__ = ("sim", "collector", "track", "_stack", "_path",
-                 "_recorded", "_budget")
+                 "_recorded", "_budget", "_slots")
 
     def __init__(self, sim: "Simulation", collector: "ObsCollector",
                  track: int) -> None:
@@ -68,6 +85,10 @@ class FlightRecorder:
         self._path = ""
         self._recorded = 0
         self._budget = _max_spans()
+        #: (path, category) -> the profile's [us, count] slot; spares
+        #: the hot on_charge the string concat and two dict probes.
+        #: Valid because absorb() merges into the slot lists in place.
+        self._slots: Dict[Any, List[float]] = {}
 
     # --- spans ------------------------------------------------------------
 
@@ -81,6 +102,19 @@ class FlightRecorder:
         span).  Returns None once the recorder's span budget is spent —
         ``close_span(None)`` is a no-op, so call sites stay branchless.
         """
+        if category == "dispatch":
+            collector = self.collector
+            rate = collector.dispatch_sample
+            if rate > 1:
+                # Sampled before the budget check: a sampled-out span
+                # is neither recorded nor "dropped", and the decision
+                # is a pure function of the collector-local counter
+                # (cells start at zero, so any --jobs sharding keeps
+                # exactly the spans the serial run keeps).
+                seen = collector.dispatch_seen
+                collector.dispatch_seen = seen + 1
+                if seen % rate:
+                    return None
         if self._recorded >= self._budget:
             self.collector.spans_dropped += 1
             return None
@@ -133,14 +167,59 @@ class FlightRecorder:
         The folded key is the span-name path plus the mechanism as the
         leaf frame — directly consumable by flamegraph.pl/speedscope.
         """
-        key = (self._path + ";" + category) if self._path else category
-        profile = self.collector.profile
-        slot = profile.get(key)
+        path = self._path
+        slot = self._slots.get((path, category))
         if slot is None:
-            profile[key] = [amount_us, 1]
-        else:
-            slot[0] += amount_us
+            key = (path + ";" + category) if path else category
+            profile = self.collector.profile
+            slot = profile.get(key)
+            if slot is None:
+                # 0.0 + x is the same float as x: seeding through the
+                # cached slot stays bit-identical to direct assignment
+                profile[key] = slot = [0.0, 0]
+            self._slots[(path, category)] = slot
+        slot[0] += amount_us
+        slot[1] += 1
+
+    def on_crossing(self, tape, depth: int, used_bytes: int) -> None:
+        """Bulk-report one compiled domain crossing (the dispatch fast
+        lane's obs hook).
+
+        Equivalent, state-for-state, to what the reference path reports
+        for the same crossing: one :meth:`on_charge` per tape item (same
+        per-key order and amounts), the ``msgdom.pushes``/``pulls``
+        counters, the queue-depth observation and the used-bytes gauge.
+        Inlined into one call because the tape charges never open or
+        close spans, so the whole crossing attributes under a single
+        unchanged path.
+        """
+        path = self._path
+        slots = self._slots
+        collector = self.collector
+        for cat, amt in tape:
+            slot = slots.get((path, cat))
+            if slot is None:
+                key = (path + ";" + cat) if path else cat
+                profile = collector.profile
+                slot = profile.get(key)
+                if slot is None:
+                    slot = profile[key] = [0.0, 0]
+                slots[(path, cat)] = slot
+            slot[0] += amt
             slot[1] += 1
+        metrics = collector.metrics
+        counters = metrics.counters
+        # Same int-seeded sums as MetricsRegistry.inc(name, 1).
+        counters["msgdom.pushes"] = counters.get("msgdom.pushes", 0) + 1
+        counters["msgdom.pulls"] = counters.get("msgdom.pulls", 0) + 1
+        hist = metrics.histograms.get("msgdom.queue_depth")
+        if hist is None:
+            hist = metrics.histograms["msgdom.queue_depth"] = Histogram()
+        hist.observe(depth)
+        gauge = metrics.gauges.get("msgdom.used_bytes")
+        if gauge is None:
+            gauge = metrics.gauges["msgdom.used_bytes"] = Gauge()
+        gauge.set(used_bytes)
 
 
 class ObsCollector:
@@ -154,6 +233,9 @@ class ObsCollector:
         self.spans_dropped = 0
         self._next_span = 0
         self._next_track = 0
+        #: 1-in-N dispatch-span sampling (see ENV_SAMPLE_DISPATCH)
+        self.dispatch_sample = _sample_dispatch()
+        self.dispatch_seen = 0
 
     # --- allocation -------------------------------------------------------
 
@@ -179,6 +261,7 @@ class ObsCollector:
             "n_spans": self._next_span,
             "n_tracks": self._next_track,
             "spans_dropped": self.spans_dropped,
+            "dispatch_seen": self.dispatch_seen,
         }
 
     def absorb(self, blob: Dict[str, Any]) -> None:
@@ -190,14 +273,19 @@ class ObsCollector:
         self._next_span += blob["n_spans"]
         self._next_track += blob["n_tracks"]
         self.metrics.merge_from(blob["metrics"])
-        merged = merge_sums((
-            {k: v[0] for k, v in self.profile.items()},
-            {k: v[0] for k, v in blob["profile"].items()}))
-        counts = merge_sums((
-            {k: v[1] for k, v in self.profile.items()},
-            {k: v[1] for k, v in blob["profile"].items()}))
-        self.profile = {k: [merged[k], counts[k]] for k in merged}
+        # Merged IN PLACE (same key-wise sums as a merge_sums fold, and
+        # slot-list identity is preserved): live recorders cache direct
+        # references to the [us, count] slots, which must stay valid.
+        profile = self.profile
+        for key, (us, count) in blob["profile"].items():
+            slot = profile.get(key)
+            if slot is None:
+                profile[key] = [us, count]
+            else:
+                slot[0] += us
+                slot[1] += count
         self.spans_dropped += blob["spans_dropped"]
+        self.dispatch_seen += blob["dispatch_seen"]
 
     # --- serialisation ----------------------------------------------------
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, Optional
 
-from .recorder import ObsCollector
+from .recorder import ENV_SAMPLE_DISPATCH, ObsCollector
 
 ENV_FLAG = "REPRO_OBS"
 
@@ -35,9 +35,19 @@ def obs_enabled() -> bool:
     return _ENABLED or os.environ.get(ENV_FLAG) == "1"
 
 
-def enable() -> None:
-    """Turn recording on, starting from an empty collector."""
+def enable(sample_dispatch: Optional[int] = None) -> None:
+    """Turn recording on, starting from an empty collector.
+
+    ``sample_dispatch=N`` stores only 1-in-N ``dispatch`` spans
+    (deterministic keep-first by counter; metrics and the profile keep
+    seeing every call).  Communicated through the environment so
+    spawn-based pool workers sample identically.
+    """
     global _ENABLED, _COLLECTOR
+    if sample_dispatch is not None and sample_dispatch > 1:
+        os.environ[ENV_SAMPLE_DISPATCH] = str(sample_dispatch)
+    elif sample_dispatch is not None:
+        os.environ.pop(ENV_SAMPLE_DISPATCH, None)
     _ENABLED = True
     _COLLECTOR = ObsCollector()
     os.environ[ENV_FLAG] = "1"
@@ -49,6 +59,7 @@ def disable() -> None:
     _ENABLED = False
     _COLLECTOR = None
     os.environ.pop(ENV_FLAG, None)
+    os.environ.pop(ENV_SAMPLE_DISPATCH, None)
 
 
 def collector() -> ObsCollector:

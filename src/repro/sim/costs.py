@@ -168,8 +168,17 @@ class CostLedger:
     counts: Dict[str, int] = field(default_factory=dict)
 
     def charge(self, category: str, amount_us: float) -> None:
-        self.totals[category] = self.totals.get(category, 0.0) + amount_us
-        self.counts[category] = self.counts.get(category, 0) + 1
+        # In-place increments (one dict op each on the hit path); the
+        # first charge of a category seeds both maps.  ``0.0 + x`` is
+        # ``x`` for every charge the engine can issue, so the totals
+        # stay bit-identical to the get-then-add form.
+        try:
+            self.totals[category] += amount_us
+        except KeyError:
+            self.totals[category] = 0.0 + amount_us
+            self.counts[category] = 1
+            return
+        self.counts[category] += 1
 
     def total_us(self) -> float:
         return sum(self.totals.values())

@@ -432,10 +432,18 @@ class Component:
         if info is None:
             raise AttributeError(
                 f"{self.NAME} exports no function {func!r}")
-        hit = (getattr(self, func), info)
+        method = getattr(self, func)
         if FLAGS.cached_dispatch:
+            # Skip the @export forwarding wrapper on the hot path: bind
+            # the wrapped function directly (behaviour-identical — the
+            # wrapper only forwards *args/**kwargs).
+            inner = getattr(method, "__wrapped__", None)
+            if inner is not None:
+                method = inner.__get__(self, type(self))
+            hit = (method, info)
             self._export_cache[func] = hit
-        return hit
+            return hit
+        return (method, info)
 
     def call_interface(self, func: str, args: Tuple[Any, ...],
                        kwargs: Dict[str, Any]) -> Any:

@@ -23,19 +23,32 @@ from .errors import (
 from .image import APP, ImageBuilder, ImageSpec, UnikernelImage
 
 
-@dataclass
 class SyscallRecord:
-    """Measured facts about one top-level syscall (Fig. 5 raw data)."""
+    """Measured facts about one top-level syscall (Fig. 5 raw data).
 
-    name: str
-    start_us: float
-    end_us: float = 0.0
-    transitions: int = 0
-    log_entries: int = 0
+    Slotted hot-path class: one is built per top-level syscall.
+    """
+
+    __slots__ = ("name", "start_us", "end_us", "transitions",
+                 "log_entries")
+
+    def __init__(self, name: str, start_us: float, end_us: float = 0.0,
+                 transitions: int = 0, log_entries: int = 0) -> None:
+        self.name = name
+        self.start_us = start_us
+        self.end_us = end_us
+        self.transitions = transitions
+        self.log_entries = log_entries
 
     @property
     def duration_us(self) -> float:
         return self.end_us - self.start_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SyscallRecord(name={self.name!r}, "
+                f"start_us={self.start_us!r}, end_us={self.end_us!r}, "
+                f"transitions={self.transitions!r}, "
+                f"log_entries={self.log_entries!r})")
 
 
 class SyscallMeter:
@@ -147,9 +160,11 @@ class Kernel:
         """
         if self.crashed:
             raise KernelPanic(component="", cause=None)
-        nested = self.meter.in_syscall
-        if not nested:
-            self.meter.begin(func)
+        meter = self.meter
+        nested = meter._active is not None
+        if not nested:  # inlined meter.begin(func)
+            meter._active = SyscallRecord(
+                name=func, start_us=self.sim.clock._now_us)
         obs = self.sim.obs
         span = None
         if obs is not None and not nested:
@@ -167,8 +182,12 @@ class Kernel:
                 obs.close_span(span)
                 obs.observe("request.latency_us",
                             self.sim.clock.now_us - start_us)
-            if not nested:
-                self.meter.end()
+            if not nested:  # inlined meter.end()
+                record = meter._active
+                if record is not None:
+                    record.end_us = self.sim.clock._now_us
+                    meter.records.append(record)
+                    meter._active = None
 
     # --- fault surface --------------------------------------------------------------
 

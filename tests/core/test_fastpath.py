@@ -108,7 +108,153 @@ class TestVirtualTimeNeutrality:
             assert not FLAGS.cached_dispatch
             assert not FLAGS.copy_fast_path
             assert not FLAGS.dirty_runtime_data
+            assert not FLAGS.batched_crossings
+            assert not FLAGS.interned_payloads
         assert FLAGS.indexed_log and FLAGS.cached_dispatch
+        assert FLAGS.batched_crossings and FLAGS.interned_payloads
+
+
+class TestBatchedCrossingParity:
+    """The compiled crossing tapes (the dispatch fast lane) must leave
+    *every* piece of runtime state — not just the ledger — exactly
+    where the reference push → dispatch → pull triple leaves it."""
+
+    def _full_state(self):
+        from repro.apps.nginx import MiniNginx
+
+        app = MiniNginx(Simulation(seed=17), mode=DAS)
+        app.share.create("/srv/neutral.dat", b"z" * 512)
+        libc = app.libc
+        client = app.network.connect(app.PORT)
+        server_fd = app.kernel.syscall("VFS", "accept", app._listen_fd)
+        for _ in range(50):
+            libc.getpid()
+            fd = libc.open("/srv/neutral.dat", "rw")
+            libc.write(fd, b"x")
+            libc.read(fd, 1)
+            libc.close(fd)
+            libc.send(server_fd, MESSAGE)
+            client.recv()
+            client.send(MESSAGE)
+            libc.recv(server_fd, 222)
+        kernel = app.kernel
+        sched = kernel.scheduler
+        md = kernel.message_domain
+        stats = sched.stats
+        return {
+            "clock": app.sim.clock.now_us,
+            "totals": dict(app.sim.ledger.totals),
+            "counts": dict(app.sim.ledger.counts),
+            "sched": (stats.dispatches, stats.dependency_lookups,
+                      stats.wasted_polls, stats.msg_thread_dispatches,
+                      sched.fallback_dispatches, sched.current,
+                      tuple(sched._active_chain)),
+            "threads": {unit: (thread.state, thread.dispatches)
+                        for unit, thread in sched.threads.items()},
+            "domain": (md.pushes, md.pulls, md.peak_bytes,
+                       md.peak_in_flight, md.used_bytes,
+                       md.in_flight_count()),
+            "log_space": {name: log.space_bytes()
+                          for name, log in kernel.logs.items()},
+        }
+
+    def test_fastlane_matches_reference_everywhere(self):
+        fast = self._full_state()
+        with reference_mode():
+            slow = self._full_state()
+        assert fast == slow
+
+    def test_crossing_plans_compile_and_shape(self):
+        """The dispatcher builds compiled plans for the hot crossings,
+        and every tape is push-first, pull-last, non-negative."""
+        from repro.apps.nginx import MiniNginx
+
+        app = MiniNginx(Simulation(seed=17), mode=DAS)
+        app.share.create("/srv/neutral.dat", b"z" * 512)
+        fd = app.libc.open("/srv/neutral.dat", "rw")
+        app.libc.write(fd, b"x")
+        app.libc.close(fd)
+        plans = [p for p in app.kernel._vamp._plans.values() if p]
+        assert plans, "no crossing compiled on the syscall path"
+        for plan in plans:
+            for tape in (plan.req_tape, plan.rep_tape):
+                assert tape[0][0] == "msg_push"
+                assert tape[-1][0] == "msg_pull"
+                assert all(amount >= 0 for _, amount in tape)
+            assert callable(plan.req_run) and callable(plan.rep_run)
+
+    def test_fastlane_declines_round_robin(self):
+        """Plan compilation must refuse schedulers whose dispatch
+        protocol the tape cannot replicate (only the plain
+        dependency-aware scheduler compiles)."""
+        from repro.apps.nginx import MiniNginx
+        from repro.core.config import NOOP
+
+        app = MiniNginx(Simulation(seed=17), mode=NOOP)
+        app.share.create("/srv/neutral.dat", b"z" * 512)
+        fd = app.libc.open("/srv/neutral.dat", "rw")
+        app.libc.write(fd, b"x")
+        app.libc.close(fd)
+        plans = app.kernel._vamp._plans
+        assert plans and all(p is False for p in plans.values())
+
+
+class TestObsRecordingNeutrality:
+    """With the flight recorder attached, the fast lane replays the
+    crossing's observability side too — the saved recording must be
+    byte-identical to the reference path's, at any sampling rate."""
+
+    def _recording(self, sample=None):
+        import json
+
+        from repro.obs import state as obs_state
+
+        obs_state.enable(sample_dispatch=sample)
+        try:
+            _fig5_syscall_loop(DAS, iterations=25)
+            recording = obs_state.collector().to_recording()
+        finally:
+            obs_state.disable()
+        return json.dumps(recording, sort_keys=True, default=str)
+
+    def test_recording_identical_fast_vs_reference(self):
+        fast = self._recording()
+        with reference_mode():
+            slow = self._recording()
+        assert fast == slow
+
+    def test_recording_identical_under_sampling(self):
+        fast = self._recording(sample=16)
+        with reference_mode():
+            slow = self._recording(sample=16)
+        assert fast == slow
+
+
+@pytest.mark.slow
+class TestReportNeutrality:
+    """Whole-campaign parity: flags on vs reference mode must render
+    byte-identical reports and identical crucible verdicts."""
+
+    def test_chaos_soak_report_identical(self):
+        from repro.experiments import chaos_soak
+        from tests.parallel.test_determinism import assert_reports_identical
+
+        fast = chaos_soak.run(rounds=4, jobs=1)
+        with reference_mode():
+            slow = chaos_soak.run(rounds=4, jobs=1)
+        assert_reports_identical(fast, slow)
+
+    def test_crucible_verdicts_identical(self):
+        import io
+
+        from repro.crucible.explorer import explore
+
+        fast_out, slow_out = io.StringIO(), io.StringIO()
+        fast_code = explore(budget=24, jobs=1, out=fast_out)
+        with reference_mode():
+            slow_code = explore(budget=24, jobs=1, out=slow_out)
+        assert fast_code == slow_code
+        assert fast_out.getvalue() == slow_out.getvalue()
 
 
 class TestIncrementalAccounting:

@@ -8,7 +8,9 @@ from repro.core.messages import (
     MessageDomainFull,
     payload_size,
 )
+from repro.fastpath import reference_mode
 from repro.memory.region import Region, RegionKind
+from repro.obs import state as obs_state
 from repro.sim.engine import Simulation
 
 
@@ -31,6 +33,27 @@ class TestPayloadSize:
 
     def test_nested_sequences(self):
         assert payload_size(([b"ab", b"c"],), {}) == 3
+
+    def test_pinned_sizes_by_type(self):
+        """The wire-pricing rules, pinned per payload family: bytes and
+        str by length, list/tuple members by the same rule with scalars
+        at 8, and every bare scalar (None/bool/int/float) at 8."""
+        assert payload_size((b"abcd",), {}) == 4
+        assert payload_size(("héllo",), {}) == 5      # str: characters
+        assert payload_size(([b"ab", "c", 7],), {}) == 11    # 2 + 1 + 8
+        assert payload_size(((b"ab", "cd", None),), {}) == 12
+        assert payload_size((None, True, 3, 2.5), {}) == 32
+
+    def test_interned_cache_agrees_with_reference(self):
+        """The content-keyed wire-size cache must answer exactly what
+        the single-pass computation answers — on the first (miss) call,
+        on the second (hit) call, and with interning disabled."""
+        args = (b"abc", "defg", 7, ("x", b"yz"))
+        first = payload_size(args, {})
+        second = payload_size(args, {})      # served from the cache
+        with reference_mode():
+            reference = payload_size(args, {})
+        assert first == second == reference == 3 + 4 + 8 + 3
 
 
 class TestPushPull:
@@ -82,6 +105,27 @@ class TestPushPull:
         assert domain.drop_for("VFS") == 1
         assert domain.in_flight_count() == 1
         assert domain.drop_for("VFS") == 0
+
+    def test_drop_for_keeps_the_obs_gauge_in_sync(self):
+        """Reboot-time drops must update the ``msgdom.used_bytes``
+        gauge like push/pull do, or dashboards show ghost bytes for
+        buffers that were torn down with their component."""
+        obs_state.enable()
+        try:
+            sim, domain = make_domain()
+            domain.vo_push_msgs("APP", "VFS", "f", (b"x" * 100,), {})
+            domain.vo_push_msgs("APP", "LWIP", "g")
+            metrics = obs_state.collector().metrics
+            assert domain.drop_for("VFS") == 1
+            assert metrics.counters["msgdom.drops"] == 1
+            gauge = metrics.gauges["msgdom.used_bytes"]
+            assert gauge.value == domain.used_bytes
+            # a drop that releases nothing writes nothing
+            sets_before = gauge.sets
+            assert domain.drop_for("VFS") == 0
+            assert gauge.sets == sets_before
+        finally:
+            obs_state.disable()
 
 
 class TestRuntimeIntegration:

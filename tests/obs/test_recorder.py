@@ -86,6 +86,61 @@ class TestProfileAttribution:
         assert state.collector().profile["mpk_check"] == [0.0, 1]
 
 
+class TestDispatchSampling:
+    """1-in-N dispatch-span sampling: spans thin out to exactly
+    ``ceil(calls / N)``, while metrics stay exact and the profile keeps
+    attributing every charge."""
+
+    def _recording(self, sample):
+        from repro.core.config import DAS
+        from tests.core.test_fastpath import _fig5_syscall_loop
+
+        state.enable(sample_dispatch=sample)
+        try:
+            _fig5_syscall_loop(DAS, iterations=15)
+            return state.collector().to_recording()
+        finally:
+            state.disable()
+
+    def test_span_count_is_ceil_calls_over_n(self):
+        full = self._recording(1)
+        calls = sum(1 for s in full["spans"] if s["cat"] == "dispatch")
+        assert calls > 30
+        for rate in (2, 7, 16):
+            sampled = self._recording(rate)
+            kept = sum(1 for s in sampled["spans"]
+                       if s["cat"] == "dispatch")
+            assert kept == -(-calls // rate)    # ceil(calls / rate)
+
+    def test_metrics_exact_at_any_rate(self):
+        full = self._recording(1)
+        sampled = self._recording(16)
+        assert sampled["metrics"] == full["metrics"]
+        # Sampling drops span records, never "drops" spans.
+        assert sampled["spans_dropped"] == 0
+
+    def test_profile_attributes_every_charge(self):
+        """Charges under a sampled-out dispatch fold into the parent
+        path: the dispatch frame thins out, but the total attributed
+        time and the charge count are conserved."""
+        full = self._recording(1)
+        sampled = self._recording(16)
+        count = lambda rec: sum(v["count"]
+                                for v in rec["profile"].values())
+        total = lambda rec: sum(v["us"] for v in rec["profile"].values())
+        assert count(sampled) == count(full)
+        assert total(sampled) == pytest.approx(total(full))
+
+    def test_invalid_and_unit_rates_disable_sampling(self, monkeypatch):
+        from repro.obs.recorder import ENV_SAMPLE_DISPATCH, _sample_dispatch
+
+        for raw in ("1", "0", "-3", "garbage"):
+            monkeypatch.setenv(ENV_SAMPLE_DISPATCH, raw)
+            assert _sample_dispatch() == 1
+        monkeypatch.setenv(ENV_SAMPLE_DISPATCH, "7")
+        assert _sample_dispatch() == 7
+
+
 class TestChargeTracing:
     def test_spans_are_free_by_default(self, obs):
         sim = Simulation(seed=1)

@@ -59,6 +59,7 @@ FULL_SYSCALL_OPS = 10_000
 FULL_RECOVERY_REBOOTS = 150
 FULL_ENDURANCE_OPS = 10_000
 FULL_SNAPSHOT_CYCLES = 2_000
+FULL_STORM_ROUNDS = 60
 
 SOCKET_MESSAGE = b"m" * 221 + b"\n"  # the Fig. 5 222-byte message
 FILE_PATH = "/srv/bench.dat"
@@ -137,6 +138,45 @@ def bench_recovery(reboots: int) -> Dict[str, Dict[str, float]]:
     finally:
         gc.unfreeze()
     return {"recovery_vampos": _phase(done, seconds)}
+
+
+def bench_recovery_storm(rounds: int) -> Dict[str, Dict[str, float]]:
+    """The parallel-recovery planner's wall-clock pin: every round
+    marks all eight rebootable MiniNginx components corrupted at once
+    and a single heartbeat sweep plans and executes the recovery
+    episode — dependency-graph derivation off the call-log edge index,
+    level partition, and overlapped track execution, on top of the
+    eight reboots themselves.  A regression here means the planner got
+    slower in real seconds, whatever it saves in virtual time."""
+    from repro.core.config import SUPERVISED
+
+    app = _make_nginx(SUPERVISED)
+    # warm traffic first, so the call-log edge index carries the live
+    # caller→callee edges the planner derives its dependency DAG from
+    _syscall_loop(app, 160)
+    injector = FaultInjector(app.kernel)
+    targets = [name for name in app.kernel.image.boot_order
+               if app.kernel.component(name).REBOOTABLE]
+
+    def loop() -> int:
+        for _ in range(rounds):
+            app.sim.clock.advance(1e6)
+            for name in targets:
+                injector.inject_corruption(name)
+            app.kernel.heartbeat()
+            app.kernel.meter.clear()
+        return rounds
+
+    loop()  # warm pass: snapshot caches, replay paths, plan shapes
+    # Same GC coupling as the other snapshot-heavy phases: every round
+    # restores eight component heaps; park the live graph while timing.
+    gc.collect()
+    gc.freeze()
+    try:
+        done, seconds = _timed(loop)
+    finally:
+        gc.unfreeze()
+    return {"recovery_storm_vampos": _phase(done, seconds)}
 
 
 def bench_shrink_endurance(ops: int) -> Dict[str, Dict[str, float]]:
@@ -261,6 +301,11 @@ PHASE_GROUPS = {
         lambda s: _best_of(3, lambda: bench_syscall_loop(
             max(FULL_SYSCALL_OPS // s, 4000), modes=(("vampos", DAS),))),
     "recovery": lambda s: bench_recovery(FULL_RECOVERY_REBOOTS // s),
+    # Gate phase like syscall_loop_vampos: best-of-3 with an op floor,
+    # so the 15 % CI tolerance compares stable numbers.
+    "recovery_storm":
+        lambda s: _best_of(3, lambda: bench_recovery_storm(
+            max(FULL_STORM_ROUNDS // s, 20))),
     "shrink_endurance":
         lambda s: bench_shrink_endurance(FULL_ENDURANCE_OPS // s),
     "snapshot_restore":

@@ -226,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     crucible.add_argument("--canary", action="store_true",
                           help="self-test: plant a known transparency "
                                "bug and require find + shrink")
+    crucible.add_argument("--storm", action="store_true",
+                          help="explore the multi-fault storm frontier "
+                               "(simultaneous corruptions recovered by "
+                               "one heartbeat sweep)")
     crucible.add_argument("--corpus-out", default=None, metavar="DIR",
                           help="write minimized violations as corpus "
                                "files into DIR")
@@ -447,7 +451,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                        seed=args.seed, canary=args.canary,
                        state_path=args.state, resume=args.resume,
                        corpus_out=args.corpus_out,
-                       shrink_limit=args.shrink_limit, out=out)
+                       shrink_limit=args.shrink_limit,
+                       storm=args.storm, out=out)
     if args.command == "run":
         return _run_with_obs(
             args, lambda: _execute(args.ids, args, out=out))

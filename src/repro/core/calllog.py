@@ -190,6 +190,10 @@ class ComponentCallLog:
         self._record_count = 0
         self._space_bytes = 0
         self._seq = itertools.count(1)
+        #: caller->target call edges: live return-value records per
+        #: callee, maintained incrementally on append/tombstone so the
+        #: recovery planner reads the dependency graph off the hot path
+        self._edge_counts: Dict[str, int] = {}
         #: entries currently being executed (innermost last); outbound
         #: retvals attach to the innermost active entry
         self._active: List[CallLogEntry] = []
@@ -295,6 +299,8 @@ class ComponentCallLog:
             delta = 64 + (_payload_bytes(result) if size < 0 else size)
             self._space_bytes += delta
             object.__setattr__(entry, "_space", entry._space + delta)
+            counts = self._edge_counts
+            counts[target] = counts.get(target, 0) + 1
         self.total_retvals += 1
         return True
 
@@ -308,6 +314,7 @@ class ComponentCallLog:
                 delta += 64 + _payload_bytes(record.result)
             self._space_bytes -= delta
             object.__setattr__(entry, "_space", entry._space - delta)
+            self._edges_drop(entry.nested)
         entry.nested.clear()
 
     # --- queries -------------------------------------------------------------------
@@ -346,6 +353,26 @@ class ComponentCallLog:
     def live_keys(self) -> List[Any]:
         """Keys with at least one live entry, oldest key first."""
         return list(self._key_live)
+
+    def call_edges(self) -> Dict[str, int]:
+        """Outbound call edges of this component: callee name -> number
+        of live return-value records targeting it.
+
+        This is the recovery planner's raw dependency data ("this
+        component's logged history calls into those components"), kept
+        incrementally so reading it is O(edges), never O(log).
+        """
+        if not FLAGS.indexed_log:
+            counts: Dict[str, int] = {}
+            for entry in self.entries:
+                for record in entry.nested:
+                    counts[record.target] = counts.get(record.target, 0) + 1
+            return counts
+        return dict(self._edge_counts)
+
+    def edge_targets(self) -> List[str]:
+        """Components this log's live entries call into, sorted."""
+        return sorted(self.call_edges())
 
     def has_multi_entry_key(self) -> bool:
         """O(1): does any key hold >= 2 live entries?  (This is the
@@ -426,6 +453,7 @@ class ComponentCallLog:
         self._live_count = 0
         self._record_count = 0
         self._space_bytes = 0
+        self._edge_counts.clear()
         for entry in survivors:
             self._register(entry)
 
@@ -446,6 +474,10 @@ class ComponentCallLog:
         space = entry.space_bytes()
         object.__setattr__(entry, "_space", space)
         self._space_bytes += space
+        if entry.nested:
+            counts = self._edge_counts
+            for record in entry.nested:
+                counts[record.target] = counts.get(record.target, 0) + 1
 
     def _unregister(self, entry: CallLogEntry) -> None:
         object.__setattr__(entry, "alive", False)
@@ -457,6 +489,17 @@ class ComponentCallLog:
         # entry._space tracks every registered-lifetime mutation
         # (result assignment, nested retvals), so no payload re-walk
         self._space_bytes -= entry._space
+        if entry.nested:
+            self._edges_drop(entry.nested)
+
+    def _edges_drop(self, records: List[ReturnValueRecord]) -> None:
+        counts = self._edge_counts
+        for record in records:
+            remaining = counts.get(record.target, 0) - 1
+            if remaining > 0:
+                counts[record.target] = remaining
+            else:
+                counts.pop(record.target, None)
 
     def _index_add(self, key: Any, entry: CallLogEntry) -> None:
         self._by_key.setdefault(key, []).append(entry)

@@ -27,7 +27,7 @@ with the paper's machinery in place:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..memory.mpk import (
     INTEL_MPK_KEYS,
@@ -1114,9 +1114,29 @@ class VampOSKernel(Kernel):
         degraded components whose quarantine has elapsed are probed
         (and restored on success); components still in quarantine are
         skipped — rebooting them here would defeat the degradation.
+
+        When several units have failed at once (a crash storm) and the
+        parallel-recovery planner is armed, the sweep collects the due
+        set first and hands it to :meth:`reboot_components`, which
+        overlaps independent units' reboots as virtual-time tracks.
+        With the planner off (``reference_mode``) or a watched clock,
+        the original one-at-a-time sweep runs bit-identically.
         """
         self.sim.charge("heartbeat", self.sim.costs.heartbeat_scan)
         records: List[RebootRecord] = list(self.supervisor.tick())
+        if FLAGS.parallel_recovery and not self.sim.clock._watchers:
+            due = self._sweep_due()
+            if len(due) > 1:
+                records.extend(self.reboot_components(
+                    due, reason="heartbeat",
+                    precheck=self._heartbeat_due_detail))
+            elif due:
+                detail = self._heartbeat_due_detail(due[0])
+                if detail is not None:
+                    self.detector.record(due[0], "heartbeat", detail)
+                    records.append(self.reboot_component(
+                        due[0], reason="heartbeat"))
+            return records
         swept = set()
         for name in self.image.boot_order:
             comp = self.image.component(name)
@@ -1124,16 +1144,104 @@ class VampOSKernel(Kernel):
                 continue
             if self.supervisor.is_degraded(name):
                 continue
-            failed = comp.state is ComponentState.FAILED
-            corrupted = any(region.corrupted for region in comp.regions)
-            sensed = self.detector.sense(comp)
-            if failed or corrupted or sensed:
-                self.detector.record(
-                    name, "heartbeat",
-                    sensed or ("failed state" if failed
-                               else "corrupted region"))
+            detail = self._heartbeat_due_detail(name)
+            if detail is not None:
+                self.detector.record(name, "heartbeat", detail)
                 record = self.reboot_component(name, reason="heartbeat")
                 swept.update(record.members)
+                records.append(record)
+        return records
+
+    def _heartbeat_due_detail(self, name: str) -> Optional[str]:
+        """The serial sweep's due check for one component: the detail
+        string to record when it needs a reboot, ``None`` when healthy.
+
+        Also the planner's *precheck*: re-evaluated right before each
+        planned track executes, because an earlier reboot's replay can
+        recover a later due component through the supervisor — the
+        serial sweep would find it healthy at its turn and skip it.
+        """
+        comp = self.image.component(name)
+        failed = comp.state is ComponentState.FAILED
+        corrupted = any(region.corrupted for region in comp.regions)
+        sensed = self.detector.sense(comp)
+        if failed or corrupted or sensed:
+            return sensed or ("failed state" if failed
+                              else "corrupted region")
+        return None
+
+    def _sweep_due(self) -> List[str]:
+        """Collect the heartbeat sweep's due components, at most one
+        per unit, without rebooting (or detector-recording) anything.
+
+        Mirrors the serial sweep's checks exactly; a unit already due
+        skips its remaining merge-group members because the unit reboot
+        restores them all (the serial sweep would find them healed).
+        The detector record happens later, right before each reboot
+        (via the :meth:`_heartbeat_due_detail` precheck), exactly where
+        the serial sweep records it.
+        """
+        due: List[str] = []
+        due_units = set()
+        for name in self.image.boot_order:
+            comp = self.image.component(name)
+            if not comp.REBOOTABLE:
+                continue
+            if self.scheduler.unit_of(name) in due_units:
+                continue
+            if self.supervisor.is_degraded(name):
+                continue
+            if self._heartbeat_due_detail(name) is not None:
+                due.append(name)
+                due_units.add(self.scheduler.unit_of(name))
+        return due
+
+    def reboot_components(
+            self, names: List[str], reason: str = "manual",
+            replay: bool = True,
+            precheck: Optional[Callable[[str], Optional[str]]] = None,
+    ) -> List[RebootRecord]:
+        """Reboot several components as one planned recovery episode.
+
+        With the parallel-recovery planner armed (``fastpath.FLAGS``,
+        unwatched clock) the failed units are partitioned into
+        dependency levels — derived from the indexed call-log edges
+        unioned with the declared component dependencies — and their
+        reboot tracks overlap in virtual time, max-merging the clock
+        (see :mod:`repro.recovery`).  Charges are issued in the exact
+        serial order, so ledger totals and counts are bit-identical to
+        the serial loop; only the elapsed clock shrinks.  Otherwise
+        (planner off, watched clock, dependency cycle, or a single
+        unit) the plain serial loop runs.
+
+        ``precheck`` (the heartbeat sweep passes
+        :meth:`_heartbeat_due_detail`) re-evaluates each component just
+        before its reboot and skips it when it healed in the meantime —
+        an earlier reboot's replay can recover a later component
+        through the supervisor, and the serial sweep would find it
+        healthy at its turn.  A still-due component is recorded with
+        the detector first, exactly like the serial sweep does.
+        """
+        def do_reboot(name: str) -> Optional[RebootRecord]:
+            if precheck is not None:
+                detail = precheck(name)
+                if detail is None:
+                    return None
+                self.detector.record(name, reason, detail)
+            return self.reboot_component(name, reason=reason,
+                                         replay=replay)
+
+        if (len(names) > 1 and FLAGS.parallel_recovery
+                and not self.sim.clock._watchers):
+            from ..recovery import execute_plan, plan_for_kernel
+            plan = plan_for_kernel(self, names)
+            if plan.parallel:
+                return execute_plan(self, plan, reason=reason,
+                                    replay=replay, reboot=do_reboot)
+        records = []
+        for name in names:
+            record = do_reboot(name)
+            if record is not None:
                 records.append(record)
         return records
 

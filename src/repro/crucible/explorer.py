@@ -30,10 +30,14 @@ from .corpus import corpus_entry, write_corpus_file
 from .generate import (
     CONFIGS,
     SITES_AXIS,
+    STORM_SUBSETS,
+    STORM_SWEEP,
     SWEEP,
     axes_for_index,
     canary_scenario,
     scenario_for_index,
+    storm_axes_for_index,
+    storm_scenario_for_index,
 )
 from .oracles import ORACLES, evaluate_oracles
 from .runner import run_bundle
@@ -48,17 +52,22 @@ _SHRINK_CAP = 8
 CANARY_MAX_EVENTS = 6
 
 
-def explore_cell(root_seed: int, index: int,
-                 canary: bool) -> Dict[str, Any]:
+def explore_cell(root_seed: int, index: int, canary: bool,
+                 storm: bool = False) -> Dict[str, Any]:
     """One frontier cell: generate, run the bundle, judge.
 
     Module-level and JSON-in/JSON-out so it pickles into pool workers
     and merges byte-identically.  ``index == -1`` selects the canary
-    scenario (only meaningful with ``canary=True``).
+    scenario (only meaningful with ``canary=True``); ``storm`` selects
+    the multi-fault storm frontier instead of the main one.
     """
     if index < 0:
         scenario = canary_scenario(root_seed)
         config, fault, site = scenario.config, "canary", "reboot"
+    elif storm:
+        scenario = storm_scenario_for_index(root_seed, index)
+        config, subset, _ = storm_axes_for_index(index)
+        fault, site = "storm", "+".join(subset)
     else:
         scenario = scenario_for_index(root_seed, index)
         config, fault, site, _ = axes_for_index(index)
@@ -132,14 +141,23 @@ def _render_report(seed: int, start: int, budget: int,
                    cells: List[Dict[str, Any]],
                    shrunk: Dict[int, Dict[str, Any]],
                    corpus_files: Dict[int, str],
-                   state: Optional[Dict[str, Any]]) -> str:
-    lines = ["== crucible: deterministic fault-space exploration =="]
+                   state: Optional[Dict[str, Any]],
+                   storm: bool = False) -> str:
+    title = ("== crucible: multi-fault storm exploration =="
+             if storm else
+             "== crucible: deterministic fault-space exploration ==")
+    lines = [title]
     lines.append(
         f"seed {seed}, budget {budget} "
         f"(frontier indices {start}..{start + budget - 1})")
-    lines.append(
-        f"axes: {len(CONFIGS)} configs x {len(FAULT_KINDS)} faults x "
-        f"{len(SITES_AXIS)} sites = {SWEEP} scenarios per sweep")
+    if storm:
+        lines.append(
+            f"axes: {len(CONFIGS)} configs x {len(STORM_SUBSETS)} "
+            f"target subsets = {STORM_SWEEP} scenarios per sweep")
+    else:
+        lines.append(
+            f"axes: {len(CONFIGS)} configs x {len(FAULT_KINDS)} faults "
+            f"x {len(SITES_AXIS)} sites = {SWEEP} scenarios per sweep")
 
     coverage: Dict[str, int] = {}
     pending = 0
@@ -208,7 +226,8 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
             seed: int = 20240806, canary: bool = False,
             state_path: Optional[str] = None, resume: bool = False,
             corpus_out: Optional[str] = None,
-            shrink_limit: int = 160, out=None) -> int:
+            shrink_limit: int = 160, storm: bool = False,
+            out=None) -> int:
     """The ``repro crucible`` command body; returns the exit code."""
     import sys
     if out is None:  # pragma: no cover - CLI default
@@ -220,7 +239,7 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
     state = _load_state(state_path, resume, seed)
     start = int(state["next_index"])
     cells = parallel_map(explore_cell,
-                         [(seed, index, False)
+                         [(seed, index, False, storm)
                           for index in range(start, start + budget)],
                          jobs)
 
@@ -249,7 +268,8 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
     state["violations_total"] = state["violations_total"] + violations
     print(_render_report(seed, start, budget, cells, shrunk,
                          corpus_files,
-                         state if state_path else None), file=out)
+                         state if state_path else None,
+                         storm=storm), file=out)
     if state_path:
         _save_state(state_path, state)
     return 1 if violations else 0

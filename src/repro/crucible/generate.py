@@ -130,6 +130,74 @@ def scenario_for_index(root_seed: int, index: int) -> Scenario:
                     note=f"frontier[{index}] {fault}@{site}")
 
 
+#: the storm family's target-subset axis: every multi-component
+#: combination of the scenario targets, smallest first.  {9PFS, RAMFS}
+#: is the fully-independent pair (their recovery tracks overlap
+#: completely); the subsets containing VFS exercise the dependent case
+#: (VFS's track must serialize behind its failed providers).
+STORM_SUBSETS = (("9PFS", "RAMFS"), ("VFS", "9PFS"), ("VFS", "RAMFS"),
+                 ("VFS", "9PFS", "RAMFS"))
+
+#: one full sweep of the storm family's axes
+STORM_SWEEP = len(CONFIGS) * len(STORM_SUBSETS)
+
+
+def storm_axes_for_index(index: int) -> tuple:
+    """``index`` → (config, subset, variant) on the storm frontier."""
+    if index < 0:
+        raise ValueError("frontier indices are non-negative")
+    residue, variant = index % STORM_SWEEP, index // STORM_SWEEP
+    config = CONFIGS[residue % len(CONFIGS)]
+    subset = STORM_SUBSETS[residue // len(CONFIGS)]
+    return config, subset, variant
+
+
+def storm_scenario_for_index(root_seed: int, index: int) -> Scenario:
+    """The multi-fault storm frontier: several components' heaps are
+    marked corrupted at once and a single heartbeat sweep recovers them
+    all — through the parallel recovery planner when the configuration
+    and fast-path flags allow, serially otherwise.
+
+    The oracle panel then holds the planner to the serial-equivalence
+    contract: identical op results and ledger against the
+    ``reference_mode`` twin (which forces the serial sweep), a clock no
+    later than the twin's, and an observable final state a clean reboot
+    cannot perturb.
+    """
+    config, subset, variant = storm_axes_for_index(index)
+    seed = shard_seed(root_seed, "crucible", "storm", config,
+                      "+".join(subset), variant)
+    rng = DeterministicRNG(seed).stream("events")
+
+    # state + traffic first: the call-log edge index must hold live
+    # caller→callee edges for the planner's dependency graph, and
+    # there must be logged state for a broken restore to lose
+    events: List[List[Any]] = [
+        ["op", "open", rng.randint(0, len(PATHS) - 1)],
+        ["op", "write", 0, "".join(rng.choice("abc")
+                                   for _ in range(rng.randint(2, 6)))],
+    ]
+    events.extend(_ops(rng, rng.randint(1, 3)))
+
+    # the storm: every subset member corrupted before one sweep
+    for target in subset:
+        events.append(["corrupt", target])
+    events.append(["heartbeat"])
+
+    events.extend(_ops(rng, rng.randint(1, 3)))
+    if rng.randint(0, 1) == 0:
+        # a second, quieter storm after the backoff window — recovery
+        # must stay plannable when components have reboot history
+        events.append(["advance", float(rng.choice((2, 6))) * 1e6])
+        events.append(["corrupt", subset[0]])
+        events.append(["corrupt", subset[-1]])
+        events.append(["heartbeat"])
+    events.extend(_ops(rng, rng.randint(0, 2)))
+
+    return Scenario(config=config, seed=seed, events=events,
+                    note=f"storm[{index}] {'+'.join(subset)}@{config}")
+
+
 def canary_scenario(root_seed: int) -> Scenario:
     """The planted transparency bug (see ``runner._install_canary``).
 

@@ -34,10 +34,24 @@ def _cut(outcome: RunOutcome) -> float:
         else float(outcome.lossy_cut)
 
 
+def _planned_recovery(outcome: RunOutcome) -> bool:
+    """Did the run execute at least one parallel recovery plan?"""
+    return any(category == "supervisor" and name == "recovery_plan"
+               for _, category, name, _ in outcome.trace_log)
+
+
 def ledger_parity(scenario: Scenario, bundle: Bundle) -> List[str]:
     """Fast paths must be invisible: the run with every optimisation
-    disabled (``reference_mode``) charges the identical ledger, lands
-    on the identical virtual clock and returns the identical results."""
+    disabled (``reference_mode``) charges the identical ledger — exact
+    totals *and* counts — lands on the identical virtual clock and
+    returns the identical results.
+
+    One sanctioned exception: the parallel recovery planner keeps the
+    charge sequence byte-identical but overlaps independent reboot
+    tracks in virtual time, so a run whose trace shows a
+    ``recovery_plan`` may finish *earlier* than the reference-mode twin
+    (which forces the serial sweep) — never later, and never with a
+    different ledger."""
     main, twin = bundle["main"], bundle["refmode"]
     problems = []
     if main.results != twin.results:
@@ -48,10 +62,20 @@ def ledger_parity(scenario: Scenario, bundle: Bundle) -> List[str]:
             if main.ledger_totals.get(k) != twin.ledger_totals.get(k))
         problems.append(
             f"ledger diverges under reference_mode: {', '.join(diff)}")
-    if main.clock_us != twin.clock_us:
+    if main.ledger_counts != twin.ledger_counts:
+        diff = sorted(
+            k for k in set(main.ledger_counts) | set(twin.ledger_counts)
+            if main.ledger_counts.get(k) != twin.ledger_counts.get(k))
         problems.append(
-            f"clock diverges under reference_mode: "
-            f"{main.clock_us} != {twin.clock_us}")
+            f"charge counts diverge under reference_mode: "
+            f"{', '.join(diff)}")
+    if main.clock_us != twin.clock_us:
+        if _planned_recovery(main) and main.clock_us < twin.clock_us:
+            pass  # overlapped tracks legally shrink elapsed time
+        else:
+            problems.append(
+                f"clock diverges under reference_mode: "
+                f"{main.clock_us} != {twin.clock_us}")
     return problems
 
 
@@ -96,8 +120,23 @@ def shrink_soundness(scenario: Scenario, bundle: Bundle) -> List[str]:
 
 def restore_equivalence(scenario: Scenario, bundle: Bundle) -> List[str]:
     """Rebooting a healthy component after the scenario must be a
-    no-op for the observable state (checked by the runner's probes)."""
-    return list(bundle["main"].restore_problems)
+    no-op for the observable state (checked by the runner's probes).
+
+    When the run executed a parallel recovery plan and neither it nor
+    the reference-mode twin lost state, the two must also agree on the
+    observable final state: overlapping reboot tracks may only shrink
+    elapsed time, never change what the restores reconstruct."""
+    main, twin = bundle["main"], bundle["refmode"]
+    problems = list(main.restore_problems)
+    if (_planned_recovery(main)
+            and main.lossy_cut is None and twin.lossy_cut is None
+            and main.terminal is None and twin.terminal is None
+            and main.final_state != twin.final_state):
+        problems.append(
+            "final observable state diverges from the reference-mode "
+            "twin although the parallel recovery plan must be "
+            "state-equivalent to the serial sweep")
+    return problems
 
 
 def ladder_monotonicity(scenario: Scenario, bundle: Bundle) -> List[str]:

@@ -300,6 +300,8 @@ def run_scenario(scenario: Scenario, ops_only: bool = False,
                         _armed_injection(
                             injector, event[3], event[4],
                             event[5] if len(event) > 5 else None))
+                elif tag == "corrupt":
+                    injector.inject_corruption(event[1])
                 elif tag == "reboot":
                     kernel.reboot_component(event[1], reason="crucible")
                 elif tag == "heartbeat":

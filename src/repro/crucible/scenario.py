@@ -19,6 +19,9 @@ Event forms (lists, so canonical JSON round-trips exactly)::
     ["inject", "det_bug", target, func]
     ["site", site, hit, kind, target] arm the fault on the ``hit``-th
     ["site", site, hit, "det_bug", target, func]   subsequent site hit
+    ["corrupt", target]               mark the heap region corrupted —
+                                      heartbeat-visible, the multi-fault
+                                      storm primitive
     ["reboot", target]                manual component reboot
     ["heartbeat"]                     message-thread heart-beat sweep
     ["advance", us]                   advance virtual time

@@ -25,9 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from ..fastpath import FLAGS
 from ..faults.injector import FaultInjector
 from ..metrics.report import ExperimentReport
 from ..net.tcp import ConnectionRefused, ConnectionReset
+from ..obs.metrics import Histogram
 from ..parallel import parallel_map, trial_seeds
 from ..supervisor import ROW_HEADERS, RecoveryTelemetry
 from ..unikernel.errors import (
@@ -68,6 +70,24 @@ BIT_TARGETS = ("VFS", "9PFS")
 #: to come due, short enough to keep storm windows meaningful
 INTER_ROUND_US = 500_000.0
 
+#: crash-storm arms for the serial-vs-planned MTTR comparison.  The
+#: independent arm corrupts four components with no call edges or
+#: declared dependencies among them — their reboot tracks overlap
+#: completely, so the planned MTTR is the *max* track instead of the
+#: sum.  The chain arm corrupts a provider chain (VFS calls into LWIP's
+#: sockets is declared; LWIP depends on NETDEV) — every track
+#: serializes behind its provider, so the planned episode must cost
+#: exactly what the serial sweep costs.
+STORM_INDEPENDENT: Tuple[str, ...] = ("NETDEV", "PROCESS", "TIMER",
+                                      "SYSINFO")
+STORM_CHAIN: Tuple[str, ...] = ("VFS", "LWIP", "NETDEV")
+STORM_ARMS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("independent x4", STORM_INDEPENDENT),
+    ("dependent chain x3", STORM_CHAIN),
+)
+#: storms per (arm, schedule, seed) cell
+STORM_ROUNDS = 4
+
 
 @dataclass
 class SoakOutcome:
@@ -90,6 +110,83 @@ class SoakOutcome:
     @property
     def availability(self) -> float:
         return self.served / self.requests if self.requests else 1.0
+
+
+@dataclass
+class StormOutcome:
+    """One storm cell's totals: MTTR per heartbeat-recovered storm."""
+
+    arm: str
+    schedule: str  # "serial" | "planned"
+    storms: int = 0
+    mttr_total_us: float = 0.0
+    mttr_hist: Histogram = field(default_factory=Histogram)
+    plans: int = 0
+    plan_tracks: int = 0
+    post_storm_ok: int = 0
+
+    @property
+    def mttr_mean_us(self) -> float:
+        return self.mttr_total_us / self.storms if self.storms else 0.0
+
+
+def storm_cell(arm: str, targets: Tuple[str, ...], storms: int,
+               seed: int, planned: bool) -> StormOutcome:
+    """One shard: ``storms`` simultaneous-corruption episodes against a
+    supervised Nginx, each recovered by a single heartbeat sweep.
+
+    With ``planned`` the dependency-aware recovery planner overlaps
+    independent reboot tracks; without it the flag is cleared and the
+    heartbeat falls back to the serial sweep.  The charge sequence is
+    identical either way (serial-equivalence discipline), so only the
+    elapsed virtual clock — the MTTR — differs.
+    """
+    saved = FLAGS.parallel_recovery
+    FLAGS.parallel_recovery = planned
+    try:
+        app = make_nginx(resolve_mode(SUPERVISED_MODE), seed=seed)
+        injector = FaultInjector(app.kernel)
+        load = HttpLoadGenerator(app, connections=4)
+        outcome = StormOutcome(
+            arm=arm, schedule="planned" if planned else "serial")
+        # Warm traffic first, so the call-log edge index carries the
+        # live caller→callee edges the planner derives its DAG from.
+        for i in range(8):
+            load.one_request(i % load.connections)
+        for _ in range(storms):
+            app.sim.clock.advance(INTER_ROUND_US)
+            for name in targets:
+                injector.inject_corruption(name)
+            t0 = app.sim.clock.now_us
+            app.kernel.heartbeat()
+            episode_us = app.sim.clock.now_us - t0
+            outcome.storms += 1
+            outcome.mttr_total_us += episode_us
+            outcome.mttr_hist.observe(episode_us)
+            try:
+                load.one_request(0)
+                outcome.post_storm_ok += 1
+            except (ConnectionReset, ConnectionRefused, SyscallError):
+                load.close_all()
+        telemetry = app.kernel.supervisor.telemetry
+        outcome.plans = telemetry.plans
+        outcome.plan_tracks = telemetry.plan_tracks
+        return outcome
+    finally:
+        FLAGS.parallel_recovery = saved
+
+
+def _aggregate_storms(outcomes: List[StormOutcome]) -> StormOutcome:
+    total = StormOutcome(arm=outcomes[0].arm,
+                         schedule=outcomes[0].schedule)
+    for outcome in outcomes:
+        total.storms += outcome.storms
+        total.mttr_total_us += outcome.mttr_total_us
+        total.mttr_hist = total.mttr_hist.merged_with(outcome.mttr_hist)
+        total.plans += outcome.plans
+        total.plan_tracks += outcome.plan_tracks
+        total.post_storm_ok += outcome.post_storm_ok
+    return total
 
 
 def _inject_one(rng, injector: FaultInjector, armed_roots: List[str]) -> str:
@@ -222,6 +319,23 @@ def run(rounds: int = 30, requests_per_round: int = 6,
     inline = _aggregate(results[:repeats])
     supervised = _aggregate(results[repeats:])
 
+    # The storm sub-campaign: every (arm, schedule) pair over the same
+    # seeds, one cell per seed, folded in canonical order so the report
+    # stays byte-identical at any --jobs count.
+    storm_seeds = trial_seeds(seed, repeats, label="storm")
+    storm_cells = [(arm, targets, STORM_ROUNDS, s, planned)
+                   for arm, targets in STORM_ARMS
+                   for planned in (False, True)
+                   for s in storm_seeds]
+    storm_results = parallel_map(storm_cell, storm_cells, jobs)
+    storm_pairs = []  # (arm, serial agg, planned agg)
+    for index, (arm, _targets) in enumerate(STORM_ARMS):
+        base = index * 2 * repeats
+        serial = _aggregate_storms(storm_results[base:base + repeats])
+        planned = _aggregate_storms(
+            storm_results[base + repeats:base + 2 * repeats])
+        storm_pairs.append((arm, serial, planned))
+
     def availability_text(outcome: SoakOutcome) -> str:
         return (f"{outcome.availability * 100:.1f}% "
                 f"({outcome.served}/{outcome.requests})")
@@ -248,6 +362,16 @@ def run(rounds: int = 30, requests_per_round: int = 6,
                    sum(inline.telemetry.degrade_entries.values()),
                    sum(supervised.telemetry.degrade_entries.values()))
 
+    def mttr_percentiles(outcome: SoakOutcome) -> str:
+        telemetry = outcome.telemetry
+        if telemetry.mttr_hist.count == 0:
+            return "-"
+        return (f"p50 {telemetry.mttr_quantile(0.5) / 1e3:.2f}ms / "
+                f"p99 {telemetry.mttr_quantile(0.99) / 1e3:.2f}ms")
+
+    report.add_row("recovery MTTR p50/p99", mttr_percentiles(inline),
+                   mttr_percentiles(supervised))
+
     deep_rungs = (supervised.telemetry.rung_total("fresh-restart")
                   + supervised.telemetry.rung_total("scope-widen")
                   + supervised.telemetry.rung_total("rejuvenate-all")
@@ -271,4 +395,50 @@ def run(rounds: int = 30, requests_per_round: int = 6,
     report.add_subtable("recovery telemetry (supervised arm)",
                         ROW_HEADERS,
                         supervised.telemetry.rows(now_us=0.0))
+
+    storm_rows = []
+    for arm, serial, planned in storm_pairs:
+        speedup = (serial.mttr_mean_us / planned.mttr_mean_us
+                   if planned.mttr_mean_us else 1.0)
+        planned_pcts = (
+            f"p50 {planned.mttr_hist.quantile(0.5):.1f}us / "
+            f"p99 {planned.mttr_hist.quantile(0.99):.1f}us"
+            if planned.mttr_hist.count else "-")
+        storm_rows.append([
+            arm, serial.storms,
+            f"{serial.mttr_mean_us:.1f}us",
+            f"{planned.mttr_mean_us:.1f}us",
+            f"{speedup:.2f}x",
+            f"{planned.plans} plans / {planned.plan_tracks} tracks",
+            planned_pcts,
+        ])
+    report.add_subtable(
+        "crash-storm MTTR (serial vs planned recovery)",
+        ["storm arm", "storms", "serial MTTR", "planned MTTR",
+         "speedup", "planner", "planned MTTR p50/p99"],
+        storm_rows)
+
+    independent_serial, independent_planned = (
+        storm_pairs[0][1], storm_pairs[0][2])
+    chain_serial, chain_planned = storm_pairs[1][1], storm_pairs[1][2]
+    independent_speedup = (
+        independent_serial.mttr_mean_us / independent_planned.mttr_mean_us
+        if independent_planned.mttr_mean_us else 1.0)
+    report.add_claim(
+        "parallel recovery cuts independent-storm MTTR >= 2.5x",
+        independent_speedup >= 2.5, f"{independent_speedup:.2f}x")
+    report.add_claim(
+        "dependent-chain storms never regress vs the serial sweep",
+        chain_planned.mttr_mean_us <= chain_serial.mttr_mean_us,
+        f"{chain_planned.mttr_mean_us:.1f}us planned vs "
+        f"{chain_serial.mttr_mean_us:.1f}us serial")
+    report.add_claim(
+        "the kernel serves after every storm",
+        all(agg.post_storm_ok == agg.storms
+            for _, serial_agg, planned_agg in storm_pairs
+            for agg in (serial_agg, planned_agg)),
+        f"{sum(a.post_storm_ok for _, s, p in storm_pairs for a in (s, p))}"
+        f"/{sum(a.storms for _, s, p in storm_pairs for a in (s, p))} "
+        "post-storm requests OK")
+
     return report

@@ -16,6 +16,14 @@ change **no** virtual-time (`sim.charge`) semantics:
 * interned payload handles: content-keyed caches let repeated immutable
   payloads share one size computation and one logged blob.
 
+One switch is different in kind: ``parallel_recovery`` overlaps
+independent component reboots as virtual-time tracks.  It keeps ledger
+*totals and counts* bit-identical to the serial path (charges are
+issued in the identical serial order) but deliberately shrinks the
+elapsed clock from the sum of reboot costs to the dependency DAG's
+critical path — that clock delta is the optimisation.  ``reference_mode``
+turns it off, forcing the serial sweep bit-identically.
+
 Each can be switched off to fall back to the original scan-everything /
 copy-everything reference implementation.  The switches exist for one
 purpose: the virtual-time-neutrality regression tests run the same
@@ -155,6 +163,15 @@ class FastPathFlags:
     #: content-keyed handle caches: repeated immutable payloads share
     #: one size computation and one logged blob (see PayloadHandles)
     interned_payloads: bool = True
+    #: dependency-aware parallel recovery: when a heartbeat sweep (or a
+    #: multi-component ladder rung) must reboot several independent
+    #: units, overlap their reboots as virtual-time tracks whose clocks
+    #: max-merge instead of summing.  Charges are issued in the exact
+    #: serial order, so ledger totals/counts stay bit-identical to the
+    #: serial path; only the elapsed clock shrinks to the dependency
+    #: DAG's critical path.  Off (reference_mode) forces the serial
+    #: sweep bit-identically.
+    parallel_recovery: bool = True
     #: flight recorder charges ``costs.trace_emit`` per span open/close
     #: (virtual time is otherwise never spent on observability)
     charge_tracing: bool = False

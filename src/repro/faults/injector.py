@@ -151,5 +151,26 @@ class FaultInjector:
         self._record("bit_flip", component,
                      f"{region_suffix}@{offset}:{bit}")
 
+    def inject_corruption(self, component: str,
+                          region_suffix: str = "heap") -> None:
+        """Mark a component region corrupted (an uncorrectable memory
+        fault the ECC scrubber reported).
+
+        Unlike :meth:`inject_bit_flip` — which flips a real byte that
+        only misbehaves when the component touches it — a marked
+        corruption is visible to the heartbeat sweep, so this is the
+        storm primitive: corrupt several components, then let one
+        heartbeat recover them all.
+        """
+        comp = self.kernel.component(component)
+        region_name = f"{component}.{region_suffix}"
+        if region_name not in comp.regions:
+            valid = sorted(r.name.split(".", 1)[1] for r in comp.regions)
+            raise ValueError(
+                f"component {component!r} has no region "
+                f"{region_suffix!r}; valid suffixes: {', '.join(valid)}")
+        comp.regions.get(region_name).mark_corrupted()
+        self._record("corruption", component, region_suffix)
+
     def injections_for(self, component: str) -> List[InjectionRecord]:
         return [r for r in self.history if r.component == component]

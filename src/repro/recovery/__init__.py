@@ -1,0 +1,33 @@
+"""Dependency-aware parallel recovery planning.
+
+When a heartbeat sweep (or a multi-component ladder rung) must reboot
+several failed units at once, this package decides which of those
+reboots may overlap — the dependency graph is derived from the
+incrementally indexed call-log edges unioned with the statically
+declared component dependencies — and executes them as overlapping
+virtual-time tracks whose clocks max-merge instead of summing.
+
+See :mod:`repro.recovery.graph` (graph derivation),
+:mod:`repro.recovery.planner` (level partition + plan construction)
+and :mod:`repro.recovery.scheduler` (track execution + the
+serial-equivalence discipline).
+"""
+
+from .graph import (DependencyCycle, call_graph, critical_path_length,
+                    level_partition, unit_dag)
+from .planner import (RecoveryPlan, RecoveryTrack, plan_for_kernel,
+                      plan_tracks)
+from .scheduler import execute_plan
+
+__all__ = [
+    "DependencyCycle",
+    "RecoveryPlan",
+    "RecoveryTrack",
+    "call_graph",
+    "critical_path_length",
+    "execute_plan",
+    "level_partition",
+    "plan_for_kernel",
+    "plan_tracks",
+    "unit_dag",
+]

@@ -1,0 +1,143 @@
+"""Dependency graphs for parallel recovery planning.
+
+The planner needs to know, for a set of simultaneously failed
+components, which of them depend on which others — a dependent's
+recovery (snapshot restore + encapsulated log replay) re-issues calls
+into its providers, so it must not come back before they do.
+
+Two sources feed the graph:
+
+* **Indexed call-log edges** — every live return-value record in a
+  component's call log names the callee it was recorded against
+  (``ComponentCallLog.call_edges``, maintained incrementally on log
+  append/tombstone).  These are the *observed* caller→callee edges:
+  exactly the calls a replay will re-issue.
+* **Declared dependencies** — each component class's static
+  ``DEPENDENCIES`` tuple.  These seed the graph before any traffic has
+  been logged (a cold storm must still serialize VFS behind 9PFS).
+
+The union is conservative: an edge from either source serializes the
+dependent behind its provider.  Everything here is pure data →  data so
+the builder is directly unit-testable with hand-built fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Set
+
+
+class DependencyCycle(Exception):
+    """The failed-unit dependency graph contains a cycle (mutually
+    recursive call logs) — no level partition exists, so the planner
+    falls back to the serial sweep."""
+
+
+def call_graph(logs: Mapping[str, "object"],
+               declared: Mapping[str, Sequence[str]] = None
+               ) -> Dict[str, Set[str]]:
+    """caller → set-of-callees over the whole kernel.
+
+    ``logs`` maps component name → ``ComponentCallLog`` (anything with
+    a ``call_edges()`` method); ``declared`` maps component name → its
+    statically declared dependencies.  Self-edges are dropped — a
+    component's replay never blocks on its own recovery.
+    """
+    edges: Dict[str, Set[str]] = {}
+    for caller, log in logs.items():
+        targets = set(log.call_edges())
+        targets.discard(caller)
+        if targets:
+            edges[caller] = targets
+    if declared:
+        for caller, deps in declared.items():
+            targets = set(deps)
+            targets.discard(caller)
+            if targets:
+                edges.setdefault(caller, set()).update(targets)
+    return edges
+
+
+def unit_dag(failed: Sequence[str],
+             edges: Mapping[str, Iterable[str]],
+             unit_of: Callable[[str], str]
+             ) -> "tuple[List[str], Dict[str, Set[str]]]":
+    """Collapse component-level edges onto the failed *units*.
+
+    Components sharing a merge group reboot as one unit, so they form a
+    single node; edges between members of the same unit vanish (the
+    unit reboot handles them atomically).  Only edges between two
+    failed units survive — a provider that did not fail is already up
+    and constrains nothing.
+
+    Returns ``(units, deps)``: the failed units in first-seen (i.e.
+    serial sweep) order, and per-unit provider sets restricted to
+    failed units.
+    """
+    units: List[str] = []
+    members: Dict[str, List[str]] = {}
+    for name in failed:
+        unit = unit_of(name)
+        if unit not in members:
+            units.append(unit)
+            members[unit] = []
+        members[unit].append(name)
+    failed_unit_of: Dict[str, str] = {}
+    for unit in units:
+        for name in members[unit]:
+            failed_unit_of[name] = unit
+    deps: Dict[str, Set[str]] = {unit: set() for unit in units}
+    for caller, targets in edges.items():
+        caller_unit = failed_unit_of.get(caller)
+        if caller_unit is None:
+            caller_unit = unit_of(caller)
+            if caller_unit not in deps:
+                continue
+        for target in targets:
+            target_unit = failed_unit_of.get(target)
+            if target_unit is None or target_unit == caller_unit:
+                continue
+            deps[caller_unit].add(target_unit)
+    return units, deps
+
+
+def level_partition(units: Sequence[str],
+                    deps: Mapping[str, Set[str]]) -> List[List[str]]:
+    """Partition units into dependency levels by longest provider path.
+
+    Level 0 holds units with no failed providers; a dependent lands one
+    level past its deepest provider.  Units within a level keep their
+    input (serial sweep) order, so the partition is schedule-stable.
+    Raises :class:`DependencyCycle` when no partition exists.
+    """
+    level: Dict[str, int] = {}
+
+    def resolve(unit: str, stack: Set[str]) -> int:
+        known = level.get(unit)
+        if known is not None:
+            return known
+        if unit in stack:
+            raise DependencyCycle(
+                f"dependency cycle through {unit!r}: "
+                f"{sorted(stack)} cannot be level-partitioned")
+        stack.add(unit)
+        depth = 0
+        for provider in sorted(deps.get(unit, ())):
+            depth = max(depth, resolve(provider, stack) + 1)
+        stack.discard(unit)
+        level[unit] = depth
+        return depth
+
+    for unit in units:
+        resolve(unit, set())
+    if not units:
+        return []
+    buckets: List[List[str]] = [[] for _ in range(max(level.values()) + 1)]
+    for unit in units:  # input order within each level
+        buckets[level[unit]].append(unit)
+    return buckets
+
+
+def critical_path_length(levels: Sequence[Sequence[str]]) -> int:
+    """Length (in units) of the longest provider chain — the number of
+    reboots that cannot overlap, i.e. the plan's depth."""
+    return len(levels)

@@ -1,0 +1,120 @@
+"""Recovery plans: which failed units may reboot concurrently.
+
+A :class:`RecoveryPlan` is the planner's verdict over a set of failed
+components: the reboot *tracks* (one per failed unit, in the exact
+serial sweep order), the dependency :func:`level partition
+<repro.recovery.graph.level_partition>`, and whether the tracks may
+overlap at all.  The plan is pure data — executing it against a kernel
+is the scheduler's job (:mod:`repro.recovery.scheduler`).
+
+The safety rule baked in here: tracks execute in the serial order and
+may only *overlap*, never *reorder*.  That keeps every
+``sim.charge(category, amount)`` in the identical sequence the serial
+sweep would issue (ledger totals and counts stay bit-identical —
+float addition order preserved); the only thing parallelism changes is
+each track's start time, and therefore the merged clock.  A plan whose
+serial order is not a topological order of the failed-unit DAG (a
+dependent sweeping before its provider) cannot be overlapped without
+reordering, so it degrades to ``parallel=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .graph import (DependencyCycle, call_graph, critical_path_length,
+                    level_partition, unit_dag)
+
+
+@dataclass
+class RecoveryTrack:
+    """One failed unit's reboot, as a schedulable track."""
+
+    unit: str
+    #: representative member passed to ``reboot_component`` (the unit
+    #: reboot restores every member of the merge group)
+    component: str
+    #: failed provider units whose completion wave this track blocks on
+    providers: Tuple[str, ...]
+    #: dependency level (0 = no failed providers)
+    level: int
+    # filled in by the scheduler after execution:
+    start_us: float = 0.0
+    end_us: float = 0.0
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class RecoveryPlan:
+    """The planner's verdict over one multi-failure episode."""
+
+    tracks: List[RecoveryTrack] = field(default_factory=list)
+    #: unit names per dependency level (level 0 first)
+    levels: List[List[str]] = field(default_factory=list)
+    #: False → execute the plain serial sweep (see ``serial_reason``)
+    parallel: bool = False
+    serial_reason: str = ""
+
+    @property
+    def track_count(self) -> int:
+        return len(self.tracks)
+
+    @property
+    def critical_path(self) -> int:
+        return critical_path_length(self.levels)
+
+
+def plan_tracks(failed: Sequence[str],
+                edges: Mapping[str, Iterable[str]],
+                unit_of: Callable[[str], str]) -> RecoveryPlan:
+    """Build a plan from pure data (no kernel needed).
+
+    ``failed`` lists the failed components in serial sweep order, at
+    most one per unit (the sweep skips co-members of an already-due
+    unit).  ``edges`` is the component-level caller→callees graph.
+    """
+    units, deps = unit_dag(failed, edges, unit_of)
+    rep: Dict[str, str] = {}
+    for name in failed:
+        rep.setdefault(unit_of(name), name)
+    try:
+        levels = level_partition(units, deps)
+    except DependencyCycle as cycle:
+        return RecoveryPlan(
+            tracks=[RecoveryTrack(unit, rep[unit], (), 0) for unit in units],
+            levels=[list(units)], parallel=False,
+            serial_reason=str(cycle))
+    level_of = {unit: i for i, bucket in enumerate(levels)
+                for unit in bucket}
+    tracks = []
+    seen: set = set()
+    topological = True
+    for unit in units:  # serial sweep order
+        providers = tuple(sorted(deps[unit]))
+        if any(provider not in seen for provider in providers):
+            topological = False
+        seen.add(unit)
+        tracks.append(RecoveryTrack(unit, rep[unit], providers,
+                                    level_of[unit]))
+    if len(units) < 2:
+        return RecoveryPlan(tracks, levels, False, "fewer than two units")
+    if not topological:
+        return RecoveryPlan(
+            tracks, levels, False,
+            "serial sweep order is not topological for the failure DAG")
+    return RecoveryPlan(tracks, levels, True)
+
+
+def plan_for_kernel(kernel: "object", failed: Sequence[str]) -> RecoveryPlan:
+    """Plan recovery for ``failed`` components of a running kernel.
+
+    Edges come from the live call-log edge indexes unioned with the
+    image's declared dependency graph; units come from the scheduler
+    (merge groups collapse onto one track).
+    """
+    edges = call_graph(kernel.logs, kernel.image.dependency_graph())
+    return plan_tracks(failed, edges, kernel.scheduler.unit_of)

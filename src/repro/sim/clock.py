@@ -82,6 +82,26 @@ class VirtualClock:
             return self._now_us
         return self.advance(t_us - self._now_us)
 
+    def seek(self, t_us: float) -> float:
+        """Set the clock to absolute ``t_us`` — the parallel-recovery
+        scheduler's track primitive.
+
+        Overlapping recovery tracks each start at their own ready time:
+        the scheduler seeks back to that time before running a track,
+        and seeks forward to the max track end (the "max-merge") once
+        every track has run, so concurrent reboots cost the critical
+        path instead of the sum.  Seeking is only legal on an unwatched
+        clock: a watcher's view of time must stay monotonic, which is
+        why the planner refuses to engage (and the serial sweep runs)
+        whenever watchers are registered.
+        """
+        if self._watchers:
+            raise ClockError("cannot seek a watched clock")
+        if t_us < 0:
+            raise ClockError("cannot seek before time zero")
+        self._now_us = float(t_us)
+        return self._now_us
+
     def on_advance(self, watcher: Callable[[float, float], None]) -> None:
         """Register ``watcher(old_us, new_us)`` called after each advance."""
         self._watchers.append(watcher)

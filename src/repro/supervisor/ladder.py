@@ -143,10 +143,14 @@ class ScopeWidenRung(LadderRung):
                 kernel = sup.kernel
                 sup.sim.emit("supervisor", "widen", component=comp_name,
                              ring=list(ring))
-                rebooted_units = set()
-                for member in ring:
-                    kernel.reboot_component(member, reason="scope-widen")
-                    rebooted_units.add(kernel.scheduler.unit_of(member))
+                # Ring members are one representative per scheduling
+                # unit, so their reboots can overlap as parallel
+                # recovery tracks when the planner is armed (the
+                # serial loop runs bit-identically otherwise).
+                kernel.reboot_components(list(ring),
+                                         reason="scope-widen")
+                rebooted_units = {kernel.scheduler.unit_of(member)
+                                  for member in ring}
                 # Finish with the failed component itself (its state is
                 # FAILED after the retry), unless a ring member's merge
                 # group already covered it.

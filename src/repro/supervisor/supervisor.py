@@ -266,8 +266,15 @@ class RecoverySupervisor:
         geometrically.
         """
         now = self.sim.clock.now_us
-        due = [name for name, state in self.degraded.items()
-               if now >= state.probe_at_us]
+        # Probe in (next-probe-time, name) order — not dict insertion
+        # order — so the probe sequence is schedule-stable: the
+        # longest-overdue component is retried first, ties break
+        # alphabetically, and the order never depends on the history
+        # of degrade entries.
+        due = [name for _, name in
+               sorted((state.probe_at_us, name)
+                      for name, state in self.degraded.items()
+                      if now >= state.probe_at_us)]
         records: List["RebootRecord"] = []
         for name in due:
             record = self._probe(name)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..metrics.stats import Summary, summarize
+from ..obs.metrics import Histogram
 
 
 @dataclass
@@ -53,6 +54,18 @@ class RecoveryTelemetry:
     degraded_open_since_us: Dict[str, float] = field(default_factory=dict)
     #: component -> fail-stops the ladder could not prevent
     fail_stops: Dict[str, int] = field(default_factory=dict)
+    #: log2-bucketed MTTR distribution over completed recoveries, so
+    #: reports can quote p50/p99 and shards merge without sketch drift
+    mttr_hist: Histogram = field(default_factory=Histogram)
+    #: per-track reboot durations inside parallel recovery plans
+    track_mttr_hist: Histogram = field(default_factory=Histogram)
+    #: parallel recovery plans executed / tracks they contained
+    plans: int = 0
+    plan_tracks: int = 0
+    #: summed track durations (what the serial sweep would have cost)
+    plan_serial_us: float = 0.0
+    #: max-merged elapsed time the plans actually cost
+    plan_planned_us: float = 0.0
 
     # --- recording (called by the supervisor) -----------------------------
 
@@ -65,6 +78,18 @@ class RecoveryTelemetry:
         self.outcomes.append(RecoveryOutcome(
             component=component, kind=kind, rung=rung,
             start_us=start_us, end_us=end_us))
+        self.mttr_hist.observe(end_us - start_us)
+
+    def note_plan(self, track_durations_us: List[float],
+                  planned_us: float) -> None:
+        """One executed parallel recovery plan: per-track durations and
+        the max-merged elapsed (critical-path) time."""
+        self.plans += 1
+        self.plan_tracks += len(track_durations_us)
+        for duration in track_durations_us:
+            self.plan_serial_us += duration
+            self.track_mttr_hist.observe(duration)
+        self.plan_planned_us += planned_us
 
     def note_storm(self, component: str) -> None:
         self.storms[component] = self.storms.get(component, 0) + 1
@@ -102,6 +127,18 @@ class RecoveryTelemetry:
             Optional[Summary]:
         samples = self.mttr_samples(component)
         return summarize(samples) if samples else None
+
+    def mttr_quantile(self, q: float) -> float:
+        """Bucket-resolution MTTR quantile over every recovery (log2
+        buckets shared with :mod:`repro.obs.metrics`)."""
+        return self.mttr_hist.quantile(q)
+
+    def plan_speedup(self) -> Optional[float]:
+        """Serial-equivalent over planned elapsed time across every
+        executed plan (None until a plan has run)."""
+        if self.plans == 0 or self.plan_planned_us <= 0.0:
+            return None
+        return self.plan_serial_us / self.plan_planned_us
 
     def time_in_degraded_us(self, component: str, now_us: float) -> float:
         """Closed intervals plus the currently open one (if any)."""
@@ -163,6 +200,13 @@ class RecoveryTelemetry:
                 dst_map = getattr(out, attr)
                 for comp, value in getattr(src, attr).items():
                     dst_map[comp] = dst_map.get(comp, 0) + value
+            out.mttr_hist = out.mttr_hist.merged_with(src.mttr_hist)
+            out.track_mttr_hist = \
+                out.track_mttr_hist.merged_with(src.track_mttr_hist)
+            out.plans += src.plans
+            out.plan_tracks += src.plan_tracks
+            out.plan_serial_us += src.plan_serial_us
+            out.plan_planned_us += src.plan_planned_us
         return out
 
 

@@ -1,0 +1,153 @@
+"""Dependency-graph builder fixtures: hand-built call logs → edges,
+level partitions, critical paths (satellite of the parallel-recovery
+planner PR)."""
+
+import pytest
+
+from repro.core.calllog import ComponentCallLog
+from repro.recovery import (DependencyCycle, call_graph,
+                            critical_path_length, level_partition,
+                            plan_tracks, unit_dag)
+
+
+def make_log(caller, targets):
+    """A call log whose single live entry recorded one outbound call
+    per target (the planner's caller→callee edge source)."""
+    log = ComponentCallLog(caller)
+    entry = log.append("op", (), {})
+    log.push_active(entry)
+    for target in targets:
+        log.record_retval(target, "serve", result=1)
+    log.pop_active(entry)
+    return log
+
+
+def identity_unit(name):
+    return name
+
+
+def plan_for(failed, logs, declared=None, unit_of=identity_unit):
+    edges = call_graph(logs, declared or {})
+    return plan_tracks(failed, edges, unit_of)
+
+
+class TestEdgeExtraction:
+    def test_live_retvals_become_edges(self):
+        logs = {"A": make_log("A", ["B", "B", "C"])}
+        edges = call_graph(logs)
+        assert edges == {"A": {"B", "C"}}
+        assert logs["A"].call_edges() == {"B": 2, "C": 1}
+
+    def test_tombstoned_entries_drop_their_edges(self):
+        log = make_log("A", ["B"])
+        log.remove_entries(list(log.entries))
+        assert log.call_edges() == {}
+        assert call_graph({"A": log}) == {}
+
+    def test_cleared_nested_records_drop_their_edges(self):
+        log = ComponentCallLog("A")
+        entry = log.append("op", (), {})
+        log.push_active(entry)
+        log.record_retval("B", "serve", result=1)
+        log.pop_active(entry)
+        log.clear_nested(entry)
+        assert log.call_edges() == {}
+
+    def test_clear_resets_edges(self):
+        log = make_log("A", ["B", "C"])
+        log.clear()
+        assert log.call_edges() == {}
+
+    def test_edge_index_matches_reference_walk(self):
+        from repro.fastpath import reference_mode
+        log = make_log("A", ["B", "C", "B"])
+        indexed = log.call_edges()
+        with reference_mode():
+            assert log.call_edges() == indexed
+
+    def test_self_loop_dropped(self):
+        logs = {"A": make_log("A", ["A", "B"])}
+        assert call_graph(logs) == {"A": {"B"}}
+
+    def test_declared_dependencies_union_in(self):
+        logs = {"A": make_log("A", ["B"])}
+        edges = call_graph(logs, {"A": ("C",), "D": ("A",)})
+        assert edges == {"A": {"B", "C"}, "D": {"A"}}
+
+
+class TestLevelPartition:
+    def test_chain(self):
+        # A -> B -> C: three levels, nothing overlaps
+        plan = plan_for(["C", "B", "A"],
+                        {"A": make_log("A", ["B"]),
+                         "B": make_log("B", ["C"])})
+        assert plan.levels == [["C"], ["B"], ["A"]]
+        assert plan.critical_path == 3
+        assert plan.parallel  # legal plan, even if fully serial
+
+    def test_diamond(self):
+        # A -> {B, C} -> D: the B and C tracks overlap
+        logs = {"A": make_log("A", ["B", "C"]),
+                "B": make_log("B", ["D"]),
+                "C": make_log("C", ["D"])}
+        plan = plan_for(["D", "B", "C", "A"], logs)
+        assert plan.levels == [["D"], ["B", "C"], ["A"]]
+        assert plan.critical_path == 3
+        assert plan.parallel
+        by_unit = {t.unit: t for t in plan.tracks}
+        assert by_unit["B"].providers == ("D",)
+        assert by_unit["C"].providers == ("D",)
+        assert by_unit["A"].providers == ("B", "C")
+
+    def test_disconnected_islands(self):
+        # {A -> B} and {C}: the C island overlaps the whole chain
+        logs = {"A": make_log("A", ["B"])}
+        plan = plan_for(["B", "A", "C"], logs)
+        assert plan.levels == [["B", "C"], ["A"]]
+        assert plan.critical_path == 2
+        assert plan.parallel
+
+    def test_self_loop_component_is_level_zero(self):
+        logs = {"A": make_log("A", ["A"]), "B": make_log("B", [])}
+        plan = plan_for(["A", "B"], logs)
+        assert plan.levels == [["A", "B"]]
+        assert plan.critical_path == 1
+        assert plan.parallel
+
+    def test_merged_domain_components_collapse_to_one_track(self):
+        # A and B share a unit: their mutual edges vanish and a single
+        # track recovers both; C depends on the merged unit.
+        unit = {"A": "A+B", "B": "A+B", "C": "C"}.__getitem__
+        logs = {"A": make_log("A", ["B"]),
+                "B": make_log("B", ["A"]),
+                "C": make_log("C", ["A"])}
+        plan = plan_tracks(["A", "C"], call_graph(logs), unit)
+        assert plan.levels == [["A+B"], ["C"]]
+        assert [t.unit for t in plan.tracks] == ["A+B", "C"]
+        assert plan.tracks[1].providers == ("A+B",)
+        assert plan.parallel
+
+    def test_cycle_degrades_to_serial(self):
+        logs = {"A": make_log("A", ["B"]), "B": make_log("B", ["A"])}
+        with pytest.raises(DependencyCycle):
+            units, deps = unit_dag(["A", "B"], call_graph(logs),
+                                   identity_unit)
+            level_partition(units, deps)
+        plan = plan_for(["A", "B"], logs)
+        assert not plan.parallel
+        assert "cycle" in plan.serial_reason
+
+    def test_non_topological_sweep_order_degrades_to_serial(self):
+        # sweep order lists the dependent before its provider
+        plan = plan_for(["A", "B"], {"A": make_log("A", ["B"])})
+        assert not plan.parallel
+        assert "not topological" in plan.serial_reason
+
+    def test_single_unit_degrades_to_serial(self):
+        plan = plan_for(["A"], {})
+        assert not plan.parallel
+        assert plan.serial_reason == "fewer than two units"
+
+    def test_critical_path_length_helper(self):
+        assert critical_path_length([]) == 0
+        assert critical_path_length([["A", "B"], ["C"]]) == 2

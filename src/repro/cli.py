@@ -230,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="explore the multi-fault storm frontier "
                                "(simultaneous corruptions recovered by "
                                "one heartbeat sweep)")
+    crucible.add_argument("--root", action="store_true",
+                          help="explore the root-rejuvenation frontier "
+                               "(root panics and kernel-side aging "
+                               "under live components)")
     crucible.add_argument("--corpus-out", default=None, metavar="DIR",
                           help="write minimized violations as corpus "
                                "files into DIR")
@@ -452,7 +456,7 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                        state_path=args.state, resume=args.resume,
                        corpus_out=args.corpus_out,
                        shrink_limit=args.shrink_limit,
-                       storm=args.storm, out=out)
+                       storm=args.storm, root=args.root, out=out)
     if args.command == "run":
         return _run_with_obs(
             args, lambda: _execute(args.ids, args, out=out))

@@ -150,7 +150,8 @@ class LwipComponent(Component):
         if blob is None:
             return
         for sock_id, entry_blob in blob["sockets"].items():
-            self._sockets[sock_id] = SocketEntry.from_blob(entry_blob)
+            self._install_restored(sock_id,
+                                   SocketEntry.from_blob(entry_blob))
         self.mark_runtime_data_dirty()
 
     def extract_key_state(self, key: Any) -> Any:
@@ -162,7 +163,27 @@ class LwipComponent(Component):
         if patch is None:
             self._sockets.pop(key, None)
             return
-        self._sockets[key] = SocketEntry.from_blob(patch)
+        self._install_restored(key, SocketEntry.from_blob(patch))
+
+    def _install_restored(self, sock_id: int, entry: SocketEntry) -> None:
+        """Install a restored socket entry, re-allocating its heap block
+        unless the current allocator still backs it.
+
+        accept() is unlogged (§V-B): its allocation is neither in the
+        checkpoint nor re-run by replay, so a runtime-data socket that
+        post-dates the checkpoint arrives with a dangling heap_offset —
+        freeing it on close would raise InvalidFree, or worse, release a
+        replayed socket's block that landed at the same offset.  The
+        same applies to synthetic shrink patches, which stand in for the
+        socket() call that did the original allocation.
+        """
+        existing = self._sockets.get(sock_id)
+        backed = (existing is not None
+                  and existing.heap_offset == entry.heap_offset
+                  and entry.heap_offset in self.allocator.allocated)
+        if not backed:
+            entry.heap_offset = self.alloc(SOCK_ALLOC_BYTES)
+        self._sockets[sock_id] = entry
 
     # --- helpers ---------------------------------------------------------------------
 

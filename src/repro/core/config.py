@@ -87,6 +87,17 @@ class VampConfig:
     probation_factor: float = 2.0
     probation_cap_us: float = us_from_s(60.0)
 
+    # --- root rejuvenation (ReHype-style kernel microreboot) ---------------
+    #: allow the kernel itself to be microrebooted under the live
+    #: components: a pending root panic is absorbed by a root reboot
+    #: instead of killing the image, and the rejuvenate-root rung /
+    #: proactive wear policy arm.  Off, a root panic is terminal.
+    root_rejuvenation_enabled: bool = False
+    #: proactive policy: the heartbeat rejuvenates the root once the
+    #: accumulated kernel-side wear (orphaned message slots + tombstone
+    #: bookkeeping) reaches this many bytes
+    root_wear_threshold_bytes: int = 2 * 1024 * 1024
+
     def with_(self, **overrides: object) -> "VampConfig":
         """A modified copy (keyword names match the field names)."""
         return replace(self, **overrides)
@@ -109,6 +120,8 @@ class VampConfig:
             raise ValueError("storm_threshold must be >= 2")
         if self.probation_base_us <= 0 or self.probation_cap_us <= 0:
             raise ValueError("probation times must be positive")
+        if self.root_wear_threshold_bytes <= 0:
+            raise ValueError("root_wear_threshold_bytes must be positive")
         seen: Dict[str, str] = {}
         for group, members in self.merges.items():
             if len(members) < 2:
@@ -144,7 +157,8 @@ SUPERVISED = VampConfig(name="VampOS-Supervised",
                         escalation_enabled=True,
                         fresh_restart_enabled=True,
                         scope_widening_enabled=True,
-                        degraded_mode_enabled=True)
+                        degraded_mode_enabled=True,
+                        root_rejuvenation_enabled=True)
 
 #: the four configurations evaluated in §VII, in paper order
 ALL_CONFIGS = (NOOP, DAS, FSM, NETM)

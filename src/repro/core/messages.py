@@ -244,6 +244,59 @@ class MessageDomain:
             obs.inc("msgdom.pulls")
             obs.set_gauge("msgdom.used_bytes", self.used_bytes)
 
+    # --- the root-rejuvenation state boundary -----------------------------
+    #
+    # In-flight buffers are kernel-side state a root microreboot must
+    # carry across the teardown.  Everything exported here is JSON-safe
+    # (the fleet layer will ship it); live ``Message`` objects travel
+    # separately so in-flight dispatch frames keep their identity.
+
+    def export_run_state(self, exclude: Tuple[int, ...] = ()) \
+            -> Dict[str, object]:
+        """In-flight slots + counters as plain data.  ``exclude`` names
+        message ids deliberately left behind (orphaned wear slots — the
+        reboot is what reclaims their bytes).  Peeking at the id counter
+        does not consume an id."""
+        excluded = set(exclude)
+        next_id = next(self._ids)
+        self._ids = itertools.count(next_id)
+        return {
+            "next_id": next_id,
+            "slots": [[m.msg_id, m.sender, m.receiver, m.func,
+                       m.payload_bytes, m.is_reply]
+                      for msg_id, m in sorted(self._in_flight.items())
+                      if msg_id not in excluded],
+            "stats": [self.pushes, self.pulls, self.peak_bytes,
+                      self.peak_in_flight],
+        }
+
+    def restore_run_state(self, state: Dict[str, object],
+                          live: Optional[Dict[int, Message]]
+                          = None) -> None:
+        """Load an :meth:`export_run_state` snapshot into this (freshly
+        re-initialised) domain.  ``live`` optionally maps msg_id to the
+        pre-teardown :class:`Message` objects so frames holding them
+        stay valid (and span ids survive); missing ids are rebuilt
+        cold.  ``used_bytes`` is recomputed from the kept slots — that
+        recomputation is exactly how excluded orphans are reclaimed."""
+        self._ids = itertools.count(int(state["next_id"]))
+        self._in_flight.clear()
+        used = 0
+        for msg_id, sender, receiver, func, size, is_reply \
+                in state["slots"]:
+            message = (live or {}).get(msg_id)
+            if message is None:
+                message = Message(msg_id=int(msg_id), sender=str(sender),
+                                  receiver=str(receiver), func=str(func),
+                                  payload_bytes=int(size),
+                                  is_reply=bool(is_reply))
+            self._in_flight[message.msg_id] = message
+            used += message.payload_bytes
+        self.used_bytes = used
+        (self.pushes, self.pulls, self.peak_bytes,
+         self.peak_in_flight) = (int(v) for v in state["stats"])
+        self.region.used_bytes = used
+
     def in_flight_count(self) -> int:
         return len(self._in_flight)
 

@@ -40,9 +40,16 @@ from ..memory.region import Region, RegionKind
 from ..memory.snapshot import SnapshotStore
 from ..sim.engine import Simulation
 from ..unikernel.component import Component, ComponentState
+from ..rejuvenation import (
+    RootRebootRecord,
+    RootWear,
+    capture_root_checkpoint,
+    restore_root_checkpoint,
+)
 from ..unikernel.errors import (
     ComponentFailure,
     HangDetected,
+    KernelPanic,
     Panic,
     RecoveryFailed,
     SyscallError,
@@ -702,6 +709,15 @@ class VampOSKernel(Kernel):
         self._fail_stop_hooks: List[Any] = []
         self.updates: List[RebootRecord] = []
 
+        # --- root rejuvenation (kernel-side wear + microreboot) ------------
+        #: accumulated kernel-side damage only rejuvenate_root heals
+        self.root_wear = RootWear()
+        #: pending root-services panic reason (injected); surfaced at
+        #: the next syscall or heartbeat — absorbed by a root reboot
+        #: when armed, terminal otherwise
+        self.root_panicked: Optional[str] = None
+        self.root_reboots: List[RootRebootRecord] = []
+
         # --- recovery supervision (escalation, budgets, degradation) ------
         # Imported here (not at module level) because the supervisor
         # package reads core.detector; importing it lazily keeps
@@ -765,6 +781,10 @@ class VampOSKernel(Kernel):
 
     def syscall(self, target: str, func: str, *args: Any,
                 **kwargs: Any) -> Any:
+        if self.root_panicked is not None:
+            # Root services are corrupted: absorb it with a root
+            # microreboot when armed, die like vanilla otherwise.
+            self._root_recover(self.root_panicked)
         result = super().syscall(target, func, *args, **kwargs)
         self._save_runtime_data()
         return result
@@ -1123,6 +1143,7 @@ class VampOSKernel(Kernel):
         the original one-at-a-time sweep runs bit-identically.
         """
         self.sim.charge("heartbeat", self.sim.costs.heartbeat_scan)
+        self._root_heartbeat()
         records: List[RebootRecord] = list(self.supervisor.tick())
         if FLAGS.parallel_recovery and not self.sim.clock._watchers:
             due = self._sweep_due()
@@ -1259,6 +1280,142 @@ class VampOSKernel(Kernel):
                 continue
             records.append(self.rejuvenate(name))
         return records
+
+    # --- root rejuvenation (ReHype: reboot the root under live components) ---
+
+    def rejuvenate_root(self, reason: str = "proactive") \
+            -> RootRebootRecord:
+        """Microreboot the kernel itself under the live components.
+
+        Checkpoint the kernel-side state (run queue, in-flight message
+        slots, supervisor policy) into a :class:`RootCheckpoint`, tear
+        the root internals down and rebuild them fresh (recompiled
+        crossing plans, fresh protection domains, a fresh message
+        arena), then re-attach the live components — their memory
+        regions, call logs, snapshots and runtime data are never
+        touched, and in-flight dispatch frames resume exactly once
+        against the restored state.  Kernel-side wear (orphaned message
+        slots, stale crossing-plan entries, tombstones) is reclaimed by
+        the teardown; a pending root panic is absorbed.  Callers
+        observe only the bounded virtual-time stall charged here
+        (``root_checkpoint`` + ``root_reboot`` + ``root_reattach``).
+        """
+        sim = self.sim
+        start = sim.clock.now_us
+        wear = self.root_wear
+        if sim.trace.wants("reboot"):
+            sim.emit("reboot", "root_start", reason=reason,
+                     leaked_bytes=wear.leaked_bytes())
+        obs = sim.obs
+        rspan = None
+        if obs is not None:
+            obs.inc("root_reboot.count")
+            rspan = obs.open_span("root_reboot", self.image.app_name,
+                                  reason=reason,
+                                  leaked_bytes=wear.leaked_bytes())
+        try:
+            sim.charge("root_checkpoint", sim.costs.root_checkpoint)
+            cp, live = capture_root_checkpoint(self)
+            slots, plans, tombstones = wear.clear()
+            self._reinit_root_internals()
+            sim.charge("root_reboot", sim.costs.root_reboot_fixed)
+            restore_root_checkpoint(self, cp, live)
+            sim.charge("root_reattach",
+                       len(self.image.boot_order)
+                       * sim.costs.root_reattach_per_component)
+            self.root_panicked = None
+        finally:
+            if obs is not None:
+                obs.close_span(rspan, downtime_us=sim.clock.now_us
+                               - start)
+        record = RootRebootRecord(
+            reason=reason, start_us=start,
+            downtime_us=sim.clock.now_us - start,
+            in_flight_resumed=len(cp.messages["slots"]),
+            chain_depth=len(cp.scheduler["active_chain"]),
+            slots_dropped=slots, plans_dropped=plans,
+            tombstones_dropped=tombstones)
+        self.root_reboots.append(record)
+        self.supervisor.telemetry.note_root_reboot(
+            record.downtime_us, slots, plans, tombstones)
+        if obs is not None:
+            obs.observe("root_reboot.downtime_us", record.downtime_us)
+        if sim.trace.wants("reboot"):
+            sim.emit("reboot", "root_done", reason=reason,
+                     downtime_us=record.downtime_us,
+                     in_flight_resumed=record.in_flight_resumed,
+                     slots_dropped=slots, plans_dropped=plans,
+                     tombstones_dropped=tombstones)
+        return record
+
+    def _reinit_root_internals(self) -> None:
+        """Tear down and rebuild the kernel-side internals in place.
+
+        Object *identity* is the contract here: in-flight dispatch
+        frames (and compiled crossing plans) hold the scheduler, the
+        message domain, the dispatcher, the supervisor and component
+        logs — so those objects survive and their ``__init__`` is
+        re-run to refresh the internals (the same precedent
+        ``full_reboot`` sets for the kernel itself).  Everything
+        component-side — regions, call logs, snapshots, runtime data —
+        is deliberately left alone.
+        """
+        config = self.config
+        image = self.image
+        num_keys = self.domains.num_keys
+        units, member_map = build_units(image.boot_order, config.merges)
+        # Fresh scheduler internals on the same object.
+        if config.scheduler == SCHEDULER_ROUND_ROBIN:
+            self.scheduler.__init__(  # type: ignore[misc]
+                self.sim, units, member_map)
+        else:
+            self.scheduler.__init__(  # type: ignore[misc]
+                self.sim, units, image.dependency_graph(), member_map)
+        # Fresh protection domains, keys and PKRUs (charge-free: only
+        # residency swaps are priced).  Component regions are re-tagged
+        # — a kernel-side attribute — never written.
+        if config.virtualize_keys:
+            self.domains = VirtualizedProtectionDomains(
+                num_keys, enforce=config.enforce_mpk, sim=self.sim)
+        else:
+            self.domains = ProtectionDomains(num_keys,
+                                             enforce=config.enforce_mpk)
+        self.pkrus = {}
+        self._tag_domains(units, member_map, num_keys)
+        # Fresh message arena bookkeeping on the same domain object.
+        self.msg_domain = Region("MSGDOM.region", RegionKind.MESSAGE,
+                                 config.msg_domain_bytes, owner="MSGDOM",
+                                 backed=False)
+        self.domains.tag_region(self.msg_domain, self._msgdom_key)
+        self.message_domain.__init__(  # type: ignore[misc]
+            self.sim, self.msg_domain)
+        # Drop the dispatcher's bound handles: the next invoke rebinds
+        # and recompiles every crossing plan against the fresh root.
+        self._vamp._bound = False
+
+    def _root_heartbeat(self) -> None:
+        """The heartbeat's root-health check: absorb a pending root
+        panic, and proactively rejuvenate once accumulated wear crosses
+        the configured byte threshold (Microreboot's cheap-enough-to-
+        use-proactively argument, applied to the root)."""
+        if self.root_panicked is not None:
+            self._root_recover(self.root_panicked)
+            return
+        if (self.config.root_rejuvenation_enabled
+                and self.root_wear.leaked_bytes()
+                >= self.config.root_wear_threshold_bytes):
+            self.rejuvenate_root(reason="wear")
+
+    def _root_recover(self, reason: str) -> None:
+        """A root panic surfaced: rejuvenate when armed, else die —
+        the root is the one component a component-level reboot cannot
+        reach, so without rejuvenation this is terminal."""
+        if self.config.root_rejuvenation_enabled:
+            self.rejuvenate_root(reason=f"panic: {reason}")
+            return
+        self.sim.emit("fault", "root_panic", reason=reason)
+        self.crashed = True
+        raise KernelPanic(component="ROOT", cause=None)
 
     # --- fault surface ------------------------------------------------------------------------
 

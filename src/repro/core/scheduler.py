@@ -146,6 +146,67 @@ class BaseScheduler:
         sim.charge("pkru_write", costs.pkru_write)
         self.stats.dispatches += 1
 
+    # --- the root-rejuvenation state boundary ------------------------------------------
+    #
+    # The run queue (thread states, the active call chain, the cursor,
+    # the statistics) is *kernel-side* state: a root microreboot must
+    # carry it across the teardown while the thread table's objects
+    # stay identity-stable for any in-flight dispatch frames.  These
+    # two methods are the serialization boundary the fleet layer will
+    # reuse — everything they exchange is JSON-safe.
+
+    def export_run_state(self) -> Dict[str, object]:
+        """The run queue as plain data (for a ``RootCheckpoint``)."""
+        stats = self.stats
+        state: Dict[str, object] = {
+            "current": self.current,
+            "active_chain": list(self._active_chain),
+            "threads": [[name, thread.state.value, thread.dispatches,
+                         thread.spawned]
+                        for name, thread in sorted(self.threads.items())],
+            "stats": [stats.dispatches, stats.wasted_polls,
+                      stats.msg_thread_dispatches, stats.spawns,
+                      stats.dependency_lookups],
+        }
+        pos = getattr(self, "_pos", None)
+        if pos is not None:
+            state["pos"] = pos
+        fallback = getattr(self, "fallback_dispatches", None)
+        if fallback is not None:
+            state["fallback_dispatches"] = fallback
+        return state
+
+    def restore_run_state(self, state: Dict[str, object],
+                          threads: Optional[Dict[str, ComponentThread]]
+                          = None) -> None:
+        """Load an :meth:`export_run_state` snapshot into this (freshly
+        re-initialised) scheduler.  ``threads`` optionally carries the
+        pre-teardown thread objects so compiled crossing plans holding
+        them stay valid; checkpointed fields overwrite theirs either
+        way."""
+        if threads:
+            for name, thread in threads.items():
+                if name in self.threads:
+                    self.threads[name] = thread
+        for name, value, dispatches, spawned in state["threads"]:
+            thread = self.threads.get(name)
+            if thread is None:
+                continue
+            thread.state = ThreadState(value)
+            thread.dispatches = int(dispatches)
+            thread.spawned = int(spawned)
+        self.current = str(state["current"])
+        self._active_chain[:] = [str(u) for u in state["active_chain"]]
+        (self.stats.dispatches, self.stats.wasted_polls,
+         self.stats.msg_thread_dispatches, self.stats.spawns,
+         self.stats.dependency_lookups) = (int(v)
+                                           for v in state["stats"])
+        if "pos" in state and hasattr(self, "_pos"):
+            self._pos = int(state["pos"])
+        if "fallback_dispatches" in state \
+                and hasattr(self, "fallback_dispatches"):
+            self.fallback_dispatches = int(state["fallback_dispatches"])
+
     # --- reboot integration -----------------------------------------------------------
 
     def mark_rebooting(self, component: str) -> None:

@@ -29,12 +29,16 @@ from ..parallel import parallel_map
 from .corpus import corpus_entry, write_corpus_file
 from .generate import (
     CONFIGS,
+    ROOT_KINDS,
+    ROOT_SWEEP,
     SITES_AXIS,
     STORM_SUBSETS,
     STORM_SWEEP,
     SWEEP,
     axes_for_index,
     canary_scenario,
+    root_axes_for_index,
+    root_scenario_for_index,
     scenario_for_index,
     storm_axes_for_index,
     storm_scenario_for_index,
@@ -53,17 +57,23 @@ CANARY_MAX_EVENTS = 6
 
 
 def explore_cell(root_seed: int, index: int, canary: bool,
-                 storm: bool = False) -> Dict[str, Any]:
+                 storm: bool = False, root: bool = False
+                 ) -> Dict[str, Any]:
     """One frontier cell: generate, run the bundle, judge.
 
     Module-level and JSON-in/JSON-out so it pickles into pool workers
     and merges byte-identically.  ``index == -1`` selects the canary
     scenario (only meaningful with ``canary=True``); ``storm`` selects
-    the multi-fault storm frontier instead of the main one.
+    the multi-fault storm frontier, ``root`` the root-rejuvenation
+    frontier, instead of the main one.
     """
     if index < 0:
         scenario = canary_scenario(root_seed)
         config, fault, site = scenario.config, "canary", "reboot"
+    elif root:
+        scenario = root_scenario_for_index(root_seed, index)
+        config, kind, _ = root_axes_for_index(index)
+        fault, site = "root", kind
     elif storm:
         scenario = storm_scenario_for_index(root_seed, index)
         config, subset, _ = storm_axes_for_index(index)
@@ -142,15 +152,22 @@ def _render_report(seed: int, start: int, budget: int,
                    shrunk: Dict[int, Dict[str, Any]],
                    corpus_files: Dict[int, str],
                    state: Optional[Dict[str, Any]],
-                   storm: bool = False) -> str:
-    title = ("== crucible: multi-fault storm exploration =="
-             if storm else
-             "== crucible: deterministic fault-space exploration ==")
+                   storm: bool = False, root: bool = False) -> str:
+    if root:
+        title = "== crucible: root rejuvenation exploration =="
+    elif storm:
+        title = "== crucible: multi-fault storm exploration =="
+    else:
+        title = "== crucible: deterministic fault-space exploration =="
     lines = [title]
     lines.append(
         f"seed {seed}, budget {budget} "
         f"(frontier indices {start}..{start + budget - 1})")
-    if storm:
+    if root:
+        lines.append(
+            f"axes: {len(CONFIGS)} configs x {len(ROOT_KINDS)} root "
+            f"fault kinds = {ROOT_SWEEP} scenarios per sweep")
+    elif storm:
         lines.append(
             f"axes: {len(CONFIGS)} configs x {len(STORM_SUBSETS)} "
             f"target subsets = {STORM_SWEEP} scenarios per sweep")
@@ -227,7 +244,7 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
             state_path: Optional[str] = None, resume: bool = False,
             corpus_out: Optional[str] = None,
             shrink_limit: int = 160, storm: bool = False,
-            out=None) -> int:
+            root: bool = False, out=None) -> int:
     """The ``repro crucible`` command body; returns the exit code."""
     import sys
     if out is None:  # pragma: no cover - CLI default
@@ -239,7 +256,7 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
     state = _load_state(state_path, resume, seed)
     start = int(state["next_index"])
     cells = parallel_map(explore_cell,
-                         [(seed, index, False, storm)
+                         [(seed, index, False, storm, root)
                           for index in range(start, start + budget)],
                          jobs)
 
@@ -269,7 +286,7 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
     print(_render_report(seed, start, budget, cells, shrunk,
                          corpus_files,
                          state if state_path else None,
-                         storm=storm), file=out)
+                         storm=storm, root=root), file=out)
     if state_path:
         _save_state(state_path, state)
     return 1 if violations else 0

@@ -198,6 +198,83 @@ def storm_scenario_for_index(root_seed: int, index: int) -> Scenario:
                     note=f"storm[{index}] {'+'.join(subset)}@{config}")
 
 
+#: the root-fault family's kind axis: a direct root panic (absorbed by
+#: rejuvenation or terminal), kernel-side aging swept by a heartbeat
+#: (``heavy`` draws enough damage to cross the proactive wear
+#: threshold; ``age`` usually stays under it), aging plus a pending
+#: panic, and a component failure recovered *under* a pending root
+#: panic (the ladder walks while the root itself is compromised)
+ROOT_KINDS = ("panic", "age", "heavy", "age_panic", "recover")
+
+#: one full sweep of the root family's axes
+ROOT_SWEEP = len(CONFIGS) * len(ROOT_KINDS)
+
+
+def root_axes_for_index(index: int) -> tuple:
+    """``index`` → (config, kind, variant) on the root frontier."""
+    if index < 0:
+        raise ValueError("frontier indices are non-negative")
+    residue, variant = index % ROOT_SWEEP, index // ROOT_SWEEP
+    config = CONFIGS[residue % len(CONFIGS)]
+    kind = ROOT_KINDS[residue // len(CONFIGS)]
+    return config, kind, variant
+
+
+def root_scenario_for_index(root_seed: int, index: int) -> Scenario:
+    """The root-rejuvenation frontier: the *kernel* is the failure
+    domain.  Scenarios damage the root (a panic flag, kernel-side
+    aging) under live application traffic; configurations with root
+    rejuvenation armed must absorb the damage invisibly — which the
+    ``root_transparency`` oracle checks against a never-damaged twin —
+    while disarmed configurations fail-stop terminally.
+    """
+    config, kind, variant = root_axes_for_index(index)
+    seed = shard_seed(root_seed, "crucible", "root", config, kind,
+                      variant)
+    rng = DeterministicRNG(seed).stream("events")
+
+    # state + traffic first: live fds, call logs and in-flight history
+    # the microreboot must carry across unharmed
+    events: List[List[Any]] = [
+        ["op", "open", rng.randint(0, len(PATHS) - 1)],
+        ["op", "write", 0, "".join(rng.choice("abc")
+                                   for _ in range(rng.randint(2, 6)))],
+    ]
+    events.extend(_ops(rng, rng.randint(0, 2)))
+
+    if kind == "panic":
+        events.append(["root_panic"])
+    elif kind == "age":
+        # modest wear: usually below the proactive threshold, so the
+        # heartbeat only *samples* it; the ladder's wear arm still sees
+        # a worn root if a component fails later
+        events.append(["root_age", rng.randint(4, 40)])
+        events.append(["heartbeat"])
+    elif kind == "heavy":
+        # enough damage events to cross the 2 MiB proactive threshold
+        # (~3 KiB mean leak per op) while staying far from the 16 MiB
+        # arena: the heartbeat must rejuvenate, not crash
+        events.append(["root_age", rng.randint(700, 1000)])
+        events.append(["heartbeat"])
+    elif kind == "age_panic":
+        events.append(["root_age", rng.randint(4, 24)])
+        events.append(["root_panic"])
+        events.append(["heartbeat"])
+    else:  # recover: a leaf fails while the root itself is panicked
+        events.append(["root_panic"])
+        events.append(["inject", "panic", rng.choice(TARGETS)])
+
+    events.extend(_ops(rng, rng.randint(1, 3)))
+    if rng.randint(0, 3) == 0:
+        # cross the supervisor's backoff / probation windows
+        events.append(["advance", float(rng.choice((2, 6, 15))) * 1e6])
+        events.append(["heartbeat"])
+    events.extend(_ops(rng, rng.randint(0, 2)))
+
+    return Scenario(config=config, seed=seed, events=events,
+                    note=f"root[{index}] {kind}@{config}")
+
+
 def canary_scenario(root_seed: int) -> Scenario:
     """The planted transparency bug (see ``runner._install_canary``).
 

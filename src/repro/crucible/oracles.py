@@ -14,12 +14,20 @@ before the cut, and bind the final state only for cut-free runs.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Dict, List
 
 from ..core.config import config_by_name
 from ..supervisor.ladder import DEFAULT_LADDER
 from .runner import RunOutcome
 from .scenario import Scenario
+
+#: ledger categories a root microreboot is *allowed* to charge — the
+#: explicit stall budget of ``VampOSKernel.rejuvenate_root`` plus the
+#: supervisor rung that reaches it; every other category must stay
+#: bit-identical to the never-rebooted twin
+ROOT_CATEGORIES = frozenset({"root_checkpoint", "root_reboot",
+                             "root_reattach", "rung_rejuvenate_root"})
 
 Bundle = Dict[str, RunOutcome]
 Oracle = Callable[[Scenario, Bundle], List[str]]
@@ -97,6 +105,61 @@ def transparency(scenario: Scenario, bundle: Bundle) -> List[str]:
         problems.append(
             "final observable state diverges from the fault-free "
             "reference in a lossless run")
+    return problems
+
+
+def root_transparency(scenario: Scenario, bundle: Bundle) -> List[str]:
+    """A root microreboot must be invisible to the application: the
+    faulted run returns exactly the results of the ``rootfree`` twin
+    (same schedule, root events replaced by no-ops), ends in exactly
+    its observable state, and its ledger differs *only* in the explicit
+    :data:`ROOT_CATEGORIES` stall charges — whose sum must equal the
+    virtual-clock delta.  Message ids are deliberately not compared:
+    orphaned slots consume ids, so the counters legitimately drift.
+
+    Binds only when both runs survive: a disarmed root panic is
+    *supposed* to be terminal, and once either run took a lossy cut
+    (degraded, fail-stopped) the ledgers may legally diverge."""
+    twin = bundle.get("rootfree")
+    if twin is None:
+        return []
+    main = bundle["main"]
+    if main.terminal is not None or twin.terminal is not None:
+        return []
+    problems = []
+    cut = min(_cut(main), _cut(twin))
+    if main.op_results(before=cut) != twin.op_results(before=cut):
+        problems.append(
+            "op results diverge from the never-rebooted twin before "
+            "the lossy cut")
+    if main.lossy_cut is not None or twin.lossy_cut is not None:
+        return problems
+    if main.final_state != twin.final_state:
+        problems.append(
+            "final observable state diverges from the never-rebooted "
+            "twin")
+    if main.degraded_final != twin.degraded_final:
+        problems.append(
+            f"degraded set diverges from the never-rebooted twin: "
+            f"{main.degraded_final} != {twin.degraded_final}")
+    for kind, main_map, twin_map in (
+            ("totals", main.ledger_totals, twin.ledger_totals),
+            ("counts", main.ledger_counts, twin.ledger_counts)):
+        diff = sorted(
+            k for k in set(main_map) | set(twin_map)
+            if k not in ROOT_CATEGORIES
+            and main_map.get(k) != twin_map.get(k))
+        if diff:
+            problems.append(
+                f"ledger {kind} diverge from the never-rebooted twin "
+                f"beyond the root charges: {', '.join(diff)}")
+    stall = sum(main.ledger_totals.get(k, 0.0) for k in ROOT_CATEGORIES) \
+        - sum(twin.ledger_totals.get(k, 0.0) for k in ROOT_CATEGORIES)
+    delta = main.clock_us - twin.clock_us
+    if not math.isclose(delta, stall, rel_tol=1e-9, abs_tol=1e-6):
+        problems.append(
+            f"clock delta {delta}us does not equal the charged root "
+            f"stall {stall}us: the microreboot cost unbudgeted time")
     return problems
 
 
@@ -229,6 +292,7 @@ def quarantine_consistency(scenario: Scenario,
 ORACLES: Dict[str, Oracle] = {
     "ledger_parity": ledger_parity,
     "transparency": transparency,
+    "root_transparency": root_transparency,
     "shrink_soundness": shrink_soundness,
     "restore_equivalence": restore_equivalence,
     "ladder_monotonicity": ladder_monotonicity,

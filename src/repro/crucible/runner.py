@@ -1,6 +1,6 @@
 """Execute one scenario and capture everything the oracles judge.
 
-A scenario is run up to four ways by :func:`run_bundle`:
+A scenario is run up to five ways by :func:`run_bundle`:
 
 * **main** — the scenario as written, probes attached, faults live;
 * **reference** — the op events only, fault-free: the ground truth for
@@ -9,7 +9,12 @@ A scenario is run up to four ways by :func:`run_bundle`:
   :func:`~repro.fastpath.reference_mode` (every fast path disabled):
   the ground truth for virtual-time ledger parity;
 * **noshrink** — the full scenario with log shrinking disabled: the
-  ground truth for shrink soundness.
+  ground truth for shrink soundness;
+* **rootfree** — only when the scenario carries root events
+  (``root_panic`` / ``root_age``): the identical schedule with each
+  root event replaced by a no-op ``["advance", 0.0]`` (indices stay
+  aligned), i.e. a twin whose kernel never ages and never reboots its
+  root — the ground truth for root-rejuvenation transparency.
 
 Each run produces a :class:`RunOutcome`: per-event op results, the
 observable final state, the captured trace, the cost ledger, site-hit
@@ -57,6 +62,10 @@ TERMINAL = (RecoveryFailed, KernelPanic, ApplicationHang,
 
 #: trace categories recorded into outcomes (oracle + corpus fodder)
 _TRACED = ("supervisor", "reboot", "inject", "fault")
+
+#: event tags that damage the *root* rather than a component; the
+#: rootfree twin replaces exactly these with no-op advances
+ROOT_EVENTS = ("root_panic", "root_age")
 
 
 @dataclass
@@ -308,6 +317,10 @@ def run_scenario(scenario: Scenario, ops_only: bool = False,
                     kernel.heartbeat()
                 elif tag == "advance":
                     sim.run_until(sim.clock.now_us + float(event[1]))
+                elif tag == "root_panic":
+                    injector.inject_root_panic()
+                elif tag == "root_age":
+                    injector.inject_root_age(int(event[1]))
                 else:
                     raise ValueError(f"unknown scenario event {tag!r}")
             except TERMINAL as exc:
@@ -374,13 +387,27 @@ def _probe_restores(kernel: VampOSKernel, outcome: RunOutcome) -> None:
                 f"reboot")
 
 
+def rootfree_twin(scenario: Scenario) -> Scenario:
+    """The scenario with every root event replaced by a zero-length
+    advance: same length, same event indices, but the kernel is never
+    damaged — what a never-aged, never-rebooted root would have run."""
+    return scenario.with_events(
+        [["advance", 0.0] if event[0] in ROOT_EVENTS else list(event)
+         for event in scenario.events])
+
+
 def run_bundle(scenario: Scenario) -> Dict[str, RunOutcome]:
-    """The four-way evaluation of one scenario (see module docs)."""
+    """The up-to-five-way evaluation of one scenario (see module
+    docs); ``rootfree`` is present only for scenarios carrying root
+    events."""
     main = run_scenario(scenario)
     reference = run_scenario(scenario, ops_only=True,
                              restore_probes=False)
     with reference_mode():
         refmode = run_scenario(scenario)
     noshrink = run_scenario(scenario, shrink_override=False)
-    return {"main": main, "reference": reference, "refmode": refmode,
-            "noshrink": noshrink}
+    bundle = {"main": main, "reference": reference, "refmode": refmode,
+              "noshrink": noshrink}
+    if any(event[0] in ROOT_EVENTS for event in scenario.events):
+        bundle["rootfree"] = run_scenario(rootfree_twin(scenario))
+    return bundle

@@ -25,6 +25,12 @@ Event forms (lists, so canonical JSON round-trips exactly)::
     ["reboot", target]                manual component reboot
     ["heartbeat"]                     message-thread heart-beat sweep
     ["advance", us]                   advance virtual time
+    ["root_panic"]                    corrupt the root services; the
+                                      next syscall/heartbeat finds the
+                                      *kernel* panicked, not a leaf
+    ["root_age", ops]                 kernel-side aging damage: orphan
+                                      message slots, stale crossing
+                                      plans, registry tombstones
 
 Fault kinds: ``panic`` (one-shot), ``multi_panic`` (two-hit sticky),
 ``hang``, ``det_bug`` (named function panics on every run, replay

@@ -18,6 +18,11 @@ deterministic bugs, hangs and bit flips — and compare two arms:
 availability here is the kernel staying up, not every byte being
 perfect.  Everything is seeded (``sim.rng`` streams, ``trial_seeds``
 sharding), so reports are byte-identical at any ``--jobs`` count.
+
+Two sub-campaigns ride along on the same seed families: the
+crash-storm MTTR comparison (serial vs dependency-planned recovery)
+and the root pair (root rejuvenation armed vs disarmed while the
+*kernel itself* is aged and panicked under live HTTP traffic).
 """
 
 from __future__ import annotations
@@ -87,6 +92,14 @@ STORM_ARMS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 )
 #: storms per (arm, schedule, seed) cell
 STORM_ROUNDS = 4
+
+#: root sub-campaign arms: the same supervised kernel with the root
+#: microreboot armed vs disarmed — the off arm shows what a root fault
+#: costs without component-preserving kernel rejuvenation
+ROOT_ARMS: Tuple[Tuple[str, bool], ...] = (("rejuvenation on", True),
+                                           ("rejuvenation off", False))
+#: kernel-side damage events per root round (aging burst size)
+ROOT_AGE_OPS = 16
 
 
 @dataclass
@@ -186,6 +199,125 @@ def _aggregate_storms(outcomes: List[StormOutcome]) -> StormOutcome:
         total.plans += outcome.plans
         total.plan_tracks += outcome.plan_tracks
         total.post_storm_ok += outcome.post_storm_ok
+    return total
+
+
+@dataclass
+class RootOutcome:
+    """One root-arm cell's totals (picklable across pool workers)."""
+
+    arm: str
+    requests: int = 0
+    ok: int = 0
+    served_errors: int = 0
+    dead: int = 0
+    terminal: int = 0
+    root_reboots: int = 0
+    root_downtime_us: float = 0.0
+    wear_reclaimed: int = 0  # slots + plans + tombstones dropped
+    #: requests issued while a root panic was pending that still
+    #: completed — the microreboot absorbed the fault mid-request
+    in_flight_absorbed: int = 0
+    full_reboot_downtime_us: float = 0.0
+
+    @property
+    def served(self) -> int:
+        return self.ok + self.served_errors
+
+    @property
+    def availability(self) -> float:
+        return self.served / self.requests if self.requests else 1.0
+
+
+def root_cell(arm: str, enabled: bool, rounds: int,
+              requests_per_round: int, seed: int) -> RootOutcome:
+    """One shard: ``rounds`` of kernel-side aging plus a root panic
+    against a serving Nginx, with root rejuvenation armed or not.
+
+    The panic is planted *between* requests, so the next request's
+    first syscall finds the kernel compromised mid-flight: the armed
+    arm absorbs it with a root microreboot (the request completes, at
+    most a bounded virtual-time stall); the disarmed arm loses the
+    request — and every later one of the round — to a terminal
+    ``KernelPanic``, and the operator full-reboots.
+    """
+    config = resolve_mode(SUPERVISED_MODE).with_(
+        root_rejuvenation_enabled=enabled)
+    app = make_nginx(config, seed=seed)
+    injector = FaultInjector(app.kernel)
+    load = HttpLoadGenerator(app, connections=4)
+    outcome = RootOutcome(arm=arm)
+    harvested = 0
+
+    def harvest() -> None:
+        nonlocal harvested
+        records = app.kernel.root_reboots
+        for record in records[harvested:]:
+            outcome.root_reboots += 1
+            outcome.root_downtime_us += record.downtime_us
+            outcome.wear_reclaimed += (record.slots_dropped
+                                       + record.plans_dropped
+                                       + record.tombstones_dropped)
+        harvested = len(records)
+
+    # Warm traffic first: live fds, call logs and message history the
+    # microreboot must carry across.
+    for i in range(4):
+        load.one_request(i % load.connections)
+    for _ in range(rounds):
+        injector.inject_root_age(ROOT_AGE_OPS)
+        injector.inject_root_panic()
+        for i in range(requests_per_round):
+            outcome.requests += 1
+            pending = app.kernel.root_panicked is not None
+            try:
+                load.one_request(i % load.connections)
+                outcome.ok += 1
+                if pending:
+                    outcome.in_flight_absorbed += 1
+            except (ConnectionReset, ConnectionRefused, SyscallError):
+                outcome.served_errors += 1
+                load.close_all()
+            except (RecoveryFailed, KernelPanic, ApplicationHang):
+                remaining = requests_per_round - i
+                outcome.requests += remaining - 1
+                outcome.dead += remaining
+                outcome.terminal += 1
+                harvest()
+                outcome.full_reboot_downtime_us += \
+                    app.kernel.full_reboot()
+                harvested = 0  # the reboot reset the record list
+                load.close_all()
+                break
+        harvest()
+        app.sim.clock.advance(INTER_ROUND_US)
+        try:
+            app.poll()
+        except SyscallError:
+            pass
+        except (RecoveryFailed, KernelPanic, ApplicationHang):
+            outcome.terminal += 1
+            harvest()
+            outcome.full_reboot_downtime_us += app.kernel.full_reboot()
+            harvested = 0
+            load.close_all()
+    harvest()
+    return outcome
+
+
+def _aggregate_roots(outcomes: List[RootOutcome]) -> RootOutcome:
+    total = RootOutcome(arm=outcomes[0].arm)
+    for outcome in outcomes:
+        total.requests += outcome.requests
+        total.ok += outcome.ok
+        total.served_errors += outcome.served_errors
+        total.dead += outcome.dead
+        total.terminal += outcome.terminal
+        total.root_reboots += outcome.root_reboots
+        total.root_downtime_us += outcome.root_downtime_us
+        total.wear_reclaimed += outcome.wear_reclaimed
+        total.in_flight_absorbed += outcome.in_flight_absorbed
+        total.full_reboot_downtime_us += outcome.full_reboot_downtime_us
     return total
 
 
@@ -336,6 +468,16 @@ def run(rounds: int = 30, requests_per_round: int = 6,
             storm_results[base + repeats:base + 2 * repeats])
         storm_pairs.append((arm, serial, planned))
 
+    # The root sub-campaign: root rejuvenation armed vs disarmed over
+    # the same seed family, folded in canonical order.
+    root_rounds = max(3, rounds // 6)
+    root_seeds = trial_seeds(seed, repeats, label="root")
+    root_cells = [(arm, enabled, root_rounds, requests_per_round, s)
+                  for arm, enabled in ROOT_ARMS for s in root_seeds]
+    root_results = parallel_map(root_cell, root_cells, jobs)
+    root_on = _aggregate_roots(root_results[:repeats])
+    root_off = _aggregate_roots(root_results[repeats:])
+
     def availability_text(outcome: SoakOutcome) -> str:
         return (f"{outcome.availability * 100:.1f}% "
                 f"({outcome.served}/{outcome.requests})")
@@ -440,5 +582,49 @@ def run(rounds: int = 30, requests_per_round: int = 6,
         f"{sum(a.post_storm_ok for _, s, p in storm_pairs for a in (s, p))}"
         f"/{sum(a.storms for _, s, p in storm_pairs for a in (s, p))} "
         "post-storm requests OK")
+
+    def root_availability(outcome: RootOutcome) -> str:
+        return (f"{outcome.availability * 100:.1f}% "
+                f"({outcome.served}/{outcome.requests})")
+
+    report.add_subtable(
+        "root rejuvenation (kernel microreboot under live components)",
+        ["metric", "rejuvenation on", "rejuvenation off"],
+        [
+            ["availability (served/requests)",
+             root_availability(root_on), root_availability(root_off)],
+            ["requests lost to dead kernel", root_on.dead,
+             root_off.dead],
+            ["terminal fail-stops", root_on.terminal, root_off.terminal],
+            ["root microreboots", root_on.root_reboots,
+             root_off.root_reboots],
+            ["root stall (virtual)",
+             f"{root_on.root_downtime_us / 1e3:.2f}ms",
+             f"{root_off.root_downtime_us / 1e3:.2f}ms"],
+            ["kernel-side wear reclaimed", root_on.wear_reclaimed,
+             root_off.wear_reclaimed],
+            ["in-flight requests absorbed", root_on.in_flight_absorbed,
+             root_off.in_flight_absorbed],
+            ["operator full-reboot downtime",
+             f"{root_on.full_reboot_downtime_us / 1e3:.1f}ms",
+             f"{root_off.full_reboot_downtime_us / 1e3:.1f}ms"],
+        ])
+    report.add_claim(
+        "root rejuvenation loses no request to a root fault",
+        root_on.dead == 0 and root_on.terminal == 0,
+        f"{root_on.dead} dead, {root_on.terminal} terminal")
+    report.add_claim(
+        "every pending root panic is absorbed mid-request",
+        root_on.in_flight_absorbed >= root_rounds * repeats
+        and root_on.root_reboots >= root_rounds * repeats,
+        f"{root_on.in_flight_absorbed} absorbed across "
+        f"{root_on.root_reboots} microreboots")
+    report.add_claim(
+        "disarmed, the same root faults are terminal losses",
+        root_off.terminal > 0 and root_off.dead > 0
+        and root_off.availability < root_on.availability,
+        f"{root_off.terminal} terminal, {root_off.dead} requests lost "
+        f"({root_off.availability * 100:.1f}% vs "
+        f"{root_on.availability * 100:.1f}%)")
 
     return report

@@ -1,6 +1,7 @@
 """Fault injection and software-aging models (§II-B)."""
 
-from .aging import AgingModel, AgingReport
+from .aging import AgingModel, AgingReport, RootAgingModel
 from .injector import FaultInjector, InjectionRecord
 
-__all__ = ["AgingModel", "AgingReport", "FaultInjector", "InjectionRecord"]
+__all__ = ["AgingModel", "AgingReport", "RootAgingModel",
+           "FaultInjector", "InjectionRecord"]

@@ -38,6 +38,11 @@ class AgingReport:
     fragmentation: float
     largest_free_block: int
     failed_allocations: int
+    #: cumulative bytes ever leaked by the model, surviving component
+    #: reboots (``leaked_bytes`` above reads the *allocator*, which a
+    #: checkpoint restore resets to its post-boot image — without this
+    #: lifetime figure, aging became invisible after every reboot)
+    lifetime_leaked_bytes: int = 0
 
 
 class AgingModel:
@@ -58,6 +63,14 @@ class AgingModel:
         self._rng = sim.rng.stream(f"{rng_stream}:{component.NAME}")
         self._live: List[int] = []
         self.reports: List[AgingReport] = []
+        # Lifetime accounting, kept by the *model* rather than the
+        # allocator: a component reboot resets the allocator to its
+        # post-boot image, so allocator-side leak figures vanish on
+        # every recovery and long-run aging was unobservable.
+        self.lifetime_leaked_bytes = 0
+        self.lifetime_leaks = 0
+        #: live blocks dropped by :meth:`forget_live` (reboots)
+        self.forgotten_live_blocks = 0
 
     def step(self, operations: int = 1) -> int:
         """Run ``operations`` allocate/free cycles; returns how many
@@ -73,6 +86,8 @@ class AgingModel:
                 continue
             if self._rng.random() < self.leak_probability:
                 self.allocator.leak(offset)
+                self.lifetime_leaked_bytes += size
+                self.lifetime_leaks += 1
             else:
                 self._live.append(offset)
             # Free out of order to build fragmentation.
@@ -108,11 +123,110 @@ class AgingModel:
             fragmentation=self.allocator.fragmentation(),
             largest_free_block=self.allocator.largest_free_block(),
             failed_allocations=self.allocator.stats.failed_allocations,
+            lifetime_leaked_bytes=self.lifetime_leaked_bytes,
         )
         self.reports.append(report)
         return report
 
     def forget_live(self) -> None:
         """Drop references to live blocks (after a component reboot has
-        reset the allocator, the old offsets are meaningless)."""
+        reset the allocator, the old offsets are meaningless).
+
+        Audit note: this only forgets *component-held* references — a
+        reboot heals exactly that scope.  Damage held by the kernel on
+        the component's behalf (orphaned message-domain slots, stale
+        crossing-plan entries) survives every component reboot and is
+        tracked by :class:`~repro.rejuvenation.RootWear` /
+        :class:`RootAgingModel` instead; only a root reboot clears it.
+        The lifetime counters here stay, so aging remains observable
+        across reboots.
+        """
+        self.forgotten_live_blocks += len(self._live)
         self._live.clear()
+
+
+class RootAgingModel:
+    """Leaks *kernel-side* bookkeeping — the damage no component reboot
+    can heal (§IV's aging argument, applied to the root itself):
+
+    * **orphaned message slots** — in-flight arena buffers whose owner
+      bookkeeping was lost; addressed to ``"ROOT"``, so ``drop_for``
+      never reclaims them and the arena fills toward a terminal
+      :class:`~repro.core.messages.MessageDomainFull`;
+    * **stale crossing-plan entries** — junk keys accumulated in the
+      dispatcher's compiled-crossing cache;
+    * **tombstones** — dead registry records that grow without bound.
+
+    Charge-free by design: aging is environmental damage, not work, so
+    the virtual clock and ledger stay identical to an unaged run — the
+    crucible's ``root_transparency`` oracle depends on that.  All
+    randomness comes from a dedicated named stream, leaving every other
+    seeded sequence untouched.
+    """
+
+    def __init__(self, kernel, min_slot: int = 256,
+                 max_slot: int = 8192,
+                 rng_stream: str = "root-aging") -> None:
+        if not hasattr(kernel, "root_wear"):
+            raise ValueError(
+                "root aging targets the VampOS root; a vanilla kernel "
+                "has no kernel-side wear ledger")
+        self.kernel = kernel
+        self.sim: Simulation = kernel.sim
+        self.min_slot = min_slot
+        self.max_slot = max_slot
+        self._rng = kernel.sim.rng.stream(rng_stream)
+        self._serial = 0
+
+    def step(self, operations: int = 1) -> int:
+        """Age the root by ``operations`` damage events; returns the
+        wear's leaked bytes afterwards.  Raises
+        :class:`~repro.core.messages.MessageDomainFull` when orphaned
+        slots have exhausted the arena — the terminal failure
+        rejuvenation exists to prevent."""
+        for _ in range(operations):
+            kind = self._rng.randrange(4)
+            if kind <= 1:
+                self._orphan_slot(
+                    self._rng.randint(self.min_slot, self.max_slot))
+            elif kind == 2:
+                self._stale_plan()
+            else:
+                self._tombstone(
+                    self._rng.randint(self.min_slot, self.max_slot))
+        return self.kernel.root_wear.leaked_bytes()
+
+    def _orphan_slot(self, size: int) -> None:
+        from ..core.messages import Message, MessageDomainFull
+
+        md = self.kernel.message_domain
+        if size > md.free_bytes:
+            raise MessageDomainFull(
+                f"orphaned slot of {size}B does not fit "
+                f"({md.used_bytes}/{md.capacity_bytes}B used): "
+                f"kernel-side leaks exhausted the arena")
+        message = Message(msg_id=next(md._ids), sender="ROOT",
+                          receiver="ROOT", func="orphan",
+                          payload_bytes=size)
+        # Planted directly — no push charge, no stats: the slot is lost
+        # bookkeeping, not traffic.  Peak statistics are left alone.
+        md._in_flight[message.msg_id] = message
+        md.used_bytes += size
+        md.region.used_bytes = md.used_bytes
+        self.kernel.root_wear.note_orphan_slot(message.msg_id, size)
+
+    def _stale_plan(self) -> None:
+        vamp = self.kernel._vamp
+        if not vamp._bound:
+            vamp._bind()
+        self._serial += 1
+        key = ("ROOT", f"stale-{self._serial}", False)
+        # A poisoned cache entry: the compiled-crossing cache treats
+        # False as "cannot compile", so real dispatches never read it —
+        # the entry is pure unreclaimed growth.
+        vamp._plans[key] = False
+        self.kernel.root_wear.note_stale_plan(key)
+
+    def _tombstone(self, size: int) -> None:
+        self._serial += 1
+        self.kernel.root_wear.note_tombstone(self._serial, size)

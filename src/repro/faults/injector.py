@@ -41,6 +41,8 @@ class FaultInjector:
         self.kernel = kernel
         self.sim: Simulation = kernel.sim
         self.history: List[InjectionRecord] = []
+        #: lazily built root-aging driver (VampOS kernels only)
+        self._root_aging = None
 
     def _record(self, kind: str, component: str, detail: str = "") -> None:
         self.history.append(InjectionRecord(
@@ -171,6 +173,38 @@ class FaultInjector:
                 f"{region_suffix!r}; valid suffixes: {', '.join(valid)}")
         comp.regions.get(region_name).mark_corrupted()
         self._record("corruption", component, region_suffix)
+
+    # --- root faults (the kernel itself as the failure domain) ----------------
+
+    def inject_root_panic(self, reason: str = "root panic") -> None:
+        """Corrupt the root services themselves: the next syscall or
+        heartbeat finds the *kernel* panicked, not a component.
+
+        Terminal (``KernelPanic`` with component ``"ROOT"``) unless
+        root rejuvenation is armed, in which case the root microreboot
+        absorbs it.  VampOS kernels only — vanilla has no root/leaf
+        distinction to violate.
+        """
+        kernel = self.kernel
+        if not hasattr(kernel, "root_panicked"):
+            raise ValueError(
+                "root faults target the VampOS root; the vanilla "
+                "kernel dies of any fault anyway")
+        kernel.root_panicked = reason
+        self._record("root_panic", "ROOT", reason)
+
+    def inject_root_age(self, operations: int = 1) -> int:
+        """Age the root by ``operations`` kernel-side damage events
+        (orphaned message slots, stale crossing-plan entries,
+        tombstones); returns the accumulated leaked bytes.  See
+        :class:`~repro.faults.aging.RootAgingModel`."""
+        if self._root_aging is None:
+            from .aging import RootAgingModel
+            self._root_aging = RootAgingModel(self.kernel)
+        leaked = self._root_aging.step(operations)
+        self._record("root_age", "ROOT",
+                     f"ops={operations} leaked={leaked}B")
+        return leaked
 
     def injections_for(self, component: str) -> List[InjectionRecord]:
         return [r for r in self.history if r.component == component]

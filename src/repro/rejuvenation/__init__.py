@@ -1,0 +1,31 @@
+"""Root rejuvenation: microreboot the kernel under live components.
+
+The component-level machinery (reboots, the escalation ladder, the
+parallel planner) assumes the root — registry, scheduler, message
+domains — is immortal.  This package removes that assumption: the
+kernel-side state is checkpointed (:class:`RootCheckpoint`), the root
+internals are torn down and rebuilt, and the live components are
+re-attached without touching their memory regions or call logs
+(:func:`capture_root_checkpoint` / :func:`restore_root_checkpoint`).
+:class:`RootWear` is the kernel-side damage ledger that makes the
+reboot *necessary*; ``VampOSKernel.rejuvenate_root`` drives the whole
+cycle.
+"""
+
+from .checkpoint import (
+    RootCheckpoint,
+    RootLive,
+    RootRebootRecord,
+    capture_root_checkpoint,
+    restore_root_checkpoint,
+)
+from .wear import RootWear
+
+__all__ = [
+    "RootCheckpoint",
+    "RootLive",
+    "RootRebootRecord",
+    "RootWear",
+    "capture_root_checkpoint",
+    "restore_root_checkpoint",
+]

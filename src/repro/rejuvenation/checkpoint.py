@@ -1,0 +1,202 @@
+"""Root checkpoint/restore: the kernel side of the state boundary.
+
+A root microreboot (ReHype's recover-the-hypervisor-under-live-VMs,
+applied to the VampOS root) splits the world in two:
+
+* **component-side state** — memory regions, call logs, snapshots,
+  runtime data — is *never touched*: the live components ride across
+  the reboot by object identity;
+* **kernel-side state** — the component registry view, the scheduler
+  run queue, the message-domain in-flight slots, the supervisor's
+  budgets/probation — is serialized into a :class:`RootCheckpoint`,
+  the internals are torn down and rebuilt fresh, and the checkpoint is
+  restored onto them.
+
+The checkpoint itself is plain JSON-safe data (``to_jsonable`` /
+``from_jsonable`` round-trip exactly): this is the wire format a fleet
+layer would ship when migrating a root.  The :class:`RootLive` carrier
+travels *alongside* it, in-process only: any dispatch frame that is
+in-flight when the root reboots holds references to thread objects, the
+active-chain list and ``Message`` objects — restore re-installs those
+same objects so the frame resumes against live state, exactly once,
+with no lost or duplicated calls.
+
+Orphaned message slots (``RootWear.orphan_ids``) are deliberately
+*excluded* from the checkpoint: the reboot is what reclaims their arena
+bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..unikernel.component import ComponentState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.messages import Message
+    from ..core.runtime import VampOSKernel
+    from ..core.scheduler import ComponentThread
+
+
+@dataclass
+class RootRebootRecord:
+    """One root microreboot, for experiments and telemetry."""
+
+    reason: str
+    start_us: float
+    downtime_us: float = 0.0
+    #: in-flight message slots carried across (resumed, not replayed)
+    in_flight_resumed: int = 0
+    #: depth of the active dispatch chain at checkpoint time
+    chain_depth: int = 0
+    #: wear reclaimed by the reboot
+    slots_dropped: int = 0
+    plans_dropped: int = 0
+    tombstones_dropped: int = 0
+
+
+@dataclass
+class RootCheckpoint:
+    """Serializable kernel-side state (see the module docstring).
+
+    Every field is JSON-native (lists, dicts, scalars) so value
+    equality survives a ``json.dumps``/``loads`` round trip.
+    """
+
+    app_name: str = ""
+    config_name: str = ""
+    #: ``[name, ComponentState.value]`` in boot order
+    components: List[List[Any]] = field(default_factory=list)
+    #: :meth:`BaseScheduler.export_run_state`
+    scheduler: Dict[str, Any] = field(default_factory=dict)
+    #: :meth:`MessageDomain.export_run_state` (orphan slots excluded)
+    messages: Dict[str, Any] = field(default_factory=dict)
+    #: ``[name, [attempt_us, ...]]`` per retry budget, sorted by name
+    budgets: List[List[Any]] = field(default_factory=list)
+    #: ``[name, entered_us, probe_at_us, probe_interval_us, reason]``
+    degraded: List[List[Any]] = field(default_factory=list)
+    #: ``[name, entries]`` probation geometric counters, sorted
+    degrade_counts: List[List[Any]] = field(default_factory=list)
+    #: pending root panic reason (absorbed by the reboot), or None
+    root_panicked: Optional[str] = None
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "app_name": self.app_name,
+            "config_name": self.config_name,
+            "components": self.components,
+            "scheduler": self.scheduler,
+            "messages": self.messages,
+            "budgets": self.budgets,
+            "degraded": self.degraded,
+            "degrade_counts": self.degrade_counts,
+            "root_panicked": self.root_panicked,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "RootCheckpoint":
+        return cls(
+            app_name=data["app_name"],
+            config_name=data["config_name"],
+            components=[list(row) for row in data["components"]],
+            scheduler=dict(data["scheduler"]),
+            messages=dict(data["messages"]),
+            budgets=[[name, list(attempts)]
+                     for name, attempts in data["budgets"]],
+            degraded=[list(row) for row in data["degraded"]],
+            degrade_counts=[list(row)
+                            for row in data["degrade_counts"]],
+            root_panicked=data["root_panicked"],
+        )
+
+
+@dataclass
+class RootLive:
+    """In-process identity carrier accompanying a checkpoint.
+
+    Not serializable, by design: these are the very objects in-flight
+    dispatch frames (and compiled crossing plans bound before the
+    reboot) may hold.  Restore re-installs them so a frame that was
+    mid-crossing resumes against live kernel state.
+    """
+
+    #: unit name -> the pre-teardown ComponentThread objects
+    threads: Dict[str, "ComponentThread"] = field(default_factory=dict)
+    #: the scheduler's ``_active_chain`` list object itself
+    active_chain: Optional[List[str]] = None
+    #: msg_id -> the pre-teardown Message objects (orphans included;
+    #: restore only re-installs ids the checkpoint kept)
+    messages: Dict[int, "Message"] = field(default_factory=dict)
+
+
+def capture_root_checkpoint(kernel: "VampOSKernel") \
+        -> "tuple[RootCheckpoint, RootLive]":
+    """Snapshot the kernel-side state of a live VampOS kernel."""
+    sup = kernel.supervisor
+    cp = RootCheckpoint(
+        app_name=kernel.image.app_name,
+        config_name=kernel.config.name,
+        components=[[name, kernel.image.component(name).state.value]
+                    for name in kernel.image.boot_order],
+        scheduler=kernel.scheduler.export_run_state(),
+        messages=kernel.message_domain.export_run_state(
+            exclude=tuple(sorted(kernel.root_wear.orphan_ids))),
+        budgets=[[name, list(budget.attempts_us)]
+                 for name, budget in sorted(sup._budgets.items())],
+        degraded=[[name, state.entered_us, state.probe_at_us,
+                   state.probe_interval_us, state.reason]
+                  for name, state in sorted(sup.degraded.items())],
+        degrade_counts=[[name, count] for name, count
+                        in sorted(sup._degrade_counts.items())],
+        root_panicked=kernel.root_panicked,
+    )
+    live = RootLive(
+        threads=dict(kernel.scheduler.threads),
+        active_chain=kernel.scheduler._active_chain,
+        messages=dict(kernel.message_domain._in_flight),
+    )
+    return cp, live
+
+
+def restore_root_checkpoint(kernel: "VampOSKernel", cp: RootCheckpoint,
+                            live: Optional[RootLive] = None) -> None:
+    """Load a checkpoint into a freshly re-initialised kernel.
+
+    With ``live`` (the normal in-process path) the pre-teardown thread,
+    chain and message objects are re-installed so in-flight frames keep
+    working; without it (a cold rebuild — tests, a future fleet
+    migration) everything is reconstructed from the checkpoint alone.
+    """
+    from .wear import RootWear  # noqa: F401 - documented coupling
+
+    sched = kernel.scheduler
+    if live is not None and live.active_chain is not None:
+        # The chain *list object* predates the re-init; re-install it
+        # before the content restore so frames holding it stay live.
+        sched._active_chain = live.active_chain
+    sched.restore_run_state(cp.scheduler,
+                            threads=live.threads if live else None)
+    kernel.message_domain.restore_run_state(
+        cp.messages, live=live.messages if live else None)
+    for name, state_value in cp.components:
+        comp = kernel.image.components.get(name)
+        if comp is not None:
+            comp.state = ComponentState(state_value)
+    sup = kernel.supervisor
+    sup._budgets.clear()
+    for name, attempts in cp.budgets:
+        budget = sup.budget_for(name)
+        budget.attempts_us.clear()
+        budget.attempts_us.extend(attempts)
+    sup.degraded.clear()
+    from ..supervisor.supervisor import DegradedState
+    for name, entered_us, probe_at_us, probe_interval_us, reason \
+            in cp.degraded:
+        sup.degraded[name] = DegradedState(
+            entered_us=entered_us, probe_at_us=probe_at_us,
+            probe_interval_us=probe_interval_us, reason=reason)
+    sup._degrade_counts.clear()
+    for name, count in cp.degrade_counts:
+        sup._degrade_counts[name] = int(count)
+    kernel.root_panicked = cp.root_panicked

@@ -114,6 +114,20 @@ class CostModel:
     #: ENODEV-style error instead of dispatching it
     degraded_call: float = 0.25
 
+    # --- root rejuvenation (ReHype-style kernel microreboot) ---------------
+    #: serializing the kernel-side state (run queue, message slots,
+    #: supervisor policy) into a RootCheckpoint before the teardown
+    root_checkpoint: float = 40.0
+    #: fixed cost of tearing the kernel internals down and bringing the
+    #: fresh root up — far below ``full_reboot_fixed`` because component
+    #: memory, logs and snapshots are never touched
+    root_reboot_fixed: float = 1_200.0
+    #: re-attaching one live component to the fresh root (registry +
+    #: domain re-tag + thread rebind), per component
+    root_reattach_per_component: float = 6.0
+    #: attempting the rejuvenate-root rung (above rejuvenate-all)
+    rung_rejuvenate_root: float = 3.20
+
     # --- observability ------------------------------------------------------
     #: opening or closing one flight-recorder span, charged ONLY when
     #: ``FLAGS.charge_tracing`` is set (the recorder is free by default;

@@ -23,6 +23,7 @@ from .ladder import (
     FreshRestartRung,
     LadderRung,
     RejuvenateAllRung,
+    RejuvenateRootRung,
     ReplayRetryRung,
     ScopeWidenRung,
     VariantSwapRung,
@@ -39,6 +40,7 @@ __all__ = [
     "FreshRestartRung",
     "LadderRung",
     "RejuvenateAllRung",
+    "RejuvenateRootRung",
     "ReplayRetryRung",
     "ScopeWidenRung",
     "VariantSwapRung",

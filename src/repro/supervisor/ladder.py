@@ -21,9 +21,12 @@ A rung contributes:
   experiments stay ledger-deterministic whatever the ladder does.
 
 The default ladder order (replay-retry → fresh restart → variant swap →
-scope widening → rejuvenate-all → degrade) reproduces the legacy inline
-ladder exactly when only the legacy knobs (``escalation_enabled``,
-registered variants) are armed.
+scope widening → rejuvenate-all → rejuvenate-root → degrade) reproduces
+the legacy inline ladder exactly when only the legacy knobs
+(``escalation_enabled``, registered variants) are armed; the
+rejuvenate-root rung additionally requires the root itself to be
+implicated (pending root panic or kernel-side wear), so it never fires
+on a purely component-level failure.
 """
 
 from __future__ import annotations
@@ -176,6 +179,32 @@ class RejuvenateAllRung(LadderRung):
         yield plan
 
 
+class RejuvenateRootRung(LadderRung):
+    """Microreboot the *kernel itself* under the live components
+    (ReHype's recover-the-hypervisor move).  Applies only when root
+    rejuvenation is armed *and* the root is actually implicated — a
+    pending root panic or accumulated kernel-side wear — so the rung is
+    invisible to every component-only failure.  The failed component is
+    rebooted afterwards: the root reboot heals kernel-side damage, not
+    the component's own state."""
+
+    key = "rejuvenate-root"
+    cost_attr = "rung_rejuvenate_root"
+
+    def applies(self, supervisor, name, failure) -> bool:
+        kernel = supervisor.kernel
+        return (kernel.config.root_rejuvenation_enabled
+                and (getattr(kernel, "root_panicked", None) is not None
+                     or kernel.root_wear.is_worn()))
+
+    def plans(self, supervisor, name):
+        def plan(sup, comp_name, failure):
+            sup.kernel.rejuvenate_root(reason=f"ladder: {comp_name}")
+            sup.kernel.reboot_component(comp_name,
+                                        reason="rejuvenate-root")
+        yield plan
+
+
 class DegradeRung(LadderRung):
     """Graceful degradation: quarantine the component.  Its interface
     calls return an ENODEV-style error instead of panicking callers, so
@@ -202,6 +231,7 @@ DEFAULT_LADDER: List[LadderRung] = [
     VariantSwapRung(),
     ScopeWidenRung(),
     RejuvenateAllRung(),
+    RejuvenateRootRung(),
     DegradeRung(),
 ]
 

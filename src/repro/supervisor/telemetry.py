@@ -66,6 +66,12 @@ class RecoveryTelemetry:
     plan_serial_us: float = 0.0
     #: max-merged elapsed time the plans actually cost
     plan_planned_us: float = 0.0
+    #: root microreboots and what they reclaimed
+    root_reboots: int = 0
+    root_downtime_us: float = 0.0
+    root_slots_dropped: int = 0
+    root_plans_dropped: int = 0
+    root_tombstones_dropped: int = 0
 
     # --- recording (called by the supervisor) -----------------------------
 
@@ -90,6 +96,15 @@ class RecoveryTelemetry:
             self.plan_serial_us += duration
             self.track_mttr_hist.observe(duration)
         self.plan_planned_us += planned_us
+
+    def note_root_reboot(self, downtime_us: float, slots: int,
+                         plans: int, tombstones: int) -> None:
+        """One root microreboot: its stall and the wear it reclaimed."""
+        self.root_reboots += 1
+        self.root_downtime_us += downtime_us
+        self.root_slots_dropped += slots
+        self.root_plans_dropped += plans
+        self.root_tombstones_dropped += tombstones
 
     def note_storm(self, component: str) -> None:
         self.storms[component] = self.storms.get(component, 0) + 1
@@ -207,6 +222,11 @@ class RecoveryTelemetry:
             out.plan_tracks += src.plan_tracks
             out.plan_serial_us += src.plan_serial_us
             out.plan_planned_us += src.plan_planned_us
+            out.root_reboots += src.root_reboots
+            out.root_downtime_us += src.root_downtime_us
+            out.root_slots_dropped += src.root_slots_dropped
+            out.root_plans_dropped += src.root_plans_dropped
+            out.root_tombstones_dropped += src.root_tombstones_dropped
         return out
 
 

@@ -176,6 +176,45 @@ class TestRuntimeData:
         kernel.component("LWIP").import_runtime_data(None)
 
 
+class TestRestoredHeapBacking:
+    """Restored sockets must own a live heap block.
+
+    accept() is unlogged (§V-B), so a reboot rebuilds accepted sockets
+    from runtime data — but their original allocation is neither in the
+    checkpoint nor re-run by replay.  The import must re-allocate, or
+    the eventual sock_net_close frees a dangling offset (InvalidFree,
+    or a replayed socket's block that landed at the same offset).
+    """
+
+    def test_import_reallocates_unbacked_sockets(self, kernel):
+        lwip = kernel.component("LWIP")
+        listener = listening_socket(kernel)
+        kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", listener)
+        blob = lwip.export_runtime_data()
+        lwip.on_boot()          # wipes the socket table...
+        lwip.allocator.reset()  # ...and the heap, like a fresh restart
+        lwip.import_runtime_data(blob)
+        entry = lwip.socket_entry(accepted)
+        assert entry.heap_offset in lwip.allocator.allocated
+        lwip.free(entry.heap_offset)  # would raise InvalidFree unbacked
+
+    def test_accepted_socket_survives_component_reboot(self, vamp_kernel):
+        kernel = vamp_kernel
+        listener = listening_socket(kernel)
+        kernel.test_network.connect(80)
+        accepted = kernel.syscall("LWIP", "accept", listener)
+        kernel.reboot_component("LWIP")
+        lwip = kernel.component("LWIP")
+        offsets = [e.heap_offset for e in lwip._sockets.values()]
+        assert len(set(offsets)) == len(offsets)  # no shared blocks
+        assert all(off in lwip.allocator.allocated for off in offsets)
+        kernel.syscall("LWIP", "sock_net_close", accepted)
+        # the listener's own block was not disturbed: it still serves
+        kernel.test_network.connect(80)
+        assert kernel.syscall("LWIP", "accept", listener) is not None
+
+
 class TestNetdev:
     def test_counters(self, kernel):
         netdev = kernel.component("NETDEV")

@@ -1,0 +1,1 @@
+"""Tests for root rejuvenation (kernel microreboot under live components)."""

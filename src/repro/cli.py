@@ -20,8 +20,11 @@ pool only changes wall-clock time.
 profile) and saves a recording — reports stay byte-identical; the obs
 summary goes to stderr.  ``repro trace export`` turns a recording into
 Chrome trace-event / Perfetto JSON, ``repro trace folded`` into
-flamegraph.pl folded stacks, and ``repro top`` renders an ASCII
-dashboard from it.
+flamegraph.pl folded stacks (both accept ``--component`` /
+``--category`` filters), and ``repro top`` renders an ASCII dashboard
+from it.  The reliability observatory adds ``repro slo`` (availability
+intervals + error budgets), ``repro health`` (heartbeat-sampled vital
+signs) and ``repro postmortem`` (validate + render death artifacts).
 """
 
 from __future__ import annotations
@@ -263,6 +266,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--out", default=None, metavar="PATH",
                        help="output path (default: trace.json / "
                             "profile.folded)")
+    trace.add_argument("--component", default=None, metavar="NAME",
+                       help="keep only spans/stacks referencing this "
+                            "component (e.g. VFS)")
+    trace.add_argument("--category", default=None, metavar="CAT",
+                       help="keep only spans of this category (export) "
+                            "or stacks with this mechanism leaf "
+                            "(folded)")
+
+    slo = sub.add_parser(
+        "slo",
+        help="SLO ledger report from a flight recording "
+             "(availability intervals, error budgets, burn rates)")
+    slo.add_argument("recording", nargs="?", default="flight.json",
+                     help="recording path (default: flight.json)")
+    slo.add_argument("--target", type=float, default=None,
+                     metavar="FRACTION",
+                     help="availability objective (default: 0.999)")
+
+    health = sub.add_parser(
+        "health",
+        help="health timelines from a flight recording "
+             "(heartbeat-sampled vital signs with spark lines)")
+    health.add_argument("recording", nargs="?", default="flight.json",
+                        help="recording path (default: flight.json)")
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="validate and render postmortem artifacts (a "
+             "postmortem.json or a flight recording)")
+    postmortem.add_argument("path", nargs="?", default="flight.json",
+                            help="postmortem document or recording "
+                                 "(default: flight.json)")
 
     top = sub.add_parser(
         "top", help="ASCII dashboard over a flight recording")
@@ -369,6 +404,13 @@ def _trace_command(args: argparse.Namespace) -> int:
     from .obs import export
 
     recording = export.load_recording(args.recording)
+    recording = export.filter_recording(recording,
+                                        component=args.component,
+                                        category=args.category)
+    if (args.component or args.category) and not recording["spans"] \
+            and not recording["profile"]:
+        print("no spans or stacks match the filters", file=sys.stderr)
+        return 1
     if args.action == "export":
         out_path = args.out or "trace.json"
         document = export.to_chrome_trace(recording)
@@ -390,6 +432,79 @@ def _trace_command(args: argparse.Namespace) -> int:
     print(f"wrote folded stacks to {out_path} "
           f"(flamegraph.pl {out_path} > flame.svg)", file=sys.stderr)
     return 0
+
+
+def _slo_command(args: argparse.Namespace, out=sys.stdout) -> int:
+    """``repro slo`` — the SLO ledger view over a recording."""
+    from .obs import export
+    from .obs.slo import DEFAULT_SLO_TARGET, SloLedger
+
+    recording = export.load_recording(args.recording)
+    blobs = recording.get("slo", [])
+    if not blobs:
+        print("recording has no SLO ledgers (ran with --obs?)",
+              file=out)
+        return 1
+    ledger = SloLedger.merged_from_jsonables(blobs)
+    target = (args.target if args.target is not None
+              else DEFAULT_SLO_TARGET)
+    print(ledger.render(target), file=out)
+    return 0
+
+
+def _health_command(args: argparse.Namespace, out=sys.stdout) -> int:
+    """``repro health`` — heartbeat-sampled vital signs."""
+    from .obs import export
+    from .obs.timeline import HealthTimeline
+
+    recording = export.load_recording(args.recording)
+    timeline = HealthTimeline.from_jsonable(
+        recording.get("timeline", {}))
+    if timeline.is_empty():
+        print("recording has no health samples (heartbeats under "
+              "--obs feed the timeline)", file=out)
+        return 1
+    print(timeline.render(), file=out)
+    return 0
+
+
+def _postmortem_command(args: argparse.Namespace,
+                        out=sys.stdout) -> int:
+    """``repro postmortem`` — validate + render death artifacts.
+
+    Accepts either one postmortem document (as written to
+    ``$REPRO_POSTMORTEM_DIR``) or a flight recording holding any
+    number of them; exits non-zero when a document fails the schema.
+    """
+    import json
+
+    from .obs.postmortem import render_postmortem, validate_postmortem
+
+    with open(args.path) as fh:
+        document = json.load(fh)
+    if document.get("doc") == "repro-postmortem":
+        docs = [document]
+    elif document.get("kind") == "repro-flight-recording":
+        docs = document.get("postmortems", [])
+        if not docs:
+            print("recording has no postmortems (nothing died)",
+                  file=out)
+            return 1
+    else:
+        print(f"{args.path} is neither a postmortem nor a flight "
+              f"recording", file=sys.stderr)
+        return 2
+    failures = 0
+    for position, doc in enumerate(docs):
+        problems = validate_postmortem(doc)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"postmortem[{position}] invalid: {problem}",
+                      file=sys.stderr)
+            continue
+        print(render_postmortem(doc), file=out)
+    return 1 if failures else 0
 
 
 def _top_command(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -419,10 +534,13 @@ def _run_with_obs(args: argparse.Namespace, body) -> int:
     export.save_recording(recording, args.obs_out)
     metrics = recording["metrics"]
     print(f"flight recording: {len(recording['spans'])} spans "
-          f"({recording['spans_dropped']} dropped), "
+          f"({recording['spans_dropped']} dropped, "
+          f"{recording['trace_dropped']} trace-ring evictions), "
           f"{len(metrics['counters'])} counters, "
           f"{len(metrics['histograms'])} histograms, "
-          f"{len(recording['profile'])} profile stacks -> "
+          f"{len(recording['profile'])} profile stacks, "
+          f"{len(recording['slo'])} SLO ledger(s), "
+          f"{len(recording['postmortems'])} postmortem(s) -> "
           f"{args.obs_out}", file=sys.stderr)
     return code
 
@@ -449,6 +567,12 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return _trace_command(args)
     if args.command == "top":
         return _top_command(args, out=out)
+    if args.command == "slo":
+        return _slo_command(args, out=out)
+    if args.command == "health":
+        return _health_command(args, out=out)
+    if args.command == "postmortem":
+        return _postmortem_command(args, out=out)
     if args.command == "crucible":
         from .crucible import explore
         return explore(budget=args.budget, jobs=_jobs(args),

@@ -98,6 +98,12 @@ class VampConfig:
     #: bookkeeping) reaches this many bytes
     root_wear_threshold_bytes: int = 2 * 1024 * 1024
 
+    # --- reliability observatory -------------------------------------------
+    #: keep the SLO ledger (availability intervals + per-syscall request
+    #: accounting) even without the flight recorder attached; purely
+    #: observational — never charges the clock or touches the RNG
+    slo_enabled: bool = False
+
     def with_(self, **overrides: object) -> "VampConfig":
         """A modified copy (keyword names match the field names)."""
         return replace(self, **overrides)
@@ -158,7 +164,8 @@ SUPERVISED = VampConfig(name="VampOS-Supervised",
                         fresh_restart_enabled=True,
                         scope_widening_enabled=True,
                         degraded_mode_enabled=True,
-                        root_rejuvenation_enabled=True)
+                        root_rejuvenation_enabled=True,
+                        slo_enabled=True)
 
 #: the four configurations evaluated in §VII, in paper order
 ALL_CONFIGS = (NOOP, DAS, FSM, NETM)

@@ -57,6 +57,8 @@ from ..unikernel.errors import (
 )
 from ..unikernel.image import APP, UnikernelImage
 from ..unikernel.kernel import Kernel
+from ..obs.postmortem import emit_postmortem
+from ..obs.slo import SloLedger, ledger_now_us
 from .calllog import ComponentCallLog
 from .config import (
     SCHEDULER_DEPENDENCY_AWARE,
@@ -151,10 +153,14 @@ def _compile_crossing(tape, deltas, msg_dispatch, caller_unit,
            "    ledger = sim.ledger",
            "    totals = ledger.totals",
            "    counts = ledger.counts",
-           "    n = clock._now_us"]
+           "    n = clock._now_us",
+           "    e = ledger.elapsed_us"]
     for cat, amt in tape:
         c, a = repr(cat), repr(amt)
+        # e accumulates per entry (not one folded constant) so the
+        # float addition order matches CostLedger.charge exactly.
         src += [f"    n += {a}",
+                f"    e += {a}",
                 f"    try:",
                 f"        totals[{c}] += {a}",
                 f"    except KeyError:",
@@ -163,6 +169,7 @@ def _compile_crossing(tape, deltas, msg_dispatch, caller_unit,
                 f"    else:",
                 f"        counts[{c}] += 1"]
     src += ["    clock._now_us = n",
+            "    ledger.elapsed_us = e",
             "    mid = next(md._ids)",
             "    md.pushes += 1",
             "    md.pulls += 1",
@@ -476,6 +483,7 @@ class VampDispatcher:
             if obs is None and amt > 0.0 and not sim.clock._watchers:
                 sim.clock._now_us += amt
                 ledger = sim.ledger
+                ledger.elapsed_us += amt
                 try:
                     ledger.totals["log_append"] += amt
                 except KeyError:
@@ -513,6 +521,7 @@ class VampDispatcher:
                     # inlined sim.charge("function_body", amt)
                     sim.clock._now_us += amt
                     ledger = sim.ledger
+                    ledger.elapsed_us += amt
                     try:
                         ledger.totals["function_body"] += amt
                     except KeyError:
@@ -572,6 +581,7 @@ class VampDispatcher:
                     # inlined sim.charge("retval_append", amt)
                     sim.clock._now_us += amt
                     ledger = sim.ledger
+                    ledger.elapsed_us += amt
                     try:
                         ledger.totals["retval_append"] += amt
                     except KeyError:
@@ -725,6 +735,22 @@ class VampOSKernel(Kernel):
         from ..supervisor import RecoverySupervisor
         self.supervisor = RecoverySupervisor(self)
 
+        # --- reliability observatory (SLO ledger + postmortems) ------------
+        # Armed by config or whenever the flight recorder is attached;
+        # purely observational either way, so arming it changes no
+        # report byte.  Registered with the collector so recordings
+        # carry the ledger (full_reboot re-runs __init__: the superseded
+        # ledger stays registered and is serialised alongside).
+        obs = self.sim.obs
+        self.slo = SloLedger(
+            enabled=config.slo_enabled or obs is not None,
+            label=f"{image.app_name}/{config.name}")
+        if obs is not None:
+            obs.collector.slo_ledgers.append(self.slo)
+        #: the most recent postmortem document (terminal failures)
+        self.last_postmortem: Optional[Dict[str, Any]] = None
+        self.postmortem_seq = 0
+
     # --- protection-domain assignment ---------------------------------------------
 
     def _tag_domains(self, units: List[str], member_map: Dict[str, str],
@@ -778,6 +804,8 @@ class VampOSKernel(Kernel):
             data = comp.export_runtime_data()
             if data is not None:
                 self._runtime_data[name] = data
+        self.slo.seed_up(list(self.image.boot_order),
+                         ledger_now_us(self.sim.ledger))
 
     def syscall(self, target: str, func: str, *args: Any,
                 **kwargs: Any) -> Any:
@@ -785,7 +813,21 @@ class VampOSKernel(Kernel):
             # Root services are corrupted: absorb it with a root
             # microreboot when armed, die like vanilla otherwise.
             self._root_recover(self.root_panicked)
-        result = super().syscall(target, func, *args, **kwargs)
+        slo = self.slo
+        if not slo.enabled:
+            result = super().syscall(target, func, *args, **kwargs)
+            self._save_runtime_data()
+            return result
+        # A served SyscallError (degraded mode, ENOENT, ...) is an
+        # answered-with-error request; terminal exceptions (fail-stop,
+        # kernel panic) propagate uncounted — the availability
+        # intervals already record the death.
+        try:
+            result = super().syscall(target, func, *args, **kwargs)
+        except SyscallError:
+            slo.note_request(target, func, ok=False)
+            raise
+        slo.note_request(target, func, ok=True)
         self._save_runtime_data()
         return result
 
@@ -846,16 +888,35 @@ class VampOSKernel(Kernel):
             rspan = obs.open_span("reboot", name, unit=unit,
                                   reason=reason)
         self.scheduler.mark_rebooting(name)
+        sup = self.supervisor
+        # A direct reboot (heartbeat sweep, probe, rejuvenation) is its
+        # own "sweep" episode; inside a ladder walk / storm plan / root
+        # reboot the marks attribute to the enclosing episode's clock.
+        clock = sup.phase_push("sweep") if not sup._phase_clocks else None
+        if self.slo.enabled:
+            for member in members:
+                self.slo.note_state(member, "rebooting",
+                                    ledger_now_us(self.sim.ledger))
         self.sim.charge("reboot_teardown", self.sim.costs.reboot_teardown)
         try:
-            for member in members:
-                self.message_domain.drop_for(member)
-                self._restart_member(member, record, replay=replay)
+            try:
+                for member in members:
+                    self.message_domain.drop_for(member)
+                    self._restart_member(member, record, replay=replay)
+            finally:
+                if obs is not None:
+                    obs.close_span(rspan,
+                                   downtime_us=self.sim.clock.now_us
+                                   - record.start_us)
+            self.scheduler.reattach(name)
+            sup.phase_mark("resume")
+            if self.slo.enabled:
+                for member in members:
+                    self.slo.note_state(member, "up",
+                                        ledger_now_us(self.sim.ledger))
         finally:
-            if obs is not None:
-                obs.close_span(rspan, downtime_us=self.sim.clock.now_us
-                               - record.start_us)
-        self.scheduler.reattach(name)
+            if clock is not None:
+                sup.phase_pop(clock)
         record.downtime_us = self.sim.clock.now_us - record.start_us
         self.reboots.append(record)
         if obs is not None:
@@ -889,7 +950,9 @@ class VampOSKernel(Kernel):
                                 self.sim.costs.stateless_reinit)
                 comp.allocator.reset()
                 comp.boot()
+                self.supervisor.phase_mark("reboot")
                 return
+            self.supervisor.phase_mark("reboot")
             snap = self.snapshots.get(member)
             if snap is None:
                 # No checkpoint (ablation config): full
@@ -910,6 +973,7 @@ class VampOSKernel(Kernel):
             runtime_blob = self._runtime_data.get(member)
             if runtime_blob is not None:
                 comp.import_runtime_data(runtime_blob)
+            self.supervisor.phase_mark("checkpoint")
             log = self.logs.get(member)
             if log is None or not self.config.logging_enabled:
                 return
@@ -941,6 +1005,7 @@ class VampOSKernel(Kernel):
                 raise RecoveryFailed(member, diverged) from diverged
             finally:
                 self._vamp.replay_session = previous
+                self.supervisor.phase_mark("replay")
                 if obs is not None:
                     obs.close_span(pspan)
             record.entries_replayed += stats.entries_replayed
@@ -1023,6 +1088,11 @@ class VampOSKernel(Kernel):
                 self.sim.emit("reboot", "fail_stop_hook_error",
                               component=component, error=str(exc))
         self.crashed = True
+        self.slo.note_state(component, "dead",
+                            ledger_now_us(self.sim.ledger))
+        emit_postmortem(self, "fail_stop", component,
+                        reason=str(cause) if cause is not None
+                        else "recovery exhausted")
         raise RecoveryFailed(component, cause) from cause
 
     def update_component(self, name: str,
@@ -1143,6 +1213,9 @@ class VampOSKernel(Kernel):
         the original one-at-a-time sweep runs bit-identically.
         """
         self.sim.charge("heartbeat", self.sim.costs.heartbeat_scan)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.sample_health(self)
         self._root_heartbeat()
         records: List[RebootRecord] = list(self.supervisor.tick())
         if FLAGS.parallel_recovery and not self.sim.clock._watchers:
@@ -1252,19 +1325,29 @@ class VampOSKernel(Kernel):
             return self.reboot_component(name, reason=reason,
                                          replay=replay)
 
-        if (len(names) > 1 and FLAGS.parallel_recovery
-                and not self.sim.clock._watchers):
-            from ..recovery import execute_plan, plan_for_kernel
-            plan = plan_for_kernel(self, names)
-            if plan.parallel:
-                return execute_plan(self, plan, reason=reason,
-                                    replay=replay, reboot=do_reboot)
-        records = []
-        for name in names:
-            record = do_reboot(name)
-            if record is not None:
-                records.append(record)
-        return records
+        sup = self.supervisor
+        # A multi-unit episode (crash-storm sweep) gets its own clock;
+        # single names fall through to reboot_component's own "sweep".
+        clock = (sup.phase_push("storm")
+                 if len(names) > 1 and not sup._phase_clocks else None)
+        try:
+            if (len(names) > 1 and FLAGS.parallel_recovery
+                    and not self.sim.clock._watchers):
+                from ..recovery import execute_plan, plan_for_kernel
+                plan = plan_for_kernel(self, names)
+                sup.phase_mark("plan")
+                if plan.parallel:
+                    return execute_plan(self, plan, reason=reason,
+                                        replay=replay, reboot=do_reboot)
+            records = []
+            for name in names:
+                record = do_reboot(name)
+                if record is not None:
+                    records.append(record)
+            return records
+        finally:
+            if clock is not None:
+                sup.phase_pop(clock)
 
     def rejuvenate_all(self) -> List[RebootRecord]:
         """Rejuvenate every rebootable component, one by one (§VII-D).
@@ -1313,18 +1396,27 @@ class VampOSKernel(Kernel):
             rspan = obs.open_span("root_reboot", self.image.app_name,
                                   reason=reason,
                                   leaked_bytes=wear.leaked_bytes())
+        sup = self.supervisor
+        clock = sup.phase_push("root") if not sup._phase_clocks else None
+        self.slo.note_state("ROOT", "rebooting", ledger_now_us(sim.ledger))
         try:
             sim.charge("root_checkpoint", sim.costs.root_checkpoint)
             cp, live = capture_root_checkpoint(self)
+            sup.phase_mark("checkpoint")
             slots, plans, tombstones = wear.clear()
             self._reinit_root_internals()
             sim.charge("root_reboot", sim.costs.root_reboot_fixed)
             restore_root_checkpoint(self, cp, live)
+            sup.phase_mark("reboot")
             sim.charge("root_reattach",
                        len(self.image.boot_order)
                        * sim.costs.root_reattach_per_component)
+            sup.phase_mark("resume")
             self.root_panicked = None
+            self.slo.note_state("ROOT", "up", ledger_now_us(sim.ledger))
         finally:
+            if clock is not None:
+                sup.phase_pop(clock)
             if obs is not None:
                 obs.close_span(rspan, downtime_us=sim.clock.now_us
                                - start)
@@ -1415,6 +1507,9 @@ class VampOSKernel(Kernel):
             return
         self.sim.emit("fault", "root_panic", reason=reason)
         self.crashed = True
+        self.slo.note_state("ROOT", "dead",
+                            ledger_now_us(self.sim.ledger))
+        emit_postmortem(self, "root_panic", "ROOT", reason=reason)
         raise KernelPanic(component="ROOT", cause=None)
 
     # --- fault surface ------------------------------------------------------------------------

@@ -25,7 +25,10 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
+from ..obs.postmortem import validate_postmortem
+from ..obs.slo import DEFAULT_SLO_TARGET, SloLedger
 from ..parallel import parallel_map
+from ..supervisor import PHASES
 from .corpus import corpus_entry, write_corpus_file
 from .generate import (
     CONFIGS,
@@ -44,7 +47,7 @@ from .generate import (
     storm_scenario_for_index,
 )
 from .oracles import ORACLES, evaluate_oracles
-from .runner import run_bundle
+from .runner import run_bundle, violation_postmortem
 from .scenario import FAULT_KINDS, Scenario, scenario_id
 from .shrinker import shrink_events, violation_predicate
 
@@ -84,6 +87,13 @@ def explore_cell(root_seed: int, index: int, canary: bool,
     bundle = run_bundle(scenario)
     verdicts = evaluate_oracles(scenario, bundle)
     main = bundle["main"]
+    violations = sorted(name for name, texts in verdicts.items()
+                        if texts)
+    postmortem = main.postmortem
+    if violations and postmortem is None:
+        # The oracles convicted a run that survived: freeze an
+        # oracle_violation artifact from a bit-identical re-run.
+        postmortem = violation_postmortem(scenario, violations)
     return {
         "index": index,
         "id": scenario_id(scenario),
@@ -93,8 +103,7 @@ def explore_cell(root_seed: int, index: int, canary: bool,
         "seed": scenario.seed,
         "events": scenario.events,
         "canary": scenario.canary,
-        "violations": sorted(name for name, texts in verdicts.items()
-                             if texts),
+        "violations": violations,
         "problems": {name: texts for name, texts in verdicts.items()
                      if texts},
         "site_counts": main.site_counts,
@@ -102,6 +111,10 @@ def explore_cell(root_seed: int, index: int, canary: bool,
         "terminal": main.terminal,
         "degraded": bool(main.degraded_final),
         "lossy": main.lossy_cut is not None,
+        "slo": main.slo,
+        "phase_totals": main.phase_totals,
+        "phase_episodes": main.phase_episodes,
+        "postmortem": postmortem,
     }
 
 
@@ -199,7 +212,45 @@ def _render_report(seed: int, start: int, budget: int,
                                           "ladder_rung")))
     lines.append(f"outcomes: clean={clean}, lossy={lossy}, "
                  f"terminal={terminal}, degraded={degraded}, "
-                 f"armings-never-fired={pending}")
+                 f"armings-never-fired={pending}, "
+                 f"postmortems={sum(1 for c in cells if c['postmortem'])}")
+
+    ledger = SloLedger.merged_from_jsonables(
+        [cell["slo"] for cell in cells if cell["slo"]])
+    ok, err = ledger.request_totals()
+    burn = ledger.burn_rate(DEFAULT_SLO_TARGET)
+    lines.append(
+        f"SLO (main runs, target {DEFAULT_SLO_TARGET * 100:.1f}%): "
+        f"{ok} ok / {err} served errors"
+        + (f", budget burn {burn:.2f}x" if burn is not None else ""))
+    availabilities = [(comp, ledger.availability(comp))
+                      for comp in ledger.components()]
+    availabilities = [(comp, avail) for comp, avail in availabilities
+                      if avail is not None]
+    if availabilities:
+        comp, avail = min(availabilities,
+                          key=lambda item: (item[1], item[0]))
+        lines.append(f"  worst availability: {comp} "
+                     f"{avail * 100:.3f}%")
+
+    phase_totals: Dict[str, Dict[str, float]] = {}
+    phase_episodes: Dict[str, int] = {}
+    for cell in cells:
+        for kind, totals in cell["phase_totals"].items():
+            bucket = phase_totals.setdefault(kind, {})
+            for phase, amount in totals.items():
+                bucket[phase] = bucket.get(phase, 0.0) + amount
+        for kind, count in cell["phase_episodes"].items():
+            phase_episodes[kind] = phase_episodes.get(kind, 0) + count
+    if phase_episodes:
+        lines.append("MTTR phase attribution (main runs, virtual us):")
+        for kind in sorted(phase_episodes):
+            totals = phase_totals.get(kind, {})
+            detail = " ".join(f"{phase}={totals.get(phase, 0.0):.1f}"
+                              for phase in PHASES
+                              if totals.get(phase))
+            lines.append(f"  {kind}: {phase_episodes[kind]} episode(s)"
+                         + (f" [{detail}]" if detail else ""))
 
     lines.append("oracle verdicts:")
     for name in ORACLES:
@@ -231,6 +282,13 @@ def _render_report(seed: int, start: int, budget: int,
             path = corpus_files.get(cell["index"])
             if path is not None:
                 lines.append(f"    corpus: {os.path.basename(path)}")
+            doc = cell.get("postmortem")
+            if doc is not None:
+                schema_problems = validate_postmortem(doc)
+                lines.append(
+                    f"    postmortem: {doc['kind']} "
+                    + ("(schema valid)" if not schema_problems else
+                       f"(SCHEMA INVALID: {schema_problems[0]})"))
     if state is not None:
         lines.append(
             f"cumulative: {state['explored_total']} scenario(s) "
@@ -307,6 +365,12 @@ def _explore_canary(seed: int, corpus_out: Optional[str],
         print("\n".join(lines), file=out)
         return 1
     lines.append("detected: " + ", ".join(cell["violations"]))
+    doc = cell.get("postmortem")
+    if doc is not None:
+        schema_problems = validate_postmortem(doc)
+        lines.append("postmortem: " + doc["kind"]
+                     + (" (schema valid)" if not schema_problems else
+                        f" (SCHEMA INVALID: {schema_problems[0]})"))
     mini = _shrink_violation(cell, shrink_limit)
     lines.append(f"shrunk: {mini['from_events']} -> "
                  f"{mini['to_events']} events "

@@ -31,7 +31,7 @@ byte-identically and corpus files can embed them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..core.config import config_by_name
 from ..core.messages import MessageDomainFull
@@ -39,6 +39,8 @@ from ..core.restore import ReplayMismatch
 from ..core.runtime import VampOSKernel
 from ..faults.injector import FaultInjector
 from ..fastpath import reference_mode
+from ..obs.postmortem import emit_postmortem
+from ..obs.slo import ledger_now_us
 from ..net.hostshare import HostShare
 from ..sim.engine import Simulation
 from ..sim.probes import SiteProbes
@@ -93,6 +95,16 @@ class RunOutcome:
     pending_armings: int = 0
     #: restore-equivalence probe failures (text descriptions)
     restore_problems: List[str] = field(default_factory=list)
+    #: the run's SLO ledger (``SloLedger.to_jsonable`` form, closed at
+    #: the final clock) — availability intervals + request accounting
+    slo: Dict[str, Any] = field(default_factory=dict)
+    #: MTTR phase attribution: virtual-us per phase, by episode kind
+    phase_totals: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
+    #: recovery episodes attributed, by episode kind
+    phase_episodes: Dict[str, int] = field(default_factory=dict)
+    #: the postmortem frozen when the run ended terminally (else None)
+    postmortem: Optional[Dict[str, Any]] = None
 
     def note_lossy(self, index: int) -> None:
         if self.lossy_cut is None or index < self.lossy_cut:
@@ -241,11 +253,17 @@ class _Driver:
 
 def run_scenario(scenario: Scenario, ops_only: bool = False,
                  shrink_override: Optional[bool] = None,
-                 restore_probes: bool = True) -> RunOutcome:
+                 restore_probes: bool = True,
+                 kernel_hook: Optional[
+                     Callable[[VampOSKernel], None]] = None
+                 ) -> RunOutcome:
     """Execute ``scenario`` and collect a :class:`RunOutcome`.
 
     ``ops_only`` runs just the op events, fault-free — the reference.
     ``shrink_override`` forces ``shrink_enabled`` (the shrink twin).
+    ``kernel_hook`` is called with the (possibly dead) kernel after
+    everything is captured — :func:`violation_postmortem` uses it to
+    freeze an artifact from the final kernel state.
     """
     config = config_by_name(scenario.config)
     if shrink_override is not None:
@@ -262,6 +280,10 @@ def run_scenario(scenario: Scenario, ops_only: bool = False,
     if not ops_only:
         sim.probes = SiteProbes()
     kernel = VampOSKernel(ImageBuilder().build(spec, sim), config)
+    # The SLO ledger is always armed in the crucible: recording is
+    # purely observational, and the refmode/rootfree twins arm it
+    # identically, so ledger parity still binds bit-exactly.
+    kernel.slo.enabled = True
 
     current = [-1]  # event index visible to the trace subscriber
 
@@ -326,6 +348,16 @@ def run_scenario(scenario: Scenario, ops_only: bool = False,
             except TERMINAL as exc:
                 outcome.terminal = type(exc).__name__
                 outcome.note_lossy(index)
+                if kernel.last_postmortem is None:
+                    # Deaths the kernel couldn't self-report (hangs,
+                    # replay mismatches, arena exhaustion) still get
+                    # an artifact, frozen here at the point of death.
+                    kind = ("root_panic" if isinstance(exc, KernelPanic)
+                            else "fail_stop")
+                    emit_postmortem(
+                        kernel, kind,
+                        getattr(exc, "component", None) or "KERNEL",
+                        reason=f"{type(exc).__name__}: {exc}")
                 break
 
         if outcome.terminal is None:
@@ -349,6 +381,17 @@ def run_scenario(scenario: Scenario, ops_only: bool = False,
     outcome.ledger_totals = dict(sim.ledger.totals)
     outcome.ledger_counts = dict(sim.ledger.counts)
     outcome.clock_us = sim.clock.now_us
+    outcome.slo = kernel.slo.to_jsonable(
+        now_us=ledger_now_us(sim.ledger))
+    telemetry = kernel.supervisor.telemetry
+    outcome.phase_totals = {
+        kind: dict(sorted(totals.items()))
+        for kind, totals in sorted(telemetry.phase_totals.items())}
+    outcome.phase_episodes = dict(
+        sorted(telemetry.phase_episodes.items()))
+    outcome.postmortem = kernel.last_postmortem
+    if kernel_hook is not None:
+        kernel_hook(kernel)
     return outcome
 
 
@@ -385,6 +428,22 @@ def _probe_restores(kernel: VampOSKernel, outcome: RunOutcome) -> None:
             outcome.restore_problems.append(
                 f"{name}: observable state diverged across a clean "
                 f"reboot")
+
+
+def violation_postmortem(scenario: Scenario,
+                         violations: List[str]) -> Dict[str, Any]:
+    """Freeze an ``oracle_violation`` postmortem for a scenario the
+    panel convicted: the main arm is re-run (bit-identical — same seed,
+    same schedule) and the artifact is built from its final kernel."""
+    captured: Dict[str, Any] = {}
+
+    def hook(kernel: VampOSKernel) -> None:
+        captured["doc"] = emit_postmortem(
+            kernel, "oracle_violation", "KERNEL",
+            reason="oracle violations: " + ", ".join(violations))
+
+    run_scenario(scenario, kernel_hook=hook)
+    return captured["doc"]
 
 
 def rootfree_twin(scenario: Scenario) -> Scenario:

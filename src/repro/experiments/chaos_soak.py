@@ -35,8 +35,10 @@ from ..faults.injector import FaultInjector
 from ..metrics.report import ExperimentReport
 from ..net.tcp import ConnectionRefused, ConnectionReset
 from ..obs.metrics import Histogram
+from ..obs.slo import (DEFAULT_SLO_TARGET, SLO_ROW_HEADERS, SloLedger,
+                       ledger_now_us)
 from ..parallel import parallel_map, trial_seeds
-from ..supervisor import ROW_HEADERS, RecoveryTelemetry
+from ..supervisor import PHASE_ROW_HEADERS, ROW_HEADERS, RecoveryTelemetry
 from ..unikernel.errors import (
     ApplicationHang,
     KernelPanic,
@@ -115,6 +117,8 @@ class SoakOutcome:
     terminal: int = 0
     full_reboot_downtime_us: float = 0.0
     telemetry: RecoveryTelemetry = field(default_factory=RecoveryTelemetry)
+    #: merged SLO ledger (availability intervals + request accounting)
+    slo: SloLedger = field(default_factory=SloLedger)
 
     @property
     def served(self) -> int:
@@ -344,9 +348,9 @@ def _inject_one(rng, injector: FaultInjector, armed_roots: List[str]) -> str:
 
 
 def _harvest_telemetry(app, outcome: SoakOutcome) -> None:
-    """Fold the (current) supervisor's telemetry into the outcome; a
-    full reboot replaces the supervisor, so harvest before each one and
-    once at the end."""
+    """Fold the (current) supervisor's telemetry and SLO ledger into
+    the outcome; a full reboot replaces both (``__init__`` re-runs), so
+    harvest before each one and once at the end."""
     supervisor = getattr(app.kernel, "supervisor", None)
     if supervisor is None:
         return
@@ -356,12 +360,24 @@ def _harvest_telemetry(app, outcome: SoakOutcome) -> None:
     for name in list(telemetry.degraded_open_since_us):
         telemetry.note_degraded_exit(name, now)
     outcome.telemetry = outcome.telemetry.merged_with(telemetry)
+    slo = getattr(app.kernel, "slo", None)
+    if slo is not None:
+        # SLO timestamps run on charged virtual time (ledger_now_us),
+        # so the closing boundary must too.
+        slo.close(ledger_now_us(app.sim.ledger))
+        outcome.slo = outcome.slo.merged_with(slo)
 
 
 def soak_cell(mode_name: str, rounds: int, requests_per_round: int,
               seed: int) -> SoakOutcome:
-    """One shard: a whole soak arm under one seed."""
-    app = make_nginx(resolve_mode(mode_name), seed=seed)
+    """One shard: a whole soak arm under one seed.
+
+    Both arms run with the SLO ledger armed — recording is purely
+    observational, so the soak's charges, RNG draws and report counts
+    are unchanged; the ledger only adds availability/burn columns.
+    """
+    app = make_nginx(resolve_mode(mode_name).with_(slo_enabled=True),
+                     seed=seed)
     rng = app.sim.rng.stream("chaos")
     injector = FaultInjector(app.kernel)
     load = HttpLoadGenerator(app, connections=4)
@@ -432,6 +448,7 @@ def _aggregate(outcomes: List[SoakOutcome]) -> SoakOutcome:
         total.terminal += outcome.terminal
         total.full_reboot_downtime_us += outcome.full_reboot_downtime_us
         total.telemetry = total.telemetry.merged_with(outcome.telemetry)
+        total.slo = total.slo.merged_with(outcome.slo)
     return total
 
 
@@ -514,6 +531,14 @@ def run(rounds: int = 30, requests_per_round: int = 6,
     report.add_row("recovery MTTR p50/p99", mttr_percentiles(inline),
                    mttr_percentiles(supervised))
 
+    def burn_text(outcome: SoakOutcome) -> str:
+        burn = outcome.slo.burn_rate(DEFAULT_SLO_TARGET)
+        return f"{burn:.2f}x" if burn is not None else "-"
+
+    report.add_row(
+        f"error-budget burn (target {DEFAULT_SLO_TARGET * 100:.1f}%)",
+        burn_text(inline), burn_text(supervised))
+
     deep_rungs = (supervised.telemetry.rung_total("fresh-restart")
                   + supervised.telemetry.rung_total("scope-widen")
                   + supervised.telemetry.rung_total("rejuvenate-all")
@@ -537,6 +562,20 @@ def run(rounds: int = 30, requests_per_round: int = 6,
     report.add_subtable("recovery telemetry (supervised arm)",
                         ROW_HEADERS,
                         supervised.telemetry.rows(now_us=0.0))
+
+    report.add_subtable(
+        "SLO ledger — per-component availability (supervised arm)",
+        SLO_ROW_HEADERS, supervised.slo.rows(DEFAULT_SLO_TARGET))
+
+    report.add_subtable(
+        "MTTR phase attribution (supervised arm, virtual us)",
+        PHASE_ROW_HEADERS, supervised.telemetry.phase_rows())
+    exact, attributed = supervised.telemetry.phase_exactness()
+    report.add_claim(
+        "every recovery's phase breakdown sums exactly (bitwise) to "
+        "its recorded MTTR",
+        attributed > 0 and exact == attributed,
+        f"{exact}/{attributed} recoveries exact")
 
     storm_rows = []
     for arm, serial, planned in storm_pairs:

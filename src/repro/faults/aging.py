@@ -20,11 +20,23 @@ benchmark measures exactly that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..memory.buddy import BuddyAllocator, InvalidFree, OutOfMemory
 from ..sim.engine import Simulation
 from ..unikernel.component import Component
+
+
+def leak_snapshot(image) -> Dict[str, int]:
+    """Current allocator-side leak bytes per stateful component.
+
+    Reads the live buddy allocators only (no model required, no
+    charges, no RNG) — the health timeline samples this from the
+    heartbeat.  A checkpoint restore resets an allocator to its
+    post-boot image, so the curve visibly drops at every recovery.
+    """
+    return {name: image.component(name).allocator.leaked_bytes()
+            for name in image.stateful_components()}
 
 
 @dataclass

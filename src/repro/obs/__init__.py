@@ -17,28 +17,58 @@ environment variable).  Three instruments share one collector:
   charge attributed to the open span stack, emitted as folded stacks
   for flamegraph.pl / speedscope.
 
+On top of the recorder sits the **reliability observatory**:
+
+* **SLO ledger** (:mod:`.slo`) — per-component availability intervals
+  and request/error accounting with error-budget burn rates;
+* **health timelines** (:mod:`.timeline`) — heartbeat-sampled,
+  compacting time-series of vital signs (leaks, wear, arena occupancy,
+  degraded-set size);
+* **postmortem artifacts** (:mod:`.postmortem`) — a self-contained,
+  schema-validated JSON document frozen at every terminal failure.
+
 The layer is purely observational: with ``--obs`` the reports are
 byte-identical to a run without it, and virtual time is only charged
 when ``FLAGS.charge_tracing`` is explicitly set.
 """
 
 from .metrics import Gauge, Histogram, MetricsRegistry, bucket_index
+from .postmortem import (
+    POSTMORTEM_SCHEMA,
+    build_postmortem,
+    emit_postmortem,
+    render_postmortem,
+    validate_postmortem,
+)
 from .recorder import FlightRecorder, ObsCollector
+from .slo import DEFAULT_SLO_TARGET, SLO_ROW_HEADERS, SLO_STATES, SloLedger
 from .spans import Span, roots_of, span_children
+from .timeline import HealthTimeline, TimeSeries
 from . import export, profiler, state, top
 
 __all__ = [
+    "DEFAULT_SLO_TARGET",
     "FlightRecorder",
     "Gauge",
+    "HealthTimeline",
     "Histogram",
     "MetricsRegistry",
     "ObsCollector",
+    "POSTMORTEM_SCHEMA",
+    "SLO_ROW_HEADERS",
+    "SLO_STATES",
+    "SloLedger",
     "Span",
+    "TimeSeries",
     "bucket_index",
+    "build_postmortem",
+    "emit_postmortem",
     "export",
     "profiler",
+    "render_postmortem",
     "roots_of",
     "span_children",
     "state",
     "top",
+    "validate_postmortem",
 ]

@@ -20,7 +20,7 @@ diff.  From a recording this module derives:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from .profiler import folded_lines
 from .spans import Span
@@ -45,6 +45,62 @@ def load_recording(path: str) -> Dict[str, Any]:
 def recording_spans(recording: Dict[str, Any]) -> List[Span]:
     """Rehydrate the recording's spans."""
     return [Span.from_dict(d) for d in recording["spans"]]
+
+
+def _frame_mentions(frame: str, component: str) -> bool:
+    """Does one span-name/profile frame belong to ``component``?
+    Matches the exact name, the ``COMP.func`` dispatch form and the
+    ``verb:COMP`` checkpoint form."""
+    return (frame == component
+            or frame.startswith(component + ".")
+            or frame.endswith(":" + component))
+
+
+def _span_matches(item: Dict[str, Any], component: Optional[str],
+                  category: Optional[str]) -> bool:
+    if category is not None and item["cat"] != category:
+        return False
+    if component is None:
+        return True
+    if _frame_mentions(item["name"], component):
+        return True
+    return any(value == component for value in item["args"].values())
+
+
+def filter_recording(recording: Dict[str, Any],
+                     component: Optional[str] = None,
+                     category: Optional[str] = None) -> Dict[str, Any]:
+    """A filtered copy of a recording for export.
+
+    ``component`` keeps spans that name or reference the component
+    (span name, ``COMP.func`` dispatch names, ``verb:COMP`` checkpoint
+    names, any ``args`` value) and profile stacks with a matching
+    frame; ``category`` keeps spans of that category and profile
+    stacks whose mechanism leaf matches.  Parent links onto
+    filtered-out spans are cut, so kept subtrees re-root and the
+    exported trace still validates.  The original is not mutated.
+    """
+    if component is None and category is None:
+        return recording
+    spans = [dict(item) for item in recording["spans"]
+             if _span_matches(item, component, category)]
+    kept = {item["sid"] for item in spans}
+    for item in spans:
+        if item["parent"] is not None and item["parent"] not in kept:
+            item["parent"] = None
+    profile: Dict[str, Any] = {}
+    for key, value in recording["profile"].items():
+        frames = key.split(";")
+        if category is not None and frames[-1] != category:
+            continue
+        if component is not None and not any(
+                _frame_mentions(frame, component) for frame in frames):
+            continue
+        profile[key] = value
+    out = dict(recording)
+    out["spans"] = spans
+    out["profile"] = profile
+    return out
 
 
 def to_chrome_trace(recording: Dict[str, Any]) -> Dict[str, Any]:

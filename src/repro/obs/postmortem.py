@@ -1,0 +1,340 @@
+"""Postmortem artifacts: a self-contained record of how a kernel died.
+
+When recovery runs out — a terminal fail-stop, a disarmed root panic,
+or a crucible oracle violation — the runtime freezes everything an
+operator would ask for into one JSON document: the last spans, an SLO
+ledger slice, wear counters, the supervisor's ladder history and phase
+attribution, recovery-plan statistics and the health-timeline tail.
+The document is validated against :data:`POSTMORTEM_SCHEMA` (a
+dependency-free subset of JSON Schema walked by
+:func:`validate_postmortem`) and rendered by ``repro postmortem``.
+
+Emission is deterministic: documents are stored on the kernel
+(``last_postmortem``) and, when the flight recorder is attached, on
+the collector in execution order — shard blobs concatenate in
+canonical cell order, so recordings stay byte-identical at any
+``--jobs``.  Writing files is opt-in via ``REPRO_POSTMORTEM_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from .slo import ledger_now_us
+
+#: environment variable naming a directory to drop postmortem files in
+ENV_POSTMORTEM_DIR = "REPRO_POSTMORTEM_DIR"
+
+#: spans kept in the artifact (the most recent ones)
+POSTMORTEM_SPANS = 64
+
+#: the kinds of death a postmortem documents
+POSTMORTEM_KINDS = ("fail_stop", "root_panic", "oracle_violation")
+
+#: subset-of-JSON-Schema contract every postmortem must satisfy
+#: (supported keywords: type, required, properties, items, enum)
+POSTMORTEM_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["schema", "doc", "kind", "component", "reason",
+                 "now_us", "wear", "slo", "ladder", "phases",
+                 "recovery_plans", "spans", "timeline", "reboots"],
+    "properties": {
+        "schema": {"type": "integer"},
+        "doc": {"type": "string", "enum": ["repro-postmortem"]},
+        "kind": {"type": "string", "enum": list(POSTMORTEM_KINDS)},
+        "component": {"type": "string"},
+        "reason": {"type": "string"},
+        "now_us": {"type": "number"},
+        "wear": {"type": "object"},
+        "slo": {
+            "type": "object",
+            "required": ["intervals", "requests", "callers"],
+            "properties": {
+                "intervals": {"type": "object"},
+                "requests": {"type": "object"},
+                "callers": {"type": "object"},
+            },
+        },
+        "ladder": {
+            "type": "object",
+            "required": ["rung_attempts", "fail_stops",
+                         "recent_recoveries"],
+            "properties": {
+                "rung_attempts": {"type": "object"},
+                "fail_stops": {"type": "object"},
+                "recent_recoveries": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["component", "kind", "rung",
+                                     "mttr_us", "phases"],
+                    },
+                },
+            },
+        },
+        "phases": {
+            "type": "object",
+            "required": ["totals", "episodes"],
+            "properties": {
+                "totals": {"type": "object"},
+                "episodes": {"type": "object"},
+            },
+        },
+        "recovery_plans": {
+            "type": "object",
+            "required": ["plans", "tracks", "serial_us", "planned_us"],
+            "properties": {
+                "plans": {"type": "integer"},
+                "tracks": {"type": "integer"},
+                "serial_us": {"type": "number"},
+                "planned_us": {"type": "number"},
+            },
+        },
+        "spans": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["sid", "cat", "name", "start_us"],
+            },
+        },
+        "timeline": {"type": "object"},
+        "reboots": {
+            "type": "object",
+            "required": ["component_reboots", "root_reboots", "last"],
+            "properties": {
+                "component_reboots": {"type": "integer"},
+                "root_reboots": {"type": "integer"},
+                "last": {"type": "array"},
+            },
+        },
+    },
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate_postmortem(doc: Any,
+                        schema: Optional[Dict[str, Any]] = None,
+                        path: str = "$") -> List[str]:
+    """Walk ``doc`` against the schema subset; returns the list of
+    violations (empty means valid)."""
+    if schema is None:
+        schema = POSTMORTEM_SCHEMA
+    problems: List[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES[expected]
+        if not isinstance(doc, py_type) or (expected != "boolean"
+                                            and isinstance(doc, bool)):
+            problems.append(f"{path}: expected {expected}, "
+                            f"got {type(doc).__name__}")
+            return problems
+    allowed = schema.get("enum")
+    if allowed is not None and doc not in allowed:
+        problems.append(f"{path}: {doc!r} not in {allowed}")
+    if isinstance(doc, dict):
+        for key in schema.get("required", ()):
+            if key not in doc:
+                problems.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in doc:
+                problems.extend(
+                    validate_postmortem(doc[key], sub,
+                                        f"{path}.{key}"))
+    if isinstance(doc, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, item in enumerate(doc):
+                problems.extend(
+                    validate_postmortem(item, items,
+                                        f"{path}[{index}]"))
+    return problems
+
+
+def build_postmortem(kernel: Any, kind: str, component: str,
+                     reason: str) -> Dict[str, Any]:
+    """Assemble the artifact from a (dying) VampOS kernel."""
+    sim = kernel.sim
+    now_us = sim.clock.now_us
+    telemetry = kernel.supervisor.telemetry
+    obs = sim.obs
+    spans: List[Dict[str, Any]] = []
+    timeline: Dict[str, Any] = {}
+    if obs is not None:
+        collector = obs.collector
+        spans = [span.to_dict()
+                 for span in collector.spans[-POSTMORTEM_SPANS:]]
+        timeline = collector.timeline.tail()
+    recent = telemetry.outcomes[-8:]
+    last_reboots = [
+        {"component": record.component, "reason": record.reason,
+         "start_us": record.start_us,
+         "downtime_us": record.downtime_us,
+         "entries_replayed": record.entries_replayed}
+        for record in kernel.reboots[-4:]]
+    return {
+        "schema": 1,
+        "doc": "repro-postmortem",
+        "kind": kind,
+        "component": component,
+        "reason": reason,
+        "now_us": now_us,
+        "wear": kernel.root_wear.counts(),
+        "slo": kernel.slo.to_jsonable(
+            now_us=ledger_now_us(sim.ledger)),
+        "ladder": {
+            "rung_attempts": {
+                comp: dict(sorted(per_comp.items()))
+                for comp, per_comp in
+                sorted(telemetry.rung_attempts.items())},
+            "fail_stops": dict(sorted(telemetry.fail_stops.items())),
+            "recent_recoveries": [
+                {"component": o.component, "kind": o.kind,
+                 "rung": o.rung, "mttr_us": o.mttr_us,
+                 "phases": dict(o.phases),
+                 "phase_total_us": o.phase_total_us}
+                for o in recent],
+        },
+        "phases": {
+            "totals": {kind_: dict(sorted(totals.items()))
+                       for kind_, totals in
+                       sorted(telemetry.phase_totals.items())},
+            "episodes": dict(sorted(telemetry.phase_episodes.items())),
+        },
+        "recovery_plans": {
+            "plans": telemetry.plans,
+            "tracks": telemetry.plan_tracks,
+            "serial_us": telemetry.plan_serial_us,
+            "planned_us": telemetry.plan_planned_us,
+        },
+        "spans": spans,
+        "timeline": timeline,
+        "reboots": {
+            "component_reboots": len(kernel.reboots),
+            "root_reboots": len(kernel.root_reboots),
+            "last": last_reboots,
+        },
+    }
+
+
+def emit_postmortem(kernel: Any, kind: str, component: str,
+                    reason: str) -> Dict[str, Any]:
+    """Build, remember and (optionally) persist one postmortem.
+
+    Stored on ``kernel.last_postmortem`` always; appended to the
+    collector's postmortem list when the flight recorder is attached;
+    written to ``$REPRO_POSTMORTEM_DIR`` when that is set.
+    """
+    doc = build_postmortem(kernel, kind, component, reason)
+    kernel.last_postmortem = doc
+    obs = kernel.sim.obs
+    if obs is not None:
+        obs.collector.postmortems.append(doc)
+    out_dir = os.environ.get(ENV_POSTMORTEM_DIR)
+    if out_dir:
+        seq = kernel.postmortem_seq
+        kernel.postmortem_seq = seq + 1
+        name = (f"postmortem-{kind}-{component or 'root'}"
+                f"-{seq}-{int(doc['now_us'])}.json")
+        path = os.path.join(out_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return doc
+
+
+def render_postmortem(doc: Dict[str, Any]) -> str:
+    """The ``repro postmortem`` text view."""
+    lines = [
+        f"POSTMORTEM — {doc['kind']} of {doc['component'] or '(root)'} "
+        f"at {doc['now_us'] / 1e3:.2f}ms virtual",
+        f"  reason: {doc['reason']}",
+    ]
+    wear = doc.get("wear", {})
+    if wear:
+        pairs = " ".join(f"{key}={wear[key]}" for key in sorted(wear))
+        lines.append(f"  root wear: {pairs}")
+    reboots = doc.get("reboots", {})
+    lines.append(f"  reboots: {reboots.get('component_reboots', 0)} "
+                 f"component, {reboots.get('root_reboots', 0)} root")
+    for record in reboots.get("last", ()):
+        lines.append(
+            f"    {record['component']}: {record['reason']}, "
+            f"{record['downtime_us']:.1f}us down, "
+            f"{record['entries_replayed']} replayed")
+    ladder = doc.get("ladder", {})
+    attempts = ladder.get("rung_attempts", {})
+    if attempts:
+        lines.append("  ladder history:")
+        for comp in sorted(attempts):
+            rungs = " ".join(f"{rung}:{count}" for rung, count in
+                             sorted(attempts[comp].items()))
+            lines.append(f"    {comp}: {rungs}")
+    recoveries = ladder.get("recent_recoveries", ())
+    if recoveries:
+        lines.append("  recent recoveries:")
+        for outcome in recoveries:
+            phases = outcome.get("phases", {})
+            detail = " ".join(f"{phase}={phases[phase]:.1f}us"
+                              for phase in sorted(phases))
+            lines.append(
+                f"    {outcome['component']} ({outcome['kind']}) via "
+                f"{outcome['rung']}: {outcome['mttr_us']:.1f}us"
+                + (f" [{detail}]" if detail else ""))
+    phases = doc.get("phases", {})
+    episodes = phases.get("episodes", {})
+    if episodes:
+        lines.append("  phase attribution:")
+        for kind in sorted(episodes):
+            totals = phases.get("totals", {}).get(kind, {})
+            detail = " ".join(f"{phase}={totals[phase]:.1f}us"
+                              for phase in sorted(totals))
+            lines.append(f"    {kind}: {episodes[kind]} episodes"
+                         + (f" [{detail}]" if detail else ""))
+    plans = doc.get("recovery_plans", {})
+    if plans.get("plans"):
+        lines.append(
+            f"  recovery plans: {plans['plans']} plans / "
+            f"{plans['tracks']} tracks, serial {plans['serial_us']:.1f}us"
+            f" -> planned {plans['planned_us']:.1f}us")
+    slo = doc.get("slo", {})
+    requests = slo.get("requests", {})
+    if requests:
+        lines.append("  SLO requests (ok/err):")
+        for comp in sorted(requests):
+            ok, err = requests[comp]
+            lines.append(f"    {comp}: {ok}/{err}")
+    intervals = slo.get("intervals", {})
+    dead = [comp for comp, rows in sorted(intervals.items())
+            if any(row[0] == "dead" for row in rows)]
+    if dead:
+        lines.append(f"  dead at capture: {' '.join(dead)}")
+    timeline = doc.get("timeline", {})
+    if timeline:
+        lines.append("  timeline tail:")
+        for key in sorted(timeline):
+            points = timeline[key]
+            if not points:
+                continue
+            last_t, last_v = points[-1]
+            lines.append(f"    {key}: {len(points)} pts, "
+                         f"last {last_v:g} @ {last_t / 1e3:.2f}ms")
+    spans = doc.get("spans", ())
+    if spans:
+        lines.append(f"  last {len(spans)} spans:")
+        for span in spans[-12:]:
+            end = span.get("end_us")
+            duration = (f"{end - span['start_us']:.1f}us"
+                        if end is not None else "open")
+            lines.append(f"    [{span['cat']}] {span['name']} "
+                         f"({duration})")
+    return "\n".join(lines)

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, TYPE_CHECKING
 from ..fastpath import FLAGS
 from .metrics import Gauge, Histogram, MetricsRegistry
 from .spans import Span, renumber
+from .timeline import HealthTimeline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.engine import Simulation
@@ -181,6 +182,36 @@ class FlightRecorder:
         slot[0] += amount_us
         slot[1] += 1
 
+    def sample_health(self, kernel: Any) -> None:
+        """One heartbeat-driven health sample into the collector's
+        timeline (see :mod:`repro.obs.timeline`).
+
+        Reads vital signs only — root wear, message-arena occupancy,
+        the degraded set, per-component allocator leaks and the trace
+        ring buffer's eviction count.  No RNG, and charge-free unless
+        ``FLAGS.charge_tracing`` prices it like any other emission.
+        """
+        from ..faults.aging import leak_snapshot
+
+        now = self.sim.clock.now_us
+        timeline = self.collector.timeline
+        timeline.record("root.wear_bytes", now,
+                        kernel.root_wear.leaked_bytes())
+        timeline.record("msgdom.used_bytes", now,
+                        kernel.message_domain.used_bytes)
+        timeline.record("supervisor.degraded", now,
+                        len(kernel.supervisor.degraded))
+        for name, leaked in leak_snapshot(kernel.image).items():
+            timeline.record(f"leak.{name}", now, leaked)
+        self.collector.metrics.set_gauge("trace.dropped",
+                                         self.sim.trace.dropped)
+        if FLAGS.charge_tracing:
+            self.sim.charge("trace_emit", self.sim.costs.trace_emit)
+
+    def on_trace_drop(self) -> None:
+        """One trace-ring eviction (wired to ``Trace.on_drop``)."""
+        self.collector.trace_dropped += 1
+
     def on_crossing(self, tape, depth: int, used_bytes: int) -> None:
         """Bulk-report one compiled domain crossing (the dispatch fast
         lane's obs hook).
@@ -231,11 +262,22 @@ class ObsCollector:
         self.profile: Dict[str, List[float]] = {}
         self.spans: List[Span] = []
         self.spans_dropped = 0
+        #: trace-ring evictions across every attached simulation
+        self.trace_dropped = 0
         self._next_span = 0
         self._next_track = 0
         #: 1-in-N dispatch-span sampling (see ENV_SAMPLE_DISPATCH)
         self.dispatch_sample = _sample_dispatch()
         self.dispatch_seen = 0
+        #: live SLO ledgers registered by kernels in this process/cell
+        #: (serialised at snapshot time, in registration order)
+        self.slo_ledgers: List[Any] = []
+        #: already-serialised ledger blobs absorbed from worker cells
+        self.slo_blobs: List[Dict[str, Any]] = []
+        #: heartbeat-sampled vital signs (see sample_health)
+        self.timeline = HealthTimeline()
+        #: postmortem documents, in execution order
+        self.postmortems: List[Dict[str, Any]] = []
 
     # --- allocation -------------------------------------------------------
 
@@ -261,7 +303,12 @@ class ObsCollector:
             "n_spans": self._next_span,
             "n_tracks": self._next_track,
             "spans_dropped": self.spans_dropped,
+            "trace_dropped": self.trace_dropped,
             "dispatch_seen": self.dispatch_seen,
+            "slo": self.slo_blobs
+            + [ledger.to_jsonable() for ledger in self.slo_ledgers],
+            "timeline": self.timeline.to_jsonable(),
+            "postmortems": list(self.postmortems),
         }
 
     def absorb(self, blob: Dict[str, Any]) -> None:
@@ -285,7 +332,11 @@ class ObsCollector:
                 slot[0] += us
                 slot[1] += count
         self.spans_dropped += blob["spans_dropped"]
+        self.trace_dropped += blob.get("trace_dropped", 0)
         self.dispatch_seen += blob["dispatch_seen"]
+        self.slo_blobs.extend(blob.get("slo", ()))
+        self.timeline.absorb(blob.get("timeline", {}))
+        self.postmortems.extend(blob.get("postmortems", ()))
 
     # --- serialisation ----------------------------------------------------
 
@@ -296,7 +347,12 @@ class ObsCollector:
             "kind": "repro-flight-recording",
             "spans": [s.to_dict() for s in self.spans],
             "spans_dropped": self.spans_dropped,
+            "trace_dropped": self.trace_dropped,
             "metrics": self.metrics.to_dict(),
             "profile": {k: {"us": v[0], "count": v[1]}
                         for k, v in sorted(self.profile.items())},
+            "slo": self.slo_blobs
+            + [ledger.to_jsonable() for ledger in self.slo_ledgers],
+            "timeline": self.timeline.to_jsonable(),
+            "postmortems": list(self.postmortems),
         }

@@ -87,4 +87,8 @@ def render_top(recording: Dict[str, Any], limit: int = 12,
             width=width))
     if not sections:
         return "recording is empty (ran with --obs?)"
+    sections.append(
+        f"drops: spans={recording.get('spans_dropped', 0)} "
+        f"(budget), trace-ring={recording.get('trace_dropped', 0)} "
+        f"(evictions)")
     return "\n\n".join(sections)

@@ -96,6 +96,12 @@ def execute_plan(kernel: Any, plan: RecoveryPlan,
     finally:
         if clock.now_us < merged_end:
             clock.seek(merged_end)
+        sup = getattr(kernel, "supervisor", None)
+        if sup is not None:
+            # Attribute the max-merge seek to resume; per-track time was
+            # already marked inside each reboot (the phase clock ignores
+            # the backwards seeks between overlapping tracks).
+            sup.phase_mark("resume")
         if obs is not None:
             obs.close_span(pspan, planned_us=clock.now_us - t0)
     telemetry = getattr(getattr(kernel, "supervisor", None),

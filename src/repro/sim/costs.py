@@ -180,12 +180,17 @@ class CostLedger:
 
     totals: Dict[str, float] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
+    #: running sum of every charge, in charge order — the observatory
+    #: timebase (see :func:`repro.obs.slo.ledger_now_us`); kept inline
+    #: so timestamping a phase mark is one attribute read
+    elapsed_us: float = 0.0
 
     def charge(self, category: str, amount_us: float) -> None:
         # In-place increments (one dict op each on the hit path); the
         # first charge of a category seeds both maps.  ``0.0 + x`` is
         # ``x`` for every charge the engine can issue, so the totals
         # stay bit-identical to the get-then-add form.
+        self.elapsed_us += amount_us
         try:
             self.totals[category] += amount_us
         except KeyError:
@@ -207,6 +212,7 @@ class CostLedger:
 
     def merged_with(self, other: "CostLedger") -> "CostLedger":
         out = CostLedger()
+        out.elapsed_us = self.elapsed_us + other.elapsed_us
         for src in (self, other):
             for name, amount in src.totals.items():
                 out.totals[name] = out.totals.get(name, 0.0) + amount
@@ -217,3 +223,4 @@ class CostLedger:
     def reset(self) -> None:
         self.totals.clear()
         self.counts.clear()
+        self.elapsed_us = 0.0

@@ -66,6 +66,10 @@ class Simulation:
         #: flight recorder, or None when observability is off — hot
         #: paths guard on ``sim.obs is not None`` and nothing else
         self.obs = obs_state.maybe_attach(self)
+        if self.obs is not None and self.trace.on_drop is None:
+            # Ring-buffer evictions count into the recording (the hook
+            # fires only on the rare evicting emit).
+            self.trace.on_drop = self.obs.on_trace_drop
         #: injection-site probes (see :mod:`repro.sim.probes`), or None;
         #: attached by the crucible explorer, never in production runs
         self.probes = None
@@ -95,6 +99,7 @@ class Simulation:
         # Inlined CostLedger.charge (same seeding, bit-identical totals):
         # this path runs tens of times per syscall.
         ledger = self.ledger
+        ledger.elapsed_us += amount_us
         try:
             ledger.totals[category] += amount_us
         except KeyError:

@@ -56,6 +56,9 @@ class Trace:
         #: events evicted by the ring buffer (recorded-then-dropped;
         #: filtered/disabled emits are not counted)
         self.dropped = 0
+        #: optional eviction hook — the flight recorder counts ring
+        #: drops into the recording through it
+        self.on_drop: Optional[Callable[[], None]] = None
         self._subscribers: List[Callable[[TraceEvent], None]] = []
 
     def wants(self, category: str) -> bool:
@@ -76,6 +79,8 @@ class Trace:
         events = self._events
         if events.maxlen is not None and len(events) == events.maxlen:
             self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop()
         events.append(event)
         if self._subscribers:
             # Iterate a snapshot: a subscriber may unsubscribe itself

@@ -30,7 +30,15 @@ from .ladder import (
     dependency_rings,
 )
 from .supervisor import DEGRADED_ERRNO, DegradedState, RecoverySupervisor
-from .telemetry import ROW_HEADERS, RecoveryOutcome, RecoveryTelemetry
+from .telemetry import (
+    PHASE_ROW_HEADERS,
+    PHASES,
+    ROW_HEADERS,
+    PhaseClock,
+    RecoveryOutcome,
+    RecoveryTelemetry,
+    phase_sum,
+)
 
 __all__ = [
     "CrashStormDetector",
@@ -48,7 +56,11 @@ __all__ = [
     "DEGRADED_ERRNO",
     "DegradedState",
     "RecoverySupervisor",
+    "PHASE_ROW_HEADERS",
+    "PHASES",
+    "PhaseClock",
     "ROW_HEADERS",
     "RecoveryOutcome",
     "RecoveryTelemetry",
+    "phase_sum",
 ]

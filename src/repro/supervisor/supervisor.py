@@ -37,9 +37,10 @@ from ..unikernel.errors import (
     SyscallError,
     UnrebootableComponent,
 )
+from ..obs.slo import ledger_now_us
 from .budget import CrashStormDetector, RetryBudget
 from .ladder import DEFAULT_LADDER, LadderRung
-from .telemetry import RecoveryTelemetry
+from .telemetry import PhaseClock, RecoveryTelemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.runtime import RebootRecord, VampOSKernel
@@ -80,6 +81,42 @@ class RecoverySupervisor:
         #: lifetime degrade entries per component (drives the
         #: geometric probation interval)
         self._degrade_counts: Dict[str, int] = {}
+        #: stack of phase clocks for in-flight recovery episodes; the
+        #: top clock receives every :meth:`phase_mark` (nested episodes
+        #: — a ladder walk whose rung reboots — attribute to the walk)
+        self._phase_clocks: List[PhaseClock] = []
+
+    # --- MTTR phase attribution -------------------------------------------
+
+    def phase_push(self, kind: str) -> PhaseClock:
+        """Open a phase clock for one recovery episode (``kind`` is
+        "ladder", "sweep", "storm" or "root").  Phase clocks run on
+        charged virtual time (:func:`~repro.obs.slo.ledger_now_us`),
+        so attribution is invariant to the recovery scheduler's clock
+        overlap."""
+        clock = PhaseClock(kind, ledger_now_us(self.sim.ledger))
+        self._phase_clocks.append(clock)
+        return clock
+
+    def phase_pop(self, clock: PhaseClock) -> None:
+        """Close an episode: fold its phase breakdown into telemetry."""
+        self._phase_clocks.remove(clock)
+        if clock.phases:
+            self.telemetry.note_phases(clock.kind, clock.phases)
+
+    def phase_mark(self, phase: str) -> None:
+        """Attribute virtual time since the last mark to ``phase`` on
+        the innermost open episode (no-op outside an episode)."""
+        clocks = self._phase_clocks
+        if clocks:
+            # inlined ledger_now_us — this runs several times per reboot
+            clocks[-1].mark(phase, self.sim.ledger.elapsed_us)
+
+    def _slo_note(self, component: str, state: str) -> None:
+        slo = getattr(self.kernel, "slo", None)
+        if slo is not None:
+            slo.note_state(component, state,
+                           ledger_now_us(self.sim.ledger))
 
     # --- budgets ----------------------------------------------------------
 
@@ -124,6 +161,7 @@ class RecoverySupervisor:
             entered_us=now, probe_at_us=now + interval,
             probe_interval_us=interval, reason=reason)
         self.telemetry.note_degraded_enter(name, now)
+        self._slo_note(name, "degraded")
         self.sim.emit("supervisor", "degraded", component=name,
                       reason=reason, probe_at_us=now + interval)
 
@@ -131,6 +169,7 @@ class RecoverySupervisor:
         if self.degraded.pop(name, None) is None:
             return
         self.telemetry.note_degraded_exit(name, self.sim.clock.now_us)
+        self._slo_note(name, "up")
         self.sim.emit("supervisor", "restored", component=name)
 
     # --- the failure entry point ------------------------------------------
@@ -156,10 +195,12 @@ class RecoverySupervisor:
         if obs is not None:
             obs.inc("supervisor.failures")
             fspan = obs.open_span("recovery", name, func=func, kind=kind)
+        clock = self.phase_push("ladder")
         try:
             return self._walk_ladder(comp, func, args, kwargs, failure,
                                      name, kind, start_us)
         finally:
+            self.phase_pop(clock)
             if obs is not None:
                 obs.close_span(fspan)
                 obs.observe("supervisor.mttr_us",
@@ -174,6 +215,7 @@ class RecoverySupervisor:
         sim = self.sim
         obs = sim.obs
         sim.charge("supervisor_scan", sim.costs.supervisor_scan)
+        self.phase_mark("detect")
 
         # Crash storm: a flapping component gets no more ladder walks —
         # straight into quarantine (when degradation is armed).
@@ -184,6 +226,7 @@ class RecoverySupervisor:
                      threshold=self.storm.threshold)
             if kernel.config.degraded_mode_enabled:
                 sim.charge("rung_degrade", sim.costs.rung_degrade)
+                self.phase_mark("plan")
                 self.telemetry.note_rung(name, "degrade")
                 if obs is not None:
                     obs.inc("supervisor.rung.degrade")
@@ -194,7 +237,9 @@ class RecoverySupervisor:
         # quarantine first, charged to the virtual clock.
         delay = self.budget_for(name).register(sim.clock.now_us)
         if delay > 0:
+            self._slo_note(name, "quarantined")
             sim.charge("quarantine_backoff", delay)
+            self.phase_mark("plan")
             self.telemetry.note_quarantine(name, delay)
             sim.emit("supervisor", "quarantine", component=name,
                      delay_us=delay)
@@ -207,8 +252,10 @@ class RecoverySupervisor:
                 if sim.probes is not None:
                     sim.probes.fire("ladder_rung", component=name,
                                     rung=rung.key)
+                self.phase_mark("detect")
                 sim.charge(rung.cost_attr,
                            getattr(sim.costs, rung.cost_attr))
+                self.phase_mark("plan")
                 self.telemetry.note_rung(name, rung.key)
                 rung_span = None
                 if obs is not None:
@@ -226,9 +273,11 @@ class RecoverySupervisor:
                     # have a go; the final fail-stop re-crashes it.
                     kernel.crashed = False
                     current = dead
+                    self.phase_mark("reboot")
                     if obs is not None:
                         obs.close_span(rung_span, outcome="remedy_died")
                     continue
+                self.phase_mark("reboot")
                 if rung.degrades:
                     if obs is not None:
                         obs.close_span(rung_span, outcome="degraded")
@@ -238,11 +287,16 @@ class RecoverySupervisor:
                         func, args, kwargs)
                 except ComponentFailure as again:
                     current = again
+                    self.phase_mark("resume")
                     if obs is not None:
                         obs.close_span(rung_span, outcome="retry_failed")
                     continue
+                self.phase_mark("resume")
+                top = self._phase_clocks[-1] if self._phase_clocks \
+                    else None
                 self.telemetry.note_recovered(
-                    name, kind, rung.key, start_us, sim.clock.now_us)
+                    name, kind, rung.key, start_us, sim.clock.now_us,
+                    phases=top.phases if top is not None else None)
                 if obs is not None:
                     obs.inc("supervisor.recovered")
                     obs.close_span(rung_span, outcome="recovered")

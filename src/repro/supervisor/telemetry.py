@@ -11,10 +11,52 @@ stay byte-identical at any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..metrics.stats import Summary, summarize
 from ..obs.metrics import Histogram
+
+#: the MTTR phase taxonomy, in canonical (pipeline) order
+PHASES = ("detect", "plan", "checkpoint", "reboot", "replay", "resume")
+
+
+def phase_sum(phases: Dict[str, float]) -> float:
+    """The left-to-right sum of a phase dict in canonical
+    :data:`PHASES` order.  Every consumer that needs "the sum of the
+    phases" goes through here, so the float additions happen in one
+    fixed order and recomputed sums are bit-identical to stored ones.
+    """
+    total = 0.0
+    for phase in PHASES:
+        value = phases.get(phase)
+        if value is not None:
+            total += value
+    return total
+
+
+class PhaseClock:
+    """Splits one recovery episode into ordered phase durations.
+
+    ``mark(phase, now)`` attributes the virtual time since the previous
+    mark to ``phase``.  Negative deltas (the parallel recovery planner
+    seeks the clock backwards between overlapping tracks) attribute
+    nothing but still advance the cursor, so every phase total stays
+    non-negative and deterministic.
+    """
+
+    __slots__ = ("kind", "phases", "_last_us")
+
+    def __init__(self, kind: str, start_us: float) -> None:
+        self.kind = kind
+        self.phases: Dict[str, float] = {}
+        self._last_us = start_us
+
+    def mark(self, phase: str, now_us: float) -> None:
+        delta = now_us - self._last_us
+        self._last_us = now_us
+        if delta <= 0.0:
+            return
+        self.phases[phase] = self.phases.get(phase, 0.0) + delta
 
 
 @dataclass
@@ -26,6 +68,12 @@ class RecoveryOutcome:
     rung: str            # the ladder rung that resolved it
     start_us: float
     end_us: float
+    #: phase -> virtual us attributed (see :data:`PHASES`)
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: the canonical-order :func:`phase_sum` of ``phases``, stored at
+    #: note time — the per-recovery recorded MTTR the phase table's
+    #: exactness claim checks against
+    phase_total_us: float = 0.0
 
     @property
     def mttr_us(self) -> float:
@@ -54,6 +102,15 @@ class RecoveryTelemetry:
     degraded_open_since_us: Dict[str, float] = field(default_factory=dict)
     #: component -> fail-stops the ladder could not prevent
     fail_stops: Dict[str, int] = field(default_factory=dict)
+    #: episode kind ("ladder" | "sweep" | "storm" | "root") ->
+    #: phase -> total virtual us attributed
+    phase_totals: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: phase -> log2 histogram of per-episode phase durations
+    phase_hists: Dict[str, Histogram] = field(default_factory=dict)
+    #: episode kind -> episodes recorded
+    phase_episodes: Dict[str, int] = field(default_factory=dict)
+    #: episode kind -> summed per-episode canonical-order phase totals
+    phase_mttr_us: Dict[str, float] = field(default_factory=dict)
     #: log2-bucketed MTTR distribution over completed recoveries, so
     #: reports can quote p50/p99 and shards merge without sketch drift
     mttr_hist: Histogram = field(default_factory=Histogram)
@@ -80,11 +137,31 @@ class RecoveryTelemetry:
         per_comp[rung] = per_comp.get(rung, 0) + 1
 
     def note_recovered(self, component: str, kind: str, rung: str,
-                       start_us: float, end_us: float) -> None:
+                       start_us: float, end_us: float,
+                       phases: Optional[Dict[str, float]] = None) -> None:
+        phases = dict(phases) if phases else {}
         self.outcomes.append(RecoveryOutcome(
             component=component, kind=kind, rung=rung,
-            start_us=start_us, end_us=end_us))
+            start_us=start_us, end_us=end_us, phases=phases,
+            phase_total_us=phase_sum(phases)))
         self.mttr_hist.observe(end_us - start_us)
+
+    def note_phases(self, kind: str, phases: Dict[str, float]) -> None:
+        """One finished recovery episode's phase breakdown (``kind`` is
+        "ladder", "sweep", "storm" or "root")."""
+        totals = self.phase_totals.setdefault(kind, {})
+        for phase in PHASES:
+            duration = phases.get(phase)
+            if duration is None:
+                continue
+            totals[phase] = totals.get(phase, 0.0) + duration
+            hist = self.phase_hists.get(phase)
+            if hist is None:
+                hist = self.phase_hists[phase] = Histogram()
+            hist.observe(duration)
+        self.phase_episodes[kind] = self.phase_episodes.get(kind, 0) + 1
+        self.phase_mttr_us[kind] = \
+            self.phase_mttr_us.get(kind, 0.0) + phase_sum(phases)
 
     def note_plan(self, track_durations_us: List[float],
                   planned_us: float) -> None:
@@ -175,6 +252,42 @@ class RecoveryTelemetry:
         return sum(per_comp.get(rung, 0)
                    for per_comp in self.rung_attempts.values())
 
+    def phase_exactness(self) -> Tuple[int, int]:
+        """``(exact, total)`` over outcomes carrying phase attributions.
+
+        An outcome is *exact* when recomputing the canonical-order
+        :func:`phase_sum` of its phase dict reproduces the stored
+        per-recovery MTTR bit-for-bit — the property the chaos-soak
+        phase table claims, and one that survives pickling across pool
+        workers and shard merges (floats round-trip exactly).
+        """
+        exact = total = 0
+        for outcome in self.outcomes:
+            if not outcome.phases:
+                continue
+            total += 1
+            if phase_sum(outcome.phases) == outcome.phase_total_us:
+                exact += 1
+        return exact, total
+
+    def phase_rows(self) -> List[List[Any]]:
+        """Per-episode-kind phase table rows (see
+        :data:`PHASE_ROW_HEADERS`): exact virtual-µs totals per phase
+        plus the summed recorded MTTR and its log2-bucket p99."""
+        rows: List[List[Any]] = []
+        for kind in sorted(self.phase_totals):
+            totals = self.phase_totals[kind]
+            row: List[Any] = [kind, self.phase_episodes.get(kind, 0)]
+            for phase in PHASES:
+                row.append(f"{totals.get(phase, 0.0):.1f}us")
+            row.append(f"{self.phase_mttr_us.get(kind, 0.0):.1f}us")
+            rows.append(row)
+        return rows
+
+    def phase_quantile(self, phase: str, q: float) -> float:
+        hist = self.phase_hists.get(phase)
+        return hist.quantile(q) if hist is not None else 0.0
+
     def rows(self, now_us: float) -> List[List[Any]]:
         """Per-component report rows (see :data:`ROW_HEADERS`)."""
         rows: List[List[Any]] = []
@@ -215,6 +328,19 @@ class RecoveryTelemetry:
                 dst_map = getattr(out, attr)
                 for comp, value in getattr(src, attr).items():
                     dst_map[comp] = dst_map.get(comp, 0) + value
+            for kind, totals in src.phase_totals.items():
+                dst_totals = out.phase_totals.setdefault(kind, {})
+                for phase, duration in totals.items():
+                    dst_totals[phase] = \
+                        dst_totals.get(phase, 0.0) + duration
+            for phase, hist in src.phase_hists.items():
+                mine = out.phase_hists.get(phase)
+                out.phase_hists[phase] = \
+                    (hist if mine is None else mine.merged_with(hist))
+            for attr in ("phase_episodes", "phase_mttr_us"):
+                dst_map = getattr(out, attr)
+                for kind, value in getattr(src, attr).items():
+                    dst_map[kind] = dst_map.get(kind, 0) + value
             out.mttr_hist = out.mttr_hist.merged_with(src.mttr_hist)
             out.track_mttr_hist = \
                 out.track_mttr_hist.merged_with(src.track_mttr_hist)
@@ -234,3 +360,7 @@ class RecoveryTelemetry:
 ROW_HEADERS = ["component", "recoveries", "MTTR", "rung attempts",
                "storms", "quarantine", "degraded calls",
                "time degraded"]
+
+#: column headers matching :meth:`RecoveryTelemetry.phase_rows`
+PHASE_ROW_HEADERS = ["episode kind", "episodes"] + list(PHASES) \
+    + ["recorded MTTR"]

@@ -1,0 +1,453 @@
+"""The reliability observatory: SLO ledger, MTTR phase attribution,
+health timelines and postmortem artifacts.
+
+Covers the determinism contract (the ``slo``/``timeline``/
+``postmortems`` sections of a recording are byte-identical at any
+``--jobs``), the purely-observational guarantee (cost ledgers stay
+bit-identical under ``reference_mode`` with the observatory attached,
+and arming the SLO ledger changes no charge), per-recovery phase
+exactness, timeline compaction, postmortem schema validation and
+rendering, and the new CLI surfaces (``repro slo`` / ``health`` /
+``postmortem`` and the trace export filters).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import DAS, SUPERVISED
+from repro.experiments import chaos_soak
+from repro.faults.injector import FaultInjector
+from repro.fastpath import reference_mode
+from repro.obs import export, state
+from repro.obs.postmortem import (
+    POSTMORTEM_SCHEMA,
+    render_postmortem,
+    validate_postmortem,
+)
+from repro.obs.slo import DEFAULT_SLO_TARGET, SloLedger
+from repro.obs.timeline import HealthTimeline, TimeSeries
+from repro.sim.engine import Simulation
+from repro.supervisor import PHASES, PhaseClock, phase_sum
+from repro.unikernel.errors import RecoveryFailed
+from tests.conftest import build_kernel
+from tests.parallel.test_determinism import assert_reports_identical
+
+
+def _supervised_kernel(sim, share):
+    kernel = build_kernel(sim, share, config=SUPERVISED)
+    kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+    return kernel
+
+
+def _panic_scenario(kernel):
+    FaultInjector(kernel).inject_panic("9PFS", count=2)
+    assert kernel.syscall("VFS", "open", "/data/hello.txt", "r") >= 3
+
+
+class TestSloLedger:
+    def test_disabled_ledger_records_no_intervals(self):
+        ledger = SloLedger(enabled=False)
+        ledger.note_state("VFS", "up", 0.0)
+        assert ledger.intervals == {}
+
+    def test_repeated_state_is_one_interval(self):
+        ledger = SloLedger(enabled=True)
+        ledger.note_state("VFS", "up", 0.0)
+        ledger.note_state("VFS", "up", 50.0)
+        ledger.note_state("VFS", "rebooting", 100.0)
+        ledger.note_state("VFS", "up", 110.0)
+        ledger.close(200.0)
+        assert ledger.intervals["VFS"] == [
+            ["up", 0.0, 100.0],
+            ["rebooting", 100.0, 110.0],
+            ["up", 110.0, 200.0],
+        ]
+
+    def test_availability_is_up_over_total(self):
+        ledger = SloLedger(enabled=True)
+        ledger.note_state("VFS", "up", 0.0)
+        ledger.note_state("VFS", "dead", 900.0)
+        ledger.close(1000.0)
+        assert ledger.availability("VFS") == pytest.approx(0.9)
+        times = ledger.state_time_us("VFS")
+        assert times["up"] == 900.0
+        assert times["dead"] == 100.0
+
+    def test_burn_rate_against_the_error_budget(self):
+        ledger = SloLedger(enabled=True)
+        for _ in range(999):
+            ledger.note_request("VFS", "read", ok=True)
+        ledger.note_request("VFS", "read", ok=False)
+        # 1000 requests at a 99.9% target leave a budget of exactly
+        # one error: the burn rate is exactly 1.0.
+        assert ledger.burn_rate(DEFAULT_SLO_TARGET) == pytest.approx(1.0)
+        assert ledger.request_totals() == (999, 1)
+        assert ledger.callers["read"] == [999, 1]
+
+    def test_merge_sums_counts_and_concatenates_intervals(self):
+        first, second = SloLedger(enabled=True), SloLedger(enabled=True)
+        first.note_state("VFS", "up", 0.0)
+        first.close(10.0)
+        first.note_request("VFS", "read", ok=True)
+        second.note_state("VFS", "rebooting", 10.0)
+        second.close(12.0)
+        second.note_request("VFS", "read", ok=False)
+        merged = first.merged_with(second)
+        assert merged.intervals["VFS"] == [["up", 0.0, 10.0],
+                                           ["rebooting", 10.0, 12.0]]
+        assert merged.requests["VFS"] == [1, 1]
+
+    def test_jsonable_round_trip_and_blob_merge(self):
+        ledger = SloLedger(enabled=True, label="test")
+        ledger.note_state("VFS", "up", 0.0)
+        ledger.note_request("VFS", "read", ok=True)
+        blob = ledger.to_jsonable(now_us=5.0)
+        # to_jsonable(now_us) closes in the copy, not the live ledger
+        assert ledger.intervals["VFS"][-1][2] is None
+        restored = SloLedger.from_jsonable(blob)
+        assert restored.intervals["VFS"] == [["up", 0.0, 5.0]]
+        merged = SloLedger.merged_from_jsonables([blob, blob])
+        assert merged.requests["VFS"] == [2, 0]
+
+    def test_rows_cover_every_component(self):
+        ledger = SloLedger(enabled=True)
+        ledger.note_state("VFS", "up", 0.0)
+        ledger.close(10.0)
+        rows = ledger.rows()
+        assert [row[0] for row in rows] == ["VFS"]
+        assert rows[0][1] == "100.000%"
+        assert "VFS" in ledger.render()
+
+
+class TestTimelineCompaction:
+    def test_series_decimates_to_every_second_point(self):
+        series = TimeSeries(cap=8)
+        for t in range(9):
+            series.add(float(t), float(t))
+        # 9 points > cap: one [::2] pass leaves the even-indexed five
+        assert series.points == [(0.0, 0.0), (2.0, 2.0), (4.0, 4.0),
+                                 (6.0, 6.0), (8.0, 8.0)]
+
+    def test_absorb_applies_the_same_rule_as_recording(self):
+        serial = HealthTimeline()
+        for t in range(20):
+            serial.record("leak", float(t), float(t))
+
+        shard_a, shard_b = HealthTimeline(), HealthTimeline()
+        for t in range(10):
+            shard_a.record("leak", float(t), float(t))
+        for t in range(10, 20):
+            shard_b.record("leak", float(t), float(t))
+        merged = HealthTimeline()
+        merged.absorb(shard_a.to_jsonable())
+        merged.absorb(shard_b.to_jsonable())
+        # Under the cap no decimation fires anywhere: the shard fold
+        # reproduces the serial bytes exactly.
+        assert json.dumps(merged.to_jsonable(), sort_keys=True) \
+            == json.dumps(serial.to_jsonable(), sort_keys=True)
+
+    def test_tail_and_render(self):
+        timeline = HealthTimeline()
+        for t in range(40):
+            timeline.record("wear", float(t), float(t % 7))
+        tail = timeline.tail(4)
+        assert len(tail["wear"]) == 4
+        text = timeline.render()
+        assert "wear" in text and "40 samples" in text
+
+
+class TestPhaseAttribution:
+    def test_phase_clock_clamps_backwards_marks(self):
+        clock = PhaseClock("ladder", 100.0)
+        clock.mark("detect", 110.0)
+        clock.mark("plan", 90.0)   # backwards seek: skipped, clamped
+        clock.mark("reboot", 120.0)
+        assert clock.phases == {"detect": 10.0, "reboot": 30.0}
+
+    def test_phase_sum_folds_in_canonical_order(self):
+        phases = {"resume": 1.0, "detect": 2.0, "reboot": 3.0}
+        assert phase_sum(phases) == 6.0
+        assert set(PHASES) >= set(phases)
+
+    def test_every_recovery_sums_exactly_to_its_mttr(self, sim, share):
+        kernel = _supervised_kernel(sim, share)
+        _panic_scenario(kernel)
+        telemetry = kernel.supervisor.telemetry
+        exact, total = telemetry.phase_exactness()
+        assert total >= 1
+        assert exact == total
+        outcome = telemetry.outcomes[-1]
+        assert outcome.phases
+        assert phase_sum(outcome.phases) == outcome.phase_total_us
+        assert telemetry.phase_episodes.get("ladder", 0) >= 1
+
+    def test_phase_rows_report_every_episode_kind(self, sim, share):
+        kernel = _supervised_kernel(sim, share)
+        _panic_scenario(kernel)
+        rows = kernel.supervisor.telemetry.phase_rows()
+        kinds = [row[0] for row in rows]
+        assert "ladder" in kinds
+
+
+class TestPurelyObservational:
+    def test_reference_mode_ledger_parity_with_observatory(
+            self, share):
+        def run(seed=4242):
+            sim = Simulation(seed=seed)
+            kernel = _supervised_kernel(sim, share)
+            _panic_scenario(kernel)
+            kernel.heartbeat()
+            return dict(sim.ledger.totals), dict(sim.ledger.counts)
+
+        state.enable()
+        try:
+            fast_totals, fast_counts = run()
+            with reference_mode():
+                ref_totals, ref_counts = run()
+        finally:
+            state.disable()
+        assert fast_totals == ref_totals
+        assert fast_counts == ref_counts
+
+    def test_arming_the_ledger_changes_no_charge(self, share):
+        def run(config):
+            sim = Simulation(seed=99)
+            kernel = build_kernel(sim, share, config=config)
+            kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+            _panic_scenario(kernel)
+            return dict(sim.ledger.totals), sim.clock.now_us
+
+        armed = run(SUPERVISED.with_(slo_enabled=True))
+        disarmed = run(SUPERVISED.with_(slo_enabled=False))
+        assert armed == disarmed
+
+
+class TestPostmortem:
+    def _fail_stop(self, sim, share):
+        kernel = build_kernel(sim, share, config=DAS)
+        kernel.syscall("VFS", "mount", "/", "9pfs", "/")
+        FaultInjector(kernel).inject_deterministic_bug(
+            "9PFS", "uk_9pfs_lookup")
+        with pytest.raises(RecoveryFailed):
+            kernel.syscall("VFS", "open", "/data/hello.txt", "r")
+        return kernel
+
+    def test_fail_stop_freezes_a_schema_valid_artifact(
+            self, sim, share):
+        kernel = self._fail_stop(sim, share)
+        doc = kernel.last_postmortem
+        assert doc is not None
+        assert doc["kind"] == "fail_stop"
+        assert doc["component"] == "9PFS"
+        assert validate_postmortem(doc) == []
+        text = render_postmortem(doc)
+        assert text.startswith("POSTMORTEM")
+        assert "9PFS" in text
+
+    def test_env_dir_writes_a_loadable_file(self, sim, share,
+                                            tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_POSTMORTEM_DIR", str(tmp_path))
+        self._fail_stop(sim, share)
+        files = sorted(os.listdir(tmp_path))
+        assert len(files) == 1
+        assert files[0].startswith("postmortem-fail_stop-9PFS")
+        with open(tmp_path / files[0]) as fh:
+            doc = json.load(fh)
+        assert validate_postmortem(doc) == []
+
+    def test_validator_rejects_broken_documents(self, sim, share):
+        doc = self._fail_stop(sim, share).last_postmortem
+        broken = dict(doc)
+        del broken["wear"]
+        assert any("wear" in p for p in validate_postmortem(broken))
+        broken = dict(doc)
+        broken["kind"] = "heat_death"
+        assert validate_postmortem(broken)
+        assert validate_postmortem([], POSTMORTEM_SCHEMA)
+
+    def test_postmortem_cli_renders_and_validates(
+            self, sim, share, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_POSTMORTEM_DIR", str(tmp_path))
+        self._fail_stop(sim, share)
+        path = tmp_path / sorted(os.listdir(tmp_path))[0]
+        out = io.StringIO()
+        assert cli_main(["postmortem", str(path)], out=out) == 0
+        assert "POSTMORTEM — fail_stop of 9PFS" in out.getvalue()
+        # A schema-invalid document makes the command fail
+        with open(path) as fh:
+            doc = json.load(fh)
+        del doc["slo"]
+        bad = tmp_path / "bad.json"
+        with open(bad, "w") as fh:
+            json.dump(doc, fh)
+        assert cli_main(["postmortem", str(bad)], out=io.StringIO()) == 1
+
+
+class TestFilterRecording:
+    def _recording(self):
+        return {
+            "kind": "repro-flight-recording",
+            "spans": [
+                {"sid": 0, "parent": None, "track": 0, "cat": "request",
+                 "name": "open", "start_us": 0.0, "end_us": 5.0,
+                 "args": {"target": "VFS"}},
+                {"sid": 1, "parent": 0, "track": 0, "cat": "dispatch",
+                 "name": "VFS.open", "start_us": 1.0, "end_us": 4.0,
+                 "args": {}},
+                {"sid": 2, "parent": 1, "track": 0, "cat": "dispatch",
+                 "name": "9PFS.lookup", "start_us": 2.0, "end_us": 3.0,
+                 "args": {}},
+                {"sid": 3, "parent": None, "track": 0,
+                 "cat": "checkpoint", "name": "take:9PFS",
+                 "start_us": 6.0, "end_us": 7.0, "args": {}},
+            ],
+            "spans_dropped": 0,
+            "trace_dropped": 0,
+            "profile": {
+                "open;VFS.open;syscall_entry": {"us": 2.0, "count": 1},
+                "open;VFS.open;9PFS.lookup;p9_walk":
+                    {"us": 1.0, "count": 1},
+            },
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+
+    def test_component_filter_keeps_dotted_and_arg_matches(self):
+        out = export.filter_recording(self._recording(),
+                                      component="VFS")
+        names = [s["name"] for s in out["spans"]]
+        assert names == ["open", "VFS.open"]
+        assert set(out["profile"]) == {
+            "open;VFS.open;syscall_entry",
+            "open;VFS.open;9PFS.lookup;p9_walk"}
+
+    def test_component_filter_cuts_dangling_parents(self):
+        out = export.filter_recording(self._recording(),
+                                      component="9PFS")
+        spans = {s["sid"]: s for s in out["spans"]}
+        assert set(spans) == {2, 3}
+        # span 2's parent (1, filtered out) was cut: it re-roots
+        assert spans[2]["parent"] is None
+        document = export.to_chrome_trace(out)
+        assert export.validate_chrome_trace(document) == []
+
+    def test_category_filter_selects_spans_and_profile_leaves(self):
+        out = export.filter_recording(self._recording(),
+                                      category="checkpoint")
+        assert [s["name"] for s in out["spans"]] == ["take:9PFS"]
+        assert out["profile"] == {}
+        out = export.filter_recording(self._recording(),
+                                      category="p9_walk")
+        assert list(out["profile"]) == [
+            "open;VFS.open;9PFS.lookup;p9_walk"]
+
+    def test_no_filter_returns_the_recording_unchanged(self):
+        recording = self._recording()
+        assert export.filter_recording(recording) is recording
+
+
+@pytest.mark.slow
+class TestObservatoryDeterminism:
+    def _soak_recording(self, jobs):
+        state.enable()
+        try:
+            report = chaos_soak.run(rounds=6, jobs=jobs)
+            recording = state.collector().to_recording()
+        finally:
+            state.disable()
+        return report, recording
+
+    def test_observatory_sections_byte_identical_across_jobs(self):
+        serial_report, serial = self._soak_recording(1)
+        parallel_report, parallel = self._soak_recording(4)
+        assert_reports_identical(serial_report, parallel_report)
+        for key in ("slo", "timeline", "postmortems"):
+            assert json.dumps(serial[key], sort_keys=True) \
+                == json.dumps(parallel[key], sort_keys=True), key
+        assert serial["slo"], "soak recorded no SLO ledgers"
+        assert serial["timeline"]["samples"] > 0
+        ledger = SloLedger.merged_from_jsonables(serial["slo"])
+        assert ledger.components()
+        assert ledger.request_totals()[0] > 0
+
+    def test_soak_report_carries_slo_and_phase_sections(self):
+        report = chaos_soak.run(rounds=6, jobs=1)
+        text = report.render()
+        assert "SLO ledger" in text
+        assert "MTTR phase attribution" in text
+        assert "error-budget burn" in text
+
+
+@pytest.mark.slow
+class TestObservatoryCli:
+    @pytest.fixture(scope="class")
+    def recording_path(self, tmp_path_factory):
+        state.enable()
+        try:
+            chaos_soak.run(rounds=6, jobs=1)
+            recording = state.collector().to_recording()
+        finally:
+            state.disable()
+        path = tmp_path_factory.mktemp("obs") / "flight.json"
+        export.save_recording(recording, str(path))
+        return str(path)
+
+    def test_slo_command_renders_the_merged_ledger(
+            self, recording_path):
+        out = io.StringIO()
+        assert cli_main(["slo", recording_path], out=out) == 0
+        text = out.getvalue()
+        assert "SLO ledger" in text
+        assert "budget burn" in text or "requests:" in text
+
+    def test_health_command_renders_the_timeline(self, recording_path):
+        out = io.StringIO()
+        assert cli_main(["health", recording_path], out=out) == 0
+        assert "health timeline" in out.getvalue()
+
+    def test_top_shows_the_drop_counters(self, recording_path):
+        out = io.StringIO()
+        assert cli_main(["top", recording_path], out=out) == 0
+        assert "drops: spans=" in out.getvalue()
+        assert "trace-ring=" in out.getvalue()
+
+    def test_trace_export_component_filter(self, recording_path,
+                                           tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert cli_main(["trace", "export", recording_path,
+                         "--component", "VFS",
+                         "-o", str(out_path)]) == 0
+        with open(out_path) as fh:
+            document = json.load(fh)
+        events = [event for event in document["traceEvents"]
+                  if event["ph"] == "X"]
+        assert events
+        for event in events:
+            # every kept span names VFS or references it in its args
+            # (e.g. dispatch spans VFS issued into other components)
+            mentions = (event["name"] == "VFS"
+                        or event["name"].startswith("VFS.")
+                        or event["name"].endswith(":VFS")
+                        or "VFS" in event["args"].values())
+            assert mentions, event["name"]
+
+    def test_trace_folded_category_filter(self, recording_path,
+                                          tmp_path):
+        out_path = tmp_path / "profile.folded"
+        assert cli_main(["trace", "folded", recording_path,
+                         "--category", "supervisor_scan",
+                         "-o", str(out_path)]) == 0
+        with open(out_path) as fh:
+            lines = [line for line in fh.read().splitlines() if line]
+        assert lines
+        assert all(line.rsplit(" ", 1)[0].endswith("supervisor_scan")
+                   for line in lines)
+
+    def test_filters_with_no_match_fail(self, recording_path):
+        assert cli_main(["trace", "export", recording_path,
+                         "--component", "NO-SUCH"]) == 1

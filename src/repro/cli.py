@@ -237,11 +237,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="explore the root-rejuvenation frontier "
                                "(root panics and kernel-side aging "
                                "under live components)")
+    crucible.add_argument("--fleet", action="store_true",
+                          help="explore the fleet-serving frontier "
+                               "(instance kills and router blackholes "
+                               "behind the load balancer)")
     crucible.add_argument("--corpus-out", default=None, metavar="DIR",
                           help="write minimized violations as corpus "
                                "files into DIR")
     crucible.add_argument("--shrink-limit", type=int, default=160,
                           help="max scenario re-runs per shrink")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale serving: sharded instances behind a "
+             "health-routed load balancer (vs a no-routing arm)")
+    fleet.add_argument("--shards", type=int, default=None,
+                       help="replica sets (tenants are sharded onto "
+                            "them)")
+    fleet.add_argument("--replicas", type=int, default=None,
+                       help="instances per shard")
+    fleet.add_argument("--ticks", type=int, default=None,
+                       help="campaign length in balancer ticks")
+    fleet.add_argument("--rate", type=int, default=None,
+                       help="per-tenant baseline arrivals per tick")
+    fleet.add_argument("--seed", type=int, default=20240808,
+                       help="root seed (byte-identical per seed+jobs)")
+    fleet.add_argument("--quick", action="store_true",
+                       help="CI-sized campaign (same code paths, "
+                            "~30x fewer requests)")
+    fleet.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes; output is "
+                            "byte-identical to --jobs 1")
+    _add_obs_flags(fleet)
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--quick", action="store_true",
@@ -555,6 +582,24 @@ def _chaos_soak_command(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0 if report.all_claims_hold else 1
 
 
+def _fleet_command(args: argparse.Namespace, out=sys.stdout) -> int:
+    from .fleet import FleetSpec
+    from .fleet import run as fleet_run
+
+    spec = FleetSpec.quick() if args.quick else FleetSpec()
+    overrides = {name: getattr(args, attr)
+                 for name, attr in (("shards", "shards"),
+                                    ("replicas", "replicas"),
+                                    ("ticks", "ticks"),
+                                    ("base_rate", "rate"))
+                 if getattr(args, attr) is not None}
+    if overrides:
+        spec = FleetSpec(**{**spec.__dict__, **overrides})
+    report = fleet_run(spec, seed=args.seed, jobs=_jobs(args))
+    print(report.render(), file=out)
+    return 0 if report.all_claims_hold else 1
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -580,13 +625,17 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                        state_path=args.state, resume=args.resume,
                        corpus_out=args.corpus_out,
                        shrink_limit=args.shrink_limit,
-                       storm=args.storm, root=args.root, out=out)
+                       storm=args.storm, root=args.root,
+                       fleet=args.fleet, out=out)
     if args.command == "run":
         return _run_with_obs(
             args, lambda: _execute(args.ids, args, out=out))
     if args.command == "chaos-soak":
         return _run_with_obs(
             args, lambda: _chaos_soak_command(args, out=out))
+    if args.command == "fleet":
+        return _run_with_obs(
+            args, lambda: _fleet_command(args, out=out))
     if args.command == "all":
         if args.quick:
             args.scale = min(args.scale, 120)

@@ -32,6 +32,9 @@ from ..supervisor import PHASES
 from .corpus import corpus_entry, write_corpus_file
 from .generate import (
     CONFIGS,
+    FLEET_FAULTS,
+    FLEET_POLICIES,
+    FLEET_SWEEP,
     ROOT_KINDS,
     ROOT_SWEEP,
     SITES_AXIS,
@@ -40,6 +43,8 @@ from .generate import (
     SWEEP,
     axes_for_index,
     canary_scenario,
+    fleet_axes_for_index,
+    fleet_scenario_for_index,
     root_axes_for_index,
     root_scenario_for_index,
     scenario_for_index,
@@ -60,19 +65,24 @@ CANARY_MAX_EVENTS = 6
 
 
 def explore_cell(root_seed: int, index: int, canary: bool,
-                 storm: bool = False, root: bool = False
-                 ) -> Dict[str, Any]:
+                 storm: bool = False, root: bool = False,
+                 fleet: bool = False) -> Dict[str, Any]:
     """One frontier cell: generate, run the bundle, judge.
 
     Module-level and JSON-in/JSON-out so it pickles into pool workers
     and merges byte-identically.  ``index == -1`` selects the canary
     scenario (only meaningful with ``canary=True``); ``storm`` selects
     the multi-fault storm frontier, ``root`` the root-rejuvenation
-    frontier, instead of the main one.
+    frontier, ``fleet`` the fleet-serving frontier, instead of the
+    main one.
     """
     if index < 0:
         scenario = canary_scenario(root_seed)
         config, fault, site = scenario.config, "canary", "reboot"
+    elif fleet:
+        scenario = fleet_scenario_for_index(root_seed, index)
+        policy, kind, _ = fleet_axes_for_index(index)
+        config, fault, site = scenario.config, kind, policy
     elif root:
         scenario = root_scenario_for_index(root_seed, index)
         config, kind, _ = root_axes_for_index(index)
@@ -165,8 +175,11 @@ def _render_report(seed: int, start: int, budget: int,
                    shrunk: Dict[int, Dict[str, Any]],
                    corpus_files: Dict[int, str],
                    state: Optional[Dict[str, Any]],
-                   storm: bool = False, root: bool = False) -> str:
-    if root:
+                   storm: bool = False, root: bool = False,
+                   fleet: bool = False) -> str:
+    if fleet:
+        title = "== crucible: fleet serving exploration =="
+    elif root:
         title = "== crucible: root rejuvenation exploration =="
     elif storm:
         title = "== crucible: multi-fault storm exploration =="
@@ -176,7 +189,12 @@ def _render_report(seed: int, start: int, budget: int,
     lines.append(
         f"seed {seed}, budget {budget} "
         f"(frontier indices {start}..{start + budget - 1})")
-    if root:
+    if fleet:
+        lines.append(
+            f"axes: {len(FLEET_POLICIES)} routing policies x "
+            f"{len(FLEET_FAULTS)} instance faults = {FLEET_SWEEP} "
+            f"scenarios per sweep")
+    elif root:
         lines.append(
             f"axes: {len(CONFIGS)} configs x {len(ROOT_KINDS)} root "
             f"fault kinds = {ROOT_SWEEP} scenarios per sweep")
@@ -302,7 +320,8 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
             state_path: Optional[str] = None, resume: bool = False,
             corpus_out: Optional[str] = None,
             shrink_limit: int = 160, storm: bool = False,
-            root: bool = False, out=None) -> int:
+            root: bool = False, fleet: bool = False,
+            out=None) -> int:
     """The ``repro crucible`` command body; returns the exit code."""
     import sys
     if out is None:  # pragma: no cover - CLI default
@@ -314,7 +333,7 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
     state = _load_state(state_path, resume, seed)
     start = int(state["next_index"])
     cells = parallel_map(explore_cell,
-                         [(seed, index, False, storm, root)
+                         [(seed, index, False, storm, root, fleet)
                           for index in range(start, start + budget)],
                          jobs)
 
@@ -344,7 +363,8 @@ def explore(budget: int = 120, jobs: Optional[int] = 1,
     print(_render_report(seed, start, budget, cells, shrunk,
                          corpus_files,
                          state if state_path else None,
-                         storm=storm, root=root), file=out)
+                         storm=storm, root=root, fleet=fleet),
+          file=out)
     if state_path:
         _save_state(state_path, state)
     return 1 if violations else 0

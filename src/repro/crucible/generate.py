@@ -275,6 +275,99 @@ def root_scenario_for_index(root_seed: int, index: int) -> Scenario:
                     note=f"root[{index}] {kind}@{config}")
 
 
+#: the fleet family's routing-policy axis (the health arm must stay
+#: transparent; the static arm is the sanctioned-loss control)
+FLEET_POLICIES = ("health", "static")
+
+#: the fleet family's fault axis: a plain instance kill, a probe
+#: blackhole alone, a blackhole that then hides a kill (the default
+#: zero staleness tolerance must still drain in time), and a kill
+#: followed by an operator revive
+FLEET_FAULTS = ("kill", "blackhole", "kill+blackhole", "kill+revive")
+
+#: one full sweep of the fleet family's axes
+FLEET_SWEEP = len(FLEET_POLICIES) * len(FLEET_FAULTS)
+
+
+def fleet_axes_for_index(index: int) -> tuple:
+    """``index`` → (policy, fault, variant) on the fleet frontier."""
+    if index < 0:
+        raise ValueError("frontier indices are non-negative")
+    residue, variant = index % FLEET_SWEEP, index // FLEET_SWEEP
+    policy = FLEET_POLICIES[residue % len(FLEET_POLICIES)]
+    fault = FLEET_FAULTS[residue // len(FLEET_POLICIES)]
+    return policy, fault, variant
+
+
+def fleet_scenario_for_index(root_seed: int, index: int) -> Scenario:
+    """The fleet-serving frontier: instance kills and router
+    blackholes behind the load balancer (see ``crucible.fleet``).
+
+    Under the health policy with the default staleness tolerance,
+    every fault here must stay tenant-invisible: the router drains
+    dead or silent instances before serving into them, so the
+    transparency oracle holds the serving rows to the fault-free
+    twin's.  Under the static policy a kill marks a lossy cut — blind
+    round-robin is *expected* to surface errors — and the oracles
+    only bind up to it.
+    """
+    policy, fault, variant = fleet_axes_for_index(index)
+    seed = shard_seed(root_seed, "crucible", "fleet", policy, fault,
+                      variant)
+    rng = DeterministicRNG(seed).stream("events")
+    target = rng.randint(0, 2)
+
+    events: List[List[Any]] = [["fpolicy", policy]]
+    events.extend([["ftick"]] * rng.randint(1, 2))
+    if fault == "kill":
+        events.append(["fkill", target])
+    elif fault == "blackhole":
+        events.append(["fblackhole", target])
+        events.extend([["ftick"]] * rng.randint(1, 2))
+        events.append(["fheal", target])
+    elif fault == "kill+blackhole":
+        events.append(["fblackhole", target])
+        events.append(["ftick"])
+        events.append(["fkill", target])
+    else:  # kill+revive
+        events.append(["fkill", target])
+        events.extend([["ftick"]] * rng.randint(1, 2))
+        events.append(["frevive", target])
+    events.extend([["ftick"]] * rng.randint(2, 3))
+
+    return Scenario(config="VampOS-Supervised", seed=seed,
+                    events=events,
+                    note=f"fleet[{index}] {fault}@{policy}")
+
+
+def fleet_canary_scenario(root_seed: int) -> Scenario:
+    """The planted fleet-routing bug: a raised staleness tolerance.
+
+    With ``fstale 2`` the router trusts an instance's last known
+    health for two silent ticks.  A probe blackhole followed by a kill
+    leaves the router routing tenant traffic into a dead instance —
+    errors the health policy promises never to surface, which the
+    transparency oracle must convict (no lossy cut: replicas remain
+    healthy throughout).  Shrinking must reduce it to the stale
+    window, the blackhole, the kill and one serving tick.
+    """
+    seed = shard_seed(root_seed, "crucible", "fleet-canary")
+    events = [
+        ["fstale", 2],
+        ["ftick"],
+        ["fblackhole", 0],
+        ["ftick"],
+        ["fkill", 0],
+        ["ftick"],
+        ["fheal", 0],
+        ["ftick"],
+    ]
+    return Scenario(config="VampOS-Supervised", seed=seed,
+                    events=events,
+                    note="fleet canary: stale health window hides a "
+                         "dead instance")
+
+
 def canary_scenario(root_seed: int) -> Scenario:
     """The planted transparency bug (see ``runner._install_canary``).
 

@@ -264,7 +264,17 @@ def run_scenario(scenario: Scenario, ops_only: bool = False,
     ``kernel_hook`` is called with the (possibly dead) kernel after
     everything is captured — :func:`violation_postmortem` uses it to
     freeze an artifact from the final kernel state.
+
+    Scenarios written in the fleet grammar (``ftick`` / ``fkill`` /
+    ...) dispatch to the fleet runner; the outcome shape is identical,
+    so oracles, shrinking and the corpus treat both families alike.
     """
+    from .fleet import is_fleet_scenario, run_fleet_scenario
+    if is_fleet_scenario(scenario):
+        return run_fleet_scenario(scenario, ops_only=ops_only,
+                                  shrink_override=shrink_override,
+                                  restore_probes=restore_probes,
+                                  kernel_hook=kernel_hook)
     config = config_by_name(scenario.config)
     if shrink_override is not None:
         config = config.with_(shrink_enabled=shrink_override)
@@ -459,6 +469,9 @@ def run_bundle(scenario: Scenario) -> Dict[str, RunOutcome]:
     """The up-to-five-way evaluation of one scenario (see module
     docs); ``rootfree`` is present only for scenarios carrying root
     events."""
+    from .fleet import is_fleet_scenario, run_fleet_bundle
+    if is_fleet_scenario(scenario):
+        return run_fleet_bundle(scenario)
     main = run_scenario(scenario)
     reference = run_scenario(scenario, ops_only=True,
                              restore_probes=False)

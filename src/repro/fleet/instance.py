@@ -1,0 +1,194 @@
+"""One fleet member: a supervised unikernel with a probe surface.
+
+:class:`FleetInstance` wraps a full simulated Nginx unikernel
+(``VampOS-Supervised``) the way the balancer sees one: a black box
+that answers health probes and either serves or doesn't.  Per tick it
+
+* runs the kill/revive schedule — every instance suffers exactly one
+  seeded outage per campaign (dead for ``revive_ticks`` ticks, then an
+  operator full reboot), so the no-routing control arm is guaranteed
+  to route into dead instances;
+* advances the instance's own virtual clock and takes an idle poll, so
+  the heartbeat sweep and the supervisor's probation probes run;
+* injects seeded transient faults (panics, multi-hit transients,
+  hangs) that exercise the real recovery ladder underneath the
+  balancer.
+
+The probe is an actual HTTP request through the simulated kernel: its
+latency is the instance's measured service time for the tick, a reset
+or refusal is a failed probe, and the supervisor's quarantine set
+(:meth:`~repro.supervisor.supervisor.RecoverySupervisor\
+.degraded_components`) is the degraded signal the router drains on.
+Terminal faults (fail-stop, kernel panic, hang) kill the instance on
+the spot and schedule the same revive path as the planned outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..faults.injector import FaultInjector
+from ..net.tcp import ConnectionRefused, ConnectionReset
+from ..obs.slo import ledger_now_us
+from ..sim.rng import DeterministicRNG
+from ..unikernel.errors import (
+    ApplicationHang,
+    KernelPanic,
+    RecoveryFailed,
+    SyscallError,
+)
+from ..workloads.http_load import HttpLoadGenerator
+from .router import Observation
+
+#: the fleet arm every instance runs (the full escalation ladder)
+SUPERVISED_MODE = "VampOS-Supervised"
+
+#: transient-fault mix (weighted) and on-path targets; LWIP hangs are
+#: terminal by design so hangs avoid it (as in the chaos soak)
+_FAULT_KINDS = ("panic", "panic", "multi_panic", "hang")
+_FAULT_TARGETS = ("VFS", "9PFS", "NETDEV")
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """What one health probe of one instance learned."""
+
+    ok: bool
+    degraded: bool
+    dead: bool
+    #: measured service time for this tick (the probe request's
+    #: latency; the probe timeout when the probe failed)
+    service_us: float
+
+    def state(self) -> str:
+        """The SLO-ledger availability state this probe maps to."""
+        if self.dead:
+            return "dead"
+        if self.degraded:
+            return "degraded"
+        if not self.ok:
+            return "rebooting"
+        return "up"
+
+    def observation(self) -> Observation:
+        return Observation(probe_ok=self.ok, degraded=self.degraded,
+                           dead=self.dead)
+
+
+class FleetInstance:
+    """A supervised unikernel instance as the balancer sees it."""
+
+    def __init__(self, name: str, seed: int, rng: DeterministicRNG,
+                 ticks: int, fault_rate: float, revive_ticks: int,
+                 timeout_us: float) -> None:
+        # imported here: env imports apps imports core, and core's
+        # runtime must not depend back on the fleet package
+        from ..experiments.env import make_nginx, resolve_mode
+        self.name = name
+        self.app = make_nginx(resolve_mode(SUPERVISED_MODE), seed=seed)
+        self.injector = FaultInjector(self.app.kernel)
+        self.load = HttpLoadGenerator(self.app, connections=2)
+        self.fault_rate = float(fault_rate)
+        self.revive_ticks = int(revive_ticks)
+        self.timeout_us = float(timeout_us)
+        self._faults = rng.stream(f"fleet/faults/{name}")
+        # exactly one planned outage per campaign, mid-run
+        lo = max(1, ticks // 4)
+        self.kill_tick = self._faults.randint(lo, max(lo, (3 * ticks) // 4))
+        self.alive = True
+        self._revive_at: Optional[int] = None
+        self._probe_rr = 0
+        self.kills = 0
+        self.revives = 0
+        self.faults_injected = 0
+        self.reboot_downtime_us = 0.0
+
+    # --- lifecycle (campaign loop calls these once per tick) --------------
+
+    def _die(self, tick: int) -> None:
+        self.alive = False
+        self._revive_at = tick + self.revive_ticks
+        self.kills += 1
+        self.load.close_all()
+
+    def advance(self, tick: int, tick_us: float) -> None:
+        """Run the tick prologue: revive/kill schedule, virtual-clock
+        advance, idle poll (heartbeat + probation probes), seeded
+        transient fault injection."""
+        if self._revive_at is not None and tick >= self._revive_at:
+            self.reboot_downtime_us += self.app.kernel.full_reboot()
+            self._revive_at = None
+            self.alive = True
+            self.revives += 1
+        if not self.alive:
+            return
+        if tick == self.kill_tick:
+            self._die(tick)
+            return
+        self.app.sim.clock.advance(tick_us)
+        try:
+            self.app.poll()
+        except SyscallError:
+            pass  # a degraded component's ENODEV — still serving
+        except (RecoveryFailed, KernelPanic, ApplicationHang):
+            self._die(tick)
+            return
+        if self._faults.random() < self.fault_rate:
+            self._inject_one()
+
+    def _inject_one(self) -> None:
+        rng = self._faults
+        kind = rng.choice(_FAULT_KINDS)
+        target = rng.choice(_FAULT_TARGETS)
+        if kind == "hang":
+            self.injector.inject_hang(target)
+        elif kind == "multi_panic":
+            self.injector.inject_panic(target,
+                                       reason="multi-hit transient",
+                                       count=2)
+        else:
+            self.injector.inject_panic(target)
+        self.faults_injected += 1
+
+    # --- the probe surface ------------------------------------------------
+
+    def degraded(self) -> bool:
+        supervisor = getattr(self.app.kernel, "supervisor", None)
+        if supervisor is None:
+            return False
+        return bool(supervisor.degraded_components())
+
+    def probe(self, tick: int) -> ProbeReport:
+        """One health check: a real HTTP request whose latency is this
+        tick's measured service time."""
+        if not self.alive:
+            return ProbeReport(ok=False, degraded=False, dead=True,
+                               service_us=self.timeout_us)
+        try:
+            latency = self.load.one_request(
+                self._probe_rr % self.load.connections)
+            self._probe_rr += 1
+        except (ConnectionReset, ConnectionRefused, SyscallError):
+            self.load.close_all()
+            return ProbeReport(ok=False, degraded=self.degraded(),
+                               dead=False, service_us=self.timeout_us)
+        except (RecoveryFailed, KernelPanic, ApplicationHang):
+            self._die(tick)
+            return ProbeReport(ok=False, degraded=False, dead=True,
+                               service_us=self.timeout_us)
+        service_us = max(1.0, min(latency, self.timeout_us))
+        return ProbeReport(ok=True, degraded=self.degraded(),
+                           dead=False, service_us=service_us)
+
+    # --- accounting -------------------------------------------------------
+
+    def ledger_snapshot(self) -> Dict[str, Any]:
+        """The instance's cost-ledger fingerprint — what the
+        ``reference_mode`` parity test compares per instance."""
+        ledger = self.app.sim.ledger
+        return {
+            "totals": dict(ledger.totals),
+            "counts": dict(ledger.counts),
+            "elapsed_us": ledger_now_us(ledger),
+        }

@@ -1,0 +1,101 @@
+"""Per-tenant traffic profiles, drawn from named RNG streams.
+
+Four tenant archetypes stress different parts of the balancer:
+
+* **diurnal** — a smooth day curve over the campaign's tick span; the
+  steady state the SLO target is written against;
+* **flash_crowd** — quiet baseline punctuated by seeded bursts several
+  times the base rate: the admission token bucket's reason to exist;
+* **slow_clients** — normal arrival rate but each request holds
+  ``weight`` queue slots and multiplies service latency: the
+  queue-depth shedder's reason to exist;
+* **retry_storm** — every failed request breeds capped retries on the
+  next tick, so an unhealthy instance that keeps receiving traffic
+  amplifies its own error rate — the profile that separates
+  health-routed from no-routing arms.
+
+All randomness comes from streams named off the tenant
+(``fleet/arrivals/<tenant>``), so arrivals are a pure function of the
+shard seed regardless of construction order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..sim.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """The static shape of one tenant archetype."""
+
+    name: str
+    #: queue slots one request occupies at the chosen instance
+    weight: int = 1
+    #: service-latency multiplier (slow clients hold the worker longer)
+    latency_mult: float = 1.0
+    #: retries bred per failed request (next tick, capped)
+    retry_factor: int = 0
+
+
+DIURNAL = TrafficProfile("diurnal")
+FLASH_CROWD = TrafficProfile("flash_crowd")
+SLOW_CLIENTS = TrafficProfile("slow_clients", weight=3,
+                              latency_mult=2.5)
+RETRY_STORM = TrafficProfile("retry_storm", retry_factor=2)
+
+#: tenant archetypes in assignment order (tenant index modulo four)
+PROFILES: Tuple[TrafficProfile, ...] = (DIURNAL, FLASH_CROWD,
+                                        SLOW_CLIENTS, RETRY_STORM)
+
+
+class TenantTraffic:
+    """One tenant's arrival process (stateful: bursts and retries)."""
+
+    def __init__(self, name: str, profile: TrafficProfile,
+                 base_rate: int, rng: DeterministicRNG) -> None:
+        self.name = name
+        self.profile = profile
+        self.base_rate = int(base_rate)
+        self._rng = rng.stream(f"fleet/arrivals/{name}")
+        self._burst_left = 0
+        self._pending_retries = 0
+
+    def arrivals(self, tick: int, ticks: int) -> int:
+        """Offered requests this tick (includes bred retries)."""
+        rng = self._rng
+        base = self.base_rate
+        kind = self.profile.name
+        if kind == "diurnal":
+            # one "day" spans the campaign; jitter keeps ticks distinct
+            phase = 0.5 - 0.5 * math.cos(2.0 * math.pi * tick
+                                         / max(1, ticks))
+            count = base * (0.55 + 0.5 * phase)
+        elif kind == "flash_crowd":
+            if self._burst_left > 0:
+                self._burst_left -= 1
+                count = base * 5.0
+            elif rng.random() < 0.05:
+                self._burst_left = rng.randint(1, 3)
+                count = base * 5.0
+            else:
+                count = base * 0.6
+        else:  # slow_clients / retry_storm: steady baseline
+            count = float(base)
+        count *= 0.95 + 0.1 * rng.random()
+        offered = int(count)
+        if self.profile.retry_factor:
+            offered += self._pending_retries
+            self._pending_retries = 0
+        return offered
+
+    def feed_back(self, errors: int) -> None:
+        """Schedule next-tick retries for this tick's failures (retry
+        storms only; the cap keeps the amplification bounded)."""
+        factor = self.profile.retry_factor
+        if factor and errors > 0:
+            self._pending_retries = min(errors * factor,
+                                        4 * self.base_rate)

@@ -107,6 +107,25 @@ class SloLedger:
             slot = self.callers[caller] = [0, 0]
         slot[index] += 1
 
+    def note_requests(self, component: str, caller: str,
+                      ok: int = 0, err: int = 0) -> None:
+        """Bulk request accounting: fold whole per-tick batches in one
+        call.  The fleet balancer answers hundreds of requests per
+        (instance, tenant) pair per tick — charging them one
+        :meth:`note_request` at a time would dominate the serving
+        loop.  Equivalent to ``ok`` + ``err`` individual calls."""
+        if ok <= 0 and err <= 0:
+            return
+        for mapping, key in ((self.requests, component),
+                             (self.callers, caller)):
+            slot = mapping.get(key)
+            if slot is None:
+                slot = mapping[key] = [0, 0]
+            if ok > 0:
+                slot[0] += ok
+            if err > 0:
+                slot[1] += err
+
     def close(self, now_us: float) -> None:
         """Close every open interval (harvest time: shard merges must
         only ever see closed intervals)."""

@@ -137,6 +137,11 @@ class RecoverySupervisor:
     def is_degraded(self, name: str) -> bool:
         return name in self.degraded
 
+    def degraded_components(self) -> List[str]:
+        """The quarantined set, sorted — the health signal external
+        probes (the fleet balancer's router) drain on."""
+        return sorted(self.degraded)
+
     def degraded_error(self, name: str, func: str) -> SyscallError:
         return SyscallError(
             DEGRADED_ERRNO,

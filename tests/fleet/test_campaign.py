@@ -1,0 +1,99 @@
+"""Campaign behaviour: paired arms, conservation, claims, report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetSpec, fleet_cell, run
+from repro.fleet.campaign import ROUTED_ARM, STATIC_ARM
+from repro.obs.slo import SLO_ROW_HEADERS
+from repro.parallel import shard_seed
+
+#: small enough for tier-1, big enough that every instance dies once
+#: and every tenant profile appears
+TINY = FleetSpec(shards=2, replicas=2, ticks=20, base_rate=40,
+                 queue_capacity=150, revive_ticks=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run(TINY, seed=20240808, jobs=1)
+
+
+def test_all_claims_hold(tiny_report):
+    assert tiny_report.claims, "campaign must self-verify"
+    failing = [c for c in tiny_report.claims if not c.holds]
+    assert not failing, [c.description for c in failing]
+
+
+def test_health_routed_arm_beats_static(tiny_report):
+    beats = [c for c in tiny_report.claims
+             if "beats static round-robin overall" in c.description]
+    assert len(beats) == 1 and beats[0].holds
+
+
+def test_retry_storm_tenants_benefit_from_routing(tiny_report):
+    storm = [c for c in tiny_report.claims
+             if "under retry storms" in c.description]
+    assert len(storm) == 1 and storm[0].holds
+
+
+def test_per_tenant_subtable_covers_every_tenant(tiny_report):
+    tables = {title: (headers, rows)
+              for title, headers, rows in tiny_report.subtables}
+    _, rows = tables["per-tenant availability & tail latency"]
+    assert len(rows) == TINY.tenants
+    assert {row[1] for row in rows} == {"diurnal", "flash_crowd",
+                                        "slow_clients", "retry_storm"}
+
+
+def test_slo_subtable_uses_observatory_headers(tiny_report):
+    tables = {title: (headers, rows)
+              for title, headers, rows in tiny_report.subtables}
+    headers, rows = tables[
+        "SLO ledger — per-instance availability (health-routed arm)"]
+    assert headers == SLO_ROW_HEADERS
+    assert len(rows) == TINY.instances
+
+
+def test_scale_claim_is_gated_off_below_32_instances(tiny_report):
+    assert not any("10^6" in c.description for c in tiny_report.claims)
+
+
+class TestFleetCell:
+    @pytest.fixture(scope="class")
+    def arms(self):
+        seed = shard_seed(20240808, "fleet", 0)
+        return (fleet_cell(TINY, ROUTED_ARM, 0, seed),
+                fleet_cell(TINY, STATIC_ARM, 0, seed))
+
+    def test_paired_arms_share_the_fault_schedule(self, arms):
+        routed, static = arms
+        assert routed.kills == static.kills > 0
+        assert routed.revives == static.revives
+        assert routed.faults_injected == static.faults_injected
+        assert set(routed.instance_ledgers) \
+            == set(static.instance_ledgers)
+
+    def test_conservation_per_arm(self, arms):
+        for outcome in arms:
+            assert outcome.offered \
+                == outcome.ok + outcome.err + outcome.shed
+
+    def test_sheds_charged_exactly_once(self, arms):
+        for outcome in arms:
+            assert outcome.shed_account.sheds == outcome.shed
+            assert outcome.shed_account.charges == outcome.shed
+
+    def test_health_arm_never_misroutes(self, arms):
+        routed, _ = arms
+        assert routed.misroutes == 0
+
+    def test_slo_ledger_sees_every_instance(self, arms):
+        routed, _ = arms
+        components = routed.slo.components()
+        assert components == sorted(routed.instance_ledgers)
+        for name in components:
+            availability = routed.slo.availability(name)
+            assert availability is not None
+            assert 0.0 <= availability <= 1.0
